@@ -1,0 +1,69 @@
+// Fig. 6 reproduction: (a) sub-byte kernel cycles scale almost linearly
+// with respect to the 8-bit kernel on the extended core; (b) the pv.qnt
+// instruction shrinks the quantization share of total cycles and speeds up
+// the whole kernel vs software (binary-tree) quantization.
+//
+// Paper reference points: quantization share with pv.qnt ~4% (4-bit) and
+// ~11% (2-bit); kernel speedup from pv.qnt 1.21x (4-bit) and 1.16x (2-bit);
+// near-linear 8b -> 4b -> 2b cycle scaling.
+#include "bench_util.hpp"
+
+using namespace xpulp;
+using namespace xpulp::bench;
+using kernels::ConvVariant;
+
+int main() {
+  print_header("Fig. 6 -- sub-byte scaling and pv.qnt impact (extended core)");
+
+  const auto ext = sim::CoreConfig::extended();
+  const auto r8 = run_riscv(8, ConvVariant::kXpulpV2_8b, ext);
+  const auto h4 = run_riscv(4, ConvVariant::kXpulpNN_HwQ, ext);
+  const auto s4 = run_riscv(4, ConvVariant::kXpulpNN_SwQ, ext);
+  const auto h2 = run_riscv(2, ConvVariant::kXpulpNN_HwQ, ext);
+  const auto s2 = run_riscv(2, ConvVariant::kXpulpNN_SwQ, ext);
+
+  std::printf("\n%-28s %10s %9s %12s %9s\n", "kernel", "cycles", "MAC/cyc",
+              "quant-cycles", "check");
+  auto row = [](const char* name, const PlatformResult& r) {
+    std::printf("%-28s %10llu %9.2f %12llu %9s\n", name,
+                static_cast<unsigned long long>(r.cycles), r.macs_per_cycle(),
+                static_cast<unsigned long long>(r.quant_cycles),
+                okstr(r.output_ok));
+  };
+  row("8-bit (reference)", r8);
+  row("4-bit + sw-tree quant", s4);
+  row("4-bit + pv.qnt", h4);
+  row("2-bit + sw-tree quant", s2);
+  row("2-bit + pv.qnt", h2);
+
+  std::printf("\n--- kernel speedup from pv.qnt (paper: 1.21x / 1.16x) ---\n");
+  std::printf("4-bit: %.2fx\n",
+              static_cast<double>(s4.cycles) / static_cast<double>(h4.cycles));
+  std::printf("2-bit: %.2fx\n",
+              static_cast<double>(s2.cycles) / static_cast<double>(h2.cycles));
+
+  std::printf("\n--- quantization share of total cycles ---\n");
+  std::printf("                       quant-code   pv.qnt-only  (paper: 4%% / 11%%)\n");
+  std::printf("4-bit sw-tree: %10.1f%%\n",
+              100.0 * static_cast<double>(s4.quant_cycles) / s4.cycles);
+  std::printf("4-bit pv.qnt:  %10.1f%%  %10.1f%%\n",
+              100.0 * static_cast<double>(h4.quant_cycles) / h4.cycles,
+              100.0 * static_cast<double>(h4.qnt_stall_cycles + h4.qnt_stall_cycles / 8) /
+                  h4.cycles);
+  std::printf("2-bit sw-tree: %10.1f%%\n",
+              100.0 * static_cast<double>(s2.quant_cycles) / s2.cycles);
+  std::printf("2-bit pv.qnt:  %10.1f%%  %10.1f%%\n",
+              100.0 * static_cast<double>(h2.quant_cycles) / h2.cycles,
+              100.0 * static_cast<double>(h2.qnt_stall_cycles + h2.qnt_stall_cycles / 4) /
+                  h2.cycles);
+
+  std::printf("\n--- scaling vs 8-bit (paper: 'almost linear') ---\n");
+  std::printf("4-bit speedup over 8-bit: %.2fx (linear would be 2x)\n",
+              static_cast<double>(r8.cycles) / static_cast<double>(h4.cycles));
+  std::printf("2-bit speedup over 8-bit: %.2fx (linear would be 4x)\n",
+              static_cast<double>(r8.cycles) / static_cast<double>(h2.cycles));
+
+  const bool all_ok = r8.output_ok && h4.output_ok && s4.output_ok &&
+                      h2.output_ok && s2.output_ok;
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// Table I reproduction: the QNN embedded-platform landscape. The ASIC/FPGA
+// and commercial-MCU rows are the paper's literature figures (constants);
+// the "This Work" row is *measured* on our simulated platform from the
+// 2-bit convolution kernel at the paper's operating point.
+#include "bench_util.hpp"
+
+using namespace xpulp;
+using namespace xpulp::bench;
+
+int main() {
+  print_header("Table I -- QNN embedded computing platforms");
+
+  // Measure "This Work": throughput/efficiency range across 8/4/2-bit
+  // kernels on the extended core (Gop = 2 x MAC, the paper's convention).
+  const auto ext = sim::CoreConfig::extended();
+  const auto r8 = run_riscv(8, kernels::ConvVariant::kXpulpV2_8b, ext);
+  const auto r2 = run_riscv(2, kernels::ConvVariant::kXpulpNN_HwQ, ext);
+  const double gops_lo = 2.0 * r8.macs_per_cycle() * r8.freq_hz * 1e-9;
+  const double gops_hi = 2.0 * r2.macs_per_cycle() * r2.freq_hz * 1e-9;
+  const double eff_lo = 2.0 * r8.gmac_s_w();
+  const double eff_hi = 2.0 * r2.gmac_s_w();
+  const double power_mw = r2.power_mw;
+
+  std::printf("\n%-14s %16s %18s %14s %12s\n", "platform", "perf [Gop/s]",
+              "eff [Gop/s/W]", "power [mW]", "flexibility");
+  std::printf("%-14s %16s %18s %14s %12s\n", "ASICs", "1K - 50K",
+              "10K - 100K", "1 - 1K", "low");
+  std::printf("%-14s %16s %18s %14s %12s\n", "FPGAs", "10 - 200", "1 - 10",
+              "1 - 1K", "medium");
+  std::printf("%-14s %16s %18s %14s %12s\n", "MCUs", "0.1 - 2", "1 - 50",
+              "1 - 1K", "high");
+  std::printf("%-14s %9.1f - %4.1f %11.0f - %4.0f %14.1f %12s   <- measured\n",
+              "This Work", gops_lo, gops_hi, eff_lo, eff_hi, power_mw, "high");
+  std::printf("\n(paper's This-Work row: 1 - 5 Gop/s, 80 - 550 Gop/s/W, 1 - 100 mW)\n");
+  return (r8.output_ok && r2.output_ok) ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Table III reproduction: component areas of the baseline and extended
+// cores (with and without the power-management design), core power on the
+// 8-bit MatMul, and PULPissimo SoC power across kernels and the GP
+// application. Paper values are printed side-by-side.
+#include "bench_util.hpp"
+#include "kernels/gp_workload.hpp"
+
+using namespace xpulp;
+using namespace xpulp::bench;
+using kernels::ConvVariant;
+
+namespace {
+
+struct Powers {
+  double core_mw;
+  double soc_mw;
+};
+
+Powers conv_power(unsigned bits, ConvVariant v, const sim::CoreConfig& cfg) {
+  const auto spec = qnn::ConvSpec::paper_layer(bits);
+  const auto data = kernels::ConvLayerData::random(spec, kSeed);
+  const auto res = kernels::run_conv_layer(data, v, cfg);
+  const auto p =
+      power::estimate_power(res.perf, res.activity, res.mem_stats, cfg);
+  return {p.core.core_mw(), p.soc_mw()};
+}
+
+Powers gp_power(const sim::CoreConfig& cfg) {
+  const auto w = kernels::make_gp_workload();
+  mem::Memory mem;
+  w.program.load(mem);
+  sim::Core core(mem, cfg);
+  core.reset(w.program.entry());
+  core.run();
+  const auto p = power::estimate_power(core.perf(), core.dotp_unit().activity(),
+                                       mem.stats(), cfg);
+  return {p.core.core_mw(), p.soc_mw()};
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table III -- area and power (22FDX model, 0.65 V TT, 250 MHz)");
+
+  // ---- Area ----
+  std::printf("\nArea [um^2] (overhead vs baseline):      paper overhead:\n");
+  std::printf("%-10s %10s %18s %18s\n", "", "RI5CY", "Ext. no-PM", "Ext. PM");
+  struct PaperOverheads {
+    const char* name;
+    double nopm, pm;
+  };
+  const PaperOverheads paper[] = {{"Total", 8.59, 11.1},
+                                  {"dotp-Unit", 18.3, 19.9},
+                                  {"ID Stage", 1.0, 5.0},
+                                  {"EX Stage", 17.1, 18.4},
+                                  {"LSU", 17.9, 14.1}};
+  const auto table = power::area_table();
+  for (size_t i = 0; i < table.size(); ++i) {
+    const auto& row = table[i];
+    std::printf("%-10s %10.1f %10.1f (%4.1f%%) %10.1f (%4.1f%%)   [%4.1f%% / %4.1f%%]\n",
+                row.component.c_str(), row.ri5cy_um2, row.ext_nopm_um2,
+                (row.ext_nopm_um2 / row.ri5cy_um2 - 1) * 100, row.ext_pm_um2,
+                (row.ext_pm_um2 / row.ri5cy_um2 - 1) * 100, paper[i].nopm,
+                paper[i].pm);
+  }
+
+  // ---- Core power on the 8-bit MatMul ----
+  const auto base = sim::CoreConfig::ri5cy();
+  const auto pm = sim::CoreConfig::extended();
+  auto nopm = sim::CoreConfig::extended();
+  nopm.clock_gating = false;
+  nopm.name = "xpulpnn-nopm";
+
+  const auto c_base = conv_power(8, ConvVariant::kXpulpV2_8b, base);
+  const auto c_nopm = conv_power(8, ConvVariant::kXpulpV2_8b, nopm);
+  const auto c_pm = conv_power(8, ConvVariant::kXpulpV2_8b, pm);
+
+  std::printf("\nCore power on 8-bit MatMul [mW]      (paper)\n");
+  std::printf("  RI5CY:            %6.3f            (1.15)\n", c_base.core_mw);
+  std::printf("  Ext., no PM:      %6.3f            (1.41)  [model diverges: see EXPERIMENTS.md]\n",
+              c_nopm.core_mw);
+  std::printf("  Ext., PM:         %6.3f            (1.22)\n", c_pm.core_mw);
+  std::printf("  PM overhead vs baseline: %.1f%%     (paper: 5.9%%)\n",
+              (c_pm.core_mw / c_base.core_mw - 1) * 100);
+
+  // ---- SoC power ----
+  const auto s4_pm = conv_power(4, ConvVariant::kXpulpNN_HwQ, pm);
+  const auto s4_np = conv_power(4, ConvVariant::kXpulpNN_HwQ, nopm);
+  const auto s2_pm = conv_power(2, ConvVariant::kXpulpNN_HwQ, pm);
+  const auto s2_np = conv_power(2, ConvVariant::kXpulpNN_HwQ, nopm);
+  const auto g_base = gp_power(base);
+  const auto g_pm = gp_power(pm);
+  const auto g_np = gp_power(nopm);
+
+  std::printf("\nPULPissimo SoC power [mW]            RI5CY    no-PM     PM    (paper)\n");
+  std::printf("  8-bit MatMul:   %9.2f %8.2f %7.2f   (5.93 / 6.28 / 6.04)\n",
+              c_base.soc_mw, c_nopm.soc_mw, c_pm.soc_mw);
+  std::printf("  4-bit MatMul:   %9s %8.2f %7.2f   (  -  / 8.14 / 5.71)\n", "-",
+              s4_np.soc_mw, s4_pm.soc_mw);
+  std::printf("  2-bit MatMul:   %9s %8.2f %7.2f   (  -  / 8.99 / 5.87)\n", "-",
+              s2_np.soc_mw, s2_pm.soc_mw);
+  std::printf("  GP application: %9.2f %8.2f %7.2f   (5.65 / 8.20 / 5.85)\n",
+              g_base.soc_mw, g_np.soc_mw, g_pm.soc_mw);
+  std::printf("\n  GP no-PM penalty: %.1f%% (paper: 45.2%%);"
+              "  GP PM penalty: %.1f%% (paper: 3.5%%)\n",
+              (g_np.soc_mw / g_pm.soc_mw - 1) * 100,
+              (g_pm.soc_mw / g_base.soc_mw - 1) * 100);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared machinery for the table/figure reproduction benches: run the
+// paper's convolution layer (16x16x32 input, 64 3x3x32 filters) on a
+// platform and collect cycles + power + efficiency.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "armv7e/cmsis_conv.hpp"
+#include "kernels/conv_layer.hpp"
+#include "power/power_model.hpp"
+
+namespace xpulp::bench {
+
+inline constexpr u64 kSeed = 7;  // all benches use the same synthetic layer
+
+struct PlatformResult {
+  std::string platform;
+  unsigned bits = 0;
+  cycles_t cycles = 0;
+  u64 macs = 0;
+  double freq_hz = 0;
+  double power_mw = 0;
+  cycles_t quant_cycles = 0;
+  u64 qnt_stall_cycles = 0;
+  bool output_ok = false;
+
+  double macs_per_cycle() const {
+    return cycles ? static_cast<double>(macs) / static_cast<double>(cycles) : 0;
+  }
+  double runtime_ms() const {
+    return static_cast<double>(cycles) / freq_hz * 1e3;
+  }
+  double gmac_s_w() const {
+    const double macs_per_s = static_cast<double>(macs) * freq_hz /
+                              static_cast<double>(cycles);
+    return macs_per_s / (power_mw * 1e-3) * 1e-9;
+  }
+};
+
+/// Run the paper layer at `bits` with a RISC-V kernel variant on a core
+/// configuration; fills power from the activity-based model.
+inline PlatformResult run_riscv(unsigned bits, kernels::ConvVariant v,
+                                sim::CoreConfig cfg,
+                                power::OperatingPoint op = {}) {
+  const auto spec = qnn::ConvSpec::paper_layer(bits);
+  const auto data = kernels::ConvLayerData::random(spec, kSeed);
+  const auto res = kernels::run_conv_layer(data, v, cfg);
+  const auto gold = data.golden();
+  bool ok = true;
+  for (int i = 0; i < gold.elems() && ok; ++i) {
+    ok = gold.flat(i) == res.output.flat(i);
+  }
+  const auto p =
+      power::estimate_power(res.perf, res.activity, res.mem_stats, cfg, op);
+  PlatformResult r;
+  r.platform = cfg.name + "/" + kernels::variant_name(v);
+  r.bits = bits;
+  r.cycles = res.perf.cycles;
+  r.macs = res.macs;
+  r.freq_hz = op.freq_hz;
+  r.power_mw = p.soc_mw();
+  r.quant_cycles = res.quant_cycles;
+  r.qnt_stall_cycles = res.perf.qnt_stall_cycles;
+  r.output_ok = ok;
+  return r;
+}
+
+/// Run the paper layer on the ARM Cortex-M models with datasheet power.
+inline PlatformResult run_arm(unsigned bits, armv7e::ArmModel model) {
+  const auto spec = qnn::ConvSpec::paper_layer(bits);
+  const auto data = kernels::ConvLayerData::random(spec, kSeed);
+  const auto res = armv7e::run_conv_layer_arm(data, model);
+  const auto gold = data.golden();
+  bool ok = true;
+  for (int i = 0; i < gold.elems() && ok; ++i) {
+    ok = gold.flat(i) == res.output.flat(i);
+  }
+  const auto plat = (model == armv7e::ArmModel::kCortexM4)
+                        ? power::stm32l4_platform()
+                        : power::stm32h7_platform();
+  PlatformResult r;
+  r.platform = plat.name;
+  r.bits = bits;
+  r.cycles = res.perf.cycles;
+  r.macs = res.macs;
+  r.freq_hz = plat.freq_hz;
+  r.power_mw = plat.power_mw;
+  r.output_ok = ok;
+  return r;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("workload: conv 16x16x32 input, 64 filters 3x3x32 (4.72 MMAC)\n");
+  std::printf("================================================================\n");
+}
+
+inline const char* okstr(bool ok) { return ok ? "ok" : "MISMATCH"; }
+
+}  // namespace xpulp::bench

@@ -1,0 +1,95 @@
+// ISA explorer: assemble a text program (file argument or built-in demo),
+// run it on a chosen core with an instruction trace, and dump the final
+// register file and performance counters. Handy for experimenting with the
+// XpulpNN instructions interactively.
+//
+//   build/examples/isa_explorer                 # run the built-in demo
+//   build/examples/isa_explorer prog.s          # run your own program
+//   build/examples/isa_explorer prog.s ri5cy    # ... on the baseline core
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "isa/disasm.hpp"
+#include "sim/trace.hpp"
+#include "soc/pulpissimo.hpp"
+#include "xasm/text_asm.hpp"
+
+using namespace xpulp;
+
+namespace {
+
+constexpr const char* kDemo = R"(# XpulpNN demo: dot-product 16 crumbs per instruction.
+    li   a0, 0x5555AAAA     # activations: 16 2-bit codes
+    li   a1, 0x00FF00FF     # weights: 16 2-bit signed values
+    li   a2, 0
+    li   t0, 8              # eight accumulation steps
+  loop:
+    pv.sdotusp.c a2, a0, a1
+    addi t0, t0, -1
+    bne  t0, zero, loop
+    p.abs t1, a2
+    p.cnt t2, a0
+    ecall
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = kDemo;
+  if (argc > 1) {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    source = ss.str();
+  }
+  sim::CoreConfig cfg = sim::CoreConfig::extended();
+  if (argc > 2 && std::string(argv[2]) == "ri5cy") {
+    cfg = sim::CoreConfig::ri5cy();
+  }
+
+  xasm::Program prog{0, {}};
+  try {
+    prog = xasm::assemble_text(source);
+  } catch (const AsmError& e) {
+    std::fprintf(stderr, "assembly error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("assembled %u instructions on core '%s'\n\n", prog.size_words(),
+              cfg.name.c_str());
+
+  soc::Pulpissimo soc(cfg);
+  soc.load(prog);
+  sim::TraceWriter trace(soc.core(), std::cout, /*limit=*/64);
+  try {
+    soc.run();
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "\nexecution fault: %s\n", e.what());
+    return 1;
+  }
+  if (trace.lines_written() == 64) std::printf("... (trace truncated)\n");
+
+  std::printf("\nnon-zero registers:\n");
+  for (unsigned r = 1; r < 32; ++r) {
+    const u32 v = soc.core().reg(r);
+    if (v != 0) {
+      std::printf("  %-5s = 0x%08x (%d)\n",
+                  std::string(isa::reg_name(r)).c_str(), v,
+                  static_cast<i32>(v));
+    }
+  }
+  const auto& p = soc.core().perf();
+  std::printf("\n%llu instructions, %llu cycles (IPC %.2f), "
+              "%llu hw-loop back-edges, %llu taken branches\n",
+              static_cast<unsigned long long>(p.instructions),
+              static_cast<unsigned long long>(p.cycles),
+              static_cast<double>(p.instructions) / static_cast<double>(p.cycles),
+              static_cast<unsigned long long>(p.hwloop_backedges),
+              static_cast<unsigned long long>(p.taken_branches));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: assemble a tiny XpulpNN program, run it on the simulated
+// PULPissimo SoC, and inspect the results.
+//
+//   build/examples/quickstart
+//
+// The program packs eight 4-bit activations and eight 4-bit weights into
+// one register each, multiply-accumulates them with a single pv.sdotusp.n,
+// then re-quantizes the result with pv.qnt.n against a threshold tree.
+#include <cstdio>
+
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "qnn/thresholds.hpp"
+#include "soc/pulpissimo.hpp"
+#include "xasm/assembler.hpp"
+
+using namespace xpulp;
+namespace r = xasm::reg;
+
+int main() {
+  // ---- 1. Assemble ----
+  xasm::Assembler a(0);
+  a.li(r::a0, 0x87654321);          // activations: nibbles 1..8 (unsigned)
+  a.li(r::a1, 0x211F211F);          // weights: f,1,1,2 pattern (signed)
+  a.li(r::a2, 0);                   // accumulator
+  a.pv_sdotusp(isa::SimdFmt::kN, r::a2, r::a0, r::a1);  // 8 MACs, 1 cycle
+  a.pv_sdotusp(isa::SimdFmt::kN, r::a2, r::a0, r::a1);  // accumulate again
+  a.li(r::a3, 0x2000);              // threshold-tree base address
+  // Pack the accumulator twice (low/high half) and quantize both to 4 bits.
+  a.p_exthz(r::t0, r::a2);
+  a.slli(r::t1, r::a2, 16);
+  a.or_(r::t0, r::t0, r::t1);
+  a.pv_qnt(4, r::a4, r::t0, r::a3);
+  a.ecall();
+  const xasm::Program prog = a.finish();
+
+  std::printf("assembled %u instructions (%u bytes):\n",
+              prog.size_words(), prog.size_bytes());
+  for (u32 i = 0; i < prog.size_words(); ++i) {
+    const addr_t pc = prog.base() + i * 4;
+    const auto in = isa::decode(prog.words()[i], pc);
+    std::printf("  %04x:  %08x  %s\n", pc, prog.words()[i],
+                isa::disassemble(in, pc).c_str());
+  }
+
+  // ---- 2. Load data + program into the SoC ----
+  soc::Pulpissimo soc;  // extended core, 250 MHz, 512 kB SRAM
+  soc.load(prog);
+  Rng rng(1);
+  const auto th = qnn::Thresholds::uniform(4, /*step=*/8, /*offset=*/20);
+  const auto tree = qnn::LayerThresholds(4, {th, th}).serialize();
+  soc.memory().write_block(0x2000, tree);
+
+  // ---- 3. Run and inspect ----
+  soc.run();
+  const auto& perf = soc.core().perf();
+  std::printf("\nexecution: %llu instructions in %llu cycles\n",
+              static_cast<unsigned long long>(perf.instructions),
+              static_cast<unsigned long long>(perf.cycles));
+  std::printf("dot product result (a2)  = %d\n",
+              static_cast<i32>(soc.core().reg(r::a2)));
+  std::printf("quantized codes (a4)     = low %u, high %u\n",
+              soc.core().reg(r::a4) & 0xf, (soc.core().reg(r::a4) >> 16) & 0xf);
+  std::printf("pv.qnt pipeline stalls   = %llu cycles (paper: 9-cycle latency)\n",
+              static_cast<unsigned long long>(perf.qnt_stall_cycles));
+  std::printf("estimated SoC power      = %.2f mW @ 250 MHz\n",
+              soc.power().soc_mw());
+
+  // Cross-check against the host-side staircase.
+  const i32 acc = static_cast<i32>(soc.core().reg(r::a2));
+  const u32 expect = th.quantize(static_cast<i16>(acc));
+  std::printf("\nhost staircase check: code(%d) = %u -> %s\n", acc, expect,
+              (soc.core().reg(r::a4) & 0xf) == expect ? "match" : "MISMATCH");
+  return (soc.core().reg(r::a4) & 0xf) == expect ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Tiny programmatic builder for ArmCore programs (labels resolve to
+// instruction indexes at finish()).
+#pragma once
+
+#include <vector>
+
+#include "armv7e/arm_isa.hpp"
+#include "common/error.hpp"
+
+namespace xpulp::armv7e {
+
+class ArmAsm {
+ public:
+  using Label = u32;
+
+  Label new_label() {
+    labels_.push_back(kUnbound);
+    return static_cast<Label>(labels_.size() - 1);
+  }
+  void bind(Label l) {
+    if (labels_[l] != kUnbound) throw AsmError("arm label bound twice");
+    labels_[l] = static_cast<i64>(prog_.size());
+  }
+  Label here() {
+    const Label l = new_label();
+    bind(l);
+    return l;
+  }
+
+  // Data processing.
+  void mov(u8 rd, u8 rn) { emit({AOp::kMovReg, rd, rn}); }
+  /// Materialize a 32-bit constant; emits MOVW (+ MOVT when needed).
+  void mov_imm(u8 rd, u32 v) {
+    emit({AOp::kMovImm, rd, 0, 0, 0, static_cast<i32>(v & 0xffffu)});
+    if (v >> 16) emit({AOp::kMovTopImm, rd, 0, 0, 0, static_cast<i32>(v >> 16)});
+  }
+  void add(u8 rd, u8 rn, u8 rm) { emit({AOp::kAddReg, rd, rn, rm}); }
+  void add_imm(u8 rd, u8 rn, i32 imm) { emit({AOp::kAddImm, rd, rn, 0, 0, imm}); }
+  void sub(u8 rd, u8 rn, u8 rm) { emit({AOp::kSubReg, rd, rn, rm}); }
+  void sub_imm(u8 rd, u8 rn, i32 imm) { emit({AOp::kSubImm, rd, rn, 0, 0, imm}); }
+  void and_imm(u8 rd, u8 rn, i32 imm) { emit({AOp::kAndImm, rd, rn, 0, 0, imm}); }
+  void orr(u8 rd, u8 rn, u8 rm) { emit({AOp::kOrrReg, rd, rn, rm}); }
+  void lsl_imm(u8 rd, u8 rn, i32 sh) { emit({AOp::kLslImm, rd, rn, 0, 0, sh}); }
+  void lsr_imm(u8 rd, u8 rn, i32 sh) { emit({AOp::kLsrImm, rd, rn, 0, 0, sh}); }
+  void asr_imm(u8 rd, u8 rn, i32 sh) { emit({AOp::kAsrImm, rd, rn, 0, 0, sh}); }
+  void mul(u8 rd, u8 rn, u8 rm) { emit({AOp::kMul, rd, rn, rm}); }
+  void mla(u8 rd, u8 rn, u8 rm, u8 ra) { emit({AOp::kMla, rd, rn, rm, ra}); }
+  void smlad(u8 rd, u8 rn, u8 rm, u8 ra) { emit({AOp::kSmlad, rd, rn, rm, ra}); }
+  void smuad(u8 rd, u8 rn, u8 rm) { emit({AOp::kSmuad, rd, rn, rm}); }
+  void smlabb(u8 rd, u8 rn, u8 rm, u8 ra) { emit({AOp::kSmlabb, rd, rn, rm, ra}); }
+  void nop() { emit({AOp::kNop}); }
+  void sxtb16(u8 rd, u8 rn) { emit({AOp::kSxtb16, rd, rn}); }
+  void sxtb16_ror8(u8 rd, u8 rn) { emit({AOp::kSxtb16Ror8, rd, rn}); }
+  void uxtb16(u8 rd, u8 rn) { emit({AOp::kUxtb16, rd, rn}); }
+  void uxtb16_ror8(u8 rd, u8 rn) { emit({AOp::kUxtb16Ror8, rd, rn}); }
+  void pkhbt(u8 rd, u8 rn, u8 rm) { emit({AOp::kPkhbt, rd, rn, rm}); }
+  void pkhtb(u8 rd, u8 rn, u8 rm) { emit({AOp::kPkhtb, rd, rn, rm}); }
+  void ssat(u8 rd, u8 rn, u32 bits) { emit({AOp::kSsat, rd, rn, 0, 0, static_cast<i32>(bits)}); }
+  void usat(u8 rd, u8 rn, u32 bits) { emit({AOp::kUsat, rd, rn, 0, 0, static_cast<i32>(bits)}); }
+  void sbfx(u8 rd, u8 rn, u32 lsb, u32 width) {
+    emit({AOp::kSbfx, rd, rn, 0, 0, static_cast<i32>(lsb), static_cast<u8>(width)});
+  }
+  void ubfx(u8 rd, u8 rn, u32 lsb, u32 width) {
+    emit({AOp::kUbfx, rd, rn, 0, 0, static_cast<i32>(lsb), static_cast<u8>(width)});
+  }
+  void bfi(u8 rd, u8 rn, u32 lsb, u32 width) {
+    emit({AOp::kBfi, rd, rn, 0, 0, static_cast<i32>(lsb), static_cast<u8>(width)});
+  }
+
+  // Memory. *_post variants post-index the base register by `imm`.
+  void ldr(u8 rd, u8 rn, i32 off = 0) { emit({AOp::kLdr, rd, rn, 0, 0, off}); }
+  void str(u8 rd, u8 rn, i32 off = 0) { emit({AOp::kStr, rd, rn, 0, 0, off}); }
+  void strh(u8 rd, u8 rn, i32 off = 0) { emit({AOp::kStrh, rd, rn, 0, 0, off}); }
+  void strb(u8 rd, u8 rn, i32 off = 0) { emit({AOp::kStrb, rd, rn, 0, 0, off}); }
+  void ldr_post(u8 rd, u8 rn, i32 inc) { emit({AOp::kLdr, rd, rn, 0, 0, inc, 0, true}); }
+  void ldrh_post(u8 rd, u8 rn, i32 inc) { emit({AOp::kLdrh, rd, rn, 0, 0, inc, 0, true}); }
+  void ldrsh(u8 rd, u8 rn, i32 off = 0) { emit({AOp::kLdrsh, rd, rn, 0, 0, off}); }
+  void ldrsh_post(u8 rd, u8 rn, i32 inc) { emit({AOp::kLdrsh, rd, rn, 0, 0, inc, 0, true}); }
+  void ldrb_post(u8 rd, u8 rn, i32 inc) { emit({AOp::kLdrb, rd, rn, 0, 0, inc, 0, true}); }
+  void str_post(u8 rd, u8 rn, i32 inc) { emit({AOp::kStr, rd, rn, 0, 0, inc, 0, true}); }
+  void strh_post(u8 rd, u8 rn, i32 inc) { emit({AOp::kStrh, rd, rn, 0, 0, inc, 0, true}); }
+  void strb_post(u8 rd, u8 rn, i32 inc) { emit({AOp::kStrb, rd, rn, 0, 0, inc, 0, true}); }
+
+  // Control flow.
+  void cmp(u8 rn, u8 rm) { emit({AOp::kCmpReg, 0, rn, rm}); }
+  void cmp_imm(u8 rn, i32 imm) { emit({AOp::kCmpImm, 0, rn, 0, 0, imm}); }
+  void b(AOp cond, Label t) { emit_branch(cond, t); }
+  void b(Label t) { emit_branch(AOp::kB, t); }
+  void bl(Label t) { emit_branch(AOp::kBl, t); }
+  void bx_lr() { emit({AOp::kBxLr}); }
+  void halt() { emit({AOp::kHalt}); }
+
+  std::vector<AInstr> finish() {
+    for (const auto& [idx, label] : fixups_) {
+      if (labels_[label] == kUnbound) throw AsmError("unbound arm label");
+      prog_[idx].target = static_cast<u32>(labels_[label]);
+    }
+    return std::move(prog_);
+  }
+
+  size_t size() const { return prog_.size(); }
+
+ private:
+  static constexpr i64 kUnbound = -1;
+
+  void emit(AInstr in) { prog_.push_back(in); }
+  void emit_branch(AOp op, Label t) {
+    fixups_.emplace_back(static_cast<u32>(prog_.size()), t);
+    AInstr in;
+    in.op = op;
+    prog_.push_back(in);
+  }
+
+  std::vector<AInstr> prog_;
+  std::vector<i64> labels_;
+  std::vector<std::pair<u32, Label>> fixups_;
+};
+
+}  // namespace xpulp::armv7e

@@ -1,0 +1,235 @@
+#include "armv7e/arm_core.hpp"
+
+#include "common/bitops.hpp"
+
+namespace xpulp::armv7e {
+
+namespace {
+
+i32 half(u32 v, unsigned idx) {
+  return sign_extend((v >> (16 * idx)) & 0xffffu, 16);
+}
+
+u32 extend_b16(u32 v, bool ror8, bool sign) {
+  if (ror8) v = rotr32(v, 8);
+  const u32 b0 = v & 0xffu;
+  const u32 b2 = (v >> 16) & 0xffu;
+  const u32 h0 = sign ? (static_cast<u32>(sign_extend(b0, 8)) & 0xffffu) : b0;
+  const u32 h1 = sign ? (static_cast<u32>(sign_extend(b2, 8)) & 0xffffu) : b2;
+  return h0 | (h1 << 16);
+}
+
+}  // namespace
+
+bool ArmCore::cond_holds(AOp op) const {
+  switch (op) {
+    case AOp::kB: return true;
+    case AOp::kBeq: return flags_.z;
+    case AOp::kBne: return !flags_.z;
+    case AOp::kBlt: return flags_.n != flags_.v;
+    case AOp::kBge: return flags_.n == flags_.v;
+    case AOp::kBgt: return !flags_.z && flags_.n == flags_.v;
+    case AOp::kBle: return flags_.z || flags_.n != flags_.v;
+    case AOp::kBlo: return !flags_.c;
+    case AOp::kBhs: return flags_.c;
+    default: return false;
+  }
+}
+
+u32 ArmCore::exec(const AInstr& in) {
+  const u32 next = pc_ + 1;
+  const u32 rn = regs_[in.rn & 15];
+  const u32 rm = regs_[in.rm & 15];
+  auto wr = [&](u32 v) { regs_[in.rd & 15] = v; };
+
+  switch (in.op) {
+    case AOp::kNop: break;
+    case AOp::kMovReg: wr(rn); break;
+    case AOp::kMovImm: wr(static_cast<u32>(in.imm)); break;
+    case AOp::kMovTopImm:
+      wr((regs_[in.rd & 15] & 0xffffu) | (static_cast<u32>(in.imm) << 16));
+      break;
+    case AOp::kAddReg: wr(rn + rm); break;
+    case AOp::kAddImm: wr(rn + static_cast<u32>(in.imm)); break;
+    case AOp::kSubReg: wr(rn - rm); break;
+    case AOp::kSubImm: wr(rn - static_cast<u32>(in.imm)); break;
+    case AOp::kRsbImm: wr(static_cast<u32>(in.imm) - rn); break;
+    case AOp::kAndReg: wr(rn & rm); break;
+    case AOp::kAndImm: wr(rn & static_cast<u32>(in.imm)); break;
+    case AOp::kOrrReg: wr(rn | rm); break;
+    case AOp::kOrrImm: wr(rn | static_cast<u32>(in.imm)); break;
+    case AOp::kEorReg: wr(rn ^ rm); break;
+    case AOp::kBicReg: wr(rn & ~rm); break;
+    case AOp::kLslImm: wr(rn << (in.imm & 31)); break;
+    case AOp::kLslReg: wr(rn << (rm & 31)); break;
+    case AOp::kLsrImm: wr(rn >> (in.imm & 31)); break;
+    case AOp::kAsrImm:
+      wr(static_cast<u32>(static_cast<i32>(rn) >> (in.imm & 31)));
+      break;
+    case AOp::kRorImm: wr(rotr32(rn, static_cast<unsigned>(in.imm))); break;
+    case AOp::kMul: wr(rn * rm); break;
+    case AOp::kMla: wr(regs_[in.ra & 15] + rn * rm); break;
+    // DSP MACs: products fit 32 bits (16x16); the accumulation wraps in
+    // two's complement, so compute it in unsigned arithmetic (no UB).
+    case AOp::kSmlad:
+      wr(regs_[in.ra & 15] + static_cast<u32>(half(rn, 0) * half(rm, 0)) +
+         static_cast<u32>(half(rn, 1) * half(rm, 1)));
+      break;
+    case AOp::kSmuad:
+      wr(static_cast<u32>(half(rn, 0) * half(rm, 0)) +
+         static_cast<u32>(half(rn, 1) * half(rm, 1)));
+      break;
+    case AOp::kSmlabb:
+      wr(regs_[in.ra & 15] + static_cast<u32>(half(rn, 0) * half(rm, 0)));
+      break;
+    case AOp::kSxtb16: wr(extend_b16(rn, false, true)); break;
+    case AOp::kSxtb16Ror8: wr(extend_b16(rn, true, true)); break;
+    case AOp::kUxtb16: wr(extend_b16(rn, false, false)); break;
+    case AOp::kUxtb16Ror8: wr(extend_b16(rn, true, false)); break;
+    case AOp::kPkhbt: wr((rn & 0xffffu) | (rm << 16)); break;
+    case AOp::kPkhtb: wr((rn & 0xffff0000u) | (rm >> 16)); break;
+    case AOp::kSsat:
+      wr(static_cast<u32>(sat_signed(static_cast<i32>(rn), static_cast<unsigned>(in.imm))));
+      break;
+    case AOp::kUsat:
+      wr(sat_unsigned(static_cast<i32>(rn), static_cast<unsigned>(in.imm)));
+      break;
+    case AOp::kSbfx:
+      wr(static_cast<u32>(sign_extend(rn >> in.imm, in.imm2)));
+      break;
+    case AOp::kUbfx: wr(zero_extend(rn >> in.imm, in.imm2)); break;
+    case AOp::kBfi:
+      wr(insert_bits(regs_[in.rd & 15], rn, static_cast<unsigned>(in.imm),
+                     in.imm2));
+      break;
+
+    case AOp::kLdr: case AOp::kLdrh: case AOp::kLdrsh:
+    case AOp::kLdrb: case AOp::kLdrsb: {
+      const addr_t base = rn;
+      const addr_t addr = in.wb ? base : base + static_cast<u32>(in.imm);
+      unsigned size = 4;
+      if (in.op == AOp::kLdrh || in.op == AOp::kLdrsh) size = 2;
+      if (in.op == AOp::kLdrb || in.op == AOp::kLdrsb) size = 1;
+      u32 v = mem_.load(addr, size);
+      mem_.access_cycles(addr, size, false);
+      if (in.op == AOp::kLdrsh) v = static_cast<u32>(sign_extend(v, 16));
+      if (in.op == AOp::kLdrsb) v = static_cast<u32>(sign_extend(v, 8));
+      wr(v);
+      if (in.wb) regs_[in.rn & 15] = base + static_cast<u32>(in.imm);
+      ++perf_.loads;
+      break;
+    }
+    case AOp::kStr: case AOp::kStrh: case AOp::kStrb: {
+      const addr_t base = rn;
+      const addr_t addr = in.wb ? base : base + static_cast<u32>(in.imm);
+      unsigned size = 4;
+      if (in.op == AOp::kStrh) size = 2;
+      if (in.op == AOp::kStrb) size = 1;
+      mem_.store(addr, regs_[in.rd & 15], size);
+      mem_.access_cycles(addr, size, true);
+      if (in.wb) regs_[in.rn & 15] = base + static_cast<u32>(in.imm);
+      ++perf_.stores;
+      break;
+    }
+
+    case AOp::kCmpReg: case AOp::kCmpImm: {
+      const u32 b = (in.op == AOp::kCmpReg) ? rm : static_cast<u32>(in.imm);
+      const u32 res = rn - b;
+      flags_.n = (res >> 31) != 0;
+      flags_.z = res == 0;
+      flags_.c = rn >= b;
+      flags_.v = (((rn ^ b) & (rn ^ res)) >> 31) != 0;
+      break;
+    }
+
+    case AOp::kB: case AOp::kBeq: case AOp::kBne: case AOp::kBlt:
+    case AOp::kBge: case AOp::kBgt: case AOp::kBle: case AOp::kBlo:
+    case AOp::kBhs:
+      if (cond_holds(in.op)) return in.target;
+      break;
+    case AOp::kBl:
+      regs_[14] = next;
+      return in.target;
+    case AOp::kBxLr:
+      return regs_[14];
+    case AOp::kHalt:
+      halted_ = true;
+      break;
+  }
+  return next;
+}
+
+unsigned ArmCore::m4_cost(const AInstr& in, bool taken) const {
+  if (aop_is_load(in.op)) return 2;
+  if (in.op == AOp::kBl || in.op == AOp::kBxLr) return 3;
+  if (aop_is_branch(in.op)) return taken ? 3 : 1;
+  return 1;
+}
+
+bool ArmCore::m7_pairable(const AInstr& a, const AInstr& b) const {
+  if (aop_is_branch(a.op) || aop_is_branch(b.op)) return false;
+  const bool mem_a = aop_is_load(a.op) || aop_is_store(a.op);
+  const bool mem_b = aop_is_load(b.op) || aop_is_store(b.op);
+  if (mem_a && mem_b) return false;
+  if (aop_is_mac(a.op) && aop_is_mac(b.op)) return false;
+  // RAW dependency: b reads a's destination (incl. post-index base update).
+  const u8 dest = aop_dest(a);
+  const u8 wb_dest = ((mem_a && a.wb) ? a.rn : u8{255});
+  auto reads = [&](u8 r) {
+    if (r == 255) return false;
+    if (b.rn == r || b.rm == r || b.ra == r) return true;
+    // Stores read rd as data; BFI reads rd as background.
+    if ((aop_is_store(b.op) || b.op == AOp::kBfi || b.op == AOp::kMovTopImm) &&
+        b.rd == r) {
+      return true;
+    }
+    return false;
+  };
+  if (reads(dest) || reads(wb_dest)) return false;
+  // WAW on the same destination register also blocks pairing.
+  if (dest != 255 && dest == aop_dest(b)) return false;
+  return true;
+}
+
+void ArmCore::run(u64 max_instructions) {
+  u64 executed = 0;
+  while (!halted_) {
+    if (pc_ >= prog_.size()) throw SimError("ARM pc out of program");
+    const AInstr& in = prog_[pc_];
+    const u32 prev_pc = pc_;
+    const u32 next = exec(in);
+    const bool taken = aop_is_branch(in.op) && next != prev_pc + 1;
+    if (taken) ++perf_.taken_branches;
+    if (aop_is_mac(in.op)) ++perf_.macs;
+    ++perf_.instructions;
+
+    if (model_ == ArmModel::kCortexM4) {
+      perf_.cycles += m4_cost(in, taken);
+      pc_ = next;
+    } else {
+      // M7 dual issue: attempt to pair with the fall-through successor.
+      if (!halted_ && !aop_is_branch(in.op) && next == prev_pc + 1 &&
+          next < prog_.size() && m7_pairable(in, prog_[next])) {
+        const AInstr& in2 = prog_[next];
+        pc_ = next;  // exec() derives the fall-through pc from pc_
+        const u32 next2 = exec(in2);
+        const bool taken2 = aop_is_branch(in2.op) && next2 != next + 1;
+        if (taken2) ++perf_.taken_branches;
+        if (aop_is_mac(in2.op)) ++perf_.macs;
+        ++perf_.instructions;
+        ++perf_.dual_issued_pairs;
+        perf_.cycles += 1;
+        pc_ = next2;
+        ++executed;
+      } else {
+        perf_.cycles += aop_is_branch(in.op) ? (taken ? 2 : 1) : 1;
+        pc_ = next;
+      }
+    }
+    if (++executed > max_instructions) {
+      throw SimError("ARM instruction budget exceeded");
+    }
+  }
+}
+
+}  // namespace xpulp::armv7e

@@ -1,0 +1,84 @@
+// Interpreter for the ARMv7E-M subset with Cortex-M4 and Cortex-M7 timing
+// models, standing in for the paper's STM32L476 / STM32H743 boards.
+//
+// Timing (documented constants; Cortex-M4/M7 TRM figures):
+//   M4 (single issue): ALU/DSP 1 cycle; LDR 2 (pipelined: consecutive
+//     independent loads 1 extra each); STR 1 (write buffer); MUL/MLA/SMLAD
+//     1; taken branch 3 (pipeline refill), not-taken 1; BL/BX 3.
+//   M7 (dual issue, 6-stage): modelled as in-order pairing — two
+//     consecutive instructions issue together when neither is a branch, at
+//     most one touches memory, at most one is a MAC, and the second does
+//     not read the first's destination. Loads satisfied in 1 cycle (DTCM),
+//     taken branches cost 2 (BTB hit assumed).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "armv7e/arm_isa.hpp"
+#include "common/error.hpp"
+#include "mem/memory.hpp"
+
+namespace xpulp::armv7e {
+
+enum class ArmModel { kCortexM4, kCortexM7 };
+
+struct ArmPerf {
+  cycles_t cycles = 0;
+  u64 instructions = 0;
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 macs = 0;
+  u64 taken_branches = 0;
+  u64 dual_issued_pairs = 0;  // M7 only
+};
+
+class ArmCore {
+ public:
+  ArmCore(mem::Memory& mem, ArmModel model) : mem_(mem), model_(model) {}
+
+  void load_program(std::vector<AInstr> prog) {
+    prog_ = std::move(prog);
+    reset();
+  }
+
+  void reset() {
+    regs_.fill(0);
+    regs_[13] = mem_.size();  // sp
+    pc_ = 0;
+    halted_ = false;
+    flags_ = {};
+    perf_ = ArmPerf{};
+  }
+
+  u32 reg(unsigned r) const { return regs_[r & 15]; }
+  void set_reg(unsigned r, u32 v) { regs_[r & 15] = v; }
+  bool halted() const { return halted_; }
+  const ArmPerf& perf() const { return perf_; }
+  ArmModel model() const { return model_; }
+
+  /// Run to kHalt; throws SimError if the instruction budget is exceeded.
+  void run(u64 max_instructions = 600'000'000);
+
+ private:
+  struct Flags {
+    bool n = false, z = false, c = false, v = false;
+  };
+
+  /// Functionally execute one instruction; returns the next pc.
+  u32 exec(const AInstr& in);
+  bool cond_holds(AOp op) const;
+  unsigned m4_cost(const AInstr& in, bool taken) const;
+  bool m7_pairable(const AInstr& a, const AInstr& b) const;
+
+  mem::Memory& mem_;
+  ArmModel model_;
+  std::vector<AInstr> prog_;
+  std::array<u32, 16> regs_{};
+  u32 pc_ = 0;
+  bool halted_ = false;
+  Flags flags_;
+  ArmPerf perf_;
+};
+
+}  // namespace xpulp::armv7e

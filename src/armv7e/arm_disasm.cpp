@@ -1,0 +1,82 @@
+#include "armv7e/arm_disasm.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace xpulp::armv7e {
+
+namespace {
+constexpr std::array<std::string_view, 16> kNames = {
+    "r0", "r1", "r2", "r3", "r4",  "r5", "r6", "r7",
+    "r8", "r9", "r10", "r11", "r12", "sp", "lr", "pc"};
+}
+
+std::string_view arm_reg_name(unsigned r) { return kNames[r & 15u]; }
+
+std::string arm_disassemble(const AInstr& in) {
+  std::ostringstream os;
+  const auto rd = arm_reg_name(in.rd);
+  const auto rn = arm_reg_name(in.rn);
+  const auto rm = arm_reg_name(in.rm);
+  const auto ra = arm_reg_name(in.ra);
+  os << aop_name(in.op);
+  switch (in.op) {
+    case AOp::kNop:
+    case AOp::kBxLr:
+    case AOp::kHalt:
+      break;
+    case AOp::kMovReg:
+      os << ' ' << rd << ", " << rn;
+      break;
+    case AOp::kMovImm:
+    case AOp::kMovTopImm:
+      os << ' ' << rd << ", #" << in.imm;
+      break;
+    case AOp::kAddImm: case AOp::kSubImm: case AOp::kRsbImm:
+    case AOp::kAndImm: case AOp::kOrrImm:
+    case AOp::kLslImm: case AOp::kLsrImm: case AOp::kAsrImm:
+    case AOp::kRorImm:
+      os << ' ' << rd << ", " << rn << ", #" << in.imm;
+      break;
+    case AOp::kSsat: case AOp::kUsat:
+      os << ' ' << rd << ", #" << in.imm << ", " << rn;
+      break;
+    case AOp::kSbfx: case AOp::kUbfx: case AOp::kBfi:
+      os << ' ' << rd << ", " << rn << ", #" << in.imm << ", #"
+         << static_cast<int>(in.imm2);
+      break;
+    case AOp::kMla: case AOp::kSmlad: case AOp::kSmlabb:
+      os << ' ' << rd << ", " << rn << ", " << rm << ", " << ra;
+      break;
+    case AOp::kSxtb16: case AOp::kSxtb16Ror8:
+    case AOp::kUxtb16: case AOp::kUxtb16Ror8:
+      os << ' ' << rd << ", " << rn;
+      break;
+    case AOp::kLdr: case AOp::kLdrh: case AOp::kLdrsh:
+    case AOp::kLdrb: case AOp::kLdrsb:
+    case AOp::kStr: case AOp::kStrh: case AOp::kStrb:
+      if (in.wb) {
+        os << ' ' << rd << ", [" << rn << "], #" << in.imm;
+      } else {
+        os << ' ' << rd << ", [" << rn << ", #" << in.imm << ']';
+      }
+      break;
+    case AOp::kCmpReg:
+      os << ' ' << rn << ", " << rm;
+      break;
+    case AOp::kCmpImm:
+      os << ' ' << rn << ", #" << in.imm;
+      break;
+    case AOp::kB: case AOp::kBeq: case AOp::kBne: case AOp::kBlt:
+    case AOp::kBge: case AOp::kBgt: case AOp::kBle: case AOp::kBlo:
+    case AOp::kBhs: case AOp::kBl:
+      os << " @" << in.target;
+      break;
+    default:  // three-register data processing
+      os << ' ' << rd << ", " << rn << ", " << rm;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace xpulp::armv7e

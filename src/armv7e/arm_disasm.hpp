@@ -1,0 +1,16 @@
+// Disassembler for the structural ARMv7E-M instruction records.
+#pragma once
+
+#include <string>
+
+#include "armv7e/arm_isa.hpp"
+
+namespace xpulp::armv7e {
+
+/// ARM register name ("r0".."r12", "sp", "lr", "pc").
+std::string_view arm_reg_name(unsigned r);
+
+/// Render one instruction; `index` resolves branch targets.
+std::string arm_disassemble(const AInstr& in);
+
+}  // namespace xpulp::armv7e

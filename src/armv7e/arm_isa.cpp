@@ -1,0 +1,106 @@
+#include "armv7e/arm_isa.hpp"
+
+namespace xpulp::armv7e {
+
+std::string_view aop_name(AOp op) {
+  switch (op) {
+    case AOp::kNop: return "nop";
+    case AOp::kMovReg: return "mov";
+    case AOp::kMovImm: return "movw";
+    case AOp::kMovTopImm: return "movt";
+    case AOp::kAddReg: case AOp::kAddImm: return "add";
+    case AOp::kSubReg: case AOp::kSubImm: return "sub";
+    case AOp::kRsbImm: return "rsb";
+    case AOp::kAndReg: case AOp::kAndImm: return "and";
+    case AOp::kOrrReg: case AOp::kOrrImm: return "orr";
+    case AOp::kEorReg: return "eor";
+    case AOp::kBicReg: return "bic";
+    case AOp::kLslImm: case AOp::kLslReg: return "lsl";
+    case AOp::kLsrImm: return "lsr";
+    case AOp::kAsrImm: return "asr";
+    case AOp::kRorImm: return "ror";
+    case AOp::kMul: return "mul";
+    case AOp::kMla: return "mla";
+    case AOp::kSmlad: return "smlad";
+    case AOp::kSmuad: return "smuad";
+    case AOp::kSmlabb: return "smlabb";
+    case AOp::kSxtb16: return "sxtb16";
+    case AOp::kSxtb16Ror8: return "sxtb16,ror#8";
+    case AOp::kUxtb16: return "uxtb16";
+    case AOp::kUxtb16Ror8: return "uxtb16,ror#8";
+    case AOp::kPkhbt: return "pkhbt";
+    case AOp::kPkhtb: return "pkhtb";
+    case AOp::kSsat: return "ssat";
+    case AOp::kUsat: return "usat";
+    case AOp::kSbfx: return "sbfx";
+    case AOp::kUbfx: return "ubfx";
+    case AOp::kBfi: return "bfi";
+    case AOp::kLdr: return "ldr";
+    case AOp::kLdrh: return "ldrh";
+    case AOp::kLdrsh: return "ldrsh";
+    case AOp::kLdrb: return "ldrb";
+    case AOp::kLdrsb: return "ldrsb";
+    case AOp::kStr: return "str";
+    case AOp::kStrh: return "strh";
+    case AOp::kStrb: return "strb";
+    case AOp::kCmpReg: case AOp::kCmpImm: return "cmp";
+    case AOp::kB: return "b";
+    case AOp::kBeq: return "beq";
+    case AOp::kBne: return "bne";
+    case AOp::kBlt: return "blt";
+    case AOp::kBge: return "bge";
+    case AOp::kBgt: return "bgt";
+    case AOp::kBle: return "ble";
+    case AOp::kBlo: return "blo";
+    case AOp::kBhs: return "bhs";
+    case AOp::kBl: return "bl";
+    case AOp::kBxLr: return "bx lr";
+    case AOp::kHalt: return "halt";
+  }
+  return "?";
+}
+
+bool aop_is_load(AOp op) {
+  switch (op) {
+    case AOp::kLdr: case AOp::kLdrh: case AOp::kLdrsh:
+    case AOp::kLdrb: case AOp::kLdrsb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool aop_is_store(AOp op) {
+  return op == AOp::kStr || op == AOp::kStrh || op == AOp::kStrb;
+}
+
+bool aop_is_branch(AOp op) {
+  switch (op) {
+    case AOp::kB: case AOp::kBeq: case AOp::kBne: case AOp::kBlt:
+    case AOp::kBge: case AOp::kBgt: case AOp::kBle: case AOp::kBlo:
+    case AOp::kBhs: case AOp::kBl: case AOp::kBxLr: case AOp::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool aop_is_mac(AOp op) {
+  switch (op) {
+    case AOp::kMul: case AOp::kMla: case AOp::kSmlad: case AOp::kSmuad:
+    case AOp::kSmlabb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+u8 aop_dest(const AInstr& in) {
+  if (aop_is_store(in.op) || aop_is_branch(in.op) || in.op == AOp::kCmpReg ||
+      in.op == AOp::kCmpImm || in.op == AOp::kNop) {
+    return 255;
+  }
+  return in.rd;
+}
+
+}  // namespace xpulp::armv7e

@@ -1,0 +1,70 @@
+// Structural model of the ARMv7E-M subset that CMSIS-NN convolution kernels
+// use. This is a *substitution* for the paper's STM32 boards (DESIGN.md §2):
+// instructions are held as decoded records (no Thumb-2 binary encoding) and
+// executed by an interpreter with Cortex-M4 (single-issue) and Cortex-M7
+// (dual-issue) timing models. Semantics follow the ARMv7-M ARM: SMLAD is a
+// dual 16x16 MAC, SXTB16/UXTB16 extend bytes 0 and 2 (optionally after a
+// rotate), PKHBT/PKHTB pack halfwords, SSAT/USAT saturate.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace xpulp::armv7e {
+
+enum class AOp : u16 {
+  kNop = 0,
+  // data processing (rd, rn, rm) or (rd, rn, imm)
+  kMovReg, kMovImm,     // MOVW/MOVT pairs are emitted by the builder
+  kMovTopImm,           // MOVT: rd[31:16] = imm
+  kAddReg, kAddImm,
+  kSubReg, kSubImm,
+  kRsbImm,
+  kAndReg, kAndImm, kOrrReg, kOrrImm, kEorReg, kBicReg,
+  kLslImm, kLslReg, kLsrImm, kAsrImm, kRorImm,
+  kMul, kMla,
+  // DSP extension
+  kSmlad,   // rd = ra + rn.h0*rm.h0 + rn.h1*rm.h1
+  kSmuad,   // rd = rn.h0*rm.h0 + rn.h1*rm.h1
+  kSmlabb,  // rd = ra + rn.h0 * rm.h0
+  kSxtb16, kSxtb16Ror8, kUxtb16, kUxtb16Ror8,
+  kPkhbt,   // rd = (rm.h0 << 16) | rn.h0
+  kPkhtb,   // rd = (rn.h1 << 16) | rm.h1
+  kSsat,    // rd = signed_sat(rn, imm bits)
+  kUsat,    // rd = unsigned_sat(rn, imm bits)
+  kSbfx, kUbfx,  // rd = extract(rn, lsb=imm, width=imm2)
+  kBfi,          // rd[lsb+w-1:lsb] = rn
+  // memory: imm offset (imm), optional post-index writeback (wb)
+  kLdr, kLdrh, kLdrsh, kLdrb, kLdrsb,
+  kStr, kStrh, kStrb,
+  // control flow: target = instruction index
+  kCmpReg, kCmpImm,
+  kB, kBeq, kBne, kBlt, kBge, kBgt, kBle, kBlo, kBhs,
+  kBl,     // call: lr = next index
+  kBxLr,   // return
+  kHalt,
+};
+
+std::string_view aop_name(AOp op);
+
+struct AInstr {
+  AOp op = AOp::kNop;
+  u8 rd = 0, rn = 0, rm = 0, ra = 0;
+  i32 imm = 0;
+  u8 imm2 = 0;      // second immediate (bitfield width)
+  bool wb = false;  // post-index writeback for memory ops
+  u32 target = 0;   // branch target (instruction index)
+};
+
+bool aop_is_load(AOp op);
+bool aop_is_store(AOp op);
+bool aop_is_branch(AOp op);
+bool aop_is_mac(AOp op);
+
+/// Destination register written by the instruction (255 = none).
+u8 aop_dest(const AInstr& in);
+
+}  // namespace xpulp::armv7e

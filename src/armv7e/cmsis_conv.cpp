@@ -1,0 +1,465 @@
+#include "armv7e/cmsis_conv.hpp"
+
+#include <algorithm>
+
+#include "armv7e/arm_asm.hpp"
+#include "common/error.hpp"
+#include "qnn/pack.hpp"
+
+namespace xpulp::armv7e {
+
+namespace {
+
+using kernels::ConvLayerData;
+using qnn::ConvSpec;
+
+// Scratch slots (a compiler would keep these on the stack): the matmul
+// subroutine spills its loop-carried state here.
+struct Scratch {
+  addr_t lr, out0, out1, thr, oc, wp, frag0, frag1;
+};
+
+struct ArmLayout {
+  addr_t input, weights, thresholds, buf0, buf1, output;
+  Scratch scr;
+  u32 filter_stride, buf_bytes, output_bytes;
+};
+
+constexpr addr_t align16(addr_t a) { return (a + 15u) & ~15u; }
+
+ArmLayout plan(const ConvSpec& s, addr_t data_base) {
+  ArmLayout l{};
+  l.filter_stride = qnn::packed_filter_stride(s.filter_elems(), s.w_bits);
+  l.buf_bytes = static_cast<u32>(s.filter_elems()) * 2;  // q15 buffer
+  addr_t cur = align16(data_base);
+  l.scr.lr = cur; l.scr.out0 = cur + 4; l.scr.out1 = cur + 8;
+  l.scr.thr = cur + 12; l.scr.oc = cur + 16; l.scr.wp = cur + 20;
+  l.scr.frag0 = cur + 24; l.scr.frag1 = cur + 28;
+  cur = align16(cur + 32);
+  l.input = cur;
+  cur = align16(cur + qnn::packed_bytes(s.in_h * s.in_w * s.in_c, s.in_bits));
+  l.weights = cur;
+  cur = align16(cur + l.filter_stride * static_cast<u32>(s.out_c));
+  l.thresholds = cur;
+  if (s.out_bits != 8) {
+    cur = align16(cur + (1u << s.out_bits) * 2u * static_cast<u32>(s.out_c));
+  }
+  l.buf0 = cur;
+  cur = align16(cur + l.buf_bytes);
+  l.buf1 = cur;
+  cur = align16(cur + l.buf_bytes);
+  l.output = cur;
+  l.output_bytes =
+      qnn::packed_bytes(s.out_h() * s.out_w() * s.out_c, s.out_bits);
+  return l;
+}
+
+/// CMSIS weight interleave for the SXTB16 path: groups of four int8
+/// [w0 w1 w2 w3] are stored as [w0 w2 w1 w3].
+std::vector<u8> pack_weights_arm(const qnn::FilterBank& w, unsigned bits,
+                                 u32 stride) {
+  std::vector<u8> out(static_cast<size_t>(stride) * w.count(), 0);
+  for (int f = 0; f < w.count(); ++f) {
+    u8* dst = out.data() + static_cast<size_t>(f) * stride;
+    if (bits == 8) {
+      for (int i = 0; i + 3 < w.filter_elems(); i += 4) {
+        dst[i + 0] = static_cast<u8>(w.flat(f, i + 0));
+        dst[i + 1] = static_cast<u8>(w.flat(f, i + 2));
+        dst[i + 2] = static_cast<u8>(w.flat(f, i + 1));
+        dst[i + 3] = static_cast<u8>(w.flat(f, i + 3));
+      }
+    } else {
+      const unsigned per_byte = 8 / bits;
+      for (int i = 0; i < w.filter_elems(); ++i) {
+        const u32 v = static_cast<u32>(w.flat(f, i)) & low_mask(bits);
+        dst[static_cast<unsigned>(i) / per_byte] |= static_cast<u8>(
+            v << ((static_cast<unsigned>(i) % per_byte) * bits));
+      }
+    }
+  }
+  return out;
+}
+
+struct ArmGen {
+  ArmAsm a;
+  const ConvSpec& spec;
+  ArmLayout lay;
+
+  explicit ArmGen(const ConvSpec& s) : spec(s), lay(plan(s, 0x40000)) {}
+
+  u32 in_pixel_bytes() const {
+    return static_cast<u32>(spec.in_c) * spec.in_bits / 8;
+  }
+  addr_t input_pixel_addr(int y, int x) const {
+    return lay.input + static_cast<u32>(y * spec.in_w + x) * in_pixel_bytes();
+  }
+  addr_t output_pixel_addr(int oy, int ox) const {
+    return lay.output +
+           static_cast<u32>((oy * spec.out_w() + ox) * spec.out_c) *
+               spec.out_bits / 8;
+  }
+  u32 thr_stride() const { return (1u << spec.out_bits) * 2; }
+
+  // ---- im2col: expand to q15, specialized per output pixel ----
+
+  /// dst pointer register is r1 (advances). Zero `elems` int16 slots.
+  void emit_zero_q15(u32 elems) {
+    if (elems == 0) return;
+    a.mov_imm(7, 0);
+    for (u32 i = 0; i < elems / 2; ++i) a.str_post(7, 1, 4);
+    if (elems % 2) a.strh_post(7, 1, 2);
+  }
+
+  /// Copy `elems` activations starting at guest address `src` into the q15
+  /// buffer at r1 (advancing), expanding from the packed input width.
+  void emit_expand_copy(addr_t src, u32 elems) {
+    if (elems == 0) return;
+    a.mov_imm(0, src);
+    if (spec.in_bits == 8) {
+      // 4 elements per iteration: LDR + UXTB16 pair + PKH pair + 2 STR.
+      const u32 words = elems / 4;
+      const auto loop = a.here();
+      a.ldr_post(7, 0, 4);
+      a.uxtb16(8, 7);
+      a.uxtb16_ror8(9, 7);
+      a.pkhbt(10, 8, 9);   // (n0, n1)
+      a.pkhtb(11, 9, 8);   // (n2, n3)
+      a.str_post(10, 1, 4);
+      a.str_post(11, 1, 4);
+      a.cmp_imm(0, static_cast<i32>(src + words * 4));
+      a.b(AOp::kBne, loop);
+    } else if (spec.in_bits == 4) {
+      const u32 bytes = elems / 2;
+      const auto loop = a.here();
+      a.ldrb_post(7, 0, 1);
+      a.ubfx(8, 7, 0, 4);
+      a.ubfx(9, 7, 4, 4);
+      a.pkhbt(10, 8, 9);
+      a.str_post(10, 1, 4);
+      a.cmp_imm(0, static_cast<i32>(src + bytes));
+      a.b(AOp::kBne, loop);
+    } else {
+      const u32 bytes = elems / 4;
+      const auto loop = a.here();
+      a.ldrb_post(7, 0, 1);
+      a.ubfx(8, 7, 0, 2);
+      a.ubfx(9, 7, 2, 2);
+      a.pkhbt(10, 8, 9);
+      a.str_post(10, 1, 4);
+      a.ubfx(8, 7, 4, 2);
+      a.ubfx(9, 7, 6, 2);
+      a.pkhbt(10, 8, 9);
+      a.str_post(10, 1, 4);
+      a.cmp_imm(0, static_cast<i32>(src + bytes));
+      a.b(AOp::kBne, loop);
+    }
+  }
+
+  void emit_im2col(int oy, int ox, addr_t buf) {
+    a.mov_imm(1, buf);
+    const u32 pix_elems = static_cast<u32>(spec.in_c);
+    for (int ky = 0; ky < spec.k_h; ++ky) {
+      const int y = oy * spec.stride - spec.pad + ky;
+      const int x0 = ox * spec.stride - spec.pad;
+      if (y < 0 || y >= spec.in_h) {
+        emit_zero_q15(static_cast<u32>(spec.k_w) * pix_elems);
+        continue;
+      }
+      const int left = std::max(0, -x0);
+      const int right = std::max(0, x0 + spec.k_w - spec.in_w);
+      const int mid = spec.k_w - left - right;
+      emit_zero_q15(static_cast<u32>(left) * pix_elems);
+      if (mid > 0) {
+        emit_expand_copy(input_pixel_addr(y, x0 + left),
+                         static_cast<u32>(mid) * pix_elems);
+      }
+      emit_zero_q15(static_cast<u32>(right) * pix_elems);
+    }
+  }
+
+  // ---- matmul inner loops ----
+
+  /// 8-bit: SXTB16-expanded interleaved weights, 4 elements/iteration.
+  void emit_inner_8b() {
+    const u32 iters = static_cast<u32>(spec.filter_elems()) / 4;
+    const auto loop = a.here();
+    a.ldr_post(7, 0, 4);      // w0 raw (interleaved)
+    a.sxtb16(8, 7);           // (w0, w1)
+    a.sxtb16_ror8(9, 7);      // (w2, w3)
+    a.ldr_post(10, 2, 4);     // x0 (n0, n1)
+    a.ldr_post(11, 2, 4);     // x0 (n2, n3)
+    a.smlad(3, 10, 8, 3);
+    a.smlad(3, 11, 9, 3);
+    a.ldr_post(7, 1, 4);      // w1 raw
+    a.sxtb16(12, 7);
+    a.sxtb16_ror8(7, 7);
+    a.smlad(5, 10, 12, 5);
+    a.smlad(5, 11, 7, 5);
+    a.ldr_post(10, 14, 4);    // x1
+    a.ldr_post(11, 14, 4);
+    a.smlad(4, 10, 8, 4);
+    a.smlad(4, 11, 9, 4);
+    a.smlad(6, 10, 12, 6);
+    a.smlad(6, 11, 7, 6);
+    a.cmp_imm(2, static_cast<i32>(lay.buf0 + iters * 8));
+    a.b(AOp::kBne, loop);
+  }
+
+  /// Sub-byte: weights unpacked per element pair with SBFX + PKHBT — the
+  /// lack of sub-byte SIMD support that XpulpNN removes.
+  void emit_inner_sub() {
+    const unsigned q = spec.w_bits;
+    const unsigned pairs_per_byte = 8 / q / 2;  // 1 for nibble, 2 for crumb
+    const u32 total_pairs = static_cast<u32>(spec.filter_elems()) / 2;
+    const auto loop = a.here();
+    for (unsigned p = 0; p < pairs_per_byte; ++p) {
+      if (p == 0) {
+        a.ldrb_post(7, 0, 1);  // w0 byte
+      }
+      a.sbfx(8, 7, p * 2 * q, q);
+      a.sbfx(9, 7, p * 2 * q + q, q);
+      a.pkhbt(8, 8, 9);        // w0 pair
+      if (p == 0) {
+        a.ldrb_post(12, 1, 1);  // w1 byte
+      }
+      a.sbfx(9, 12, p * 2 * q, q);
+      a.sbfx(10, 12, p * 2 * q + q, q);
+      a.pkhbt(9, 9, 10);       // w1 pair
+      a.ldr_post(10, 2, 4);    // x0 pair (q15)
+      a.ldr_post(11, 14, 4);   // x1 pair
+      a.smlad(3, 10, 8, 3);
+      a.smlad(4, 11, 8, 4);
+      a.smlad(5, 10, 9, 5);
+      a.smlad(6, 11, 9, 6);
+    }
+    a.cmp_imm(2, static_cast<i32>(lay.buf0 + total_pairs * 4));
+    a.b(AOp::kBne, loop);
+  }
+
+  // ---- re-quantization ----
+
+  /// Software binary-tree staircase on ARM: LDRSH + CMP + Bcc per level.
+  /// `acc` holds the pre-activation, `dest` receives the code; tree base is
+  /// r0 + base_off.
+  void emit_tree(u8 acc, u8 dest, i32 base_off) {
+    const unsigned qb = spec.out_bits;
+    const auto merge = a.new_label();
+    emit_tree_node(acc, dest, base_off, 0, 0, 0, qb, merge);
+    a.bind(merge);
+  }
+  void emit_tree_node(u8 acc, u8 dest, i32 base_off, u32 node, unsigned depth,
+                      u32 code, unsigned qb, ArmAsm::Label merge) {
+    if (depth == qb) {
+      a.mov_imm(dest, code);
+      a.b(merge);
+      return;
+    }
+    a.ldrsh(7, 0, base_off + static_cast<i32>(node) * 2);
+    a.cmp(acc, 7);
+    const auto left = a.new_label();
+    a.b(AOp::kBlt, left);
+    emit_tree_node(acc, dest, base_off, 2 * node + 2, depth + 1,
+                   (code << 1) | 1, qb, merge);
+    a.bind(left);
+    emit_tree_node(acc, dest, base_off, 2 * node + 1, depth + 1, code << 1,
+                   qb, merge);
+  }
+
+  /// Re-quantize + store accumulators for one channel pair. For 2-bit
+  /// outputs `half` packs two pairs per byte via the scratch fragments.
+  void emit_quant_store(unsigned half) {
+    if (spec.out_bits == 8) {
+      a.mov_imm(12, lay.scr.out0);
+      a.ldr(0, 12, 0);           // out0
+      a.ldr(1, 12, 4);           // out1
+      a.asr_imm(7, 3, static_cast<i32>(spec.requant_shift));
+      a.usat(7, 7, 8);
+      a.asr_imm(8, 5, static_cast<i32>(spec.requant_shift));
+      a.usat(8, 8, 8);
+      a.bfi(7, 8, 8, 8);
+      a.strh_post(7, 0, 2);
+      a.asr_imm(7, 4, static_cast<i32>(spec.requant_shift));
+      a.usat(7, 7, 8);
+      a.asr_imm(8, 6, static_cast<i32>(spec.requant_shift));
+      a.usat(8, 8, 8);
+      a.bfi(7, 8, 8, 8);
+      a.strh_post(7, 1, 2);
+      a.str(0, 12, 0);  // spill the advanced output pointers back
+      a.str(1, 12, 4);
+      return;
+    }
+    a.mov_imm(12, lay.scr.thr);
+    a.ldr(0, 12, 0);  // thr pointer
+    const i32 stride = static_cast<i32>(thr_stride());
+    if (spec.out_bits == 4) {
+      emit_tree(3, 8, 0);        // q00
+      emit_tree(5, 9, stride);   // q10
+      a.bfi(8, 9, 4, 4);
+      emit_tree(4, 10, 0);       // q01
+      emit_tree(6, 11, stride);  // q11
+      a.bfi(10, 11, 4, 4);
+      a.mov_imm(12, lay.scr.out0);
+      a.ldr(0, 12, 0);
+      a.ldr(1, 12, 4);
+      a.strb_post(8, 0, 1);
+      a.strb_post(10, 1, 1);
+      a.str(0, 12, 0);
+      a.str(1, 12, 4);
+    } else {
+      emit_tree(3, 8, 0);
+      emit_tree(5, 9, stride);
+      a.bfi(8, 9, 2, 2);         // pixel-0 pair nibble
+      emit_tree(4, 10, 0);
+      emit_tree(6, 11, stride);
+      a.bfi(10, 11, 2, 2);       // pixel-1 pair nibble
+      a.mov_imm(12, lay.scr.frag0);
+      if (half == 0) {
+        a.str(8, 12, 0);
+        a.str(10, 12, 4);
+      } else {
+        a.ldr(9, 12, 0);
+        a.bfi(9, 8, 4, 4);
+        a.ldr(11, 12, 4);
+        a.bfi(11, 10, 4, 4);
+        a.mov_imm(12, lay.scr.out0);
+        a.ldr(0, 12, 0);
+        a.ldr(1, 12, 4);
+        a.strb_post(9, 0, 1);
+        a.strb_post(11, 1, 1);
+        a.str(0, 12, 0);
+        a.str(1, 12, 4);
+      }
+    }
+  }
+
+  // ---- the matmul subroutine ----
+
+  void emit_pair_setup() {
+    a.mov_imm(12, lay.scr.wp);
+    a.ldr(0, 12, 0);
+    a.add_imm(1, 0, static_cast<i32>(lay.filter_stride));
+    a.mov_imm(2, lay.buf0);
+    a.mov_imm(14, lay.buf1);
+    a.mov_imm(3, 0);
+    a.mov_imm(4, 0);
+    a.mov_imm(5, 0);
+    a.mov_imm(6, 0);
+  }
+
+  void emit_pair_advance() {
+    // New weight cursor = old + 2 strides; advance threshold pointer.
+    a.mov_imm(12, lay.scr.wp);
+    a.ldr(7, 12, 0);
+    a.add_imm(7, 7, static_cast<i32>(2 * lay.filter_stride));
+    a.str(7, 12, 0);
+    if (spec.out_bits != 8) {
+      a.mov_imm(12, lay.scr.thr);
+      a.ldr(7, 12, 0);
+      a.add_imm(7, 7, static_cast<i32>(2 * thr_stride()));
+      a.str(7, 12, 0);
+    }
+  }
+
+  void emit_matmul_subroutine() {
+    a.mov_imm(12, lay.scr.lr);
+    a.str(14, 12, 0);  // save lr (r14 doubles as the x1 pointer)
+    a.mov_imm(7, lay.weights);
+    a.mov_imm(12, lay.scr.wp);
+    a.str(7, 12, 0);
+    if (spec.out_bits != 8) {
+      a.mov_imm(7, lay.thresholds);
+      a.mov_imm(12, lay.scr.thr);
+      a.str(7, 12, 0);
+    }
+    const bool crumb = spec.out_bits == 2;
+    const int bodies = spec.out_c / (crumb ? 4 : 2);
+    a.mov_imm(7, static_cast<u32>(bodies));
+    a.mov_imm(12, lay.scr.oc);
+    a.str(7, 12, 0);
+
+    const auto loop = a.here();
+    emit_pair_setup();
+    if (spec.w_bits == 8) emit_inner_8b(); else emit_inner_sub();
+    emit_quant_store(0);
+    emit_pair_advance();
+    if (crumb) {
+      emit_pair_setup();
+      emit_inner_sub();
+      emit_quant_store(1);
+      emit_pair_advance();
+    }
+    a.mov_imm(12, lay.scr.oc);
+    a.ldr(7, 12, 0);
+    a.sub_imm(7, 7, 1);
+    a.str(7, 12, 0);
+    a.cmp_imm(7, 0);
+    a.b(AOp::kBne, loop);
+
+    a.mov_imm(12, lay.scr.lr);
+    a.ldr(14, 12, 0);
+    a.bx_lr();
+  }
+
+  std::vector<AInstr> generate() {
+    if (spec.in_bits != spec.w_bits) throw SimError("arm: in_bits != w_bits");
+    if (spec.w_bits == 8 && spec.filter_elems() % 4 != 0) {
+      throw SimError("arm 8-bit kernel needs filter_elems % 4 == 0");
+    }
+    if (spec.filter_elems() % 2 != 0) {
+      throw SimError("arm kernel needs an even filter length");
+    }
+    const auto main = a.new_label();
+    a.b(main);
+    const auto matmul = a.here();
+    emit_matmul_subroutine();
+    a.bind(main);
+    for (int oy = 0; oy < spec.out_h(); ++oy) {
+      for (int ox = 0; ox < spec.out_w(); ox += 2) {
+        emit_im2col(oy, ox, lay.buf0);
+        emit_im2col(oy, ox + 1, lay.buf1);
+        a.mov_imm(7, output_pixel_addr(oy, ox));
+        a.mov_imm(12, lay.scr.out0);
+        a.str(7, 12, 0);
+        a.mov_imm(7, output_pixel_addr(oy, ox + 1));
+        a.str(7, 12, 4);
+        a.bl(matmul);
+      }
+    }
+    a.halt();
+    return a.finish();
+  }
+};
+
+}  // namespace
+
+ArmConvResult run_conv_layer_arm(const ConvLayerData& data, ArmModel model) {
+  const ConvSpec& spec = data.spec;
+  ArmGen gen(spec);
+  std::vector<AInstr> prog = gen.generate();
+
+  mem::Memory mem;
+  mem.write_block(gen.lay.input, qnn::pack_tensor(data.input, spec.in_bits));
+  mem.write_block(gen.lay.weights,
+                  pack_weights_arm(data.weights, spec.w_bits,
+                                   gen.lay.filter_stride));
+  if (spec.out_bits != 8) {
+    mem.write_block(gen.lay.thresholds, data.thresholds.serialize());
+  }
+
+  ArmCore core(mem, model);
+  core.load_program(std::move(prog));
+  core.run();
+
+  std::vector<u8> out_bytes(gen.lay.output_bytes);
+  mem.read_block(gen.lay.output, out_bytes);
+
+  ArmConvResult res;
+  res.output = qnn::unpack_tensor(
+      out_bytes, {spec.out_h(), spec.out_w(), spec.out_c}, spec.out_bits,
+      false);
+  res.perf = core.perf();
+  res.macs = spec.macs();
+  return res;
+}
+
+}  // namespace xpulp::armv7e

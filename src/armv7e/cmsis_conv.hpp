@@ -1,0 +1,39 @@
+// CMSIS-NN-style quantized convolution kernels for the ARMv7E-M model —
+// the paper's Fig. 8/9 comparison points (STM32L476 / Cortex-M4 and
+// STM32H743 / Cortex-M7 running the "extended CMSIS-NN" of [12]).
+//
+// Kernel shape follows arm_convolve_HWC_q7 + arm_nn_mat_mult_kernel:
+//   - im2col expands activations into an int16 (q15) column buffer
+//     (CMSIS-NN convention; for sub-byte inputs this is where the unpack
+//     tax is paid on ARM);
+//   - the matrix multiplication computes 2 filters x 2 columns with SMLAD
+//     dual-MAC instructions; 8-bit weights are stored CMSIS-interleaved
+//     ([w0 w2 w1 w3]) so SXTB16 / SXTB16,ROR#8 yield matched halfword
+//     pairs; sub-byte weights are unpacked per element with SBFX/PKHBT
+//     since ARMv7E-M has no sub-byte SIMD;
+//   - re-quantization: USAT shift for 8-bit outputs, software binary-tree
+//     thresholding for sub-byte outputs, BFI-packed stores.
+#pragma once
+
+#include "armv7e/arm_core.hpp"
+#include "kernels/conv_layer.hpp"
+
+namespace xpulp::armv7e {
+
+struct ArmConvResult {
+  qnn::Tensor output;
+  ArmPerf perf;
+  u32 program_instrs = 0;
+  u64 macs = 0;
+
+  double macs_per_cycle() const {
+    return perf.cycles ? static_cast<double>(macs) / static_cast<double>(perf.cycles)
+                       : 0.0;
+  }
+};
+
+/// Run the conv layer on the ARM model (any of 8/4/2-bit uniform specs).
+ArmConvResult run_conv_layer_arm(const kernels::ConvLayerData& data,
+                                 ArmModel model);
+
+}  // namespace xpulp::armv7e

@@ -1,0 +1,77 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xpulp::cluster {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg),
+      arbiter_(static_cast<u32>(cfg.num_cores) * cfg.banks_per_core) {
+  if (cfg_.num_cores < 1 || cfg_.num_cores > 64) {
+    throw SimError("cluster size out of range");
+  }
+  for (int i = 0; i < cfg_.num_cores; ++i) {
+    cores_.push_back(std::make_unique<sim::Core>(mem_, cfg_.core));
+  }
+}
+
+void Cluster::load(const std::vector<xasm::Program>& programs) {
+  if (programs.size() != cores_.size()) {
+    throw SimError("need exactly one program per core");
+  }
+  for (size_t i = 0; i < programs.size(); ++i) {
+    programs[i].load(mem_);
+  }
+  for (size_t i = 0; i < programs.size(); ++i) {
+    cores_[i]->reset(programs[i].entry());
+  }
+  mem_.reset_stats();
+}
+
+ClusterStats Cluster::run(u64 max_total_instructions) {
+  u64 executed = 0;
+  const u64 base_conflicts = arbiter_.conflicts();
+  const u64 base_accesses = arbiter_.accesses();
+
+  while (true) {
+    // Pick the non-halted core with the smallest local time.
+    sim::Core* next = nullptr;
+    int next_id = -1;
+    for (size_t i = 0; i < cores_.size(); ++i) {
+      if (cores_[i]->halted()) continue;
+      if (next == nullptr || cores_[i]->perf().cycles < next->perf().cycles) {
+        next = cores_[i].get();
+        next_id = static_cast<int>(i);
+      }
+    }
+    if (next == nullptr) break;  // all halted
+
+    // Route this core's data accesses through the bank arbiter at its
+    // current local cycle.
+    mem_.set_access_hook([this, next, next_id](addr_t a, unsigned, bool) {
+      return arbiter_.access(next_id, next->perf().cycles, a);
+    });
+    next->step();
+    if (++executed > max_total_instructions) {
+      mem_.set_access_hook({});
+      throw SimError("cluster instruction budget exceeded");
+    }
+  }
+  mem_.set_access_hook({});
+
+  ClusterStats stats;
+  for (const auto& c : cores_) {
+    if (c->halt_reason() != sim::HaltReason::kEcall) {
+      throw SimError("a cluster core halted abnormally");
+    }
+    stats.core_cycles.push_back(c->perf().cycles);
+    stats.makespan = std::max(stats.makespan, c->perf().cycles);
+  }
+  stats.bank_conflicts = arbiter_.conflicts() - base_conflicts;
+  stats.data_accesses = arbiter_.accesses() - base_accesses;
+  return stats;
+}
+
+}  // namespace xpulp::cluster

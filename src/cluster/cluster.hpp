@@ -1,0 +1,111 @@
+// Multi-core PULP cluster model — the scaling path the paper's conclusion
+// points to (the XpulpNN core was subsequently integrated into 8-core PULP
+// clusters; PULP-NN reports near-linear kernel scaling on such clusters).
+//
+// N XpulpNN cores share one L1 TCDM through a logarithmic interconnect with
+// word-interleaved banks (PULP convention: 2 banks per core). The model:
+//   - cores execute event-driven, always advancing the core with the
+//     smallest local cycle count, so cross-core cycle ordering is exact;
+//   - each data access claims its bank for the issuing cycle; when another
+//     core holds the bank in the same cycle the access retries one cycle
+//     later (round-robin arbitration), which is exactly one stall cycle
+//     per conflict in RI5CY's blocking LSU;
+//   - instruction fetches are served by per-core prefetch buffers
+//     (PULP cluster I$) and do not touch the interconnect.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/memory.hpp"
+#include "sim/core.hpp"
+#include "xasm/program.hpp"
+
+namespace xpulp::cluster {
+
+struct ClusterConfig {
+  int num_cores = 8;
+  u32 banks_per_core = 2;  // PULP TCDM banking factor
+  sim::CoreConfig core = sim::CoreConfig::extended();
+};
+
+struct ClusterStats {
+  cycles_t makespan = 0;           // cycles until the last core halted
+  std::vector<cycles_t> core_cycles;
+  u64 bank_conflicts = 0;
+  u64 data_accesses = 0;
+
+  double conflict_rate() const {
+    return data_accesses ? static_cast<double>(bank_conflicts) /
+                               static_cast<double>(data_accesses)
+                         : 0.0;
+  }
+};
+
+/// Word-interleaved TCDM bank arbiter.
+class BankArbiter {
+ public:
+  explicit BankArbiter(u32 banks) : banks_(banks), last_cycle_(banks, ~0ull),
+                                    last_core_(banks, -1) {}
+
+  /// Core `core` accesses `addr` at its local `cycle`; returns stall
+  /// cycles (0 or 1) and books the bank.
+  unsigned access(int core, cycles_t cycle, addr_t addr) {
+    ++accesses_;
+    const u32 b = (addr >> 2) % banks_;
+    if (last_cycle_[b] == cycle && last_core_[b] != core) {
+      // Bank busy this cycle: retry next cycle.
+      ++conflicts_;
+      last_cycle_[b] = cycle + 1;
+      last_core_[b] = core;
+      return 1;
+    }
+    if (last_cycle_[b] == ~0ull || last_cycle_[b] < cycle ||
+        last_core_[b] == core) {
+      last_cycle_[b] = cycle;
+      last_core_[b] = core;
+      return 0;
+    }
+    // Bank already booked past this cycle (cascaded conflict).
+    ++conflicts_;
+    const unsigned stall = static_cast<unsigned>(last_cycle_[b] + 1 - cycle);
+    last_cycle_[b] += 1;
+    last_core_[b] = core;
+    return stall;
+  }
+
+  u64 conflicts() const { return conflicts_; }
+  u64 accesses() const { return accesses_; }
+
+ private:
+  u32 banks_;
+  std::vector<cycles_t> last_cycle_;
+  std::vector<int> last_core_;
+  u64 conflicts_ = 0;
+  u64 accesses_ = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg = {});
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  mem::Memory& memory() { return mem_; }
+  sim::Core& core(int i) { return *cores_[static_cast<size_t>(i)]; }
+
+  /// Load one program per core (programs may live at distinct code bases
+  /// in the shared memory) and reset every core to its entry point.
+  void load(const std::vector<xasm::Program>& programs);
+
+  /// Run event-driven until every core executed its ecall. Throws on any
+  /// abnormal halt or if the instruction budget is exceeded.
+  ClusterStats run(u64 max_total_instructions = 2'000'000'000);
+
+ private:
+  ClusterConfig cfg_;
+  mem::Memory mem_;
+  std::vector<std::unique_ptr<sim::Core>> cores_;
+  BankArbiter arbiter_;
+};
+
+}  // namespace xpulp::cluster

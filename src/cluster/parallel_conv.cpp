@@ -1,0 +1,74 @@
+#include "cluster/parallel_conv.hpp"
+
+#include "common/error.hpp"
+#include "qnn/pack.hpp"
+
+namespace xpulp::cluster {
+
+using kernels::ConvGenOptions;
+using kernels::ConvKernel;
+using kernels::ConvLayerData;
+using kernels::ConvMemLayout;
+using kernels::ConvVariant;
+
+namespace {
+
+/// Per-core code region: kernels with runtime channel loops are a few kB
+/// per output row; 16 kB per core leaves ample margin and lets up to 16
+/// cores fit below the 256 kB data base. The generator still checks each
+/// program against the data region.
+constexpr addr_t kCodeRegion = 0x4000;
+constexpr addr_t kDataBase = 0x40000;
+
+}  // namespace
+
+ParallelConvResult run_parallel_conv(const ConvLayerData& data,
+                                     ConvVariant v, const ClusterConfig& cfg) {
+  const qnn::ConvSpec& spec = data.spec;
+  const int n = cfg.num_cores;
+  if (static_cast<u32>(n) * kCodeRegion > kDataBase) {
+    throw SimError("too many cores for the code region layout");
+  }
+
+  // Generate one program per core over its row slice.
+  std::vector<xasm::Program> programs;
+  ConvMemLayout layout{};
+  const int rows = spec.out_h();
+  int row = 0;
+  for (int c = 0; c < n; ++c) {
+    const int share = rows / n + (c < rows % n ? 1 : 0);
+    ConvGenOptions o;
+    o.code_base = static_cast<addr_t>(c) * kCodeRegion;
+    o.row_begin = row;
+    o.row_end = row + share;
+    o.buffer_slots = n;
+    o.buffer_slot = c;
+    row += share;
+    ConvKernel k = kernels::generate_conv_kernel(spec, v, kDataBase, o);
+    layout = k.layout;
+    programs.push_back(std::move(k.program));
+  }
+
+  Cluster cluster(cfg);
+  mem::Memory& mem = cluster.memory();
+  mem.write_block(layout.input, qnn::pack_tensor(data.input, spec.in_bits));
+  mem.write_block(layout.weights,
+                  qnn::pack_filter_bank(data.weights, spec.w_bits));
+  if (spec.out_bits != 8) {
+    mem.write_block(layout.thresholds, data.thresholds.serialize());
+  }
+  cluster.load(programs);
+
+  ParallelConvResult res;
+  res.stats = cluster.run();
+  res.macs = spec.macs();
+
+  std::vector<u8> out_bytes(layout.output_bytes);
+  mem.read_block(layout.output, out_bytes);
+  res.output = qnn::unpack_tensor(
+      out_bytes, {spec.out_h(), spec.out_w(), spec.out_c}, spec.out_bits,
+      /*is_signed=*/false);
+  return res;
+}
+
+}  // namespace xpulp::cluster

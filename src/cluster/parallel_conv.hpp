@@ -1,0 +1,32 @@
+// Row-partitioned parallel convolution on the cluster: each core runs the
+// PULP-NN kernel over a disjoint slice of output rows, with a private
+// im2col buffer slot; input, weights, thresholds, and the output tensor
+// live once in the shared TCDM.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "kernels/conv_layer.hpp"
+
+namespace xpulp::cluster {
+
+struct ParallelConvResult {
+  qnn::Tensor output;
+  ClusterStats stats;
+  u64 macs = 0;
+
+  double macs_per_cycle() const {
+    return stats.makespan ? static_cast<double>(macs) /
+                                static_cast<double>(stats.makespan)
+                          : 0.0;
+  }
+};
+
+/// Run the layer across `cfg.num_cores` cores. Rows are distributed in
+/// contiguous slices (remainder rows go to the first cores). Output is
+/// read back from shared memory and must be checked by the caller against
+/// ConvLayerData::golden().
+ParallelConvResult run_parallel_conv(const kernels::ConvLayerData& data,
+                                     kernels::ConvVariant v,
+                                     const ClusterConfig& cfg);
+
+}  // namespace xpulp::cluster

@@ -1,0 +1,114 @@
+// Bit-level helpers shared by the ISA layer, the simulator and the QNN
+// packing code. All operations are well-defined for the full input range
+// (no UB shifts, explicit two's-complement semantics).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace xpulp {
+
+/// Extract bits [hi:lo] (inclusive) of `v`, right-aligned.
+constexpr u32 bits(u32 v, unsigned hi, unsigned lo) {
+  assert(hi >= lo && hi < 32);
+  const unsigned width = hi - lo + 1;
+  const u32 mask = (width >= 32) ? ~0u : ((1u << width) - 1u);
+  return (v >> lo) & mask;
+}
+
+/// Extract a single bit.
+constexpr u32 bit(u32 v, unsigned pos) {
+  assert(pos < 32);
+  return (v >> pos) & 1u;
+}
+
+/// A mask with `width` low bits set. width in [0, 32].
+constexpr u32 low_mask(unsigned width) {
+  assert(width <= 32);
+  return (width >= 32) ? ~0u : ((1u << width) - 1u);
+}
+
+/// Sign-extend the low `width` bits of `v` to a full 32-bit signed value.
+constexpr i32 sign_extend(u32 v, unsigned width) {
+  assert(width >= 1 && width <= 32);
+  if (width == 32) return static_cast<i32>(v);
+  const u32 m = 1u << (width - 1);
+  const u32 x = v & low_mask(width);
+  return static_cast<i32>((x ^ m) - m);
+}
+
+/// Zero-extend the low `width` bits of `v`.
+constexpr u32 zero_extend(u32 v, unsigned width) {
+  assert(width >= 1 && width <= 32);
+  return v & low_mask(width);
+}
+
+/// Insert `field` (low `width` bits) into `v` at bit position `lo`.
+constexpr u32 insert_bits(u32 v, u32 field, unsigned lo, unsigned width) {
+  assert(lo < 32 && width >= 1 && lo + width <= 32);
+  const u32 m = low_mask(width) << lo;
+  return (v & ~m) | ((field << lo) & m);
+}
+
+/// Signed saturation of `v` into `width` bits (two's complement range).
+constexpr i32 sat_signed(i64 v, unsigned width) {
+  assert(width >= 1 && width <= 32);
+  const i64 hi = (i64{1} << (width - 1)) - 1;
+  const i64 lo = -(i64{1} << (width - 1));
+  if (v > hi) return static_cast<i32>(hi);
+  if (v < lo) return static_cast<i32>(lo);
+  return static_cast<i32>(v);
+}
+
+/// Unsigned saturation of `v` into `width` bits.
+constexpr u32 sat_unsigned(i64 v, unsigned width) {
+  assert(width >= 1 && width <= 32);
+  const i64 hi = (i64{1} << width) - 1;
+  if (v > hi) return static_cast<u32>(hi);
+  if (v < 0) return 0;
+  return static_cast<u32>(v);
+}
+
+/// Rotate right by `amt` (amt taken mod 32).
+constexpr u32 rotr32(u32 v, unsigned amt) {
+  amt &= 31u;
+  if (amt == 0) return v;
+  return (v >> amt) | (v << (32u - amt));
+}
+
+/// Count of set bits.
+constexpr unsigned popcount32(u32 v) { return static_cast<unsigned>(std::popcount(v)); }
+
+/// Index of least-significant set bit, or 32 if none (RI5CY p.ff1 semantics).
+constexpr unsigned find_first_one(u32 v) {
+  return v == 0 ? 32u : static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Index of most-significant set bit, or 32 if none (RI5CY p.fl1 semantics).
+constexpr unsigned find_last_one(u32 v) {
+  return v == 0 ? 32u : static_cast<unsigned>(31 - std::countl_zero(v));
+}
+
+/// Count leading redundant sign bits minus one (RI5CY p.clb: count leading
+/// bits equal to the sign bit, excluding the sign bit itself; 0 for v==0).
+constexpr unsigned count_leading_redundant_sign(u32 v) {
+  if (v == 0) return 0;
+  const u32 x = (v >> 31) ? ~v : v;
+  if (x == 0) return 31;  // all bits equal to sign
+  return static_cast<unsigned>(std::countl_zero(x)) - 1;
+}
+
+/// Number of bit toggles between two consecutive values on a bus — used by
+/// the activity-based power model.
+constexpr unsigned hamming_distance(u32 a, u32 b) { return popcount32(a ^ b); }
+
+/// True if `addr` is naturally aligned for an access of `size` bytes.
+constexpr bool is_aligned(addr_t addr, unsigned size) {
+  assert(size == 1 || size == 2 || size == 4);
+  return (addr & (size - 1)) == 0;
+}
+
+}  // namespace xpulp

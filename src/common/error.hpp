@@ -1,0 +1,76 @@
+// Error types for the simulator stack. Guest-visible faults (bad memory
+// access, illegal instruction) are reported as exceptions carrying enough
+// context to diagnose generated kernels.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace xpulp {
+
+/// Base class for all simulator errors.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when the guest touches memory outside the mapped SRAM.
+class MemoryFault : public SimError {
+ public:
+  MemoryFault(addr_t addr, unsigned size, bool is_store)
+      : SimError(std::string("memory fault: ") + (is_store ? "store" : "load") +
+                 " of " + std::to_string(size) + " bytes at 0x" + hex(addr)),
+        addr_(addr),
+        size_(size),
+        is_store_(is_store) {}
+
+  addr_t addr() const { return addr_; }
+  unsigned size() const { return size_; }
+  bool is_store() const { return is_store_; }
+
+ private:
+  static std::string hex(u32 v) {
+    static const char* d = "0123456789abcdef";
+    std::string s(8, '0');
+    for (int i = 7; i >= 0; --i, v >>= 4) s[static_cast<size_t>(i)] = d[v & 0xf];
+    return s;
+  }
+
+  addr_t addr_;
+  unsigned size_;
+  bool is_store_;
+};
+
+/// Raised when the decoder meets an encoding it does not implement.
+class IllegalInstruction : public SimError {
+ public:
+  IllegalInstruction(addr_t pc, u32 raw)
+      : SimError("illegal instruction 0x" + to_hex(raw) + " at pc 0x" + to_hex(pc)),
+        pc_(pc),
+        raw_(raw) {}
+
+  addr_t pc() const { return pc_; }
+  u32 raw() const { return raw_; }
+
+ private:
+  static std::string to_hex(u32 v) {
+    static const char* d = "0123456789abcdef";
+    std::string s(8, '0');
+    for (int i = 7; i >= 0; --i, v >>= 4) s[static_cast<size_t>(i)] = d[v & 0xf];
+    return s;
+  }
+
+  addr_t pc_;
+  u32 raw_;
+};
+
+/// Raised by the assembler for malformed programs (unbound labels,
+/// out-of-range immediates, misnested hardware loops).
+class AsmError : public SimError {
+ public:
+  explicit AsmError(const std::string& what) : SimError("asm: " + what) {}
+};
+
+}  // namespace xpulp

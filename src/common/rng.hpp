@@ -1,0 +1,47 @@
+// Deterministic PRNG used to generate synthetic weights/activations and
+// property-test inputs. A fixed algorithm (xoshiro-style splitmix64) keeps
+// every experiment reproducible across platforms, unlike std::mt19937
+// distributions whose mapping is implementation-defined.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace xpulp {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  /// Next 64 random bits (splitmix64).
+  u64 next_u64() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform in [lo, hi] inclusive.
+  i32 uniform(i32 lo, i32 hi) {
+    const u64 span = static_cast<u64>(static_cast<i64>(hi) - lo) + 1;
+    return static_cast<i32>(lo + static_cast<i64>(next_u64() % span));
+  }
+
+  /// Random signed value fitting `bits` bits (two's complement range).
+  i32 signed_bits(unsigned bits) {
+    const i32 hi = (1 << (bits - 1)) - 1;
+    const i32 lo = -(1 << (bits - 1));
+    return uniform(lo, hi);
+  }
+
+  /// Random unsigned value fitting `bits` bits.
+  u32 unsigned_bits(unsigned bits) {
+    return static_cast<u32>(uniform(0, static_cast<i32>((1u << bits) - 1)));
+  }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace xpulp

@@ -1,0 +1,21 @@
+// Binary decoder: 32-bit (and 16-bit compressed) words -> Instr records.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace xpulp::isa {
+
+/// Decode one instruction word fetched at `pc`. For compressed instructions
+/// only the low 16 bits of `raw` are consumed and the result has size == 2.
+/// Throws IllegalInstruction for unknown encodings.
+Instr decode(u32 raw, addr_t pc);
+
+/// True if the low 16 bits of `raw` form a compressed (16-bit) instruction.
+constexpr bool is_compressed(u32 raw) { return (raw & 0x3u) != 0x3u; }
+
+/// Decode a 16-bit compressed instruction into its 32-bit equivalent Instr
+/// (size == 2). Supports the RVC subset listed in DESIGN.md.
+Instr decode_compressed(u16 raw, addr_t pc);
+
+}  // namespace xpulp::isa

@@ -1,0 +1,18 @@
+// Disassembler: Instr -> human-readable text, used by tracing, error
+// reporting and the encode/decode round-trip tests.
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace xpulp::isa {
+
+/// ABI register name ("zero", "ra", "sp", ..., "t6").
+std::string_view reg_name(unsigned r);
+
+/// Disassemble a decoded instruction. `pc` resolves PC-relative targets of
+/// branches/jumps/hardware-loop setup into absolute addresses.
+std::string disassemble(const Instr& in, addr_t pc);
+
+}  // namespace xpulp::isa

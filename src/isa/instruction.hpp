@@ -1,0 +1,159 @@
+// Instruction model: every mnemonic the simulator understands, plus the
+// decoded-instruction record that the decoder produces and the core executes.
+//
+// The instruction set is RV32IM + a subset of the C extension, the XpulpV2
+// DSP extensions used by PULP-NN kernels (hardware loops, post-increment
+// load/store, scalar min/max/abs/clip, MAC, bit manipulation, 8/16-bit
+// packed SIMD), and the XpulpNN extensions contributed by the paper
+// (4-bit "nibble" / 2-bit "crumb" packed SIMD incl. dot products, and the
+// multi-cycle pv.qnt quantization instruction).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace xpulp::isa {
+
+enum class Mnemonic : u16 {
+  kInvalid = 0,
+
+  // ---- RV32I ----
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall, kEbreak,
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+
+  // ---- RV32M ----
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+
+  // ---- XpulpV2: post-increment / register-addressed memory ops ----
+  kPLbPostImm, kPLhPostImm, kPLwPostImm, kPLbuPostImm, kPLhuPostImm,
+  kPSbPostImm, kPShPostImm, kPSwPostImm,
+  kPLbPostReg, kPLhPostReg, kPLwPostReg, kPLbuPostReg, kPLhuPostReg,
+  kPLbRegReg, kPLhRegReg, kPLwRegReg, kPLbuRegReg, kPLhuRegReg,
+  kPSbPostReg, kPShPostReg, kPSwPostReg,
+  kPSbRegReg, kPShRegReg, kPSwRegReg,
+
+  // ---- XpulpV2: scalar ALU extensions ----
+  kPAbs, kPMin, kPMinu, kPMax, kPMaxu,
+  kPExths, kPExthz, kPExtbs, kPExtbz,
+  kPCnt, kPFf1, kPFl1, kPClb, kPRor,
+  kPClip, kPClipu,           // immediate clip: [-2^(i-1), 2^(i-1)-1] / [0, 2^i - 1]
+  kPMac, kPMsu,              // rd +/-= rs1 * rs2
+
+  // ---- XpulpV2: bit manipulation (two 5-bit immediates Is3=width-1, Is2=pos)
+  kPExtract, kPExtractu, kPInsert, kPBclr, kPBset,
+
+  // ---- XpulpV2: immediate-compare branches (rs2 field = signed imm5) ----
+  kPBeqimm, kPBneimm,
+
+  // ---- XpulpV2: hardware loops ----
+  kLpStarti, kLpEndi, kLpCount, kLpCounti, kLpSetup, kLpSetupi,
+
+  // ---- Packed SIMD (XpulpV2 for b/h formats, XpulpNN for n/c formats) ----
+  kPvAdd, kPvSub, kPvAvg, kPvAvgu,
+  kPvMax, kPvMaxu, kPvMin, kPvMinu,
+  kPvSrl, kPvSra, kPvSll, kPvAbs,
+  kPvAnd, kPvOr, kPvXor,
+  kPvDotup, kPvDotusp, kPvDotsp,
+  kPvSdotup, kPvSdotusp, kPvSdotsp,
+  // Element manipulation (XpulpV2, b/h formats; lane index in the rs2
+  // field for extract/insert).
+  kPvElemExtract, kPvElemExtractu, kPvElemInsert,
+  kPvShuffle,  // rd[i] = rs1[rs2[i] mod lanes]
+  kPvPackH,    // rd = (rs1.h0 << 16) | rs2.h0   (h format only)
+  kPvQnt,  // XpulpNN thresholding-based quantization (n/c only)
+
+  kCount,
+};
+
+/// SIMD vector format: element width and whether the second operand is a
+/// replicated scalar (`.sc` variant). The `sci` immediate variants of
+/// XpulpV2 are intentionally not modelled (see DESIGN.md §3).
+enum class SimdFmt : u8 {
+  kNone = 0,
+  kB,    // 4 x 8-bit
+  kBSc,
+  kH,    // 2 x 16-bit
+  kHSc,
+  kN,    // 8 x 4-bit  (nibble, XpulpNN)
+  kNSc,
+  kC,    // 16 x 2-bit (crumb, XpulpNN)
+  kCSc,
+};
+
+/// Element width in bits for a SIMD format (0 for kNone).
+constexpr unsigned simd_elem_bits(SimdFmt f) {
+  switch (f) {
+    case SimdFmt::kB: case SimdFmt::kBSc: return 8;
+    case SimdFmt::kH: case SimdFmt::kHSc: return 16;
+    case SimdFmt::kN: case SimdFmt::kNSc: return 4;
+    case SimdFmt::kC: case SimdFmt::kCSc: return 2;
+    default: return 0;
+  }
+}
+
+/// Number of elements packed in a 32-bit register for a SIMD format.
+constexpr unsigned simd_elem_count(SimdFmt f) {
+  const unsigned b = simd_elem_bits(f);
+  return b == 0 ? 0 : 32 / b;
+}
+
+/// True for the `.sc` (replicated scalar) variants.
+constexpr bool simd_is_scalar_rep(SimdFmt f) {
+  return f == SimdFmt::kBSc || f == SimdFmt::kHSc || f == SimdFmt::kNSc ||
+         f == SimdFmt::kCSc;
+}
+
+/// True for the sub-byte formats introduced by XpulpNN.
+constexpr bool simd_is_subbyte(SimdFmt f) {
+  return simd_elem_bits(f) == 4 || simd_elem_bits(f) == 2;
+}
+
+/// A decoded instruction. `imm` is the primary (sign-extended) immediate;
+/// `imm2` carries secondary fields: Is3 for bit-manipulation ops, the loop
+/// index L for hardware loops, and the CSR uimm for CSRR*I.
+struct Instr {
+  Mnemonic op = Mnemonic::kInvalid;
+  SimdFmt fmt = SimdFmt::kNone;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i32 imm = 0;
+  u8 imm2 = 0;
+  u32 raw = 0;
+  u8 size = 4;  // bytes: 2 for compressed, 4 otherwise
+
+  bool valid() const { return op != Mnemonic::kInvalid; }
+};
+
+/// Human-readable mnemonic (e.g. "pv.sdotsp"). The SIMD format suffix is
+/// appended by the disassembler, not included here.
+std::string_view mnemonic_name(Mnemonic m);
+
+/// Classification helpers used by the timing model and the power model.
+bool is_load(Mnemonic m);
+bool is_store(Mnemonic m);
+bool is_branch(Mnemonic m);
+bool is_simd(Mnemonic m);
+bool is_dotp(Mnemonic m);        // any pv.dot*/pv.sdot* op
+bool is_elem_manip(Mnemonic m);  // pv.extract/insert/shuffle/pack
+bool is_mem_post_increment(Mnemonic m);
+bool writes_rd(const Instr& in); // whether the instruction writes `rd`
+bool reads_rs1(const Instr& in);
+bool reads_rs2(const Instr& in);
+bool reads_rd(const Instr& in);  // rd used as a source (MAC, sdot, insert, ...)
+
+/// Memory access size in bytes for load/store mnemonics (0 otherwise).
+unsigned mem_access_size(Mnemonic m);
+
+/// True if the load mnemonic sign-extends its result.
+bool load_is_signed(Mnemonic m);
+
+}  // namespace xpulp::isa

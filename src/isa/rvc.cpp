@@ -1,0 +1,259 @@
+// Decoder for the RV32C compressed-instruction subset. RI5CY implements
+// RV32IMC; our generated kernels emit 32-bit forms only, but the decoder
+// accepts compressed code so hand-written or externally assembled programs
+// (and the ISA tests) can use it. Each compressed form expands to the Instr
+// of its 32-bit equivalent with size == 2.
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "isa/decoder.hpp"
+
+namespace xpulp::isa {
+
+namespace {
+
+[[noreturn]] void illegal(addr_t pc, u16 raw) {
+  throw IllegalInstruction(pc, raw);
+}
+
+Instr base(Mnemonic op, u16 raw) {
+  Instr in;
+  in.op = op;
+  in.raw = raw;
+  in.size = 2;
+  return in;
+}
+
+// Compressed register index (3 bits) -> x8..x15.
+u8 creg(u32 v) { return static_cast<u8>(8 + (v & 7)); }
+
+// CIW-format immediate of C.ADDI4SPN: nzuimm[5:4|9:6|2|3] at bits 12:5.
+u32 imm_ciw(u16 raw) {
+  return (bits(raw, 12, 11) << 4) | (bits(raw, 10, 7) << 6) |
+         (bit(raw, 6) << 2) | (bit(raw, 5) << 3);
+}
+
+// CL/CS-format word offset: uimm[5:3] at 12:10, uimm[2] at 6, uimm[6] at 5.
+u32 imm_clw(u16 raw) {
+  return (bits(raw, 12, 10) << 3) | (bit(raw, 6) << 2) | (bit(raw, 5) << 6);
+}
+
+// CI-format signed immediate: imm[5] at 12, imm[4:0] at 6:2.
+i32 imm_ci(u16 raw) {
+  return sign_extend((bit(raw, 12) << 5) | bits(raw, 6, 2), 6);
+}
+
+// CJ-format jump offset.
+i32 imm_cj(u16 raw) {
+  const u32 v = (bit(raw, 12) << 11) | (bit(raw, 11) << 4) |
+                (bits(raw, 10, 9) << 8) | (bit(raw, 8) << 10) |
+                (bit(raw, 7) << 6) | (bit(raw, 6) << 7) |
+                (bits(raw, 5, 3) << 1) | (bit(raw, 2) << 5);
+  return sign_extend(v, 12);
+}
+
+// CB-format branch offset.
+i32 imm_cb(u16 raw) {
+  const u32 v = (bit(raw, 12) << 8) | (bits(raw, 11, 10) << 3) |
+                (bits(raw, 6, 5) << 6) | (bits(raw, 4, 3) << 1) |
+                (bit(raw, 2) << 5);
+  return sign_extend(v, 9);
+}
+
+Instr quadrant0(u16 raw, addr_t pc) {
+  switch (bits(raw, 15, 13)) {
+    case 0b000: {  // C.ADDI4SPN
+      if (imm_ciw(raw) == 0) illegal(pc, raw);
+      Instr in = base(Mnemonic::kAddi, raw);
+      in.rd = creg(bits(raw, 4, 2));
+      in.rs1 = 2;
+      in.imm = static_cast<i32>(imm_ciw(raw));
+      return in;
+    }
+    case 0b010: {  // C.LW
+      Instr in = base(Mnemonic::kLw, raw);
+      in.rd = creg(bits(raw, 4, 2));
+      in.rs1 = creg(bits(raw, 9, 7));
+      in.imm = static_cast<i32>(imm_clw(raw));
+      return in;
+    }
+    case 0b110: {  // C.SW
+      Instr in = base(Mnemonic::kSw, raw);
+      in.rs2 = creg(bits(raw, 4, 2));
+      in.rs1 = creg(bits(raw, 9, 7));
+      in.imm = static_cast<i32>(imm_clw(raw));
+      return in;
+    }
+    default:
+      illegal(pc, raw);
+  }
+}
+
+Instr quadrant1(u16 raw, addr_t pc) {
+  const u32 rd_full = bits(raw, 11, 7);
+  switch (bits(raw, 15, 13)) {
+    case 0b000: {  // C.ADDI / C.NOP
+      Instr in = base(Mnemonic::kAddi, raw);
+      in.rd = static_cast<u8>(rd_full);
+      in.rs1 = static_cast<u8>(rd_full);
+      in.imm = imm_ci(raw);
+      return in;
+    }
+    case 0b001: {  // C.JAL (RV32)
+      Instr in = base(Mnemonic::kJal, raw);
+      in.rd = 1;
+      in.imm = imm_cj(raw);
+      return in;
+    }
+    case 0b010: {  // C.LI
+      Instr in = base(Mnemonic::kAddi, raw);
+      in.rd = static_cast<u8>(rd_full);
+      in.rs1 = 0;
+      in.imm = imm_ci(raw);
+      return in;
+    }
+    case 0b011: {
+      if (rd_full == 2) {  // C.ADDI16SP
+        const u32 v = (bit(raw, 12) << 9) | (bit(raw, 6) << 4) |
+                      (bit(raw, 5) << 6) | (bits(raw, 4, 3) << 7) |
+                      (bit(raw, 2) << 5);
+        Instr in = base(Mnemonic::kAddi, raw);
+        in.rd = 2;
+        in.rs1 = 2;
+        in.imm = sign_extend(v, 10);
+        if (in.imm == 0) illegal(pc, raw);
+        return in;
+      }
+      // C.LUI
+      const i32 imm = sign_extend((bit(raw, 12) << 17) | (bits(raw, 6, 2) << 12), 18);
+      if (imm == 0) illegal(pc, raw);
+      Instr in = base(Mnemonic::kLui, raw);
+      in.rd = static_cast<u8>(rd_full);
+      in.imm = imm;
+      return in;
+    }
+    case 0b100: {
+      const u8 rdp = creg(bits(raw, 9, 7));
+      switch (bits(raw, 11, 10)) {
+        case 0b00: {  // C.SRLI
+          Instr in = base(Mnemonic::kSrli, raw);
+          in.rd = rdp; in.rs1 = rdp;
+          in.imm = static_cast<i32>(bits(raw, 6, 2));
+          return in;
+        }
+        case 0b01: {  // C.SRAI
+          Instr in = base(Mnemonic::kSrai, raw);
+          in.rd = rdp; in.rs1 = rdp;
+          in.imm = static_cast<i32>(bits(raw, 6, 2));
+          return in;
+        }
+        case 0b10: {  // C.ANDI
+          Instr in = base(Mnemonic::kAndi, raw);
+          in.rd = rdp; in.rs1 = rdp;
+          in.imm = imm_ci(raw);
+          return in;
+        }
+        default: {  // register-register group
+          if (bit(raw, 12)) illegal(pc, raw);  // RV64-only forms
+          static constexpr Mnemonic kOps[4] = {Mnemonic::kSub, Mnemonic::kXor,
+                                               Mnemonic::kOr, Mnemonic::kAnd};
+          Instr in = base(kOps[bits(raw, 6, 5)], raw);
+          in.rd = rdp; in.rs1 = rdp;
+          in.rs2 = creg(bits(raw, 4, 2));
+          return in;
+        }
+      }
+    }
+    case 0b101: {  // C.J
+      Instr in = base(Mnemonic::kJal, raw);
+      in.rd = 0;
+      in.imm = imm_cj(raw);
+      return in;
+    }
+    case 0b110:
+    case 0b111: {  // C.BEQZ / C.BNEZ
+      Instr in = base(bits(raw, 15, 13) == 0b110 ? Mnemonic::kBeq
+                                                 : Mnemonic::kBne, raw);
+      in.rs1 = creg(bits(raw, 9, 7));
+      in.rs2 = 0;
+      in.imm = imm_cb(raw);
+      return in;
+    }
+    default:
+      illegal(pc, raw);
+  }
+}
+
+Instr quadrant2(u16 raw, addr_t pc) {
+  const u32 rd_full = bits(raw, 11, 7);
+  const u32 rs2_full = bits(raw, 6, 2);
+  switch (bits(raw, 15, 13)) {
+    case 0b000: {  // C.SLLI
+      Instr in = base(Mnemonic::kSlli, raw);
+      in.rd = static_cast<u8>(rd_full);
+      in.rs1 = static_cast<u8>(rd_full);
+      in.imm = static_cast<i32>(bits(raw, 6, 2));
+      return in;
+    }
+    case 0b010: {  // C.LWSP
+      if (rd_full == 0) illegal(pc, raw);
+      Instr in = base(Mnemonic::kLw, raw);
+      in.rd = static_cast<u8>(rd_full);
+      in.rs1 = 2;
+      in.imm = static_cast<i32>((bit(raw, 12) << 5) | (bits(raw, 6, 4) << 2) |
+                                (bits(raw, 3, 2) << 6));
+      return in;
+    }
+    case 0b100: {
+      if (!bit(raw, 12)) {
+        if (rs2_full == 0) {  // C.JR
+          if (rd_full == 0) illegal(pc, raw);
+          Instr in = base(Mnemonic::kJalr, raw);
+          in.rd = 0;
+          in.rs1 = static_cast<u8>(rd_full);
+          return in;
+        }
+        // C.MV
+        Instr in = base(Mnemonic::kAdd, raw);
+        in.rd = static_cast<u8>(rd_full);
+        in.rs1 = 0;
+        in.rs2 = static_cast<u8>(rs2_full);
+        return in;
+      }
+      if (rs2_full == 0) {
+        if (rd_full == 0) return base(Mnemonic::kEbreak, raw);  // C.EBREAK
+        Instr in = base(Mnemonic::kJalr, raw);                  // C.JALR
+        in.rd = 1;
+        in.rs1 = static_cast<u8>(rd_full);
+        return in;
+      }
+      // C.ADD
+      Instr in = base(Mnemonic::kAdd, raw);
+      in.rd = static_cast<u8>(rd_full);
+      in.rs1 = static_cast<u8>(rd_full);
+      in.rs2 = static_cast<u8>(rs2_full);
+      return in;
+    }
+    case 0b110: {  // C.SWSP
+      Instr in = base(Mnemonic::kSw, raw);
+      in.rs1 = 2;
+      in.rs2 = static_cast<u8>(rs2_full);
+      in.imm = static_cast<i32>((bits(raw, 12, 9) << 2) | (bits(raw, 8, 7) << 6));
+      return in;
+    }
+    default:
+      illegal(pc, raw);
+  }
+}
+
+}  // namespace
+
+Instr decode_compressed(u16 raw, addr_t pc) {
+  switch (raw & 0x3u) {
+    case 0b00: return quadrant0(raw, pc);
+    case 0b01: return quadrant1(raw, pc);
+    case 0b10: return quadrant2(raw, pc);
+    default: illegal(pc, raw);
+  }
+}
+
+}  // namespace xpulp::isa

@@ -1,0 +1,253 @@
+#include "kernels/conv_layer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "qnn/pack.hpp"
+
+namespace xpulp::kernels {
+
+const char* variant_name(ConvVariant v) {
+  switch (v) {
+    case ConvVariant::kXpulpV2_8b: return "xpulpv2-8b";
+    case ConvVariant::kXpulpV2_Sub: return "xpulpv2-subbyte";
+    case ConvVariant::kXpulpV2_SubShf: return "xpulpv2-subbyte-shuffle";
+    case ConvVariant::kXpulpNN_SwQ: return "xpulpnn-swquant";
+    case ConvVariant::kXpulpNN_HwQ: return "xpulpnn-hwquant";
+  }
+  return "?";
+}
+
+bool variant_supported(ConvVariant v, const sim::CoreConfig& cfg) {
+  switch (v) {
+    case ConvVariant::kXpulpV2_8b:
+    case ConvVariant::kXpulpV2_Sub:
+    case ConvVariant::kXpulpV2_SubShf:
+      return cfg.xpulpv2;
+    case ConvVariant::kXpulpNN_SwQ:
+    case ConvVariant::kXpulpNN_HwQ:
+      return cfg.xpulpv2 && cfg.xpulpnn;
+  }
+  return false;
+}
+
+namespace {
+
+constexpr addr_t align16(addr_t a) { return (a + 15u) & ~15u; }
+
+unsigned inner_iterations(const qnn::ConvSpec& s) {
+  const unsigned per_iter = 32 / s.w_bits;
+  return (static_cast<unsigned>(s.filter_elems()) + per_iter - 1) / per_iter;
+}
+
+// Weight range per width: full two's-complement range except 4-bit, where
+// we stay symmetric to keep accumulators comfortably inside int16.
+std::pair<i32, i32> weight_range(unsigned bits) {
+  switch (bits) {
+    case 8: return {-100, 100};
+    case 4: return {-7, 7};
+    case 2: return {-2, 1};
+    default: throw SimError("unsupported weight width");
+  }
+}
+
+}  // namespace
+
+ConvMemLayout ConvMemLayout::plan(const qnn::ConvSpec& spec, ConvVariant v,
+                                  addr_t data_base, int buffer_slots) {
+  ConvMemLayout l;
+  l.code = 0;
+  l.filter_stride =
+      qnn::packed_filter_stride(spec.filter_elems(), spec.w_bits);
+
+  const unsigned iters = inner_iterations(spec);
+  const bool unpacked_buf = (v == ConvVariant::kXpulpV2_Sub ||
+                             v == ConvVariant::kXpulpV2_SubShf);
+  l.buf_bytes = unpacked_buf ? iters * (32 / spec.w_bits) : iters * 4;
+
+  addr_t cursor = align16(data_base);
+  l.input = cursor;
+  cursor = align16(cursor + qnn::packed_bytes(spec.in_h * spec.in_w * spec.in_c,
+                                              spec.in_bits));
+  l.weights = cursor;
+  cursor = align16(cursor + l.filter_stride * static_cast<u32>(spec.out_c));
+  l.thresholds = cursor;
+  if (spec.out_bits != 8) {
+    cursor = align16(cursor + (1u << spec.out_bits) * 2u *
+                                  static_cast<u32>(spec.out_c));
+  }
+  l.buf0 = cursor;
+  cursor = align16(cursor + l.buf_bytes);
+  l.buf1 = cursor;
+  cursor = align16(cursor + l.buf_bytes);
+  // Additional slots for the remaining cores of a cluster.
+  cursor += l.buffer_slot_stride() * static_cast<u32>(buffer_slots - 1);
+  l.output = cursor;
+  l.output_bytes = qnn::packed_bytes(
+      spec.out_h() * spec.out_w() * spec.out_c, spec.out_bits);
+  return l;
+}
+
+ConvLayerData ConvLayerData::random(const qnn::ConvSpec& spec, u64 seed) {
+  Rng rng(seed);
+  ConvLayerData d;
+  d.spec = spec;
+
+  d.input = qnn::Tensor({spec.in_h, spec.in_w, spec.in_c});
+  const i32 act_max = static_cast<i32>((1u << spec.in_bits) - 1);
+  for (int i = 0; i < d.input.elems(); ++i) {
+    d.input.flat(i) = rng.uniform(0, act_max);
+  }
+
+  d.weights = qnn::FilterBank(spec.out_c, {spec.k_h, spec.k_w, spec.in_c});
+  const auto [wlo, whi] = weight_range(spec.w_bits);
+  for (auto& w : d.weights.data()) w = rng.uniform(wlo, whi);
+
+  if (spec.out_bits == 8) {
+    // Pick the requantization shift so the largest accumulator maps near
+    // the top of the 8-bit output range.
+    i32 max_acc = 1;
+    for (int oy = 0; oy < spec.out_h(); ++oy) {
+      for (int ox = 0; ox < spec.out_w(); ++ox) {
+        for (int oc = 0; oc < spec.out_c; ++oc) {
+          max_acc = std::max(
+              max_acc, qnn::conv_accumulate(d.input, d.weights, spec, oy, ox, oc));
+        }
+      }
+    }
+    u32 shift = 0;
+    while ((max_acc >> shift) > 255) ++shift;
+    d.spec.requant_shift = shift;
+    return d;
+  }
+
+  // Per-channel thresholds from accumulator quantiles: this is what trained
+  // thresholds (absorbing bias + batchnorm) look like, and it exercises
+  // every output code.
+  std::vector<qnn::Thresholds> per_channel;
+  per_channel.reserve(static_cast<size_t>(spec.out_c));
+  const int n_pos = spec.out_h() * spec.out_w();
+  const int levels = 1 << spec.out_bits;
+  for (int oc = 0; oc < spec.out_c; ++oc) {
+    std::vector<i32> accs(static_cast<size_t>(n_pos));
+    for (int oy = 0; oy < spec.out_h(); ++oy) {
+      for (int ox = 0; ox < spec.out_w(); ++ox) {
+        const i32 acc =
+            qnn::conv_accumulate(d.input, d.weights, spec, oy, ox, oc);
+        if (acc < -32768 || acc > 32767) {
+          throw SimError("accumulator exceeds 16-bit pre-activation range");
+        }
+        accs[static_cast<size_t>(oy * spec.out_w() + ox)] = acc;
+      }
+    }
+    std::sort(accs.begin(), accs.end());
+    std::vector<i16> th(static_cast<size_t>(levels - 1));
+    i32 prev = std::numeric_limits<i32>::min();
+    for (int i = 1; i < levels; ++i) {
+      const size_t idx = std::min<size_t>(
+          accs.size() - 1, static_cast<size_t>(i) * accs.size() / levels);
+      i32 t = accs[idx];
+      if (t <= prev) t = prev + 1;
+      t = std::clamp<i32>(t, -32768, 32767);
+      if (t <= prev) t = prev;  // saturated top: duplicates are harmless
+      th[static_cast<size_t>(i - 1)] = static_cast<i16>(t);
+      prev = t;
+    }
+    // Restore ascending order if clamping flattened the top (duplicates at
+    // the extremes are tolerated by the tree walk; see thresholds tests).
+    for (int i = levels - 3; i >= 0; --i) {
+      if (th[static_cast<size_t>(i)] > th[static_cast<size_t>(i + 1)]) {
+        th[static_cast<size_t>(i)] = th[static_cast<size_t>(i + 1)];
+      }
+    }
+    per_channel.emplace_back(spec.out_bits, std::move(th));
+  }
+  d.thresholds = qnn::LayerThresholds(spec.out_bits, std::move(per_channel));
+  return d;
+}
+
+qnn::Tensor ConvLayerData::golden() const {
+  if (spec.out_bits == 8) {
+    return qnn::conv2d_ref_u8(input, weights, spec);
+  }
+  return qnn::conv2d_ref(input, weights, thresholds, spec);
+}
+
+ConvRunResult run_conv_layer(const ConvLayerData& data, ConvVariant v,
+                             const sim::CoreConfig& cfg,
+                             const ConvGenOptions& opts) {
+  if (!variant_supported(v, cfg)) {
+    throw SimError(std::string("variant ") + variant_name(v) +
+                   " is not supported by core " + cfg.name);
+  }
+  const qnn::ConvSpec& spec = data.spec;
+  ConvKernel kernel = generate_conv_kernel(spec, v, 0x40000, opts);
+
+  mem::Memory mem;
+  kernel.program.load(mem);
+
+  const auto in_bytes = qnn::pack_tensor(data.input, spec.in_bits);
+  mem.write_block(kernel.layout.input, in_bytes);
+  const auto w_bytes = qnn::pack_filter_bank(data.weights, spec.w_bits);
+  mem.write_block(kernel.layout.weights, w_bytes);
+  if (spec.out_bits != 8) {
+    const auto t_bytes = data.thresholds.serialize();
+    mem.write_block(kernel.layout.thresholds, t_bytes);
+  }
+  mem.reset_stats();
+
+  sim::Core core(mem, cfg);
+  core.reset(kernel.program.entry());
+
+  // Step manually to attribute cycles spent in re-quantization code
+  // (Fig. 6 reports the quantization share).
+  ConvRunResult res;
+  addr_t q_lo = ~0u, q_hi = 0;
+  for (const auto& [lo, hi] : kernel.quant_ranges) {
+    q_lo = std::min(q_lo, lo);
+    q_hi = std::max(q_hi, hi);
+  }
+  const u64 max_instr = 600'000'000;
+  u64 executed = 0;
+  while (!core.halted()) {
+    const addr_t pc = core.pc();
+    if (pc >= q_lo && pc < q_hi) {
+      bool in_range = false;
+      for (const auto& [lo, hi] : kernel.quant_ranges) {
+        if (pc >= lo && pc < hi) {
+          in_range = true;
+          break;
+        }
+      }
+      if (in_range) {
+        const cycles_t c0 = core.perf().cycles;
+        core.step();
+        res.quant_cycles += core.perf().cycles - c0;
+        ++executed;
+        continue;
+      }
+    }
+    core.step();
+    if (++executed > max_instr) throw SimError("kernel did not terminate");
+  }
+  if (core.halt_reason() != sim::HaltReason::kEcall) {
+    throw SimError("kernel stopped for an unexpected reason");
+  }
+
+  std::vector<u8> out_bytes(kernel.layout.output_bytes);
+  mem.read_block(kernel.layout.output, out_bytes);
+  res.output = qnn::unpack_tensor(
+      out_bytes, {spec.out_h(), spec.out_w(), spec.out_c}, spec.out_bits,
+      /*is_signed=*/false);
+  res.perf = core.perf();
+  res.activity = core.dotp_unit().activity();
+  res.mem_stats = mem.stats();
+  res.code_bytes = kernel.program.size_bytes();
+  res.macs = spec.macs();
+  return res;
+}
+
+}  // namespace xpulp::kernels

@@ -1,0 +1,136 @@
+#include "kernels/gp_workload.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "xasm/assembler.hpp"
+
+namespace xpulp::kernels {
+
+namespace {
+
+namespace r = xasm::reg;
+constexpr addr_t kDataBase = 0x40000;
+constexpr u32 kLcgMul = 1103515245u;
+constexpr u32 kLcgAdd = 12345u;
+constexpr u32 kFibIters = 24;
+
+u32 host_checksum(u32 elements, u32 seed) {
+  std::vector<u32> v(elements);
+  u32 x = seed;
+  for (auto& e : v) {
+    x = x * kLcgMul + kLcgAdd;
+    e = x;
+  }
+  std::sort(v.begin(), v.end());  // guest uses insertion sort, same result
+  u32 sum = 0;
+  for (const u32 e : v) sum = sum * 31u + e;
+  u32 fa = 0, fb = 1;
+  for (u32 i = 0; i < kFibIters; ++i) {
+    const u32 fc = fa + fb;
+    fa = fb;
+    fb = fc;
+    sum += fc;
+  }
+  return sum;
+}
+
+}  // namespace
+
+GpWorkload make_gp_workload(u32 elements, u32 seed) {
+  xasm::Assembler a(0);
+  const addr_t result_addr = kDataBase + elements * 4 + 16;
+
+  // ---- phase 1: LCG fill (mul/add/store) ----
+  a.li(r::a0, static_cast<i32>(kDataBase));
+  a.li(r::a1, static_cast<i32>(elements));
+  a.li(r::t0, static_cast<i32>(seed));
+  a.li(r::t3, static_cast<i32>(kLcgMul));
+  a.li(r::t4, static_cast<i32>(kLcgAdd));
+  a.mv(r::t2, r::a0);
+  a.li(r::t1, 0);
+  {
+    const auto loop = a.here();
+    a.mul(r::t0, r::t0, r::t3);
+    a.add(r::t0, r::t0, r::t4);
+    a.p_sw_post(r::t0, r::t2, 4);
+    a.addi(r::t1, r::t1, 1);
+    a.blt(r::t1, r::a1, loop);
+  }
+
+  // ---- phase 2: insertion sort (branch- and memory-heavy) ----
+  a.li(r::t1, 1);  // i
+  {
+    const auto outer = a.here();
+    a.slli(r::t2, r::t1, 2);
+    a.add(r::t2, r::a0, r::t2);
+    a.lw(r::t3, r::t2, 0);      // key = a[i]
+    a.addi(r::t4, r::t1, -1);   // j
+    const auto inner = a.new_label();
+    const auto done = a.new_label();
+    a.bind(inner);
+    a.blt(r::t4, r::zero, done);
+    a.slli(r::t5, r::t4, 2);
+    a.add(r::t5, r::a0, r::t5);
+    a.lw(r::t6, r::t5, 0);      // a[j]
+    a.bgeu(r::t3, r::t6, done);
+    a.sw(r::t6, r::t5, 4);      // a[j+1] = a[j]
+    a.addi(r::t4, r::t4, -1);
+    a.j(inner);
+    a.bind(done);
+    a.addi(r::t4, r::t4, 1);
+    a.slli(r::t5, r::t4, 2);
+    a.add(r::t5, r::a0, r::t5);
+    a.sw(r::t3, r::t5, 0);      // a[j+1] = key
+    a.addi(r::t1, r::t1, 1);
+    a.blt(r::t1, r::a1, outer);
+  }
+
+  // ---- phase 3: polynomial checksum + Fibonacci ----
+  a.li(r::s0, 0);
+  a.mv(r::t2, r::a0);
+  a.li(r::t1, 0);
+  {
+    const auto loop = a.here();
+    a.p_lw_post(r::t3, r::t2, 4);
+    a.slli(r::t4, r::s0, 5);
+    a.sub(r::s0, r::t4, r::s0);  // s0 *= 31
+    a.add(r::s0, r::s0, r::t3);
+    a.addi(r::t1, r::t1, 1);
+    a.blt(r::t1, r::a1, loop);
+  }
+  a.li(r::t5, 0);
+  a.li(r::t6, 1);
+  a.li(r::t1, 0);
+  a.li(r::t2, static_cast<i32>(kFibIters));
+  {
+    const auto loop = a.here();
+    a.add(r::t4, r::t5, r::t6);
+    a.mv(r::t5, r::t6);
+    a.mv(r::t6, r::t4);
+    a.add(r::s0, r::s0, r::t4);
+    a.addi(r::t1, r::t1, 1);
+    a.blt(r::t1, r::t2, loop);
+  }
+  a.li(r::t0, static_cast<i32>(result_addr));
+  a.sw(r::s0, r::t0, 0);
+  a.halt();
+
+  GpWorkload w{a.finish(), result_addr, host_checksum(elements, seed),
+               elements};
+  return w;
+}
+
+GpRunResult run_gp_workload(const GpWorkload& w, const sim::CoreConfig& cfg) {
+  mem::Memory mem;
+  w.program.load(mem);
+  sim::Core core(mem, cfg);
+  core.reset(w.program.entry());
+  if (core.run() != sim::HaltReason::kEcall) {
+    throw SimError("GP workload did not complete");
+  }
+  return GpRunResult{core.perf(), mem.load_u32(w.result_addr)};
+}
+
+}  // namespace xpulp::kernels

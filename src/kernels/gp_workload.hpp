@@ -1,0 +1,31 @@
+// General-purpose mixed workload used for the Table III "GP application"
+// power row: a blend of loads/stores, control flow, and scalar arithmetic
+// (no SIMD), verifying that the extended core runs general-purpose code in
+// the same power envelope as the baseline.
+#pragma once
+
+#include "sim/core.hpp"
+#include "xasm/program.hpp"
+
+namespace xpulp::kernels {
+
+struct GpWorkload {
+  xasm::Program program;
+  addr_t result_addr;   // word the program writes its checksum to
+  u32 expected_checksum;
+  u32 element_count;
+};
+
+/// Build the workload: seed an array with an LCG, insertion-sort it, then
+/// fold a checksum over the sorted data and the Fibonacci sequence.
+GpWorkload make_gp_workload(u32 elements = 96, u32 seed = 0x13579bdf);
+
+struct GpRunResult {
+  sim::PerfCounters perf;
+  u32 checksum;
+};
+
+/// Run on a core configuration and return perf counters + the checksum.
+GpRunResult run_gp_workload(const GpWorkload& w, const sim::CoreConfig& cfg);
+
+}  // namespace xpulp::kernels

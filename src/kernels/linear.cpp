@@ -1,0 +1,45 @@
+#include "kernels/linear.hpp"
+
+namespace xpulp::kernels {
+
+LinearLayerData LinearLayerData::random(int in_features, int out_features,
+                                        unsigned bits, u64 seed) {
+  qnn::ConvSpec spec;
+  spec.in_h = spec.in_w = 1;
+  spec.k_h = spec.k_w = 1;
+  spec.pad = 0;
+  spec.in_c = in_features;
+  spec.out_c = out_features;
+  spec.in_bits = spec.w_bits = spec.out_bits = bits;
+
+  const ConvLayerData conv = ConvLayerData::random(spec, seed);
+  LinearLayerData d;
+  d.spec = conv.spec;
+  d.input = conv.input;
+  d.weights = conv.weights;
+  d.thresholds = conv.thresholds;
+  return d;
+}
+
+ConvLayerData LinearLayerData::as_conv() const {
+  ConvLayerData c;
+  c.spec = spec;
+  c.input = input;
+  c.weights = weights;
+  c.thresholds = thresholds;
+  return c;
+}
+
+qnn::Tensor LinearLayerData::golden() const {
+  if (spec.out_bits == 8) return qnn::conv2d_ref_u8(input, weights, spec);
+  return qnn::linear_ref(input, weights, thresholds);
+}
+
+ConvRunResult run_linear_layer(const LinearLayerData& data, ConvVariant v,
+                               const sim::CoreConfig& cfg) {
+  ConvGenOptions opts;
+  opts.pixel_block = 1;  // single output position
+  return run_conv_layer(data.as_conv(), v, cfg, opts);
+}
+
+}  // namespace xpulp::kernels

@@ -1,0 +1,34 @@
+// Fully-connected (linear) layer kernels — the other layer type the paper
+// names ("convolution or linear layers", §III-A). A linear layer is the
+// degenerate convolution with a 1x1x(in_features) input and 1x1 filters,
+// so the generator reuses the matmul machinery in 2x1 blocking (a single
+// output "pixel").
+#pragma once
+
+#include "kernels/conv_layer.hpp"
+
+namespace xpulp::kernels {
+
+struct LinearLayerData {
+  qnn::ConvSpec spec;  // in_h == in_w == k_h == k_w == 1
+  qnn::Tensor input;   // 1 x 1 x in_features
+  qnn::FilterBank weights;
+  qnn::LayerThresholds thresholds;
+
+  /// Synthetic data; in_features * bits must be word-aligned,
+  /// out_features a multiple of 2 (4 for 2-bit outputs).
+  static LinearLayerData random(int in_features, int out_features,
+                                unsigned bits, u64 seed);
+
+  qnn::Tensor golden() const;
+
+  /// View as convolution-layer data for the shared machinery.
+  ConvLayerData as_conv() const;
+};
+
+/// Run on a simulated core; output is a 1 x 1 x out_features tensor of
+/// unsigned codes, bit-exact vs golden().
+ConvRunResult run_linear_layer(const LinearLayerData& data, ConvVariant v,
+                               const sim::CoreConfig& cfg);
+
+}  // namespace xpulp::kernels

@@ -1,0 +1,183 @@
+#include "kernels/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "qnn/ref_layers.hpp"
+
+namespace xpulp::kernels {
+
+namespace {
+
+/// Threshold construction against the layer's actual input: per-channel
+/// accumulator quantiles, falling back to layer-global quantiles when a
+/// channel has too few spatial positions (e.g. fully-connected layers).
+qnn::LayerThresholds trained_thresholds(const qnn::Tensor& input,
+                                        const qnn::FilterBank& weights,
+                                        const qnn::ConvSpec& spec) {
+  const int levels = 1 << spec.out_bits;
+  const int positions = spec.out_h() * spec.out_w();
+  auto from_accs = [&](std::vector<i32>& accs) {
+    std::sort(accs.begin(), accs.end());
+    std::vector<i16> th(static_cast<size_t>(levels - 1));
+    i32 prev = -40000;
+    for (int i = 1; i < levels; ++i) {
+      i32 t = accs[std::min(accs.size() - 1,
+                            static_cast<size_t>(i) * accs.size() / levels)];
+      if (t <= prev) t = prev + 1;
+      t = std::clamp<i32>(t, -32768, 32767);
+      th[static_cast<size_t>(i - 1)] = static_cast<i16>(t);
+      prev = t;
+    }
+    return th;
+  };
+
+  std::vector<qnn::Thresholds> per_channel;
+  if (positions < 2 * levels) {
+    std::vector<i32> accs;
+    for (int oc = 0; oc < spec.out_c; ++oc) {
+      for (int oy = 0; oy < spec.out_h(); ++oy) {
+        for (int ox = 0; ox < spec.out_w(); ++ox) {
+          accs.push_back(qnn::conv_accumulate(input, weights, spec, oy, ox, oc));
+        }
+      }
+    }
+    const qnn::Thresholds shared(spec.out_bits, from_accs(accs));
+    per_channel.assign(static_cast<size_t>(spec.out_c), shared);
+  } else {
+    for (int oc = 0; oc < spec.out_c; ++oc) {
+      std::vector<i32> accs;
+      for (int oy = 0; oy < spec.out_h(); ++oy) {
+        for (int ox = 0; ox < spec.out_w(); ++ox) {
+          accs.push_back(qnn::conv_accumulate(input, weights, spec, oy, ox, oc));
+        }
+      }
+      per_channel.emplace_back(spec.out_bits, from_accs(accs));
+    }
+  }
+  return qnn::LayerThresholds(spec.out_bits, std::move(per_channel));
+}
+
+}  // namespace
+
+Network::Network(qnn::Shape input_shape, unsigned bits, u64 seed)
+    : bits_(bits), seed_(seed), shape_(input_shape) {
+  if (bits != 2 && bits != 4 && bits != 8) {
+    throw SimError("network bits must be 2, 4 or 8");
+  }
+}
+
+Network& Network::conv(int out_c, int k, int pad) {
+  Step s;
+  s.kind = Step::Kind::kConv;
+  s.spec.in_h = shape_.h;
+  s.spec.in_w = shape_.w;
+  s.spec.in_c = shape_.c;
+  s.spec.out_c = out_c;
+  s.spec.k_h = s.spec.k_w = k;
+  s.spec.pad = pad;
+  s.spec.in_bits = s.spec.w_bits = s.spec.out_bits = bits_;
+  s.seed = seed_ + plan_.size() * 977;
+  s.name = "conv" + std::to_string(plan_.size());
+  shape_ = {s.spec.out_h(), s.spec.out_w(), out_c};
+  plan_.push_back(std::move(s));
+  return *this;
+}
+
+Network& Network::maxpool() {
+  Step s;
+  s.kind = Step::Kind::kMaxPool;
+  s.name = "maxpool" + std::to_string(plan_.size());
+  s.seed = 0;
+  shape_ = {shape_.h / 2, shape_.w / 2, shape_.c};
+  plan_.push_back(std::move(s));
+  return *this;
+}
+
+Network& Network::avgpool() {
+  Step s;
+  s.kind = Step::Kind::kAvgPool;
+  s.name = "avgpool" + std::to_string(plan_.size());
+  s.seed = 0;
+  shape_ = {shape_.h / 2, shape_.w / 2, shape_.c};
+  plan_.push_back(std::move(s));
+  return *this;
+}
+
+Network& Network::linear(int out_features) {
+  Step s;
+  s.kind = Step::Kind::kLinear;
+  s.spec.in_h = s.spec.in_w = 1;
+  s.spec.k_h = s.spec.k_w = 1;
+  s.spec.pad = 0;
+  s.spec.in_c = shape_.elems();
+  s.spec.out_c = out_features;
+  s.spec.in_bits = s.spec.w_bits = s.spec.out_bits = bits_;
+  s.seed = seed_ + plan_.size() * 977;
+  s.name = "linear" + std::to_string(plan_.size());
+  shape_ = {1, 1, out_features};
+  plan_.push_back(std::move(s));
+  return *this;
+}
+
+NetworkResult Network::run(const qnn::Tensor& input,
+                           const sim::CoreConfig& cfg,
+                           ConvVariant variant) const {
+  NetworkResult res;
+  qnn::Tensor act = input;
+
+  for (const Step& step : plan_) {
+    LayerStats st;
+    st.name = step.name;
+    switch (step.kind) {
+      case Step::Kind::kConv:
+      case Step::Kind::kLinear: {
+        ConvLayerData data = ConvLayerData::random(step.spec, step.seed);
+        if (step.kind == Step::Kind::kLinear) {
+          qnn::Tensor flat({1, 1, act.elems()});
+          flat.data() = act.data();
+          data.input = flat;
+        } else {
+          data.input = act;
+        }
+        if (step.spec.out_bits != 8) {
+          data.thresholds =
+              trained_thresholds(data.input, data.weights, step.spec);
+        }
+        ConvGenOptions opts;
+        opts.pixel_block = (step.spec.out_w() % 2 == 0) ? 2 : 1;
+        const ConvRunResult r = run_conv_layer(data, variant, cfg, opts);
+        const qnn::Tensor gold = data.golden();
+        st.matched_golden = (r.output == gold);
+        st.cycles = r.perf.cycles;
+        st.macs = r.macs;
+        st.out_shape = r.output.shape();
+        act = r.output;
+        break;
+      }
+      case Step::Kind::kMaxPool:
+      case Step::Kind::kAvgPool: {
+        const PoolOp op = (step.kind == Step::Kind::kMaxPool) ? PoolOp::kMax
+                                                              : PoolOp::kAvg;
+        const PoolRunResult r = run_pool2x2(act, bits_, op, cfg);
+        const qnn::Tensor gold = (op == PoolOp::kMax)
+                                     ? qnn::maxpool2x2_ref(act)
+                                     : qnn::avgpool2x2_ref(act);
+        st.matched_golden = (r.output == gold);
+        st.cycles = r.perf.cycles;
+        st.macs = 0;
+        st.out_shape = r.output.shape();
+        act = r.output;
+        break;
+      }
+    }
+    res.total_cycles += st.cycles;
+    res.total_macs += st.macs;
+    res.all_matched = res.all_matched && st.matched_golden;
+    res.layers.push_back(std::move(st));
+  }
+  res.output = std::move(act);
+  return res;
+}
+
+}  // namespace xpulp::kernels

@@ -1,0 +1,75 @@
+// Sequential QNN network runner: chain convolution, pooling, and
+// fully-connected layers on a simulated core, with per-layer statistics
+// and bit-exact golden checking. This is the API a model-deployment flow
+// would target (the per-layer structure mirrors how PULP-NN networks are
+// scheduled layer by layer out of L1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/conv_layer.hpp"
+#include "kernels/pool_gen.hpp"
+
+namespace xpulp::kernels {
+
+struct LayerStats {
+  std::string name;
+  qnn::Shape out_shape;
+  cycles_t cycles = 0;
+  u64 macs = 0;
+  bool matched_golden = false;
+};
+
+struct NetworkResult {
+  qnn::Tensor output;
+  std::vector<LayerStats> layers;
+  cycles_t total_cycles = 0;
+  u64 total_macs = 0;
+  bool all_matched = true;
+};
+
+/// A feed-forward stack of quantized layers. Weights/thresholds are
+/// generated per layer: random weights, thresholds at the accumulator
+/// quantiles of the layer's *actual* input (what threshold training
+/// produces). Build once, then run() against any core configuration.
+class Network {
+ public:
+  /// `bits` applies to every tensor in the network (uniform quantization,
+  /// as in the paper's benchmarks).
+  Network(qnn::Shape input_shape, unsigned bits, u64 seed);
+
+  /// Append a convolution: `out_c` filters of k x k, stride 1, `pad`.
+  Network& conv(int out_c, int k = 3, int pad = 1);
+  /// Append 2x2/stride-2 max or average pooling.
+  Network& maxpool();
+  Network& avgpool();
+  /// Append a fully-connected layer (flattens the current shape).
+  Network& linear(int out_features);
+
+  qnn::Shape output_shape() const { return shape_; }
+  int layer_count() const { return static_cast<int>(plan_.size()); }
+
+  /// Run the whole network on-device for `input` (unsigned codes of the
+  /// declared shape). Each layer's device output is checked against the
+  /// golden model of that layer; the golden pipeline continues from the
+  /// device output so a single mismatch cannot cascade silently.
+  NetworkResult run(const qnn::Tensor& input, const sim::CoreConfig& cfg,
+                    ConvVariant variant = ConvVariant::kXpulpNN_HwQ) const;
+
+ private:
+  struct Step {
+    enum class Kind { kConv, kMaxPool, kAvgPool, kLinear } kind;
+    qnn::ConvSpec spec;  // conv / linear geometry
+    u64 seed;
+    std::string name;
+  };
+
+  unsigned bits_;
+  u64 seed_;
+  qnn::Shape shape_;  // evolves as layers are appended
+  std::vector<Step> plan_;
+};
+
+}  // namespace xpulp::kernels

@@ -1,0 +1,31 @@
+// Pooling kernel generators — exercise the SIMD max/avg instructions that
+// XpulpNN extends to nibble/crumb formats (paper §III-A: "SIMD maximum,
+// minimum, and average instructions ... speed up the average/maximum
+// pooling QNN layers").
+//
+// With the HWC layout, a 2x2/stride-2 pooling window reduces four packed
+// channel blocks element-wise, so the whole window is processed with
+// word-wide pv.maxu / pv.avgu at the native element width — one SIMD op
+// per 32/Q channels. On the baseline core, sub-byte feature maps must be
+// unpacked to bytes, pooled at 8-bit, and re-packed.
+#pragma once
+
+#include "qnn/tensor.hpp"
+#include "sim/core.hpp"
+
+namespace xpulp::kernels {
+
+enum class PoolOp { kMax, kAvg };
+
+struct PoolRunResult {
+  qnn::Tensor output;
+  sim::PerfCounters perf;
+};
+
+/// Run a 2x2/stride-2 pooling layer over `in` (unsigned codes, `bits` wide,
+/// H and W even, (c*bits) % 32 == 0) on a simulated core. Uses sub-byte
+/// SIMD when the core supports XpulpNN, otherwise unpack/pool/repack.
+PoolRunResult run_pool2x2(const qnn::Tensor& in, unsigned bits, PoolOp op,
+                          const sim::CoreConfig& cfg);
+
+}  // namespace xpulp::kernels

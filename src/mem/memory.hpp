@@ -1,0 +1,170 @@
+// TCDM (tightly-coupled data memory) model of the PULPissimo SoC.
+//
+// PULPissimo places 512 kB of SRAM one cycle away from the core; both
+// instruction fetches and data accesses hit the same memory. The model is a
+// flat byte array with bounds checking plus stall accounting:
+//   - naturally aligned data accesses complete in the background of the
+//     executing instruction (no extra cycles — RI5CY's LSU overlaps them);
+//   - misaligned accesses are split into two transactions and cost one
+//     extra cycle (the only memory-stall source the paper mentions for the
+//     quantization unit);
+//   - an optional contention injector models interconnect conflicts for
+//     stress tests.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace xpulp::mem {
+
+struct MemStats {
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 load_bytes = 0;
+  u64 store_bytes = 0;
+  u64 misaligned_accesses = 0;
+  u64 contention_stalls = 0;
+};
+
+class Memory {
+ public:
+  /// PULPissimo SRAM size used throughout the paper's experiments.
+  static constexpr u32 kDefaultSize = 512 * 1024;
+
+  explicit Memory(u32 size = kDefaultSize) : data_(size, 0) {}
+
+  u32 size() const { return static_cast<u32>(data_.size()); }
+
+  // ---- Typed guest accessors (bounds-checked, little-endian) ----
+
+  u8 load_u8(addr_t a) const {
+    check(a, 1, false);
+    return data_[a];
+  }
+
+  u16 load_u16(addr_t a) const {
+    check(a, 2, false);
+    u16 v;
+    std::memcpy(&v, &data_[a], 2);
+    return v;
+  }
+
+  u32 load_u32(addr_t a) const {
+    check(a, 4, false);
+    u32 v;
+    std::memcpy(&v, &data_[a], 4);
+    return v;
+  }
+
+  void store_u8(addr_t a, u8 v) {
+    check(a, 1, true);
+    data_[a] = v;
+  }
+
+  void store_u16(addr_t a, u16 v) {
+    check(a, 2, true);
+    std::memcpy(&data_[a], &v, 2);
+  }
+
+  void store_u32(addr_t a, u32 v) {
+    check(a, 4, true);
+    std::memcpy(&data_[a], &v, 4);
+  }
+
+  /// Generic load of `size` in {1,2,4} bytes, zero-extended.
+  u32 load(addr_t a, unsigned size) const {
+    switch (size) {
+      case 1: return load_u8(a);
+      case 2: return load_u16(a);
+      default: return load_u32(a);
+    }
+  }
+
+  void store(addr_t a, u32 v, unsigned size) {
+    switch (size) {
+      case 1: store_u8(a, static_cast<u8>(v)); break;
+      case 2: store_u16(a, static_cast<u16>(v)); break;
+      default: store_u32(a, v); break;
+    }
+  }
+
+  // ---- Bulk host-side access (loader, kernel drivers, tests) ----
+
+  void write_block(addr_t a, std::span<const u8> bytes) {
+    check(a, static_cast<unsigned>(bytes.size()), true);
+    std::memcpy(&data_[a], bytes.data(), bytes.size());
+  }
+
+  void read_block(addr_t a, std::span<u8> bytes) const {
+    check(a, static_cast<unsigned>(bytes.size()), false);
+    std::memcpy(bytes.data(), &data_[a], bytes.size());
+  }
+
+  void fill(addr_t a, u8 value, u32 len) {
+    check(a, len, true);
+    std::memset(&data_[a], value, len);
+  }
+
+  /// Timing hook called by the core's LSU for every data access. Returns the
+  /// number of *extra* stall cycles the access costs and updates statistics.
+  unsigned access_cycles(addr_t a, unsigned size, bool is_store) {
+    if (is_store) {
+      ++stats_.stores;
+      stats_.store_bytes += size;
+    } else {
+      ++stats_.loads;
+      stats_.load_bytes += size;
+    }
+    unsigned stalls = 0;
+    if (!is_aligned(a, size)) {
+      ++stats_.misaligned_accesses;
+      stalls += 1;  // split into two SRAM transactions
+    }
+    if (contention_period_ != 0 &&
+        ++access_counter_ % contention_period_ == 0) {
+      ++stats_.contention_stalls;
+      stalls += 1;
+    }
+    if (access_hook_) {
+      const unsigned extra = access_hook_(a, size, is_store);
+      stats_.contention_stalls += extra;
+      stalls += extra;
+    }
+    return stalls;
+  }
+
+  /// Inject one interconnect-contention stall every `period` data accesses
+  /// (0 disables; used by stress tests to validate stall bookkeeping).
+  void set_contention_period(u32 period) { contention_period_ = period; }
+
+  /// External interconnect model (e.g. the cluster's banked TCDM): called
+  /// on every data access, returns extra stall cycles. The cluster
+  /// scheduler swaps the hook per core before stepping it.
+  using AccessHook = std::function<unsigned(addr_t, unsigned, bool)>;
+  void set_access_hook(AccessHook hook) { access_hook_ = std::move(hook); }
+
+  const MemStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MemStats{}; }
+
+ private:
+  void check(addr_t a, unsigned size, bool is_store) const {
+    // Overflow-safe: addresses are 32-bit, sizes small.
+    if (size == 0) return;
+    const u64 end = static_cast<u64>(a) + size;
+    if (end > data_.size()) throw MemoryFault(a, size, is_store);
+  }
+
+  std::vector<u8> data_;
+  MemStats stats_;
+  u32 contention_period_ = 0;
+  u64 access_counter_ = 0;
+  AccessHook access_hook_;
+};
+
+}  // namespace xpulp::mem

@@ -1,0 +1,162 @@
+#include "power/power_model.hpp"
+
+namespace xpulp::power {
+
+namespace {
+
+// ---- Area calibration constants (um^2, 22FDX worst-case corner) ----
+// Baseline RI5CY figures calibrate the technology; the extension deltas
+// are the structural additions of §III-B.
+constexpr double kTotalBase = 19729.9;
+constexpr double kDotpBase = 5708.9;
+constexpr double kIdBase = 6363.1;
+constexpr double kExBase = 9500.9;  // includes the dotp unit
+constexpr double kLsuBase = 518.0;
+
+// Two extra multiplier regions (8 x 5-bit and 16 x 3-bit signed products,
+// each with a dedicated adder tree; Fig. 3).
+constexpr double kMult4Region = 621.0;
+constexpr double kMult2Region = 425.9;
+// Per-region input operand registers + clock-gating cells (PM only).
+constexpr double kPmOperandRegs = 88.6;
+// Quantization unit in EX (two interleaved compare/address-update paths).
+constexpr double kQuantUnit = 581.3;
+constexpr double kQuantUnitPmExtra = 33.9;  // operand-isolation cells
+// New-opcode decode in ID; PM adds the gating-control logic.
+constexpr double kIdDecode = 167.1;
+constexpr double kIdPmCtrl = 147.6;
+// LSU address-path sharing with the quantization unit.
+constexpr double kLsuNoPm = 92.8;
+constexpr double kLsuPm = 73.2;
+
+// ---- Power calibration constants (pJ per event, 0.65 V TT) ----
+// Calibrated once against the Table III measurements at 250 MHz; the
+// workload-dependent inputs (rates, toggles) come from the simulator.
+constexpr double kEBaseCycle = 2.56;     // fetch + pipeline + regfile
+constexpr double kEBaseExtra = 0.25;     // wider EX mux on the extended core
+constexpr double kEAlu = 0.60;
+constexpr double kESimdAlu = 0.90;
+constexpr double kEMul = 2.00;
+constexpr double kEDotp[4] = {2.60, 2.30, 2.10, 2.00};  // 16/8/4/2-bit ops
+// Operand switching: with power management the per-region input registers
+// latch only for the region in use (cheap); without it every operand
+// propagates combinationally into all four multiplier arrays.
+constexpr double kEDotpToggleBit = 0.012;    // registered (PM on)
+constexpr double kEUngatedToggleBit = 0.17;  // array propagation (PM off)
+constexpr double kEQntCycle = 1.25;
+constexpr double kELoad = 1.50;
+constexpr double kEStore = 1.10;
+constexpr double kELsuToggleBit = 0.030;  // qnt comparators, isolation off
+constexpr double kLeakPerUm2Mw = 1.166e-6;
+
+// SoC-level constants (PULPissimo: 512 kB SRAM, interconnect, always-on
+// peripherals and clock tree).
+constexpr double kESramAccess = 3.90;   // per data access or ifetch
+constexpr double kSocStaticMw = 3.35;
+
+}  // namespace
+
+std::vector<AreaRow> area_table() {
+  const double dotp_nopm = kDotpBase + kMult4Region + kMult2Region;
+  const double dotp_pm = dotp_nopm + kPmOperandRegs;
+  const double id_nopm = kIdBase + kIdDecode;
+  const double id_pm = id_nopm + kIdPmCtrl;
+  const double ex_nopm = kExBase + (dotp_nopm - kDotpBase) + kQuantUnit;
+  const double ex_pm = kExBase + (dotp_pm - kDotpBase) + kQuantUnit +
+                       kQuantUnitPmExtra;
+  const double lsu_nopm = kLsuBase + kLsuNoPm;
+  const double lsu_pm = kLsuBase + kLsuPm;
+  const double total_nopm = kTotalBase + (id_nopm - kIdBase) +
+                            (ex_nopm - kExBase) + (lsu_nopm - kLsuBase);
+  const double total_pm = kTotalBase + (id_pm - kIdBase) +
+                          (ex_pm - kExBase) + (lsu_pm - kLsuBase);
+  return {
+      {"Total", kTotalBase, total_nopm, total_pm},
+      {"dotp-Unit", kDotpBase, dotp_nopm, dotp_pm},
+      {"ID Stage", kIdBase, id_nopm, id_pm},
+      {"EX Stage", kExBase, ex_nopm, ex_pm},
+      {"LSU", kLsuBase, lsu_nopm, lsu_pm},
+  };
+}
+
+double core_area(bool extended, bool power_managed) {
+  const auto t = area_table();
+  if (!extended) return t[0].ri5cy_um2;
+  return power_managed ? t[0].ext_pm_um2 : t[0].ext_nopm_um2;
+}
+
+SocPower estimate_power(const sim::PerfCounters& perf,
+                        const sim::DotpActivity& act,
+                        const mem::MemStats& mem, const sim::CoreConfig& cfg,
+                        const OperatingPoint& op) {
+  SocPower p;
+  const double cycles = static_cast<double>(perf.cycles ? perf.cycles : 1);
+  // pJ/cycle * MHz = uW; convert to mW via 1e-3. With f in Hz:
+  // P[mW] = E[pJ/cycle] * f[Hz] * 1e-12 * 1e3 = E * f * 1e-9.
+  const double scale = op.freq_hz * 1e-9;
+  auto rate = [&](double events) { return events / cycles; };
+
+  const bool ext = cfg.xpulpnn;
+  // Leakage scales with area; kLeakPerUm2Mw folds in the 0.65 V TT corner.
+  p.core.leak_mw = core_area(ext, cfg.clock_gating) * kLeakPerUm2Mw;
+
+  const double e_base = kEBaseCycle + (ext ? kEBaseExtra : 0.0);
+  p.core.base_mw = e_base * scale;
+  p.core.alu_mw = (kEAlu * rate(static_cast<double>(perf.scalar_alu_ops)) +
+                   kESimdAlu * rate(static_cast<double>(perf.simd_alu_ops))) *
+                  scale;
+  p.core.muldiv_mw =
+      kEMul * rate(static_cast<double>(perf.mul_ops + perf.div_ops)) * scale;
+
+  double dotp_e = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    dotp_e += kEDotp[i] * rate(static_cast<double>(perf.dotp_ops[i]));
+  }
+  p.core.dotp_mw = dotp_e * scale;
+
+  double toggles = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    toggles += static_cast<double>(act.operand_toggles[i]);
+  }
+  const double e_toggle =
+      cfg.clock_gating ? kEDotpToggleBit : kEUngatedToggleBit;
+  p.core.dotp_toggle_mw = e_toggle * rate(toggles) * scale;
+
+  p.core.qnt_mw =
+      kEQntCycle * rate(static_cast<double>(perf.qnt_stall_cycles)) * scale;
+  if (ext && !cfg.clock_gating) {
+    // No operand isolation: the quantization comparators follow every load.
+    p.core.qnt_mw += kELsuToggleBit *
+                     rate(static_cast<double>(perf.lsu_data_toggles)) * scale;
+  }
+  p.core.lsu_mw = (kELoad * rate(static_cast<double>(perf.loads)) +
+                   kEStore * rate(static_cast<double>(perf.stores))) *
+                  scale;
+
+  const double data_accesses = static_cast<double>(mem.loads + mem.stores);
+  const double fetches = static_cast<double>(perf.instructions);
+  p.sram_mw = kESramAccess * rate(data_accesses + fetches) * scale;
+  p.soc_static_mw = kSocStaticMw;
+  return p;
+}
+
+double gmac_per_s_per_w(u64 macs, cycles_t cycles, double soc_mw,
+                        const OperatingPoint& op) {
+  if (cycles == 0 || soc_mw <= 0) return 0;
+  const double seconds = static_cast<double>(cycles) / op.freq_hz;
+  const double watts = soc_mw * 1e-3;
+  return static_cast<double>(macs) / seconds / watts * 1e-9;
+}
+
+ArmPlatform stm32l4_platform() {
+  // STM32L476 @ 80 MHz, run mode from flash w/ ART cache, ~120 uA/MHz at
+  // 1.8 V supply (datasheet-derived typical active power).
+  return {"STM32L4 (Cortex-M4)", 80e6, 17.3};
+}
+
+ArmPlatform stm32h7_platform() {
+  // STM32H743 @ 400 MHz, VOS1 run mode, ~280 uA/MHz at 3.3 V.
+  return {"STM32H7 (Cortex-M7)", 400e6, 370.0};
+}
+
+}  // namespace xpulp::power

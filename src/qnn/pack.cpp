@@ -1,0 +1,62 @@
+#include "qnn/pack.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace xpulp::qnn {
+
+std::vector<u8> pack_values(std::span<const i32> values, unsigned bits) {
+  assert(bits == 1 || bits == 2 || bits == 4 || bits == 8);
+  std::vector<u8> out(packed_bytes(static_cast<int>(values.size()), bits), 0);
+  const unsigned per_byte = 8 / bits;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const u32 v = static_cast<u32>(values[i]) & low_mask(bits);
+    out[i / per_byte] |= static_cast<u8>(v << ((i % per_byte) * bits));
+  }
+  return out;
+}
+
+std::vector<i32> unpack_values(std::span<const u8> bytes, int count,
+                               unsigned bits, bool is_signed) {
+  assert(bits == 1 || bits == 2 || bits == 4 || bits == 8);
+  std::vector<i32> out(static_cast<size_t>(count), 0);
+  const unsigned per_byte = 8 / bits;
+  for (int i = 0; i < count; ++i) {
+    const size_t byte = static_cast<size_t>(i) / per_byte;
+    assert(byte < bytes.size());
+    const u32 raw =
+        (bytes[byte] >> ((static_cast<unsigned>(i) % per_byte) * bits)) &
+        low_mask(bits);
+    out[static_cast<size_t>(i)] =
+        is_signed ? sign_extend(raw, bits) : static_cast<i32>(raw);
+  }
+  return out;
+}
+
+std::vector<u8> pack_tensor(const Tensor& t, unsigned bits) {
+  return pack_values(t.data(), bits);
+}
+
+Tensor unpack_tensor(std::span<const u8> bytes, Shape shape, unsigned bits,
+                     bool is_signed) {
+  Tensor t(shape);
+  t.data() = unpack_values(bytes, shape.elems(), bits, is_signed);
+  return t;
+}
+
+std::vector<u8> pack_filter_bank(const FilterBank& f, unsigned bits) {
+  const u32 stride = packed_filter_stride(f.filter_elems(), bits);
+  std::vector<u8> out(static_cast<size_t>(stride) * f.count(), 0);
+  for (int i = 0; i < f.count(); ++i) {
+    std::span<const i32> filt{f.data().data() +
+                                  static_cast<size_t>(i) * f.filter_elems(),
+                              static_cast<size_t>(f.filter_elems())};
+    const std::vector<u8> packed = pack_values(filt, bits);
+    std::copy(packed.begin(), packed.end(),
+              out.begin() + static_cast<size_t>(i) * stride);
+  }
+  return out;
+}
+
+}  // namespace xpulp::qnn

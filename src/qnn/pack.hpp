@@ -1,0 +1,48 @@
+// Sub-byte packing/unpacking between host tensors and the guest byte
+// layout.
+//
+// Elements are packed little-endian within a byte: element i of a byte
+// occupies bits [i*Q + Q - 1 : i*Q]. This matches the lane order of the
+// simulator's SIMD formats, so a 32-bit load of packed data yields a vector
+// whose lane k is element k in memory order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "qnn/tensor.hpp"
+
+namespace xpulp::qnn {
+
+/// Number of bytes needed for `elems` elements of `bits` width (1 <= bits
+/// <= 8, power of two). Rounded up to whole bytes.
+constexpr u32 packed_bytes(int elems, unsigned bits) {
+  return static_cast<u32>((static_cast<u64>(elems) * bits + 7) / 8);
+}
+
+/// Pack a flat list of values. Signed values are masked to `bits`
+/// (two's complement); the caller guarantees range.
+std::vector<u8> pack_values(std::span<const i32> values, unsigned bits);
+
+/// Unpack `count` values; `is_signed` selects sign- vs zero-extension.
+std::vector<i32> unpack_values(std::span<const u8> bytes, int count,
+                               unsigned bits, bool is_signed);
+
+/// Pack a tensor in HWC stream order.
+std::vector<u8> pack_tensor(const Tensor& t, unsigned bits);
+
+/// Unpack into a tensor of the given shape.
+Tensor unpack_tensor(std::span<const u8> bytes, Shape shape, unsigned bits,
+                     bool is_signed);
+
+/// Pack a filter bank filter-major; each filter's stream is padded to a
+/// 4-byte boundary so kernels can walk filters with word loads.
+std::vector<u8> pack_filter_bank(const FilterBank& f, unsigned bits);
+
+/// Stride in bytes between consecutive packed filters (word-aligned).
+constexpr u32 packed_filter_stride(int filter_elems, unsigned bits) {
+  return (packed_bytes(filter_elems, bits) + 3u) & ~3u;
+}
+
+}  // namespace xpulp::qnn

@@ -1,0 +1,625 @@
+#include "sim/core.hpp"
+
+#include <limits>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "isa/decoder.hpp"
+
+namespace xpulp::sim {
+
+using isa::Instr;
+using isa::Mnemonic;
+
+Core::Core(mem::Memory& mem, CoreConfig cfg)
+    : mem_(mem), cfg_(std::move(cfg)), dotp_(cfg_.clock_gating) {}
+
+void Core::reset(addr_t pc) {
+  regs_.fill(0);
+  // Stack pointer at the top of SRAM by convention; programs may override.
+  regs_[2] = mem_.size();
+  pc_ = pc;
+  next_pc_ = pc;
+  hwl_start_.fill(0);
+  hwl_end_.fill(0);
+  hwl_count_.fill(0);
+  last_load_rd_ = 0;
+  halt_ = HaltReason::kRunning;
+  icache_.clear();
+  icache_valid_.clear();
+}
+
+const Instr& Core::fetch_decode(addr_t pc) {
+  const u32 idx = pc >> 1;
+  if (idx >= icache_valid_.size()) {
+    const u32 new_size = std::max<u32>(idx + 1, 4096);
+    icache_.resize(new_size);
+    icache_valid_.resize(new_size, 0);
+  }
+  if (!icache_valid_[idx]) {
+    // Instruction fetch: 16-bit parcels; a 32-bit fetch at the end of
+    // memory must not fault if the instruction is compressed.
+    const u16 low = mem_.load_u16(pc);
+    u32 raw = low;
+    if (!isa::is_compressed(low)) raw |= static_cast<u32>(mem_.load_u16(pc + 2)) << 16;
+    icache_[idx] = isa::decode(raw, pc);
+    icache_valid_[idx] = 1;
+  }
+  return icache_[idx];
+}
+
+void Core::require(bool cond, const Instr& in) {
+  if (!cond) throw IllegalInstruction(pc_, in.raw);
+}
+
+bool Core::step() {
+  if (halted()) return false;
+  const Instr& in = fetch_decode(pc_);
+  if (trace_) trace_(pc_, in);
+
+  // Load-use hazard: the previous instruction was a load and we consume its
+  // destination register now.
+  if (last_load_rd_ != 0) {
+    const bool hazard = (isa::reads_rs1(in) && in.rs1 == last_load_rd_) ||
+                        (isa::reads_rs2(in) && in.rs2 == last_load_rd_) ||
+                        (isa::reads_rd(in) && in.rd == last_load_rd_);
+    if (hazard) {
+      perf_.cycles += timing_.load_use_penalty;
+      perf_.load_use_stall_cycles += timing_.load_use_penalty;
+    }
+  }
+
+  next_pc_ = pc_ + in.size;
+  redirect_ = false;
+  // Without clock gating the EX-stage operand bus toggles every multiplier
+  // region on every instruction (the power-management knob of Table III).
+  if (!cfg_.clock_gating) {
+    dotp_.broadcast_operands(reg(in.rs1), reg(in.rs2));
+  }
+  execute(in);
+
+  perf_.instructions += 1;
+  perf_.cycles += 1;
+
+  last_load_rd_ = isa::is_load(in.op) ? in.rd : 0;
+
+  // Hardware-loop back-edges (zero overhead). Only on fall-through paths;
+  // inner loop L0 has priority over L1.
+  if (!redirect_ && cfg_.hwloops) {
+    const addr_t after = pc_ + in.size;
+    for (unsigned l = 0; l < 2; ++l) {
+      if (after == hwl_end_[l] && hwl_count_[l] > 0) {
+        if (hwl_count_[l] > 1) {
+          hwl_count_[l] -= 1;
+          next_pc_ = hwl_start_[l];
+          perf_.hwloop_backedges += 1;
+        } else {
+          hwl_count_[l] = 0;  // final iteration: fall through
+        }
+        break;
+      }
+    }
+  }
+
+  pc_ = next_pc_;
+  return !halted();
+}
+
+HaltReason Core::run(u64 max_instructions) {
+  const u64 limit = perf_.instructions + max_instructions;
+  while (!halted()) {
+    step();
+    if (perf_.instructions >= limit) {
+      halt_ = HaltReason::kInstrLimit;
+      break;
+    }
+  }
+  return halt_;
+}
+
+void Core::execute(const Instr& in) {
+  using M = Mnemonic;
+  switch (in.op) {
+    case M::kLui:
+      set_reg(in.rd, static_cast<u32>(in.imm));
+      perf_.scalar_alu_ops += 1;
+      break;
+    case M::kAuipc:
+      set_reg(in.rd, pc_ + static_cast<u32>(in.imm));
+      perf_.scalar_alu_ops += 1;
+      break;
+    case M::kJal: case M::kJalr:
+    case M::kBeq: case M::kBne: case M::kBlt: case M::kBge:
+    case M::kBltu: case M::kBgeu:
+    case M::kPBeqimm: case M::kPBneimm:
+      exec_branch_jump(in);
+      break;
+    case M::kAddi: case M::kSlti: case M::kSltiu: case M::kXori:
+    case M::kOri: case M::kAndi: case M::kSlli: case M::kSrli:
+    case M::kSrai:
+    case M::kAdd: case M::kSub: case M::kSll: case M::kSlt:
+    case M::kSltu: case M::kXor: case M::kSrl: case M::kSra:
+    case M::kOr: case M::kAnd:
+      exec_alu(in);
+      break;
+    case M::kMul: case M::kMulh: case M::kMulhsu: case M::kMulhu:
+    case M::kDiv: case M::kDivu: case M::kRem: case M::kRemu:
+      exec_muldiv(in);
+      break;
+    case M::kFence:
+      break;  // single hart, no-op
+    case M::kEcall:
+      halt_ = HaltReason::kEcall;
+      break;
+    case M::kEbreak:
+      halt_ = HaltReason::kEbreak;
+      break;
+    case M::kCsrrw: case M::kCsrrs: case M::kCsrrc:
+    case M::kCsrrwi: case M::kCsrrsi: case M::kCsrrci:
+      exec_csr_system(in);
+      break;
+    case M::kLpStarti: case M::kLpEndi: case M::kLpCount:
+    case M::kLpCounti: case M::kLpSetup: case M::kLpSetupi:
+      require(cfg_.xpulpv2 && cfg_.hwloops, in);
+      exec_hwloop(in);
+      break;
+    case M::kPAbs: case M::kPMin: case M::kPMinu: case M::kPMax:
+    case M::kPMaxu: case M::kPExths: case M::kPExthz: case M::kPExtbs:
+    case M::kPExtbz: case M::kPCnt: case M::kPFf1: case M::kPFl1:
+    case M::kPClb: case M::kPRor: case M::kPClip: case M::kPClipu:
+    case M::kPMac: case M::kPMsu:
+    case M::kPExtract: case M::kPExtractu: case M::kPInsert:
+    case M::kPBclr: case M::kPBset:
+      require(cfg_.xpulpv2, in);
+      exec_pulp_scalar(in);
+      break;
+    default:
+      if (isa::is_load(in.op) || isa::is_store(in.op)) {
+        // All non-base-ISA addressing modes belong to XpulpV2.
+        if (in.op != M::kLb && in.op != M::kLh && in.op != M::kLw &&
+            in.op != M::kLbu && in.op != M::kLhu && in.op != M::kSb &&
+            in.op != M::kSh && in.op != M::kSw) {
+          require(cfg_.xpulpv2, in);
+        }
+        exec_mem(in);
+      } else if (isa::is_simd(in.op)) {
+        require(cfg_.xpulpv2, in);
+        if (isa::simd_is_subbyte(in.fmt) || in.op == M::kPvQnt) {
+          require(cfg_.xpulpnn, in);
+        }
+        exec_simd(in);
+      } else {
+        throw IllegalInstruction(pc_, in.raw);
+      }
+      break;
+  }
+}
+
+void Core::exec_alu(const Instr& in) {
+  using M = Mnemonic;
+  const u32 a = reg(in.rs1);
+  const bool immediate =
+      in.op == M::kAddi || in.op == M::kSlti || in.op == M::kSltiu ||
+      in.op == M::kXori || in.op == M::kOri || in.op == M::kAndi ||
+      in.op == M::kSlli || in.op == M::kSrli || in.op == M::kSrai;
+  const u32 b = immediate ? static_cast<u32>(in.imm) : reg(in.rs2);
+  u32 r = 0;
+  switch (in.op) {
+    case M::kAddi: case M::kAdd: r = a + b; break;
+    case M::kSub: r = a - b; break;
+    case M::kSlti: case M::kSlt:
+      r = (static_cast<i32>(a) < static_cast<i32>(b)) ? 1 : 0;
+      break;
+    case M::kSltiu: case M::kSltu: r = (a < b) ? 1 : 0; break;
+    case M::kXori: case M::kXor: r = a ^ b; break;
+    case M::kOri: case M::kOr: r = a | b; break;
+    case M::kAndi: case M::kAnd: r = a & b; break;
+    case M::kSlli: case M::kSll: r = a << (b & 31); break;
+    case M::kSrli: case M::kSrl: r = a >> (b & 31); break;
+    case M::kSrai: case M::kSra:
+      r = static_cast<u32>(static_cast<i32>(a) >> (b & 31));
+      break;
+    default: break;
+  }
+  set_reg(in.rd, r);
+  perf_.scalar_alu_ops += 1;
+}
+
+void Core::exec_muldiv(const Instr& in) {
+  using M = Mnemonic;
+  const u32 a = reg(in.rs1);
+  const u32 b = reg(in.rs2);
+  const i32 sa = static_cast<i32>(a);
+  const i32 sb = static_cast<i32>(b);
+  u32 r = 0;
+  switch (in.op) {
+    case M::kMul:
+      r = a * b;
+      perf_.mul_ops += 1;
+      break;
+    case M::kMulh:
+      r = static_cast<u32>((static_cast<i64>(sa) * sb) >> 32);
+      perf_.mul_ops += 1;
+      perf_.cycles += timing_.mulh_cycles - 1;
+      perf_.mul_div_stall_cycles += timing_.mulh_cycles - 1;
+      break;
+    case M::kMulhsu:
+      r = static_cast<u32>((static_cast<i64>(sa) * static_cast<u64>(b)) >> 32);
+      perf_.mul_ops += 1;
+      perf_.cycles += timing_.mulh_cycles - 1;
+      perf_.mul_div_stall_cycles += timing_.mulh_cycles - 1;
+      break;
+    case M::kMulhu:
+      r = static_cast<u32>((static_cast<u64>(a) * b) >> 32);
+      perf_.mul_ops += 1;
+      perf_.cycles += timing_.mulh_cycles - 1;
+      perf_.mul_div_stall_cycles += timing_.mulh_cycles - 1;
+      break;
+    case M::kDiv:
+      if (b == 0) {
+        r = ~0u;
+      } else if (sa == std::numeric_limits<i32>::min() && sb == -1) {
+        r = static_cast<u32>(sa);
+      } else {
+        r = static_cast<u32>(sa / sb);
+      }
+      goto div_timing;
+    case M::kDivu:
+      r = (b == 0) ? ~0u : a / b;
+      goto div_timing;
+    case M::kRem:
+      if (b == 0) {
+        r = a;
+      } else if (sa == std::numeric_limits<i32>::min() && sb == -1) {
+        r = 0;
+      } else {
+        r = static_cast<u32>(sa % sb);
+      }
+      goto div_timing;
+    case M::kRemu:
+      r = (b == 0) ? a : a % b;
+      goto div_timing;
+    default:
+      break;
+  }
+  set_reg(in.rd, r);
+  return;
+
+div_timing:
+  set_reg(in.rd, r);
+  perf_.div_ops += 1;
+  {
+    const unsigned c = timing_.div_cycles(a);
+    perf_.cycles += c - 1;
+    perf_.mul_div_stall_cycles += c - 1;
+  }
+}
+
+void Core::exec_branch_jump(const Instr& in) {
+  using M = Mnemonic;
+  if (in.op == M::kJal) {
+    set_reg(in.rd, pc_ + in.size);
+    next_pc_ = pc_ + static_cast<u32>(in.imm);
+    redirect_ = true;
+    perf_.jumps += 1;
+    perf_.cycles += timing_.jump_penalty;
+    perf_.branch_stall_cycles += timing_.jump_penalty;
+    return;
+  }
+  if (in.op == M::kJalr) {
+    const u32 target = (reg(in.rs1) + static_cast<u32>(in.imm)) & ~1u;
+    set_reg(in.rd, pc_ + in.size);
+    next_pc_ = target;
+    redirect_ = true;
+    perf_.jumps += 1;
+    perf_.cycles += timing_.jump_penalty;
+    perf_.branch_stall_cycles += timing_.jump_penalty;
+    return;
+  }
+  const u32 a = reg(in.rs1);
+  const u32 b = reg(in.rs2);
+  bool taken = false;
+  switch (in.op) {
+    case M::kBeq: taken = a == b; break;
+    case M::kBne: taken = a != b; break;
+    case M::kPBeqimm:
+      require(cfg_.xpulpv2, in);
+      taken = static_cast<i32>(a) == sign_extend(in.imm2, 5);
+      break;
+    case M::kPBneimm:
+      require(cfg_.xpulpv2, in);
+      taken = static_cast<i32>(a) != sign_extend(in.imm2, 5);
+      break;
+    case M::kBlt: taken = static_cast<i32>(a) < static_cast<i32>(b); break;
+    case M::kBge: taken = static_cast<i32>(a) >= static_cast<i32>(b); break;
+    case M::kBltu: taken = a < b; break;
+    case M::kBgeu: taken = a >= b; break;
+    default: break;
+  }
+  if (taken) {
+    next_pc_ = pc_ + static_cast<u32>(in.imm);
+    redirect_ = true;
+    perf_.taken_branches += 1;
+    perf_.cycles += timing_.taken_branch_penalty;
+    perf_.branch_stall_cycles += timing_.taken_branch_penalty;
+  } else {
+    perf_.not_taken_branches += 1;
+  }
+}
+
+void Core::exec_mem(const Instr& in) {
+  using M = Mnemonic;
+  const unsigned size = isa::mem_access_size(in.op);
+  const bool store = isa::is_store(in.op);
+  addr_t addr = 0;
+  u32 new_base = 0;
+  bool update_base = false;
+
+  switch (in.op) {
+    // Plain RV32I loads/stores and immediate post-increment forms.
+    case M::kLb: case M::kLh: case M::kLw: case M::kLbu: case M::kLhu:
+    case M::kSb: case M::kSh: case M::kSw:
+      addr = reg(in.rs1) + static_cast<u32>(in.imm);
+      break;
+    case M::kPLbPostImm: case M::kPLhPostImm: case M::kPLwPostImm:
+    case M::kPLbuPostImm: case M::kPLhuPostImm:
+    case M::kPSbPostImm: case M::kPShPostImm: case M::kPSwPostImm:
+      addr = reg(in.rs1);
+      new_base = addr + static_cast<u32>(in.imm);
+      update_base = true;
+      break;
+    // Register post-increment: increment in rs2 (loads) or rd field (stores).
+    case M::kPLbPostReg: case M::kPLhPostReg: case M::kPLwPostReg:
+    case M::kPLbuPostReg: case M::kPLhuPostReg:
+      addr = reg(in.rs1);
+      new_base = addr + reg(in.rs2);
+      update_base = true;
+      break;
+    case M::kPSbPostReg: case M::kPShPostReg: case M::kPSwPostReg:
+      addr = reg(in.rs1);
+      new_base = addr + reg(in.rd);
+      update_base = true;
+      break;
+    // Register-offset (indexed) addressing: offset in rs2 / rd field.
+    case M::kPLbRegReg: case M::kPLhRegReg: case M::kPLwRegReg:
+    case M::kPLbuRegReg: case M::kPLhuRegReg:
+      addr = reg(in.rs1) + reg(in.rs2);
+      break;
+    case M::kPSbRegReg: case M::kPShRegReg: case M::kPSwRegReg:
+      addr = reg(in.rs1) + reg(in.rd);
+      break;
+    default:
+      throw IllegalInstruction(pc_, in.raw);
+  }
+
+  const unsigned stalls = mem_.access_cycles(addr, size, store);
+  perf_.cycles += stalls;
+  perf_.mem_stall_cycles += stalls;
+
+  if (store) {
+    mem_.store(addr, reg(in.rs2), size);
+    perf_.stores += 1;
+  } else {
+    u32 v = mem_.load(addr, size);
+    if (isa::load_is_signed(in.op)) {
+      v = static_cast<u32>(sign_extend(v, size * 8));
+    }
+    perf_.lsu_data_toggles += hamming_distance(last_load_data_, v);
+    last_load_data_ = v;
+    set_reg(in.rd, v);
+    perf_.loads += 1;
+  }
+  if (update_base) set_reg(in.rs1, new_base);
+}
+
+void Core::exec_pulp_scalar(const Instr& in) {
+  using M = Mnemonic;
+  const u32 a = reg(in.rs1);
+  const u32 b = reg(in.rs2);
+  const i32 sa = static_cast<i32>(a);
+  const i32 sb = static_cast<i32>(b);
+  u32 r = 0;
+  switch (in.op) {
+    case M::kPAbs: r = static_cast<u32>(sa < 0 ? -sa : sa); break;
+    case M::kPMin: r = static_cast<u32>(sa < sb ? sa : sb); break;
+    case M::kPMinu: r = a < b ? a : b; break;
+    case M::kPMax: r = static_cast<u32>(sa > sb ? sa : sb); break;
+    case M::kPMaxu: r = a > b ? a : b; break;
+    case M::kPExths: r = static_cast<u32>(sign_extend(a, 16)); break;
+    case M::kPExthz: r = a & 0xffffu; break;
+    case M::kPExtbs: r = static_cast<u32>(sign_extend(a, 8)); break;
+    case M::kPExtbz: r = a & 0xffu; break;
+    case M::kPCnt: r = popcount32(a); break;
+    case M::kPFf1: r = find_first_one(a); break;
+    case M::kPFl1: r = find_last_one(a); break;
+    case M::kPClb: r = count_leading_redundant_sign(a); break;
+    case M::kPRor: r = rotr32(a, b); break;
+    case M::kPClip: {
+      // p.clip rd, rs1, I: clamp to [-2^(I-1), 2^(I-1)-1] (I==0 acts as 1).
+      const unsigned i = static_cast<unsigned>(in.imm);
+      r = static_cast<u32>(sat_signed(sa, i == 0 ? 1 : i));
+      break;
+    }
+    case M::kPClipu: {
+      // p.clipu rd, rs1, I: clamp to [0, 2^I - 1] (I==0 acts as 1).
+      const unsigned i = static_cast<unsigned>(in.imm);
+      r = sat_unsigned(sa, i == 0 ? 1 : i);
+      break;
+    }
+    case M::kPMac:
+      r = reg(in.rd) + a * b;
+      perf_.mul_ops += 1;
+      break;
+    case M::kPMsu:
+      r = reg(in.rd) - a * b;
+      perf_.mul_ops += 1;
+      break;
+    case M::kPExtract: {
+      const unsigned width = static_cast<unsigned>(in.imm2) + 1;
+      const unsigned pos = static_cast<unsigned>(in.imm);
+      r = static_cast<u32>(sign_extend(a >> pos, width));
+      break;
+    }
+    case M::kPExtractu: {
+      const unsigned width = static_cast<unsigned>(in.imm2) + 1;
+      const unsigned pos = static_cast<unsigned>(in.imm);
+      r = zero_extend(a >> pos, width);
+      break;
+    }
+    case M::kPInsert: {
+      const unsigned width = static_cast<unsigned>(in.imm2) + 1;
+      const unsigned pos = static_cast<unsigned>(in.imm);
+      if (pos + width > 32) throw IllegalInstruction(pc_, in.raw);
+      r = insert_bits(reg(in.rd), a, pos, width);
+      break;
+    }
+    case M::kPBclr: {
+      const unsigned width = static_cast<unsigned>(in.imm2) + 1;
+      const unsigned pos = static_cast<unsigned>(in.imm);
+      if (pos + width > 32) throw IllegalInstruction(pc_, in.raw);
+      r = a & ~(low_mask(width) << pos);
+      break;
+    }
+    case M::kPBset: {
+      const unsigned width = static_cast<unsigned>(in.imm2) + 1;
+      const unsigned pos = static_cast<unsigned>(in.imm);
+      if (pos + width > 32) throw IllegalInstruction(pc_, in.raw);
+      r = a | (low_mask(width) << pos);
+      break;
+    }
+    default:
+      throw IllegalInstruction(pc_, in.raw);
+  }
+  set_reg(in.rd, r);
+  perf_.scalar_alu_ops += 1;
+}
+
+void Core::exec_hwloop(const Instr& in) {
+  using M = Mnemonic;
+  const unsigned l = in.imm2 & 1u;
+  switch (in.op) {
+    case M::kLpStarti:
+      hwl_start_[l] = pc_ + static_cast<u32>(in.imm);
+      break;
+    case M::kLpEndi:
+      hwl_end_[l] = pc_ + static_cast<u32>(in.imm);
+      break;
+    case M::kLpCount:
+      hwl_count_[l] = reg(in.rs1);
+      break;
+    case M::kLpCounti:
+      hwl_count_[l] = static_cast<u32>(in.imm);
+      break;
+    case M::kLpSetup:
+      hwl_start_[l] = pc_ + in.size;
+      hwl_end_[l] = pc_ + static_cast<u32>(in.imm);
+      hwl_count_[l] = reg(in.rs1);
+      break;
+    case M::kLpSetupi:
+      hwl_start_[l] = pc_ + in.size;
+      hwl_end_[l] = pc_ + static_cast<u32>(in.imm);
+      hwl_count_[l] = in.rs1;  // 5-bit immediate count
+      break;
+    default:
+      throw IllegalInstruction(pc_, in.raw);
+  }
+  perf_.scalar_alu_ops += 1;
+}
+
+void Core::exec_simd(const Instr& in) {
+  using M = Mnemonic;
+  const u32 a = reg(in.rs1);
+  const u32 b = reg(in.rs2);
+
+  if (in.op == M::kPvQnt) {
+    const unsigned q_bits = isa::simd_elem_bits(in.fmt);
+    const QuantResult res = qnt_.execute(mem_, a, b, q_bits);
+    set_reg(in.rd, res.rd);
+    perf_.qnt_ops += 1;
+    // Base cycle is charged in step(); the remainder stalls the pipeline.
+    perf_.cycles += res.cycles - 1;
+    perf_.qnt_stall_cycles += res.cycles - 1;
+    return;
+  }
+
+  if (isa::is_dotp(in.op)) {
+    const i32 acc = static_cast<i32>(reg(in.rd));
+    const i32 r = dotp_.dotp(in.op, in.fmt, a, b, acc);
+    set_reg(in.rd, static_cast<u32>(r));
+    perf_.dotp_ops[static_cast<unsigned>(region_for(in.fmt))] += 1;
+    return;
+  }
+
+  if (isa::is_elem_manip(in.op)) {
+    const unsigned lanes = isa::simd_elem_count(in.fmt);
+    const unsigned lane = static_cast<unsigned>(in.imm) & (lanes - 1);
+    u32 r = 0;
+    switch (in.op) {
+      case M::kPvElemExtract:
+        r = static_cast<u32>(simd_extract(a, in.fmt, lane, /*sign=*/true));
+        break;
+      case M::kPvElemExtractu:
+        r = static_cast<u32>(simd_extract(a, in.fmt, lane, /*sign=*/false));
+        break;
+      case M::kPvElemInsert:
+        r = simd_insert(reg(in.rd), in.fmt, lane, a);
+        break;
+      case M::kPvShuffle: {
+        for (unsigned i = 0; i < lanes; ++i) {
+          const unsigned src =
+              static_cast<unsigned>(simd_extract(b, in.fmt, i, false)) &
+              (lanes - 1);
+          r = simd_insert(
+              r, in.fmt, i,
+              static_cast<u32>(simd_extract(a, in.fmt, src, false)));
+        }
+        break;
+      }
+      case M::kPvPackH:
+        r = (a << 16) | (b & 0xffffu);
+        break;
+      default:
+        throw IllegalInstruction(pc_, in.raw);
+    }
+    set_reg(in.rd, r);
+    perf_.simd_alu_ops += 1;
+    return;
+  }
+
+  set_reg(in.rd, dotp_.alu_op(in.op, in.fmt, a, b));
+  perf_.simd_alu_ops += 1;
+}
+
+u32 Core::csr_read(u32 addr) const {
+  switch (addr) {
+    case 0xB00: case 0xC00: return static_cast<u32>(perf_.cycles);
+    case 0xB80: case 0xC80: return static_cast<u32>(perf_.cycles >> 32);
+    case 0xB02: case 0xC02: return static_cast<u32>(perf_.instructions);
+    case 0xB82: case 0xC82: return static_cast<u32>(perf_.instructions >> 32);
+    case 0xF14: return 0;  // mhartid
+    case 0x340: return mscratch_;
+    default: return 0;
+  }
+}
+
+void Core::exec_csr_system(const Instr& in) {
+  using M = Mnemonic;
+  const u32 csr = static_cast<u32>(in.imm);
+  const u32 old = csr_read(csr);
+  const u32 operand = (in.op == M::kCsrrwi || in.op == M::kCsrrsi ||
+                       in.op == M::kCsrrci)
+                          ? in.imm2
+                          : reg(in.rs1);
+  u32 nv = old;
+  switch (in.op) {
+    case M::kCsrrw: case M::kCsrrwi: nv = operand; break;
+    case M::kCsrrs: case M::kCsrrsi: nv = old | operand; break;
+    case M::kCsrrc: case M::kCsrrci: nv = old & ~operand; break;
+    default: break;
+  }
+  if (csr == 0x340) mscratch_ = nv;  // other CSRs are read-only here
+  set_reg(in.rd, old);
+  perf_.csr_ops += 1;
+}
+
+}  // namespace xpulp::sim

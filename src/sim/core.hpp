@@ -1,0 +1,159 @@
+// Cycle-approximate model of the RI5CY core with the XpulpV2 and XpulpNN
+// extensions. Two configurations reproduce the paper's platforms:
+//   - baseline RI5CY: CoreConfig::ri5cy()       (XpulpV2, no sub-byte SIMD)
+//   - extended core:  CoreConfig::extended()    (XpulpV2 + XpulpNN)
+// The `clock_gating` knob models the power-management design of §III-B
+// (input operand registers + clock gating in the dot-product unit, operand
+// isolation in the quantization unit); it changes the activity statistics
+// consumed by the power model, not functional behaviour or cycle counts.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "mem/memory.hpp"
+#include "sim/dotp_unit.hpp"
+#include "sim/quant_unit.hpp"
+#include "sim/timing.hpp"
+
+namespace xpulp::sim {
+
+struct CoreConfig {
+  bool xpulpv2 = true;    // hardware loops, post-inc LSU, 8/16-bit SIMD, MAC
+  bool xpulpnn = true;    // nibble/crumb SIMD + pv.qnt
+  bool hwloops = true;    // can be disabled separately for ablations
+  bool clock_gating = true;
+  std::string name = "xpulpnn";
+
+  static CoreConfig extended() { return CoreConfig{}; }
+
+  static CoreConfig ri5cy() {
+    CoreConfig c;
+    c.xpulpnn = false;
+    c.name = "ri5cy";
+    return c;
+  }
+};
+
+struct PerfCounters {
+  cycles_t cycles = 0;
+  u64 instructions = 0;
+
+  u64 taken_branches = 0;
+  u64 not_taken_branches = 0;
+  u64 jumps = 0;
+  u64 branch_stall_cycles = 0;
+  u64 load_use_stall_cycles = 0;
+  u64 mem_stall_cycles = 0;
+  u64 mul_div_stall_cycles = 0;
+  u64 hwloop_backedges = 0;
+
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 scalar_alu_ops = 0;
+  u64 mul_ops = 0;
+  u64 div_ops = 0;
+  u64 simd_alu_ops = 0;
+  u64 qnt_ops = 0;
+  u64 qnt_stall_cycles = 0;
+  u64 csr_ops = 0;
+
+  /// Dot-product ops by multiplier region {16, 8, 4, 2}-bit.
+  std::array<u64, 4> dotp_ops{};
+
+  /// Hamming toggles of successive load data words on the LSU result bus.
+  /// The quantization unit's comparators hang off this bus; with operand
+  /// isolation disabled (no power management) they switch with every load.
+  u64 lsu_data_toggles = 0;
+};
+
+enum class HaltReason { kRunning, kEcall, kEbreak, kInstrLimit };
+
+class Core {
+ public:
+  Core(mem::Memory& mem, CoreConfig cfg = CoreConfig::extended());
+
+  /// Reset architectural state and start executing at `pc`. Clears the
+  /// decode cache (call after loading a new program image).
+  void reset(addr_t pc);
+
+  u32 reg(unsigned r) const { return regs_[r & 31]; }
+  void set_reg(unsigned r, u32 v) {
+    if ((r & 31) != 0) regs_[r & 31] = v;
+  }
+
+  addr_t pc() const { return pc_; }
+  bool halted() const { return halt_ != HaltReason::kRunning; }
+  HaltReason halt_reason() const { return halt_; }
+
+  /// Execute one instruction. Returns false once halted.
+  bool step();
+
+  /// Run until ecall/ebreak or the instruction limit; returns the reason.
+  HaltReason run(u64 max_instructions = 400'000'000);
+
+  const PerfCounters& perf() const { return perf_; }
+  void reset_perf() { perf_ = PerfCounters{}; }
+
+  const CoreConfig& config() const { return cfg_; }
+  mem::Memory& memory() { return mem_; }
+  DotpUnit& dotp_unit() { return dotp_; }
+  const DotpUnit& dotp_unit() const { return dotp_; }
+  const TimingModel& timing() const { return timing_; }
+
+  /// Optional per-instruction trace hook (pc, decoded instruction).
+  using TraceFn = std::function<void(addr_t, const isa::Instr&)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+ private:
+  const isa::Instr& fetch_decode(addr_t pc);
+  void execute(const isa::Instr& in);
+
+  // Execution helpers (defined in core.cpp).
+  void exec_alu(const isa::Instr& in);
+  void exec_mem(const isa::Instr& in);
+  void exec_branch_jump(const isa::Instr& in);
+  void exec_muldiv(const isa::Instr& in);
+  void exec_pulp_scalar(const isa::Instr& in);
+  void exec_hwloop(const isa::Instr& in);
+  void exec_simd(const isa::Instr& in);
+  void exec_csr_system(const isa::Instr& in);
+
+  u32 csr_read(u32 addr) const;
+
+  void require(bool cond, const isa::Instr& in);
+
+  mem::Memory& mem_;
+  CoreConfig cfg_;
+  TimingModel timing_;
+  DotpUnit dotp_;
+  QuantUnit qnt_;
+
+  std::array<u32, 32> regs_{};
+  addr_t pc_ = 0;
+  addr_t next_pc_ = 0;
+  bool redirect_ = false;  // set by taken branches/jumps during execute()
+
+  // Hardware loop register file: two nested loops, L0 innermost.
+  std::array<addr_t, 2> hwl_start_{};
+  std::array<addr_t, 2> hwl_end_{};
+  std::array<u32, 2> hwl_count_{};
+
+  u8 last_load_rd_ = 0;  // destination of the previous load (0 = none)
+  u32 last_load_data_ = 0;
+  HaltReason halt_ = HaltReason::kRunning;
+  u32 mscratch_ = 0;
+
+  PerfCounters perf_;
+  TraceFn trace_;
+
+  // Direct-mapped decode cache indexed by pc >> 1.
+  std::vector<isa::Instr> icache_;
+  std::vector<u8> icache_valid_;
+};
+
+}  // namespace xpulp::sim

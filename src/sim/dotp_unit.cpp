@@ -1,0 +1,161 @@
+#include "sim/dotp_unit.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace xpulp::sim {
+
+using isa::Mnemonic;
+using isa::SimdFmt;
+
+DotpRegion region_for(SimdFmt fmt) {
+  switch (isa::simd_elem_bits(fmt)) {
+    case 16: return DotpRegion::k16;
+    case 8: return DotpRegion::k8;
+    case 4: return DotpRegion::k4;
+    default: return DotpRegion::k2;
+  }
+}
+
+i32 simd_extract(u32 v, SimdFmt fmt, unsigned i, bool sign) {
+  const unsigned w = isa::simd_elem_bits(fmt);
+  assert(i < isa::simd_elem_count(fmt));
+  const u32 raw = bits(v, i * w + w - 1, i * w);
+  return sign ? sign_extend(raw, w) : static_cast<i32>(raw);
+}
+
+u32 simd_insert(u32 v, SimdFmt fmt, unsigned i, u32 e) {
+  const unsigned w = isa::simd_elem_bits(fmt);
+  assert(i < isa::simd_elem_count(fmt));
+  return insert_bits(v, e & low_mask(w), i * w, w);
+}
+
+u32 simd_operand_b(u32 rs2, SimdFmt fmt) {
+  if (!isa::simd_is_scalar_rep(fmt)) return rs2;
+  const unsigned w = isa::simd_elem_bits(fmt);
+  const unsigned n = isa::simd_elem_count(fmt);
+  const u32 scalar = rs2 & low_mask(w);
+  u32 out = 0;
+  for (unsigned i = 0; i < n; ++i) out |= scalar << (i * w);
+  return out;
+}
+
+namespace {
+
+bool op_is_signed(Mnemonic op) {
+  switch (op) {
+    case Mnemonic::kPvAvgu:
+    case Mnemonic::kPvMaxu:
+    case Mnemonic::kPvMinu:
+    case Mnemonic::kPvSrl:
+      return false;
+    default:
+      return true;
+  }
+}
+
+i32 elem_op(Mnemonic op, i32 a, i32 b, unsigned w) {
+  switch (op) {
+    case Mnemonic::kPvAdd: return a + b;
+    case Mnemonic::kPvSub: return a - b;
+    // avg: (a+b)>>1, arithmetic for signed variant, logical for unsigned.
+    case Mnemonic::kPvAvg: return (a + b) >> 1;
+    case Mnemonic::kPvAvgu:
+      return static_cast<i32>((static_cast<u32>(a) + static_cast<u32>(b)) >> 1);
+    case Mnemonic::kPvMax: case Mnemonic::kPvMaxu: return a > b ? a : b;
+    case Mnemonic::kPvMin: case Mnemonic::kPvMinu: return a < b ? a : b;
+    case Mnemonic::kPvSrl:
+      return static_cast<i32>(static_cast<u32>(a) >>
+                              (static_cast<u32>(b) & (w - 1)));
+    case Mnemonic::kPvSra: return a >> (static_cast<u32>(b) & (w - 1));
+    case Mnemonic::kPvSll:
+      return static_cast<i32>(static_cast<u32>(a)
+                              << (static_cast<u32>(b) & (w - 1)));
+    case Mnemonic::kPvAbs: return a < 0 ? -a : a;
+    case Mnemonic::kPvAnd: return a & b;
+    case Mnemonic::kPvOr: return a | b;
+    case Mnemonic::kPvXor: return a ^ b;
+    default:
+      throw SimError("not an element-wise SIMD op");
+  }
+}
+
+// Signedness of the two dot-product operands: {a_signed, b_signed}.
+struct DotSign {
+  bool a;
+  bool b;
+};
+
+DotSign dot_sign(Mnemonic op) {
+  switch (op) {
+    case Mnemonic::kPvDotup: case Mnemonic::kPvSdotup: return {false, false};
+    case Mnemonic::kPvDotusp: case Mnemonic::kPvSdotusp: return {false, true};
+    case Mnemonic::kPvDotsp: case Mnemonic::kPvSdotsp: return {true, true};
+    default:
+      throw SimError("not a dot-product op");
+  }
+}
+
+bool dot_accumulates(Mnemonic op) {
+  return op == Mnemonic::kPvSdotup || op == Mnemonic::kPvSdotusp ||
+         op == Mnemonic::kPvSdotsp;
+}
+
+}  // namespace
+
+u32 DotpUnit::alu_op(Mnemonic op, SimdFmt fmt, u32 a, u32 b) const {
+  const unsigned w = isa::simd_elem_bits(fmt);
+  const unsigned n = isa::simd_elem_count(fmt);
+  const bool sign = op_is_signed(op);
+  const u32 vb = simd_operand_b(b, fmt);
+  u32 out = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    const i32 ea = simd_extract(a, fmt, i, sign);
+    const i32 eb = simd_extract(vb, fmt, i, sign);
+    out = simd_insert(out, fmt, i, static_cast<u32>(elem_op(op, ea, eb, w)));
+  }
+  return out;
+}
+
+i32 DotpUnit::dotp_reference(Mnemonic op, SimdFmt fmt, u32 a, u32 b, i32 acc) {
+  const unsigned n = isa::simd_elem_count(fmt);
+  const DotSign s = dot_sign(op);
+  const u32 vb = simd_operand_b(b, fmt);
+  i64 sum = dot_accumulates(op) ? acc : 0;
+  for (unsigned i = 0; i < n; ++i) {
+    sum += static_cast<i64>(simd_extract(a, fmt, i, s.a)) *
+           static_cast<i64>(simd_extract(vb, fmt, i, s.b));
+  }
+  return static_cast<i32>(sum);  // 32-bit accumulator, truncating
+}
+
+i32 DotpUnit::dotp(Mnemonic op, SimdFmt fmt, u32 a, u32 b, i32 acc) {
+  // With gating the selected region's input registers latch the operands
+  // here; without gating the core's per-instruction broadcast_operands()
+  // already accounted for the toggles of all regions.
+  if (clock_gating_) track(region_for(fmt), a, b);
+  activity_.ops[static_cast<unsigned>(region_for(fmt))] += 1;
+  return dotp_reference(op, fmt, a, b, acc);
+}
+
+void DotpUnit::broadcast_operands(u32 a, u32 b) {
+  for (unsigned i = 0; i < 4; ++i) {
+    activity_.operand_toggles[i] +=
+        hamming_distance(last_a_[i], a) + hamming_distance(last_b_[i], b);
+    last_a_[i] = a;
+    last_b_[i] = b;
+  }
+}
+
+void DotpUnit::track(DotpRegion region, u32 a, u32 b) {
+  // Only the selected region's operand registers are clocked.
+  const auto r = static_cast<unsigned>(region);
+  activity_.operand_toggles[r] +=
+      hamming_distance(last_a_[r], a) + hamming_distance(last_b_[r], b);
+  last_a_[r] = a;
+  last_b_[r] = b;
+}
+
+}  // namespace xpulp::sim

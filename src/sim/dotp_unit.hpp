@@ -1,0 +1,84 @@
+// Functional + activity model of the RI5CY/XpulpNN dot-product unit
+// (paper Fig. 3).
+//
+// The hardware has four multiplier "regions" (16-, 8-, 4-, 2-bit), each with
+// its own adder tree so the sub-byte paths do not lengthen the critical
+// path. The paper adds input registers per region and clock-gates the
+// regions not involved in the current operation ("Pow. Manag." in
+// Table III); without gating, every operand change toggles all four
+// regions. We model exactly that: per-region operand registers whose
+// Hamming-distance toggles are accumulated, with a switch selecting whether
+// unused regions see new operands. The toggle counters feed the
+// activity-based power model that reproduces Table III / Figs. 7 and 9.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace xpulp::sim {
+
+/// Index of a multiplier region by SIMD element width.
+enum class DotpRegion : unsigned { k16 = 0, k8 = 1, k4 = 2, k2 = 3 };
+
+DotpRegion region_for(isa::SimdFmt fmt);
+
+struct DotpActivity {
+  /// Operand-register bit toggles per region (both operands summed).
+  std::array<u64, 4> operand_toggles{};
+  /// Dot-product operations executed per region.
+  std::array<u64, 4> ops{};
+};
+
+class DotpUnit {
+ public:
+  /// `clock_gating` mirrors the paper's power-management knob: when false,
+  /// operands propagate to (and toggle) every region on each operation.
+  explicit DotpUnit(bool clock_gating = true) : clock_gating_(clock_gating) {}
+
+  /// Element-wise SIMD op (pv.add/sub/avg/min/max/shift/abs/logic).
+  /// `a` = rs1 vector, `b` = rs2 vector (or scalar-replicated source).
+  u32 alu_op(isa::Mnemonic op, isa::SimdFmt fmt, u32 a, u32 b) const;
+
+  /// Dot-product family. `acc` is the rd accumulator for sdot variants
+  /// (ignored for plain dot). Updates the activity counters.
+  i32 dotp(isa::Mnemonic op, isa::SimdFmt fmt, u32 a, u32 b, i32 acc);
+
+  /// Without clock gating the EX-stage operand bus reaches every multiplier
+  /// region on *every* instruction — the core calls this once per executed
+  /// instruction when power management is off, and the resulting toggle
+  /// counts are what the "No Pow. Manag." column of Table III pays for.
+  void broadcast_operands(u32 a, u32 b);
+
+  /// Reference dot product used by tests: widen each element and
+  /// multiply-accumulate in 64-bit, truncated to 32.
+  static i32 dotp_reference(isa::Mnemonic op, isa::SimdFmt fmt, u32 a, u32 b,
+                            i32 acc);
+
+  const DotpActivity& activity() const { return activity_; }
+  void reset_activity() { activity_ = DotpActivity{}; }
+  bool clock_gating() const { return clock_gating_; }
+  void set_clock_gating(bool on) { clock_gating_ = on; }
+
+ private:
+  void track(DotpRegion region, u32 a, u32 b);
+
+  bool clock_gating_;
+  DotpActivity activity_{};
+  std::array<u32, 4> last_a_{};
+  std::array<u32, 4> last_b_{};
+};
+
+/// Extract element `i` of vector `v` in format `fmt`, sign- or
+/// zero-extended to 32 bits. Exposed for tests and the ARM model.
+i32 simd_extract(u32 v, isa::SimdFmt fmt, unsigned i, bool sign);
+
+/// Insert the low bits of `e` as element `i` of `v`.
+u32 simd_insert(u32 v, isa::SimdFmt fmt, unsigned i, u32 e);
+
+/// Scalar-replication source: for `.sc` formats the scalar is element 0 of
+/// rs2 replicated over all lanes; otherwise rs2 is used as-is.
+u32 simd_operand_b(u32 rs2, isa::SimdFmt fmt);
+
+}  // namespace xpulp::sim

@@ -1,0 +1,59 @@
+#include "sim/quant_unit.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace xpulp::sim {
+
+u32 QuantUnit::quantize_one(const mem::Memory& mem, addr_t tree, i16 x,
+                            unsigned q_bits) {
+  assert(q_bits == 4 || q_bits == 2);
+  // Eytzinger walk: node k has children 2k+1 / 2k+2; going right means
+  // "x is >= threshold", contributing a 1 bit (Fig. 2 of the paper).
+  u32 idx = 0;
+  u32 code = 0;
+  for (unsigned level = 0; level < q_bits; ++level) {
+    const i16 t = static_cast<i16>(mem.load_u16(tree + idx * 2));
+    const u32 b = (x >= t) ? 1u : 0u;
+    code = (code << 1) | b;
+    idx = 2 * idx + 1 + b;
+  }
+  return code;
+}
+
+QuantResult QuantUnit::execute(mem::Memory& mem, u32 rs1, addr_t rs2,
+                               unsigned q_bits) {
+  assert(q_bits == 4 || q_bits == 2);
+  const i16 act0 = static_cast<i16>(rs1 & 0xffffu);
+  const i16 act1 = static_cast<i16>(rs1 >> 16);
+  const addr_t tree0 = rs2;
+  const addr_t tree1 = rs2 + tree_stride_bytes(q_bits);
+
+  QuantResult res{};
+  // Functional result.
+  const u32 q0 = quantize_one(mem, tree0, act0, q_bits);
+  const u32 q1 = quantize_one(mem, tree1, act1, q_bits);
+  res.rd = (q1 << 16) | q0;
+
+  // Timing: init cycle to fetch the first threshold, then the two
+  // activations' compare/address-update phases interleave through the
+  // pipelined unit — 2 cycles per level (paper: 9 cycles nibble, 5 crumb).
+  res.cycles = 1 + 2 * q_bits;
+  res.mem_loads = 2 * q_bits;
+
+  // Account the threshold fetches on the memory port; misaligned trees add
+  // stall cycles exactly like LSU accesses.
+  u32 idx0 = 0, idx1 = 0;
+  for (unsigned level = 0; level < q_bits; ++level) {
+    res.cycles += mem.access_cycles(tree0 + idx0 * 2, 2, /*is_store=*/false);
+    res.cycles += mem.access_cycles(tree1 + idx1 * 2, 2, /*is_store=*/false);
+    const u32 b0 = (act0 >= static_cast<i16>(mem.load_u16(tree0 + idx0 * 2))) ? 1u : 0u;
+    const u32 b1 = (act1 >= static_cast<i16>(mem.load_u16(tree1 + idx1 * 2))) ? 1u : 0u;
+    idx0 = 2 * idx0 + 1 + b0;
+    idx1 = 2 * idx1 + 1 + b1;
+  }
+  return res;
+}
+
+}  // namespace xpulp::sim

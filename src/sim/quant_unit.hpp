@@ -1,0 +1,45 @@
+// Hardware quantization unit (paper §III-B2, Fig. 4).
+//
+// `pv.qnt.{n,c} rD, rs1, (rs2)` quantizes the two 16-bit pre-activations
+// packed in rs1 through a thresholding-based staircase function. Thresholds
+// are pre-trained, stored in memory as a breadth-first (Eytzinger) balanced
+// binary tree of 2^Q - 1 int16 values padded to 2^Q slots; the tree for the
+// second activation sits at a hard-wired fixed offset (one tree stride) past
+// rs2. The unit walks Q levels, one 16-bit comparison per level, pipelining
+// the compare and address-update phases of the two activations in an
+// interleaved fashion. Latency: 1 init cycle + 2*Q compare cycles = 9 cycles
+// for nibble, 5 for crumb, matching the paper; the core pipeline stalls for
+// the duration. The only extra memory stalls come from misaligned trees.
+#pragma once
+
+#include "common/types.hpp"
+#include "mem/memory.hpp"
+
+namespace xpulp::sim {
+
+struct QuantResult {
+  u32 rd;            // quantized codes: bits [Q-1:0] and [16+Q-1:16]
+  unsigned cycles;   // total instruction latency including memory stalls
+  unsigned mem_loads;
+};
+
+class QuantUnit {
+ public:
+  /// Tree stride in bytes for a Q-bit output: 2^Q int16 slots.
+  static constexpr u32 tree_stride_bytes(unsigned q_bits) {
+    return (1u << q_bits) * 2;
+  }
+
+  /// Execute pv.qnt for `q_bits` in {4, 2}. `rs1` holds act0 in [15:0] and
+  /// act1 in [31:16] (each a signed 16-bit value); `rs2` is the address of
+  /// act0's threshold tree.
+  QuantResult execute(mem::Memory& mem, u32 rs1, addr_t rs2, unsigned q_bits);
+
+  /// Reference staircase used by tests and by the golden QNN layers:
+  /// the quantized code is the number of sorted thresholds <= x.
+  /// `tree` points to the Eytzinger-ordered threshold array.
+  static u32 quantize_one(const mem::Memory& mem, addr_t tree, i16 x,
+                          unsigned q_bits);
+};
+
+}  // namespace xpulp::sim

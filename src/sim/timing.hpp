@@ -1,0 +1,42 @@
+// RI5CY timing model (documented constants).
+//
+// RI5CY is a 4-stage, in-order, single-issue pipeline. The cycle costs below
+// follow the RI5CY user manual and the paper:
+//   - base CPI 1 for ALU/SIMD/store instructions (the LSU overlaps aligned
+//     single-cycle TCDM accesses);
+//   - jumps (jal/jalr) redirect fetch from ID: +1 penalty cycle;
+//   - taken branches resolve in EX: +2 penalty cycles; not-taken: +0;
+//   - a load followed by an instruction consuming the loaded register
+//     stalls 1 cycle (load-use hazard);
+//   - hardware-loop back-edges are zero overhead;
+//   - mul is single cycle, mulh/mulhsu/mulhu take 5 cycles, div/rem use a
+//     serial divider (3 cycles + one per significant dividend bit);
+//   - pv.qnt is multi-cycle: 1 + 2*Q cycles (9 for nibble, 5 for crumb),
+//     during which the core pipeline is stalled (paper §III-B2);
+//   - misaligned data accesses add 1 cycle (two SRAM transactions).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace xpulp::sim {
+
+struct TimingModel {
+  unsigned jump_penalty = 1;
+  unsigned taken_branch_penalty = 2;
+  unsigned load_use_penalty = 1;
+  unsigned mulh_cycles = 5;
+  unsigned div_base_cycles = 3;
+
+  /// Serial divider latency for a given dividend (RI5CY-style early-out).
+  unsigned div_cycles(u32 dividend) const {
+    unsigned significant = 32;
+    for (unsigned i = 0; i < 32; ++i) {
+      if (dividend >> 31) break;
+      dividend <<= 1;
+      --significant;
+    }
+    return div_base_cycles + significant;
+  }
+};
+
+}  // namespace xpulp::sim

@@ -1,0 +1,49 @@
+// Instruction-trace writer: attach to a Core to stream one disassembled
+// line per executed instruction (pc, raw word, mnemonic, cumulative
+// cycles). Useful for debugging generated kernels.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+
+#include "isa/disasm.hpp"
+#include "sim/core.hpp"
+
+namespace xpulp::sim {
+
+class TraceWriter {
+ public:
+  /// Attach to `core`; lines go to `os` until the writer is destroyed or
+  /// detach() is called. `limit` stops tracing after that many
+  /// instructions (0 = unlimited).
+  TraceWriter(Core& core, std::ostream& os, u64 limit = 0)
+      : core_(core), os_(os), limit_(limit) {
+    core_.set_trace([this](addr_t pc, const isa::Instr& in) { line(pc, in); });
+  }
+
+  ~TraceWriter() { detach(); }
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void detach() { core_.set_trace({}); }
+
+  u64 lines_written() const { return count_; }
+
+ private:
+  void line(addr_t pc, const isa::Instr& in) {
+    if (limit_ != 0 && count_ >= limit_) return;
+    ++count_;
+    os_ << std::hex << std::setw(8) << std::setfill('0') << pc << ":  "
+        << std::setw(8) << in.raw << "  " << std::dec
+        << isa::disassemble(in, pc) << "  [cyc " << core_.perf().cycles
+        << "]\n";
+  }
+
+  Core& core_;
+  std::ostream& os_;
+  u64 limit_;
+  u64 count_ = 0;
+};
+
+}  // namespace xpulp::sim

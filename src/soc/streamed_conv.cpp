@@ -1,0 +1,123 @@
+#include "soc/streamed_conv.hpp"
+
+#include "common/error.hpp"
+#include "qnn/pack.hpp"
+
+namespace xpulp::soc {
+
+using kernels::ConvGenOptions;
+using kernels::ConvKernel;
+using kernels::ConvLayerData;
+using kernels::ConvMemLayout;
+using kernels::ConvVariant;
+
+StreamedConvResult run_conv_streamed(const ConvLayerData& data,
+                                     ConvVariant v, const sim::CoreConfig& cfg,
+                                     int tile_channels, bool double_buffered,
+                                     u32 dma_bytes_per_cycle) {
+  const qnn::ConvSpec& spec = data.spec;
+  if (tile_channels <= 0 || spec.out_c % tile_channels != 0) {
+    throw SimError("tile_channels must divide out_c");
+  }
+  const int tiles = spec.out_c / tile_channels;
+  constexpr addr_t kCodeRegion = 0x6000;
+  constexpr addr_t kDataBase = 0x40000;
+  if (static_cast<u32>(tiles) * kCodeRegion > kDataBase) {
+    throw SimError("too many tiles for the code region layout");
+  }
+
+  // Compact layout: unlike the resident plan, the TCDM only holds the
+  // ping-pong tile buffers -- the full weight image stays in L2. This is
+  // what makes layers whose weights exceed the 512 kB TCDM runnable.
+  ConvMemLayout layout = ConvMemLayout::plan(spec, v, kDataBase);
+  const u32 tile_bytes = static_cast<u32>(tile_channels) * layout.filter_stride;
+  {
+    const u32 resident = layout.filter_stride * static_cast<u32>(spec.out_c);
+    const u32 pingpong = 2 * tile_bytes;
+    const u32 saved = (resident - pingpong + 15u) & ~15u;
+    if (pingpong < resident) {
+      layout.thresholds -= saved;
+      layout.buf0 -= saved;
+      layout.buf1 -= saved;
+      layout.output -= saved;
+    }
+  }
+  const addr_t buf[2] = {layout.weights, layout.weights + tile_bytes};
+  if (layout.output + layout.output_bytes > mem::Memory::kDefaultSize) {
+    throw SimError("layer does not fit the TCDM even when streamed");
+  }
+
+  // Generate one program per tile, reading weights from its buffer.
+  std::vector<ConvKernel> programs;
+  for (int t = 0; t < tiles; ++t) {
+    ConvGenOptions o;
+    o.code_base = static_cast<addr_t>(t) * kCodeRegion;
+    o.ch_begin = t * tile_channels;
+    o.ch_end = (t + 1) * tile_channels;
+    o.weights_base_override = buf[t % 2];
+    o.layout = &layout;
+    o.pixel_block = (spec.out_w() % 2 == 0) ? 2 : 1;
+    programs.push_back(kernels::generate_conv_kernel(spec, v, kDataBase, o));
+  }
+
+  // External L2 holds the full packed weight image.
+  const auto w_bytes = qnn::pack_filter_bank(data.weights, spec.w_bits);
+  mem::Memory l2(static_cast<u32>((w_bytes.size() + 0xfffu) & ~0xfffu));
+  l2.write_block(0, w_bytes);
+
+  mem::Memory tcdm;
+  tcdm.write_block(layout.input, qnn::pack_tensor(data.input, spec.in_bits));
+  if (spec.out_bits != 8) {
+    tcdm.write_block(layout.thresholds, data.thresholds.serialize());
+  }
+  for (const auto& k : programs) k.program.load(tcdm);
+
+  Udma dma(l2, tcdm, dma_bytes_per_cycle);
+  sim::Core core(tcdm, cfg);
+
+  StreamedConvResult res;
+  res.tiles = tiles;
+  res.macs = spec.macs();
+
+  std::vector<cycles_t> compute(static_cast<size_t>(tiles), 0);
+  std::vector<cycles_t> dma_dur(static_cast<size_t>(tiles), 0);
+  for (int t = 0; t < tiles; ++t) {
+    // Functionally: transfer tile t, then run its program. (With double
+    // buffering the transfer of tile t overlaps tile t-1's compute; the
+    // ping-pong buffers make the functional order equivalent.)
+    dma_dur[static_cast<size_t>(t)] =
+        dma.copy_in(static_cast<u32>(t * tile_channels) * layout.filter_stride,
+                    buf[t % 2], tile_bytes);
+    const cycles_t before = core.perf().cycles;
+    core.reset(programs[static_cast<size_t>(t)].program.entry());
+    if (core.run() != sim::HaltReason::kEcall) {
+      throw SimError("streamed tile did not complete");
+    }
+    compute[static_cast<size_t>(t)] = core.perf().cycles - before;
+  }
+
+  for (int t = 0; t < tiles; ++t) {
+    res.compute_cycles += compute[static_cast<size_t>(t)];
+    res.dma_cycles += dma_dur[static_cast<size_t>(t)];
+  }
+  if (double_buffered) {
+    // Prologue loads tile 0; tile t's compute overlaps tile t+1's DMA.
+    res.makespan = dma_dur[0];
+    for (int t = 0; t < tiles; ++t) {
+      const cycles_t next_dma =
+          (t + 1 < tiles) ? dma_dur[static_cast<size_t>(t + 1)] : 0;
+      res.makespan += std::max(compute[static_cast<size_t>(t)], next_dma);
+    }
+  } else {
+    res.makespan = res.compute_cycles + res.dma_cycles;
+  }
+
+  std::vector<u8> out_bytes(layout.output_bytes);
+  tcdm.read_block(layout.output, out_bytes);
+  res.output = qnn::unpack_tensor(
+      out_bytes, {spec.out_h(), spec.out_w(), spec.out_c}, spec.out_bits,
+      /*is_signed=*/false);
+  return res;
+}
+
+}  // namespace xpulp::soc

@@ -1,0 +1,43 @@
+// Double-buffered weight streaming: run a convolution layer whose weights
+// live in external L2, µDMA-ing one output-channel tile of filters at a
+// time into a TCDM ping-pong buffer while the core computes the previous
+// tile. This is the standard PULP execution scheme for layers that exceed
+// L1, and an extension the paper's SoC (Fig. 5: µDMA + TCDM) enables.
+#pragma once
+
+#include "kernels/conv_layer.hpp"
+#include "soc/udma.hpp"
+
+namespace xpulp::soc {
+
+struct StreamedConvResult {
+  qnn::Tensor output;
+  cycles_t compute_cycles = 0;  // sum of per-tile kernel cycles
+  cycles_t dma_cycles = 0;      // sum of per-tile transfer durations
+  /// Modelled makespan: serial DMA+compute without double buffering, or
+  /// prologue + per-tile max(compute, next DMA) with it.
+  cycles_t makespan = 0;
+  int tiles = 0;
+  u64 macs = 0;
+
+  /// Fraction of DMA time hidden behind compute.
+  double overlap_efficiency() const {
+    const cycles_t serial = compute_cycles + dma_cycles;
+    return serial ? 1.0 - static_cast<double>(makespan) /
+                              static_cast<double>(serial)
+                  : 0.0;
+  }
+};
+
+/// Run the layer with `tile_channels` output channels per DMA tile
+/// (must divide out_c and respect the packing group). When
+/// `double_buffered` is false the DMA and compute serialize (single
+/// buffer), quantifying what the ping-pong scheme buys.
+StreamedConvResult run_conv_streamed(const kernels::ConvLayerData& data,
+                                     kernels::ConvVariant v,
+                                     const sim::CoreConfig& cfg,
+                                     int tile_channels,
+                                     bool double_buffered = true,
+                                     u32 dma_bytes_per_cycle = 4);
+
+}  // namespace xpulp::soc

@@ -1,0 +1,37 @@
+// A loadable program image: a contiguous block of 32-bit instruction words
+// plus an entry point. Produced by the Assembler, consumed by the SoC
+// loader and directly by tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/memory.hpp"
+
+namespace xpulp::xasm {
+
+class Program {
+ public:
+  Program(addr_t base, std::vector<u32> words)
+      : base_(base), words_(std::move(words)) {}
+
+  addr_t base() const { return base_; }
+  addr_t entry() const { return base_; }
+  u32 size_bytes() const { return static_cast<u32>(words_.size() * 4); }
+  u32 size_words() const { return static_cast<u32>(words_.size()); }
+  std::span<const u32> words() const { return words_; }
+
+  /// Copy the image into guest memory at its base address.
+  void load(mem::Memory& mem) const {
+    for (u32 i = 0; i < words_.size(); ++i) {
+      mem.store_u32(base_ + i * 4, words_[i]);
+    }
+  }
+
+ private:
+  addr_t base_;
+  std::vector<u32> words_;
+};
+
+}  // namespace xpulp::xasm

@@ -1,0 +1,514 @@
+#include "xasm/text_asm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "isa/disasm.hpp"
+
+namespace xpulp::xasm {
+
+namespace {
+
+using isa::Mnemonic;
+using isa::SimdFmt;
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+/// Split the operand field on top-level commas (parentheses kept intact).
+std::vector<std::string_view> split_operands(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  int depth = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    if (s[i] == ')') --depth;
+    if (s[i] == ',' && depth == 0) {
+      out.push_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  const auto last = trim(s.substr(start));
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+std::optional<i64> parse_int(std::string_view tok) {
+  tok = trim(tok);
+  bool neg = false;
+  if (!tok.empty() && (tok.front() == '-' || tok.front() == '+')) {
+    neg = tok.front() == '-';
+    tok.remove_prefix(1);
+  }
+  if (tok.empty()) return std::nullopt;
+  int bases = 10;
+  if (tok.size() > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X')) {
+    tok.remove_prefix(2);
+    bases = 16;
+  }
+  u64 v = 0;
+  const auto [p, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v, bases);
+  if (ec != std::errc{} || p != tok.data() + tok.size()) return std::nullopt;
+  const i64 sv = static_cast<i64>(v);
+  return neg ? -sv : sv;
+}
+
+struct Ctx {
+  Assembler& a;
+  unsigned line;
+  std::map<std::string, Assembler::Label, std::less<>>& labels;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw TextAsmError(line, what);
+  }
+
+  u8 reg(std::string_view tok) const {
+    try {
+      return parse_register(tok);
+    } catch (const AsmError& e) {
+      fail(e.what());
+    }
+  }
+
+  i32 imm(std::string_view tok) const {
+    const auto v = parse_int(tok);
+    if (!v) fail("expected an integer, got '" + std::string(tok) + "'");
+    return static_cast<i32>(*v);
+  }
+
+  /// Branch/jump/loop target: a named label (forward references allowed).
+  Assembler::Label target(std::string_view tok) {
+    if (parse_int(tok)) {
+      fail("numeric branch targets are not supported; use a label");
+    }
+    const std::string key(tok);
+    auto it = labels.find(key);
+    if (it == labels.end()) {
+      it = labels.emplace(key, a.new_label()).first;
+    }
+    return it->second;
+  }
+
+  /// Memory operand "imm(reg)" or "imm(reg!)"; returns {reg, imm, postinc}.
+  struct MemOp {
+    u8 base;
+    i32 offset;
+    bool post_increment;
+  };
+  MemOp mem(std::string_view tok) const {
+    const size_t open = tok.find('(');
+    const size_t close = tok.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      fail("expected 'imm(reg)' memory operand, got '" + std::string(tok) + "'");
+    }
+    std::string_view inner = trim(tok.substr(open + 1, close - open - 1));
+    bool post = false;
+    if (!inner.empty() && inner.back() == '!') {
+      post = true;
+      inner = trim(inner.substr(0, inner.size() - 1));
+    }
+    const std::string_view off = trim(tok.substr(0, open));
+    return {reg(inner), off.empty() ? 0 : imm(off), post};
+  }
+};
+
+/// SIMD format suffix: ".b", ".sc.b", ".h", ".n", ".c", ...
+std::optional<SimdFmt> parse_fmt_suffix(std::string_view suffix) {
+  if (suffix == ".b") return SimdFmt::kB;
+  if (suffix == ".sc.b") return SimdFmt::kBSc;
+  if (suffix == ".h") return SimdFmt::kH;
+  if (suffix == ".sc.h") return SimdFmt::kHSc;
+  if (suffix == ".n") return SimdFmt::kN;
+  if (suffix == ".sc.n") return SimdFmt::kNSc;
+  if (suffix == ".c") return SimdFmt::kC;
+  if (suffix == ".sc.c") return SimdFmt::kCSc;
+  return std::nullopt;
+}
+
+std::optional<Mnemonic> parse_pv_op(std::string_view name) {
+  static const std::map<std::string_view, Mnemonic> kOps = {
+      {"add", Mnemonic::kPvAdd},       {"sub", Mnemonic::kPvSub},
+      {"avg", Mnemonic::kPvAvg},       {"avgu", Mnemonic::kPvAvgu},
+      {"max", Mnemonic::kPvMax},       {"maxu", Mnemonic::kPvMaxu},
+      {"min", Mnemonic::kPvMin},       {"minu", Mnemonic::kPvMinu},
+      {"srl", Mnemonic::kPvSrl},       {"sra", Mnemonic::kPvSra},
+      {"sll", Mnemonic::kPvSll},       {"abs", Mnemonic::kPvAbs},
+      {"and", Mnemonic::kPvAnd},       {"or", Mnemonic::kPvOr},
+      {"xor", Mnemonic::kPvXor},       {"dotup", Mnemonic::kPvDotup},
+      {"dotusp", Mnemonic::kPvDotusp}, {"dotsp", Mnemonic::kPvDotsp},
+      {"sdotup", Mnemonic::kPvSdotup}, {"sdotusp", Mnemonic::kPvSdotusp},
+      {"sdotsp", Mnemonic::kPvSdotsp},
+  };
+  const auto it = kOps.find(name);
+  if (it == kOps.end()) return std::nullopt;
+  return it->second;
+}
+
+void emit_instruction(Ctx& c, std::string_view mnem_raw,
+                      const std::vector<std::string_view>& ops) {
+  Assembler& a = c.a;
+  const std::string m = lower(mnem_raw);
+  auto need = [&](size_t n) {
+    if (ops.size() != n) {
+      c.fail("'" + m + "' expects " + std::to_string(n) + " operands, got " +
+             std::to_string(ops.size()));
+    }
+  };
+
+  // ---- pseudo-instructions ----
+  if (m == "nop") { need(0); a.nop(); return; }
+  if (m == "ecall" || m == "halt") { need(0); a.ecall(); return; }
+  if (m == "ebreak") { need(0); a.ebreak(); return; }
+  if (m == "fence") { need(0); a.nop(); return; }  // single hart
+  if (m == "ret") { need(0); a.ret(); return; }
+  if (m == "li") { need(2); a.li(c.reg(ops[0]), c.imm(ops[1])); return; }
+  if (m == "mv") { need(2); a.mv(c.reg(ops[0]), c.reg(ops[1])); return; }
+  if (m == "j") { need(1); a.j(c.target(ops[0])); return; }
+
+  // ---- register-register ALU / mul-div / pulp scalar ----
+  using RRR = void (Assembler::*)(u8, u8, u8);
+  static const std::map<std::string, RRR> kRRR = {
+      {"add", &Assembler::add},       {"sub", &Assembler::sub},
+      {"sll", &Assembler::sll},       {"slt", &Assembler::slt},
+      {"sltu", &Assembler::sltu},     {"xor", &Assembler::xor_},
+      {"srl", &Assembler::srl},       {"sra", &Assembler::sra},
+      {"or", &Assembler::or_},        {"and", &Assembler::and_},
+      {"mul", &Assembler::mul},       {"mulh", &Assembler::mulh},
+      {"mulhu", &Assembler::mulhu},   {"div", &Assembler::div},
+      {"divu", &Assembler::divu},     {"rem", &Assembler::rem},
+      {"remu", &Assembler::remu},     {"p.min", &Assembler::p_min},
+      {"p.minu", &Assembler::p_minu}, {"p.max", &Assembler::p_max},
+      {"p.maxu", &Assembler::p_maxu}, {"p.ror", &Assembler::p_ror},
+      {"p.mac", &Assembler::p_mac},   {"p.msu", &Assembler::p_msu},
+  };
+  if (const auto it = kRRR.find(m); it != kRRR.end()) {
+    need(3);
+    (a.*it->second)(c.reg(ops[0]), c.reg(ops[1]), c.reg(ops[2]));
+    return;
+  }
+
+  // ---- unary pulp scalar ----
+  using RR = void (Assembler::*)(u8, u8);
+  static const std::map<std::string, RR> kRR = {
+      {"p.abs", &Assembler::p_abs},     {"p.exths", &Assembler::p_exths},
+      {"p.exthz", &Assembler::p_exthz}, {"p.extbs", &Assembler::p_extbs},
+      {"p.extbz", &Assembler::p_extbz}, {"p.cnt", &Assembler::p_cnt},
+      {"p.ff1", &Assembler::p_ff1},     {"p.fl1", &Assembler::p_fl1},
+      {"p.clb", &Assembler::p_clb},
+  };
+  if (const auto it = kRR.find(m); it != kRR.end()) {
+    need(2);
+    (a.*it->second)(c.reg(ops[0]), c.reg(ops[1]));
+    return;
+  }
+
+  // ---- immediate ALU ----
+  using RRI = void (Assembler::*)(u8, u8, i32);
+  static const std::map<std::string, RRI> kRRI = {
+      {"addi", &Assembler::addi},   {"slti", &Assembler::slti},
+      {"sltiu", &Assembler::sltiu}, {"xori", &Assembler::xori},
+      {"ori", &Assembler::ori},     {"andi", &Assembler::andi},
+  };
+  if (const auto it = kRRI.find(m); it != kRRI.end()) {
+    need(3);
+    (a.*it->second)(c.reg(ops[0]), c.reg(ops[1]), c.imm(ops[2]));
+    return;
+  }
+  if (m == "slli") { need(3); a.slli(c.reg(ops[0]), c.reg(ops[1]), static_cast<u32>(c.imm(ops[2]))); return; }
+  if (m == "srli") { need(3); a.srli(c.reg(ops[0]), c.reg(ops[1]), static_cast<u32>(c.imm(ops[2]))); return; }
+  if (m == "srai") { need(3); a.srai(c.reg(ops[0]), c.reg(ops[1]), static_cast<u32>(c.imm(ops[2]))); return; }
+  if (m == "p.clip") { need(3); a.p_clip(c.reg(ops[0]), c.reg(ops[1]), static_cast<u32>(c.imm(ops[2]))); return; }
+  if (m == "p.clipu") { need(3); a.p_clipu(c.reg(ops[0]), c.reg(ops[1]), static_cast<u32>(c.imm(ops[2]))); return; }
+  if (m == "lui") {
+    need(2);
+    a.lui(c.reg(ops[0]), static_cast<u32>(c.imm(ops[1])) << 12);
+    return;
+  }
+  if (m == "auipc") {
+    need(2);
+    a.auipc(c.reg(ops[0]), static_cast<u32>(c.imm(ops[1])) << 12);
+    return;
+  }
+  if (m == "csrrs") {
+    need(3);
+    a.csrrs(c.reg(ops[0]), static_cast<u32>(c.imm(ops[1])), c.reg(ops[2]));
+    return;
+  }
+
+  // ---- bit manipulation: p.extract rd, rs1, Is3, Is2 ----
+  if (m == "p.extract" || m == "p.extractu" || m == "p.insert" ||
+      m == "p.bclr" || m == "p.bset") {
+    need(4);
+    const u32 is3 = static_cast<u32>(c.imm(ops[2]));
+    const u32 is2 = static_cast<u32>(c.imm(ops[3]));
+    const u32 width = is3 + 1;
+    if (m == "p.extract") a.p_extract(c.reg(ops[0]), c.reg(ops[1]), width, is2);
+    else if (m == "p.extractu") a.p_extractu(c.reg(ops[0]), c.reg(ops[1]), width, is2);
+    else if (m == "p.insert") a.p_insert(c.reg(ops[0]), c.reg(ops[1]), width, is2);
+    else if (m == "p.bclr") a.p_bclr(c.reg(ops[0]), c.reg(ops[1]), width, is2);
+    else a.p_bset(c.reg(ops[0]), c.reg(ops[1]), width, is2);
+    return;
+  }
+
+  // ---- branches ----
+  using BR = void (Assembler::*)(u8, u8, Assembler::Label);
+  static const std::map<std::string, BR> kBranches = {
+      {"beq", &Assembler::beq},   {"bne", &Assembler::bne},
+      {"blt", &Assembler::blt},   {"bge", &Assembler::bge},
+      {"bltu", &Assembler::bltu}, {"bgeu", &Assembler::bgeu},
+  };
+  if (const auto it = kBranches.find(m); it != kBranches.end()) {
+    need(3);
+    (a.*it->second)(c.reg(ops[0]), c.reg(ops[1]), c.target(ops[2]));
+    return;
+  }
+  if (m == "p.beqimm" || m == "p.bneimm") {
+    need(3);
+    if (m == "p.beqimm") {
+      a.p_beqimm(c.reg(ops[0]), c.imm(ops[1]), c.target(ops[2]));
+    } else {
+      a.p_bneimm(c.reg(ops[0]), c.imm(ops[1]), c.target(ops[2]));
+    }
+    return;
+  }
+  if (m == "jal") {
+    need(2);
+    a.jal(c.reg(ops[0]), c.target(ops[1]));
+    return;
+  }
+  if (m == "jalr") {
+    need(2);
+    const auto mo = c.mem(ops[1]);
+    a.jalr(c.reg(ops[0]), mo.base, mo.offset);
+    return;
+  }
+
+  // ---- loads / stores (plain and post-increment) ----
+  static const std::map<std::string, int> kLoads = {
+      {"lb", 0}, {"lh", 1}, {"lw", 2}, {"lbu", 3}, {"lhu", 4},
+      {"p.lb!", 5}, {"p.lh!", 6}, {"p.lw!", 7}, {"p.lbu!", 8}, {"p.lhu!", 9}};
+  if (const auto it = kLoads.find(m); it != kLoads.end()) {
+    need(2);
+    const u8 rd = c.reg(ops[0]);
+    const auto mo = c.mem(ops[1]);
+    switch (it->second) {
+      case 0: a.lb(rd, mo.base, mo.offset); break;
+      case 1: a.lh(rd, mo.base, mo.offset); break;
+      case 2: a.lw(rd, mo.base, mo.offset); break;
+      case 3: a.lbu(rd, mo.base, mo.offset); break;
+      case 4: a.lhu(rd, mo.base, mo.offset); break;
+      case 5: a.p_lb_post(rd, mo.base, mo.offset); break;
+      case 6: a.p_lh_post(rd, mo.base, mo.offset); break;
+      case 7: a.p_lw_post(rd, mo.base, mo.offset); break;
+      case 8: a.p_lbu_post(rd, mo.base, mo.offset); break;
+      case 9: a.p_lhu_post(rd, mo.base, mo.offset); break;
+    }
+    return;
+  }
+  static const std::map<std::string, int> kStores = {
+      {"sb", 0}, {"sh", 1}, {"sw", 2},
+      {"p.sb!", 3}, {"p.sh!", 4}, {"p.sw!", 5}};
+  if (const auto it = kStores.find(m); it != kStores.end()) {
+    need(2);
+    const u8 data = c.reg(ops[0]);
+    const auto mo = c.mem(ops[1]);
+    switch (it->second) {
+      case 0: a.sb(data, mo.base, mo.offset); break;
+      case 1: a.sh(data, mo.base, mo.offset); break;
+      case 2: a.sw(data, mo.base, mo.offset); break;
+      case 3: a.p_sb_post(data, mo.base, mo.offset); break;
+      case 4: a.p_sh_post(data, mo.base, mo.offset); break;
+      case 5: a.p_sw_post(data, mo.base, mo.offset); break;
+    }
+    return;
+  }
+
+  // ---- hardware loops: the loop index is "x0" / "x1" or 0 / 1 ----
+  auto loop_idx = [&](std::string_view tok) -> unsigned {
+    std::string t = lower(tok);
+    if (t == "x0" || t == "0") return 0;
+    if (t == "x1" || t == "1") return 1;
+    c.fail("hardware-loop index must be 0 or 1");
+  };
+  if (m == "lp.setupi") {
+    need(3);
+    a.lp_setupi(loop_idx(ops[0]), static_cast<u32>(c.imm(ops[1])),
+                c.target(ops[2]));
+    return;
+  }
+  if (m == "lp.setup") {
+    need(3);
+    a.lp_setup(loop_idx(ops[0]), c.reg(ops[1]), c.target(ops[2]));
+    return;
+  }
+  if (m == "lp.starti") { need(2); a.lp_starti(loop_idx(ops[0]), c.target(ops[1])); return; }
+  if (m == "lp.endi") { need(2); a.lp_endi(loop_idx(ops[0]), c.target(ops[1])); return; }
+  if (m == "lp.count") { need(2); a.lp_count(loop_idx(ops[0]), c.reg(ops[1])); return; }
+  if (m == "lp.counti") {
+    need(2);
+    a.lp_counti(loop_idx(ops[0]), static_cast<u32>(c.imm(ops[1])));
+    return;
+  }
+
+  // ---- packed SIMD: pv.<op>[.sc].{b,h,n,c} ----
+  if (m.rfind("pv.qnt", 0) == 0) {
+    need(3);
+    const unsigned q = (m == "pv.qnt.n") ? 4 : (m == "pv.qnt.c") ? 2 : 0;
+    if (q == 0) c.fail("pv.qnt needs a .n or .c suffix");
+    // Third operand printed as "(reg)" by the disassembler.
+    std::string_view rs2 = trim(ops[2]);
+    if (!rs2.empty() && rs2.front() == '(' && rs2.back() == ')') {
+      rs2 = trim(rs2.substr(1, rs2.size() - 2));
+    }
+    a.pv_qnt(q, c.reg(ops[0]), c.reg(ops[1]), c.reg(rs2));
+    return;
+  }
+  // Element manipulation: "pv.extract.b rd, rs1, lane" etc.
+  if (m == "pv.extract.b" || m == "pv.extract.h" || m == "pv.extractu.b" ||
+      m == "pv.extractu.h" || m == "pv.insert.b" || m == "pv.insert.h") {
+    need(3);
+    const SimdFmt f = (m.back() == 'b') ? SimdFmt::kB : SimdFmt::kH;
+    const u32 lane = static_cast<u32>(c.imm(ops[2]));
+    if (m.rfind("pv.extractu", 0) == 0) {
+      a.pv_extractu(f, c.reg(ops[0]), c.reg(ops[1]), lane);
+    } else if (m.rfind("pv.extract", 0) == 0) {
+      a.pv_extract(f, c.reg(ops[0]), c.reg(ops[1]), lane);
+    } else {
+      a.pv_insert(f, c.reg(ops[0]), c.reg(ops[1]), lane);
+    }
+    return;
+  }
+  if (m == "pv.shuffle.b" || m == "pv.shuffle.h") {
+    need(3);
+    a.pv_shuffle(m.back() == 'b' ? SimdFmt::kB : SimdFmt::kH, c.reg(ops[0]),
+                 c.reg(ops[1]), c.reg(ops[2]));
+    return;
+  }
+  if (m == "pv.pack.h") {
+    need(3);
+    a.pv_pack_h(c.reg(ops[0]), c.reg(ops[1]), c.reg(ops[2]));
+    return;
+  }
+  if (m.rfind("pv.", 0) == 0) {
+    // Find the format suffix: the last 1 or 2 dot-components.
+    for (const size_t cut : {m.rfind(".sc."), m.rfind('.')}) {
+      if (cut == std::string::npos || cut < 3) continue;
+      const auto fmt = parse_fmt_suffix(std::string_view(m).substr(cut));
+      if (!fmt) continue;
+      const auto op = parse_pv_op(std::string_view(m).substr(3, cut - 3));
+      if (!op) break;
+      if (*op == Mnemonic::kPvAbs) {
+        need(2);
+        a.pv_abs(*fmt, c.reg(ops[0]), c.reg(ops[1]));
+      } else {
+        need(3);
+        a.pv_op(*op, *fmt, c.reg(ops[0]), c.reg(ops[1]), c.reg(ops[2]));
+      }
+      return;
+    }
+    c.fail("unknown SIMD instruction '" + m + "'");
+  }
+
+  c.fail("unknown mnemonic '" + m + "'");
+}
+
+}  // namespace
+
+u8 parse_register(std::string_view token) {
+  const std::string t = lower(trim(token));
+  for (unsigned i = 0; i < 32; ++i) {
+    if (t == isa::reg_name(i)) return static_cast<u8>(i);
+  }
+  if (t.size() >= 2 && t[0] == 'x') {
+    const auto v = parse_int(t.substr(1));
+    if (v && *v >= 0 && *v <= 31) return static_cast<u8>(*v);
+  }
+  if (t == "fp") return 8;  // frame-pointer alias for s0
+  throw AsmError("unknown register '" + std::string(token) + "'");
+}
+
+Program assemble_text(std::string_view source, addr_t base) {
+  Assembler a(base);
+  std::map<std::string, Assembler::Label, std::less<>> labels;
+
+  unsigned line_no = 0;
+  size_t pos = 0;
+  while (pos <= source.size()) {
+    const size_t nl = source.find('\n', pos);
+    std::string_view line = source.substr(
+        pos, nl == std::string_view::npos ? source.size() - pos : nl - pos);
+    pos = (nl == std::string_view::npos) ? source.size() + 1 : nl + 1;
+    ++line_no;
+
+    // Strip comments.
+    for (const auto marker : {std::string_view("#"), std::string_view("//")}) {
+      const size_t at = line.find(marker);
+      if (at != std::string_view::npos) line = line.substr(0, at);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    Ctx ctx{a, line_no, labels};
+
+    // Leading labels ("name:"), possibly followed by an instruction.
+    while (true) {
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view name = trim(line.substr(0, colon));
+      if (name.empty() ||
+          name.find_first_of(" \t(),") != std::string_view::npos) {
+        break;  // a ':' inside an operand, not a label
+      }
+      const std::string key(name);
+      auto it = labels.find(key);
+      if (it == labels.end()) {
+        it = labels.emplace(key, a.new_label()).first;
+      }
+      try {
+        a.bind(it->second);
+      } catch (const AsmError& e) {
+        ctx.fail(e.what());
+      }
+      line = trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) continue;
+
+    // Mnemonic = first whitespace-delimited token.
+    const size_t sp = line.find_first_of(" \t");
+    const std::string_view mnem =
+        sp == std::string_view::npos ? line : line.substr(0, sp);
+    const std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : trim(line.substr(sp));
+    try {
+      emit_instruction(ctx, mnem, split_operands(rest));
+    } catch (const TextAsmError&) {
+      throw;
+    } catch (const AsmError& e) {
+      ctx.fail(e.what());
+    }
+  }
+  return a.finish();
+}
+
+}  // namespace xpulp::xasm

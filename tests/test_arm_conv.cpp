@@ -1,0 +1,98 @@
+// CMSIS-NN-style ARM convolution kernels vs the golden model, plus the
+// performance relationships Fig. 8 relies on.
+#include <gtest/gtest.h>
+
+#include "armv7e/cmsis_conv.hpp"
+
+namespace xpulp::armv7e {
+namespace {
+
+using kernels::ConvLayerData;
+using qnn::ConvSpec;
+
+ConvSpec spec(unsigned bits, int h = 6, int w = 6, int cin = 16, int cout = 8) {
+  ConvSpec s;
+  s.in_h = h;
+  s.in_w = w;
+  s.in_c = cin;
+  s.out_c = cout;
+  s.in_bits = s.w_bits = s.out_bits = bits;
+  return s;
+}
+
+struct ArmCase {
+  unsigned bits;
+  ArmModel model;
+};
+
+class ArmConv : public ::testing::TestWithParam<ArmCase> {};
+
+TEST_P(ArmConv, BitExactVsGolden) {
+  const auto [bits, model] = GetParam();
+  const auto data = ConvLayerData::random(spec(bits), 0xa31 + bits);
+  const auto res = run_conv_layer_arm(data, model);
+  const auto gold = data.golden();
+  ASSERT_EQ(res.output.shape(), gold.shape());
+  int bad = 0;
+  for (int i = 0; i < gold.elems(); ++i) {
+    if (res.output.flat(i) != gold.flat(i)) ++bad;
+  }
+  EXPECT_EQ(bad, 0);
+  EXPECT_EQ(res.macs, data.spec.macs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidthsBothCores, ArmConv,
+    ::testing::Values(ArmCase{8, ArmModel::kCortexM4},
+                      ArmCase{8, ArmModel::kCortexM7},
+                      ArmCase{4, ArmModel::kCortexM4},
+                      ArmCase{4, ArmModel::kCortexM7},
+                      ArmCase{2, ArmModel::kCortexM4},
+                      ArmCase{2, ArmModel::kCortexM7}),
+    [](const ::testing::TestParamInfo<ArmCase>& info) {
+      return std::string("b") + std::to_string(info.param.bits) +
+             (info.param.model == ArmModel::kCortexM4 ? "_m4" : "_m7");
+    });
+
+TEST(ArmConv, M7IsFasterThanM4InCycles) {
+  for (unsigned bits : {8u, 4u, 2u}) {
+    const auto data = ConvLayerData::random(spec(bits), 77);
+    const auto m4 = run_conv_layer_arm(data, ArmModel::kCortexM4);
+    const auto m7 = run_conv_layer_arm(data, ArmModel::kCortexM7);
+    EXPECT_LT(m7.perf.cycles, m4.perf.cycles) << bits;
+    EXPECT_GT(m7.perf.dual_issued_pairs, 0u);
+  }
+}
+
+TEST(ArmConv, SubByteCostsMoreCyclesPerMacThan8Bit) {
+  // Without sub-byte SIMD, quantization below 8 bits does not speed ARM up
+  // (the paper's core observation).
+  const auto d8 = ConvLayerData::random(spec(8), 5);
+  const auto d4 = ConvLayerData::random(spec(4), 5);
+  const auto r8 = run_conv_layer_arm(d8, ArmModel::kCortexM4);
+  const auto r4 = run_conv_layer_arm(d4, ArmModel::kCortexM4);
+  EXPECT_LT(r4.macs_per_cycle(), r8.macs_per_cycle());
+}
+
+TEST(ArmConv, PointwiseLayerWorks) {
+  auto s = spec(4);
+  s.k_h = s.k_w = 1;
+  s.pad = 0;
+  s.in_c = 32;
+  const auto data = ConvLayerData::random(s, 6);
+  const auto res = run_conv_layer_arm(data, ArmModel::kCortexM4);
+  const auto gold = data.golden();
+  for (int i = 0; i < gold.elems(); ++i) {
+    ASSERT_EQ(res.output.flat(i), gold.flat(i));
+  }
+}
+
+TEST(ArmConv, SmladDominatesTheInstructionMix) {
+  const auto data = ConvLayerData::random(spec(8), 8);
+  const auto res = run_conv_layer_arm(data, ArmModel::kCortexM4);
+  // 2 MACs per SMLAD: the MAC count tracks the layer's MAC total.
+  EXPECT_GE(res.perf.macs * 2, res.macs);
+}
+
+}  // namespace
+}  // namespace xpulp::armv7e

@@ -1,0 +1,219 @@
+// ARMv7E-M model: DSP instruction semantics and the M4/M7 timing rules.
+#include <gtest/gtest.h>
+
+#include "armv7e/arm_asm.hpp"
+#include "armv7e/arm_core.hpp"
+
+namespace xpulp::armv7e {
+namespace {
+
+struct ArmRun {
+  std::array<u32, 16> regs{};
+  ArmPerf perf;
+};
+
+ArmRun run(const std::function<void(ArmAsm&)>& body,
+           ArmModel model = ArmModel::kCortexM4,
+           const std::function<void(mem::Memory&)>& setup = {}) {
+  ArmAsm a;
+  body(a);
+  a.halt();
+  mem::Memory mem(64 * 1024);
+  if (setup) setup(mem);
+  ArmCore core(mem, model);
+  core.load_program(a.finish());
+  core.run();
+  ArmRun r;
+  for (unsigned i = 0; i < 16; ++i) r.regs[i] = core.reg(i);
+  r.perf = core.perf();
+  return r;
+}
+
+TEST(ArmCore, MovImmMaterializes32Bits) {
+  auto r = run([](ArmAsm& a) {
+    a.mov_imm(0, 0xdeadbeefu);
+    a.mov_imm(1, 0x1234u);  // single MOVW
+  });
+  EXPECT_EQ(r.regs[0], 0xdeadbeefu);
+  EXPECT_EQ(r.regs[1], 0x1234u);
+}
+
+TEST(ArmCore, Smlad) {
+  auto r = run([](ArmAsm& a) {
+    a.mov_imm(1, 0x0003'0002u);   // halves (2, 3)
+    a.mov_imm(2, 0xFFFF'0004u);   // halves (4, -1)
+    a.mov_imm(3, 100);
+    a.smlad(0, 1, 2, 3);          // 100 + 2*4 + 3*(-1) = 105
+    a.smuad(4, 1, 2);             // 5
+    a.smlabb(5, 1, 2, 3);         // 100 + 2*4 = 108
+  });
+  EXPECT_EQ(r.regs[0], 105u);
+  EXPECT_EQ(r.regs[4], 5u);
+  EXPECT_EQ(r.regs[5], 108u);
+}
+
+TEST(ArmCore, Sxtb16AndPkh) {
+  auto r = run([](ArmAsm& a) {
+    a.mov_imm(1, 0x85FF7F01u);  // bytes: 01 7F FF 85
+    a.sxtb16(2, 1);             // halves (0x01, 0xFFFF) = (1, -1)
+    a.sxtb16_ror8(3, 1);        // halves (0x7F, 0x85 sext) = (127, -123)
+    a.uxtb16(4, 1);             // (0x01, 0x00FF)
+    a.uxtb16_ror8(5, 1);        // (0x7F, 0x85)
+    a.pkhbt(6, 2, 3);           // (2.h0, 3.h0 << 16)
+    a.pkhtb(7, 3, 2);           // (3.h1, 2.h1)
+  });
+  EXPECT_EQ(r.regs[2], 0xFFFF0001u);
+  EXPECT_EQ(r.regs[3], 0xFF85007Fu);
+  EXPECT_EQ(r.regs[4], 0x00FF0001u);
+  EXPECT_EQ(r.regs[5], 0x0085007Fu);
+  EXPECT_EQ(r.regs[6], 0x007F0001u);
+  EXPECT_EQ(r.regs[7], 0xFF85FFFFu);
+}
+
+TEST(ArmCore, SaturationAndBitfields) {
+  auto r = run([](ArmAsm& a) {
+    a.mov_imm(1, 300);
+    a.usat(2, 1, 8);
+    a.ssat(3, 1, 8);
+    a.mov_imm(4, 0xdeadbeefu);
+    a.ubfx(5, 4, 8, 8);   // 0xbe
+    a.sbfx(6, 4, 8, 8);   // sign-extended 0xbe
+    a.mov_imm(7, 0);
+    a.mov_imm(8, 0x5);
+    a.bfi(7, 8, 4, 4);    // 0x50
+  });
+  EXPECT_EQ(r.regs[2], 255u);
+  EXPECT_EQ(r.regs[3], 127u);
+  EXPECT_EQ(r.regs[5], 0xbeu);
+  EXPECT_EQ(static_cast<i32>(r.regs[6]), static_cast<i32>(0xffffffbe));
+  EXPECT_EQ(r.regs[7], 0x50u);
+}
+
+TEST(ArmCore, LoadStorePostIndex) {
+  auto r = run(
+      [](ArmAsm& a) {
+        a.mov_imm(1, 0x100);
+        a.ldr_post(2, 1, 4);
+        a.ldrb_post(3, 1, 1);
+        a.ldrsh(4, 1, 1);       // offset addressing, no writeback
+        a.mov(5, 1);
+        a.mov_imm(6, 0x77);
+        a.strb_post(6, 1, 1);
+      },
+      ArmModel::kCortexM4,
+      [](mem::Memory& m) {
+        m.store_u32(0x100, 0x11223344u);
+        m.store_u32(0x104, 0x8000a5ffu);
+      });
+  EXPECT_EQ(r.regs[2], 0x11223344u);
+  EXPECT_EQ(r.regs[3], 0xffu);
+  EXPECT_EQ(static_cast<i32>(r.regs[4]), static_cast<i32>(0xffff8000));
+  EXPECT_EQ(r.regs[5], 0x105u);
+}
+
+TEST(ArmCore, ConditionalBranches) {
+  auto r = run([](ArmAsm& a) {
+    a.mov_imm(0, 5);
+    a.mov_imm(1, 0);
+    auto loop = a.here();
+    a.add_imm(1, 1, 3);
+    a.sub_imm(0, 0, 1);
+    a.cmp_imm(0, 0);
+    a.b(AOp::kBne, loop);
+    // Signed vs unsigned comparisons.
+    a.mov_imm(2, 0xffffffffu);  // -1
+    a.mov_imm(3, 1);
+    a.cmp(2, 3);
+    auto sk1 = a.new_label();
+    a.b(AOp::kBlt, sk1);  // signed: taken
+    a.mov_imm(4, 111);    // skipped
+    a.bind(sk1);
+    a.cmp(2, 3);
+    auto sk2 = a.new_label();
+    a.b(AOp::kBlo, sk2);  // unsigned: NOT taken
+    a.mov_imm(5, 222);
+    a.bind(sk2);
+  });
+  EXPECT_EQ(r.regs[1], 15u);
+  EXPECT_EQ(r.regs[4], 0u);
+  EXPECT_EQ(r.regs[5], 222u);
+}
+
+TEST(ArmCore, CallReturn) {
+  auto r = run([](ArmAsm& a) {
+    auto func = a.new_label();
+    auto over = a.new_label();
+    a.mov_imm(0, 1);
+    a.bl(func);
+    a.add_imm(0, 0, 100);
+    a.b(over);
+    a.bind(func);
+    a.add_imm(0, 0, 10);
+    a.bx_lr();
+    a.bind(over);
+  });
+  EXPECT_EQ(r.regs[0], 111u);
+}
+
+TEST(ArmCore, M4TimingLoadsAndBranches) {
+  auto r = run([](ArmAsm& a) {
+    a.mov_imm(1, 0x100);   // 1 cycle (MOVW)
+    a.ldr(2, 1, 0);        // 2 cycles
+    a.add_imm(3, 3, 1);    // 1
+    a.nop();               // 1
+  });
+  // + halt (counted as a branch-class op, 1 cycle untaken... kHalt returns
+  // next pc so not taken): total = 1+2+1+1+1 = 6.
+  EXPECT_EQ(r.perf.cycles, 6u);
+  EXPECT_EQ(r.perf.loads, 1u);
+}
+
+TEST(ArmCore, M7DualIssuesIndependentPairs) {
+  auto body = [](ArmAsm& a) {
+    for (int i = 0; i < 10; ++i) {
+      a.add_imm(1, 1, 1);
+      a.add_imm(2, 2, 1);  // independent: pairable
+    }
+  };
+  auto m4 = run(body, ArmModel::kCortexM4);
+  auto m7 = run(body, ArmModel::kCortexM7);
+  EXPECT_EQ(m4.perf.cycles, 21u);  // 20 + halt
+  EXPECT_EQ(m7.perf.dual_issued_pairs, 10u);
+  EXPECT_LT(m7.perf.cycles, m4.perf.cycles * 6 / 10);
+}
+
+TEST(ArmCore, M7DoesNotPairDependentOrDoubleMemory) {
+  // A serial dependency chain defeats dual issue entirely (each
+  // instruction reads and writes r1).
+  auto dep = run(
+      [](ArmAsm& a) {
+        for (int i = 0; i < 20; ++i) a.add_imm(1, 1, 1);
+      },
+      ArmModel::kCortexM7);
+  EXPECT_EQ(dep.perf.dual_issued_pairs, 0u);
+
+  auto mem2 = run(
+      [](ArmAsm& a) {
+        a.mov_imm(1, 0x100);
+        a.mov_imm(2, 0x200);  // this MOVW pair dual-issues (1 pair)
+        for (int i = 0; i < 4; ++i) {
+          a.ldr(3, 1, 0);
+          a.ldr(4, 2, 0);  // two memory ops never pair with each other
+        }
+      },
+      ArmModel::kCortexM7);
+  EXPECT_EQ(mem2.perf.dual_issued_pairs, 1u);
+}
+
+TEST(ArmCore, BudgetGuard) {
+  ArmAsm a;
+  auto loop = a.here();
+  a.b(loop);  // infinite
+  mem::Memory mem(1024);
+  ArmCore core(mem, ArmModel::kCortexM4);
+  core.load_program(a.finish());
+  EXPECT_THROW(core.run(1000), SimError);
+}
+
+}  // namespace
+}  // namespace xpulp::armv7e

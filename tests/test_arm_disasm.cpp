@@ -1,0 +1,61 @@
+// ARM disassembler output checks.
+#include <gtest/gtest.h>
+
+#include "armv7e/arm_asm.hpp"
+#include "armv7e/arm_disasm.hpp"
+
+namespace xpulp::armv7e {
+namespace {
+
+TEST(ArmDisasm, RegisterNames) {
+  EXPECT_EQ(arm_reg_name(0), "r0");
+  EXPECT_EQ(arm_reg_name(12), "r12");
+  EXPECT_EQ(arm_reg_name(13), "sp");
+  EXPECT_EQ(arm_reg_name(14), "lr");
+  EXPECT_EQ(arm_reg_name(15), "pc");
+}
+
+TEST(ArmDisasm, CoreForms) {
+  ArmAsm a;
+  a.mov_imm(1, 0x12);
+  a.add(2, 1, 3);
+  a.add_imm(2, 2, 4);
+  a.smlad(0, 1, 2, 0);
+  a.sxtb16_ror8(5, 6);
+  a.ldr_post(2, 1, 4);
+  a.str(3, 13, 8);
+  a.cmp_imm(2, 0);
+  auto loop = a.here();
+  a.b(AOp::kBne, loop);
+  a.usat(7, 4, 8);
+  a.ubfx(5, 4, 8, 8);
+  a.bx_lr();
+  const auto prog = a.finish();
+
+  EXPECT_EQ(arm_disassemble(prog[0]), "movw r1, #18");
+  EXPECT_EQ(arm_disassemble(prog[1]), "add r2, r1, r3");
+  EXPECT_EQ(arm_disassemble(prog[2]), "add r2, r2, #4");
+  EXPECT_EQ(arm_disassemble(prog[3]), "smlad r0, r1, r2, r0");
+  EXPECT_EQ(arm_disassemble(prog[4]), "sxtb16,ror#8 r5, r6");
+  EXPECT_EQ(arm_disassemble(prog[5]), "ldr r2, [r1], #4");
+  EXPECT_EQ(arm_disassemble(prog[6]), "str r3, [sp, #8]");
+  EXPECT_EQ(arm_disassemble(prog[7]), "cmp r2, #0");
+  EXPECT_EQ(arm_disassemble(prog[8]), "bne @8");
+  EXPECT_EQ(arm_disassemble(prog[9]), "usat r7, #8, r4");
+  EXPECT_EQ(arm_disassemble(prog[10]), "ubfx r5, r4, #8, #8");
+  EXPECT_EQ(arm_disassemble(prog[11]), "bx lr");
+}
+
+TEST(ArmDisasm, EveryOpHasARendering) {
+  // Sanity: no op renders to an empty or "?" string.
+  for (u16 op = 0; op <= static_cast<u16>(AOp::kHalt); ++op) {
+    AInstr in;
+    in.op = static_cast<AOp>(op);
+    const auto s = arm_disassemble(in);
+    EXPECT_FALSE(s.empty());
+    EXPECT_NE(s[0], '?');
+  }
+}
+
+}  // namespace
+}  // namespace xpulp::armv7e

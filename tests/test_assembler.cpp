@@ -1,0 +1,142 @@
+// Assembler: label resolution, pseudo-instruction expansion, error
+// handling, and program image loading.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/decoder.hpp"
+#include "sim_test_util.hpp"
+
+namespace xpulp::xasm {
+namespace {
+
+namespace r = reg;
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  Assembler a(0);
+  auto back = a.here();        // address 0
+  a.nop();                     // 0
+  auto fwd = a.new_label();
+  a.beq(r::a0, r::a1, fwd);    // 4: forward offset +8
+  a.nop();                     // 8
+  a.bind(fwd);                 // 12
+  a.j(back);                   // 12: backward offset -12
+  Program p = a.finish();
+  const auto b = isa::decode(p.words()[1], 4);
+  EXPECT_EQ(b.imm, 8);
+  const auto j = isa::decode(p.words()[3], 12);
+  EXPECT_EQ(j.imm, -12);
+}
+
+TEST(Assembler, LiExpansion) {
+  // Small immediates: single addi. Large: lui + addi with carry fix.
+  {
+    Assembler a(0);
+    a.li(r::a0, 42);
+    EXPECT_EQ(a.instruction_count(), 1u);
+  }
+  {
+    Assembler a(0);
+    a.li(r::a0, -2048);
+    EXPECT_EQ(a.instruction_count(), 1u);
+  }
+  {
+    Assembler a(0);
+    a.li(r::a0, 0x12345678);
+    EXPECT_EQ(a.instruction_count(), 2u);
+  }
+  {
+    Assembler a(0);
+    a.li(r::a0, 0x12345000);  // low part zero: lui only
+    EXPECT_EQ(a.instruction_count(), 1u);
+  }
+}
+
+class LiValues : public ::testing::TestWithParam<i32> {};
+
+TEST_P(LiValues, MaterializesExactValue) {
+  const i32 v = GetParam();
+  auto res = test::run_program([&](Assembler& a) { a.li(r::a0, v); });
+  EXPECT_EQ(res.regs[r::a0], static_cast<u32>(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, LiValues,
+    ::testing::Values(0, 1, -1, 2047, 2048, -2048, -2049, 0x7ff, 0x800,
+                      0xfff, 0x1000, static_cast<i32>(0x80000000),
+                      0x7fffffff, static_cast<i32>(0xfffff800),
+                      static_cast<i32>(0xdeadbeef), 123456789));
+
+TEST(Assembler, ErrorsOnUnboundLabel) {
+  Assembler a(0);
+  auto l = a.new_label();
+  a.beq(r::a0, r::a1, l);
+  EXPECT_THROW(a.finish(), AsmError);
+}
+
+TEST(Assembler, ErrorsOnDoubleBind) {
+  Assembler a(0);
+  auto l = a.new_label();
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), AsmError);
+}
+
+TEST(Assembler, ErrorsOnDoubleFinish) {
+  Assembler a(0);
+  a.nop();
+  a.finish();
+  EXPECT_THROW(a.finish(), AsmError);
+}
+
+TEST(Assembler, ErrorsOnMisalignedBase) {
+  EXPECT_THROW(Assembler(2), AsmError);
+}
+
+TEST(Assembler, ErrorsOnBadOperands) {
+  Assembler a(0);
+  EXPECT_THROW(a.lui(r::a0, 0x123), AsmError);         // low bits set
+  EXPECT_THROW(a.p_extract(r::a0, r::a1, 0, 0), AsmError);   // zero width
+  EXPECT_THROW(a.p_extract(r::a0, r::a1, 8, 30), AsmError);  // overflows 32
+  EXPECT_THROW(a.lp_setupi(0, 32, a.new_label()), AsmError); // count > 31
+  EXPECT_THROW(a.pv_qnt(3, r::a0, r::a1, r::a2), AsmError);  // bad width
+}
+
+TEST(Assembler, NonZeroBaseRelocatesBranches) {
+  Assembler a(0x400);
+  auto l = a.new_label();
+  a.j(l);
+  a.nop();
+  a.bind(l);
+  Program p = a.finish();
+  EXPECT_EQ(p.base(), 0x400u);
+  const auto j = isa::decode(p.words()[0], 0x400);
+  EXPECT_EQ(j.imm, 8);  // offsets stay relative
+}
+
+TEST(Assembler, ProgramLoadsIntoMemory) {
+  Assembler a(0x100);
+  a.li(r::a0, 7);
+  a.ecall();
+  Program p = a.finish();
+  mem::Memory m(4096);
+  p.load(m);
+  EXPECT_EQ(m.load_u32(0x100), p.words()[0]);
+  EXPECT_EQ(p.size_bytes(), p.size_words() * 4);
+
+  sim::Core core(m);
+  core.reset(p.entry());
+  core.run();
+  EXPECT_EQ(core.reg(r::a0), 7u);
+}
+
+TEST(Assembler, CurrentAddrTracksEmission) {
+  Assembler a(0x20);
+  EXPECT_EQ(a.current_addr(), 0x20u);
+  a.nop();
+  a.nop();
+  EXPECT_EQ(a.current_addr(), 0x28u);
+  a.li(r::a0, 0x12345678);  // two instructions
+  EXPECT_EQ(a.current_addr(), 0x30u);
+}
+
+}  // namespace
+}  // namespace xpulp::xasm

@@ -1,0 +1,112 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace xpulp {
+namespace {
+
+TEST(Bitops, BitsExtractsInclusiveRange) {
+  EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+  EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+  EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+  EXPECT_EQ(bits(0xffffffff, 0, 0), 1u);
+}
+
+TEST(Bitops, LowMaskEdges) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(31), 0x7fffffffu);
+  EXPECT_EQ(low_mask(32), 0xffffffffu);
+}
+
+TEST(Bitops, SignExtend) {
+  EXPECT_EQ(sign_extend(0xf, 4), -1);
+  EXPECT_EQ(sign_extend(0x7, 4), 7);
+  EXPECT_EQ(sign_extend(0x8, 4), -8);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xffff, 16), -1);
+  EXPECT_EQ(sign_extend(0x8000'0000u, 32), std::numeric_limits<i32>::min());
+}
+
+TEST(Bitops, InsertBitsRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const u32 v = rng.next_u32();
+    const unsigned width = 1 + rng.next_u32() % 32;
+    const unsigned lo = rng.next_u32() % (33 - width);
+    const u32 field = rng.next_u32() & low_mask(width);
+    const u32 merged = insert_bits(v, field, lo, width);
+    EXPECT_EQ(bits(merged, lo + width - 1, lo), field);
+    // Bits outside the field are untouched.
+    const u32 mask = ~(low_mask(width) << lo);
+    EXPECT_EQ(merged & mask, v & mask);
+  }
+}
+
+TEST(Bitops, Saturation) {
+  EXPECT_EQ(sat_signed(200, 8), 127);
+  EXPECT_EQ(sat_signed(-200, 8), -128);
+  EXPECT_EQ(sat_signed(5, 8), 5);
+  EXPECT_EQ(sat_signed(i64{1} << 40, 32), std::numeric_limits<i32>::max());
+  EXPECT_EQ(sat_unsigned(-1, 8), 0u);
+  EXPECT_EQ(sat_unsigned(300, 8), 255u);
+  EXPECT_EQ(sat_unsigned(300, 16), 300u);
+}
+
+TEST(Bitops, Rotate) {
+  EXPECT_EQ(rotr32(0x80000001u, 1), 0xC0000000u);
+  EXPECT_EQ(rotr32(0x12345678u, 0), 0x12345678u);
+  EXPECT_EQ(rotr32(0x12345678u, 32), 0x12345678u);
+  EXPECT_EQ(rotr32(0x12345678u, 8), 0x78123456u);
+}
+
+TEST(Bitops, FindFirstLastOne) {
+  EXPECT_EQ(find_first_one(0), 32u);
+  EXPECT_EQ(find_last_one(0), 32u);
+  EXPECT_EQ(find_first_one(0x8), 3u);
+  EXPECT_EQ(find_last_one(0x8), 3u);
+  EXPECT_EQ(find_first_one(0xffffffffu), 0u);
+  EXPECT_EQ(find_last_one(0xffffffffu), 31u);
+}
+
+TEST(Bitops, CountLeadingRedundantSign) {
+  EXPECT_EQ(count_leading_redundant_sign(0), 0u);
+  EXPECT_EQ(count_leading_redundant_sign(0xffffffffu), 31u);
+  EXPECT_EQ(count_leading_redundant_sign(1), 30u);
+  EXPECT_EQ(count_leading_redundant_sign(0x7fffffffu), 0u);
+}
+
+TEST(Bitops, HammingDistance) {
+  EXPECT_EQ(hamming_distance(0, 0), 0u);
+  EXPECT_EQ(hamming_distance(0, 0xffffffffu), 32u);
+  EXPECT_EQ(hamming_distance(0b1010, 0b0101), 4u);
+}
+
+TEST(Bitops, Alignment) {
+  EXPECT_TRUE(is_aligned(0, 4));
+  EXPECT_TRUE(is_aligned(4, 4));
+  EXPECT_FALSE(is_aligned(2, 4));
+  EXPECT_TRUE(is_aligned(2, 2));
+  EXPECT_FALSE(is_aligned(3, 2));
+  EXPECT_TRUE(is_aligned(3, 1));
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const i32 v = r.uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+    const i32 s = r.signed_bits(4);
+    EXPECT_GE(s, -8);
+    EXPECT_LE(s, 7);
+    EXPECT_LE(r.unsigned_bits(4), 15u);
+  }
+}
+
+}  // namespace
+}  // namespace xpulp

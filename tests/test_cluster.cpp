@@ -1,0 +1,194 @@
+// Cluster model: bank arbitration, event-driven multi-core execution, and
+// the row-partitioned parallel convolution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/parallel_conv.hpp"
+#include "xasm/assembler.hpp"
+
+namespace xpulp::cluster {
+namespace {
+
+namespace r = xasm::reg;
+using kernels::ConvLayerData;
+using kernels::ConvVariant;
+
+TEST(BankArbiter, NoConflictOnDistinctBanks) {
+  BankArbiter arb(4);
+  EXPECT_EQ(arb.access(0, 10, 0x00), 0u);  // bank 0
+  EXPECT_EQ(arb.access(1, 10, 0x04), 0u);  // bank 1
+  EXPECT_EQ(arb.access(2, 10, 0x08), 0u);  // bank 2
+  EXPECT_EQ(arb.conflicts(), 0u);
+}
+
+TEST(BankArbiter, SameBankSameCycleStalls) {
+  BankArbiter arb(4);
+  EXPECT_EQ(arb.access(0, 10, 0x00), 0u);
+  EXPECT_EQ(arb.access(1, 10, 0x10), 1u);  // 0x10 -> bank 0 again
+  EXPECT_EQ(arb.conflicts(), 1u);
+  // A third core in the same cycle queues behind both.
+  EXPECT_EQ(arb.access(2, 10, 0x20), 2u);
+  EXPECT_EQ(arb.conflicts(), 2u);
+}
+
+TEST(BankArbiter, SameCoreBackToBackIsFree) {
+  BankArbiter arb(4);
+  EXPECT_EQ(arb.access(0, 10, 0x00), 0u);
+  EXPECT_EQ(arb.access(0, 10, 0x10), 0u);  // same core re-uses its port
+  EXPECT_EQ(arb.access(0, 11, 0x00), 0u);
+  EXPECT_EQ(arb.conflicts(), 0u);
+}
+
+TEST(BankArbiter, WordInterleaving) {
+  BankArbiter arb(8);
+  // Consecutive words land in consecutive banks.
+  for (u32 w = 0; w < 8; ++w) {
+    EXPECT_EQ(arb.access(0, 5, w * 4), 0u);
+  }
+  EXPECT_EQ(arb.conflicts(), 0u);
+}
+
+TEST(Cluster, IndependentProgramsRunToCompletion) {
+  ClusterConfig cfg;
+  cfg.num_cores = 4;
+  Cluster cluster(cfg);
+  std::vector<xasm::Program> progs;
+  for (int c = 0; c < 4; ++c) {
+    xasm::Assembler a(static_cast<addr_t>(c) * 0x1000);
+    a.li(r::a0, c + 1);
+    a.li(r::t0, 100 * (c + 1));  // different runtimes per core
+    auto loop = a.here();
+    a.addi(r::t0, r::t0, -1);
+    a.bne(r::t0, r::zero, loop);
+    a.li(r::t1, 0x30000 + c * 4);
+    a.sw(r::a0, r::t1, 0);
+    a.ecall();
+    progs.push_back(a.finish());
+  }
+  cluster.load(progs);
+  const auto stats = cluster.run();
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(cluster.memory().load_u32(0x30000 + static_cast<u32>(c) * 4),
+              static_cast<u32>(c + 1));
+  }
+  // Makespan is the slowest core; core 3 loops 4x longer than core 0.
+  EXPECT_EQ(stats.makespan, stats.core_cycles[3]);
+  EXPECT_GT(stats.core_cycles[3], stats.core_cycles[0] * 3);
+}
+
+TEST(Cluster, ConflictsAriseOnSharedHotBank) {
+  // All cores hammer the same word: every cycle only one proceeds.
+  ClusterConfig cfg;
+  cfg.num_cores = 4;
+  Cluster cluster(cfg);
+  std::vector<xasm::Program> progs;
+  for (int c = 0; c < 4; ++c) {
+    xasm::Assembler a(static_cast<addr_t>(c) * 0x1000);
+    a.li(r::s0, 0x30000);
+    for (int i = 0; i < 64; ++i) a.lw(r::a0, r::s0, 0);
+    a.ecall();
+    progs.push_back(a.finish());
+  }
+  cluster.load(progs);
+  const auto stats = cluster.run();
+  EXPECT_GT(stats.bank_conflicts, 100u);
+  EXPECT_GT(stats.conflict_rate(), 0.3);
+}
+
+TEST(Cluster, RejectsBadConfigs) {
+  ClusterConfig cfg;
+  cfg.num_cores = 0;
+  EXPECT_THROW(Cluster{cfg}, SimError);
+  Cluster ok;
+  EXPECT_THROW(ok.load({}), SimError);  // wrong program count
+}
+
+struct ParCase {
+  unsigned bits;
+  int cores;
+};
+
+class ParallelConv : public ::testing::TestWithParam<ParCase> {};
+
+TEST_P(ParallelConv, BitExactAndFaster) {
+  const auto [bits, cores] = GetParam();
+  qnn::ConvSpec spec;
+  spec.in_h = spec.in_w = 8;
+  spec.in_c = 16;
+  spec.out_c = 8;
+  spec.in_bits = spec.w_bits = spec.out_bits = bits;
+  const auto data = ConvLayerData::random(spec, 0xc1u + bits);
+  const auto gold = data.golden();
+  const ConvVariant v = (bits == 8) ? ConvVariant::kXpulpV2_8b
+                                    : ConvVariant::kXpulpNN_HwQ;
+
+  ClusterConfig cfg;
+  cfg.num_cores = cores;
+  const auto res = run_parallel_conv(data, v, cfg);
+  int bad = 0;
+  for (int i = 0; i < gold.elems(); ++i) {
+    if (gold.flat(i) != res.output.flat(i)) ++bad;
+  }
+  EXPECT_EQ(bad, 0);
+
+  if (cores > 1) {
+    ClusterConfig one;
+    one.num_cores = 1;
+    const auto single = run_parallel_conv(data, v, one);
+    const double speedup = static_cast<double>(single.stats.makespan) /
+                           static_cast<double>(res.stats.makespan);
+    // Near-linear row partitioning, capped by the number of output rows
+    // (extra cores idle once every row has an owner).
+    const int effective = std::min(cores, spec.out_h());
+    EXPECT_GT(speedup, 0.7 * effective);
+    EXPECT_LT(res.stats.conflict_rate(), 0.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelConv,
+    ::testing::Values(ParCase{4, 1}, ParCase{4, 2}, ParCase{4, 4},
+                      ParCase{4, 8}, ParCase{2, 4}, ParCase{8, 4},
+                      ParCase{2, 8}, ParCase{4, 16}),
+    [](const ::testing::TestParamInfo<ParCase>& info) {
+      return "b" + std::to_string(info.param.bits) + "_c" +
+             std::to_string(info.param.cores);
+    });
+
+TEST(ParallelConv, UnevenRowSplitCoversAllRows) {
+  // 8 output rows over 3 cores: shares 3/3/2.
+  qnn::ConvSpec spec;
+  spec.in_h = spec.in_w = 8;
+  spec.in_c = 16;
+  spec.out_c = 4;
+  spec.in_bits = spec.w_bits = spec.out_bits = 4;
+  const auto data = ConvLayerData::random(spec, 9);
+  ClusterConfig cfg;
+  cfg.num_cores = 3;
+  const auto res = run_parallel_conv(data, ConvVariant::kXpulpNN_HwQ, cfg);
+  const auto gold = data.golden();
+  for (int i = 0; i < gold.elems(); ++i) {
+    ASSERT_EQ(res.output.flat(i), gold.flat(i)) << i;
+  }
+}
+
+TEST(ParallelConv, MoreCoresThanRows) {
+  // 4 output rows over 8 cores: four cores idle, still bit-exact.
+  qnn::ConvSpec spec;
+  spec.in_h = spec.in_w = 4;
+  spec.in_c = 16;
+  spec.out_c = 4;
+  spec.in_bits = spec.w_bits = spec.out_bits = 4;
+  const auto data = ConvLayerData::random(spec, 10);
+  ClusterConfig cfg;
+  cfg.num_cores = 8;
+  const auto res = run_parallel_conv(data, ConvVariant::kXpulpNN_HwQ, cfg);
+  const auto gold = data.golden();
+  for (int i = 0; i < gold.elems(); ++i) {
+    ASSERT_EQ(res.output.flat(i), gold.flat(i));
+  }
+}
+
+}  // namespace
+}  // namespace xpulp::cluster

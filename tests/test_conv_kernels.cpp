@@ -1,0 +1,188 @@
+// End-to-end kernel integration: every variant on every legal core and
+// bitwidth must reproduce the golden layer bit-exactly, across layer
+// geometries (padding patterns, channel counts, pointwise convs).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "kernels/conv_layer.hpp"
+
+namespace xpulp::kernels {
+namespace {
+
+using qnn::ConvSpec;
+
+struct Case {
+  ConvSpec spec;
+  ConvVariant variant;
+  bool extended_core;
+  const char* name;
+};
+
+ConvSpec spec(unsigned bits, int h, int w, int cin, int cout, int k = 3,
+              int pad = 1, int stride = 1) {
+  ConvSpec s;
+  s.in_h = h;
+  s.in_w = w;
+  s.in_c = cin;
+  s.out_c = cout;
+  s.k_h = s.k_w = k;
+  s.pad = pad;
+  s.stride = stride;
+  s.in_bits = s.w_bits = s.out_bits = bits;
+  return s;
+}
+
+std::vector<Case> cases() {
+  std::vector<Case> v;
+  // 8-bit on both cores.
+  v.push_back({spec(8, 6, 6, 8, 4), ConvVariant::kXpulpV2_8b, true, "v8_ext"});
+  v.push_back({spec(8, 6, 6, 8, 4), ConvVariant::kXpulpV2_8b, false, "v8_base"});
+  v.push_back({spec(8, 4, 4, 4, 2), ConvVariant::kXpulpV2_8b, true, "v8_tiny"});
+  // 4-bit, all three kernel flavours.
+  v.push_back({spec(4, 6, 6, 16, 8), ConvVariant::kXpulpNN_HwQ, true, "n4_hw"});
+  v.push_back({spec(4, 6, 6, 16, 8), ConvVariant::kXpulpNN_SwQ, true, "n4_sw"});
+  v.push_back({spec(4, 6, 6, 16, 8), ConvVariant::kXpulpV2_Sub, false, "n4_basesub"});
+  v.push_back({spec(4, 6, 6, 16, 8), ConvVariant::kXpulpV2_SubShf, false, "n4_baseshf"});
+  // 2-bit.
+  v.push_back({spec(2, 6, 6, 16, 8), ConvVariant::kXpulpNN_HwQ, true, "c2_hw"});
+  v.push_back({spec(2, 6, 6, 16, 8), ConvVariant::kXpulpNN_SwQ, true, "c2_sw"});
+  v.push_back({spec(2, 6, 6, 16, 8), ConvVariant::kXpulpV2_Sub, false, "c2_basesub"});
+  // Pointwise (1x1, no padding) and larger channel counts.
+  v.push_back({spec(4, 4, 4, 32, 8, 1, 0), ConvVariant::kXpulpNN_HwQ, true, "n4_1x1"});
+  v.push_back({spec(2, 4, 4, 32, 8, 1, 0), ConvVariant::kXpulpNN_HwQ, true, "c2_1x1"});
+  v.push_back({spec(8, 4, 4, 16, 6, 1, 0), ConvVariant::kXpulpV2_8b, true, "v8_1x1"});
+  // Stride-2 downsampling conv.
+  v.push_back({spec(4, 8, 8, 8, 4, 3, 1, 2), ConvVariant::kXpulpNN_HwQ, true, "n4_s2"});
+  return v;
+}
+
+class ConvKernelMatchesGolden : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ConvKernelMatchesGolden, BitExact) {
+  const Case& c = GetParam();
+  const auto cfg = c.extended_core ? sim::CoreConfig::extended()
+                                   : sim::CoreConfig::ri5cy();
+  const auto data = ConvLayerData::random(c.spec, 0xfeed + c.spec.in_bits);
+  const auto res = run_conv_layer(data, c.variant, cfg);
+  const auto gold = data.golden();
+  ASSERT_EQ(res.output.shape(), gold.shape());
+  int mismatches = 0;
+  for (int i = 0; i < gold.elems(); ++i) {
+    if (res.output.flat(i) != gold.flat(i)) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_EQ(res.macs, c.spec.macs());
+  EXPECT_GT(res.perf.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ConvKernelMatchesGolden,
+                         ::testing::ValuesIn(cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(ConvKernels, HwQuantIsFasterThanSwQuant) {
+  const auto s = spec(4, 6, 6, 16, 8);
+  const auto data = ConvLayerData::random(s, 9);
+  const auto hw = run_conv_layer(data, ConvVariant::kXpulpNN_HwQ,
+                                 sim::CoreConfig::extended());
+  const auto sw = run_conv_layer(data, ConvVariant::kXpulpNN_SwQ,
+                                 sim::CoreConfig::extended());
+  EXPECT_LT(hw.perf.cycles, sw.perf.cycles);
+  // Both quantization flavours attribute nonzero cycles.
+  EXPECT_GT(hw.quant_cycles, 0u);
+  EXPECT_GT(sw.quant_cycles, hw.quant_cycles);
+  EXPECT_GT(hw.perf.qnt_ops, 0u);
+  EXPECT_EQ(sw.perf.qnt_ops, 0u);
+}
+
+TEST(ConvKernels, ExtensionSpeedupOrdering) {
+  // XpulpNN sub-byte kernels must beat the packed baseline by a wide
+  // margin, and 2-bit must beat 4-bit which must beat 8-bit (Fig. 6).
+  const auto d8 = ConvLayerData::random(spec(8, 6, 6, 16, 8), 1);
+  const auto d4 = ConvLayerData::random(spec(4, 6, 6, 16, 8), 1);
+  const auto d2 = ConvLayerData::random(spec(2, 6, 6, 16, 8), 1);
+  const auto ext = sim::CoreConfig::extended();
+  const auto base = sim::CoreConfig::ri5cy();
+  const auto c8 = run_conv_layer(d8, ConvVariant::kXpulpV2_8b, ext).perf.cycles;
+  const auto c4 = run_conv_layer(d4, ConvVariant::kXpulpNN_HwQ, ext).perf.cycles;
+  const auto c2 = run_conv_layer(d2, ConvVariant::kXpulpNN_HwQ, ext).perf.cycles;
+  const auto b4 = run_conv_layer(d4, ConvVariant::kXpulpV2_Sub, base).perf.cycles;
+  const auto b2 = run_conv_layer(d2, ConvVariant::kXpulpV2_Sub, base).perf.cycles;
+  EXPECT_LT(c4, c8);
+  EXPECT_LT(c2, c4);
+  EXPECT_GT(static_cast<double>(b4) / c4, 3.0);
+  EXPECT_GT(static_cast<double>(b2) / c2, 5.0);
+}
+
+TEST(ConvKernels, HardwareLoopsCarryTheInnerLoop) {
+  const auto data = ConvLayerData::random(spec(4, 4, 4, 16, 4), 2);
+  const auto res = run_conv_layer(data, ConvVariant::kXpulpNN_HwQ,
+                                  sim::CoreConfig::extended());
+  // inner hw loop: out_h*out_w/2 pixel pairs * out_c/2 pairs * (iters-1).
+  EXPECT_GT(res.perf.hwloop_backedges,
+            static_cast<u64>(4 * 4 / 2) * (4 / 2) * 10);
+  EXPECT_GT(res.perf.dotp_ops[2], 0u);  // nibble region exercised
+}
+
+TEST(ConvKernels, UnsupportedVariantThrows) {
+  const auto data = ConvLayerData::random(spec(4, 4, 4, 8, 4), 3);
+  EXPECT_THROW(run_conv_layer(data, ConvVariant::kXpulpNN_HwQ,
+                              sim::CoreConfig::ri5cy()),
+               SimError);
+}
+
+TEST(ConvKernels, ShuffleUnpackBeatsNaiveButNotTheExtension) {
+  const auto data = ConvLayerData::random(spec(4, 6, 6, 16, 8), 12);
+  const auto ext = run_conv_layer(data, ConvVariant::kXpulpNN_HwQ,
+                                  sim::CoreConfig::extended());
+  const auto naive = run_conv_layer(data, ConvVariant::kXpulpV2_Sub,
+                                    sim::CoreConfig::ri5cy());
+  const auto shf = run_conv_layer(data, ConvVariant::kXpulpV2_SubShf,
+                                  sim::CoreConfig::ri5cy());
+  EXPECT_LT(shf.perf.cycles, naive.perf.cycles);
+  EXPECT_GT(static_cast<double>(shf.perf.cycles),
+            2.0 * static_cast<double>(ext.perf.cycles));
+  // The ablation is 4-bit only.
+  const auto d2 = ConvLayerData::random(spec(2, 6, 6, 16, 8), 13);
+  EXPECT_THROW(run_conv_layer(d2, ConvVariant::kXpulpV2_SubShf,
+                              sim::CoreConfig::ri5cy()),
+               SimError);
+}
+
+TEST(ConvKernels, GeneratorRejectsBadGeometry) {
+  // Odd output width.
+  auto s = spec(4, 5, 5, 16, 8, 3, 0);
+  EXPECT_THROW(generate_conv_kernel(s, ConvVariant::kXpulpNN_HwQ), SimError);
+  // Channel block not word-aligned for 4-bit (in_c * 4 % 32 != 0).
+  s = spec(4, 6, 6, 4, 8);
+  EXPECT_THROW(generate_conv_kernel(s, ConvVariant::kXpulpNN_HwQ), SimError);
+  // Mismatched variant/bitwidth.
+  s = spec(8, 6, 6, 8, 4);
+  EXPECT_THROW(generate_conv_kernel(s, ConvVariant::kXpulpNN_HwQ), SimError);
+}
+
+TEST(ConvKernels, MemLayoutIsDisjointAndOrdered) {
+  const auto s = qnn::ConvSpec::paper_layer(4);
+  const auto l = ConvMemLayout::plan(s, ConvVariant::kXpulpNN_HwQ, 0x40000);
+  EXPECT_LT(l.input, l.weights);
+  EXPECT_LT(l.weights, l.thresholds);
+  EXPECT_LT(l.thresholds, l.buf0);
+  EXPECT_LT(l.buf0, l.buf1);
+  EXPECT_LT(l.buf1, l.output);
+  EXPECT_EQ(l.filter_stride, 144u);
+  EXPECT_EQ(l.output_bytes, 16u * 16 * 64 / 2);
+  // Everything fits in the 512 kB TCDM.
+  EXPECT_LT(l.output + l.output_bytes, 512u * 1024u);
+}
+
+TEST(ConvKernels, DifferentSeedsDifferentDataSameShape) {
+  const auto s = spec(4, 4, 4, 8, 4);
+  const auto a = ConvLayerData::random(s, 1);
+  const auto b = ConvLayerData::random(s, 2);
+  EXPECT_NE(a.input.data(), b.input.data());
+  EXPECT_EQ(ConvLayerData::random(s, 1).input.data(), a.input.data());
+}
+
+}  // namespace
+}  // namespace xpulp::kernels

@@ -1,0 +1,190 @@
+// Semantics of the RV32I base ISA on the core model.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace xpulp {
+namespace {
+
+namespace r = xasm::reg;
+using test::run_program;
+
+TEST(Rv32i, ArithmeticImmediates) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, 100);
+    a.addi(r::a1, r::a0, -42);     // 58
+    a.slti(r::a2, r::a0, 101);     // 1
+    a.slti(r::a3, r::a0, -5);      // 0
+    a.sltiu(r::a4, r::a0, 101);    // 1
+    a.xori(r::a5, r::a0, 0xff);    // 155
+    a.ori(r::a6, r::a0, 0x0f);     // 111
+    a.andi(r::a7, r::a0, 0x0f);    // 4
+  });
+  EXPECT_EQ(res.regs[r::a1], 58u);
+  EXPECT_EQ(res.regs[r::a2], 1u);
+  EXPECT_EQ(res.regs[r::a3], 0u);
+  EXPECT_EQ(res.regs[r::a4], 1u);
+  EXPECT_EQ(res.regs[r::a5], 155u);
+  EXPECT_EQ(res.regs[r::a6], 111u);
+  EXPECT_EQ(res.regs[r::a7], 4u);
+}
+
+TEST(Rv32i, ShiftSemantics) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, -8);
+    a.srai(r::a1, r::a0, 1);  // -4
+    a.srli(r::a2, r::a0, 1);  // 0x7ffffffc
+    a.slli(r::a3, r::a0, 4);  // -128
+    a.li(r::t0, 33);          // shift amounts use the low 5 bits
+    a.sll(r::a4, r::a0, r::t0);
+    a.sra(r::a5, r::a0, r::t0);
+    a.srl(r::a6, r::a0, r::t0);
+  });
+  EXPECT_EQ(static_cast<i32>(res.regs[r::a1]), -4);
+  EXPECT_EQ(res.regs[r::a2], 0x7ffffffcu);
+  EXPECT_EQ(static_cast<i32>(res.regs[r::a3]), -128);
+  EXPECT_EQ(static_cast<i32>(res.regs[r::a4]), -16);
+  EXPECT_EQ(static_cast<i32>(res.regs[r::a5]), -4);
+  EXPECT_EQ(res.regs[r::a6], 0x7ffffffcu);
+}
+
+TEST(Rv32i, RegisterZeroIsHardwired) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.addi(r::zero, r::zero, 42);
+    a.li(r::a0, 7);
+    a.add(r::zero, r::a0, r::a0);
+    a.mv(r::a1, r::zero);
+  });
+  EXPECT_EQ(res.regs[0], 0u);
+  EXPECT_EQ(res.regs[r::a1], 0u);
+}
+
+TEST(Rv32i, LuiAuipc) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.lui(r::a0, 0xdead0000u);
+    a.auipc(r::a1, 0x1000);  // pc of this instruction is 4
+  });
+  EXPECT_EQ(res.regs[r::a0], 0xdead0000u);
+  EXPECT_EQ(res.regs[r::a1], 0x1004u);
+}
+
+TEST(Rv32i, BranchesAllConditions) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, -1);
+    a.li(r::a1, 1);
+    a.li(r::s0, 0);  // result bitmask of taken branches
+    auto t1 = a.new_label();
+    a.blt(r::a0, r::a1, t1);     // signed: -1 < 1 taken
+    a.ori(r::s0, r::s0, 1);      // skipped
+    a.bind(t1);
+    auto t2 = a.new_label();
+    a.bltu(r::a0, r::a1, t2);    // unsigned: 0xffffffff < 1 NOT taken
+    a.ori(r::s0, r::s0, 2);      // executed
+    a.bind(t2);
+    auto t3 = a.new_label();
+    a.bge(r::a1, r::a0, t3);     // taken
+    a.ori(r::s0, r::s0, 4);
+    a.bind(t3);
+    auto t4 = a.new_label();
+    a.bgeu(r::a0, r::a1, t4);    // taken (unsigned)
+    a.ori(r::s0, r::s0, 8);
+    a.bind(t4);
+    auto t5 = a.new_label();
+    a.beq(r::a0, r::a0, t5);
+    a.ori(r::s0, r::s0, 16);
+    a.bind(t5);
+    auto t6 = a.new_label();
+    a.bne(r::a0, r::a0, t6);     // not taken
+    a.ori(r::s0, r::s0, 32);
+    a.bind(t6);
+  });
+  EXPECT_EQ(res.regs[r::s0], 2u | 32u);
+}
+
+TEST(Rv32i, JalJalrLinkage) {
+  auto res = run_program([](xasm::Assembler& a) {
+    auto func = a.new_label();
+    auto done = a.new_label();
+    a.li(r::a0, 1);
+    a.jal(r::ra, func);
+    a.addi(r::a0, r::a0, 100);  // executed after return
+    a.j(done);
+    a.bind(func);
+    a.addi(r::a0, r::a0, 10);
+    a.ret();
+    a.bind(done);
+  });
+  EXPECT_EQ(res.regs[r::a0], 111u);
+  EXPECT_EQ(res.perf.jumps, 3u);  // jal + jalr(ret) + j
+}
+
+TEST(Rv32i, LoadStoreAllWidths) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::s0, 0x1000);
+    a.li(r::a0, -2);               // 0xfffffffe
+    a.sw(r::a0, r::s0, 0);
+    a.lb(r::a1, r::s0, 0);         // sign-extended 0xfe -> -2
+    a.lbu(r::a2, r::s0, 0);        // 0xfe
+    a.lh(r::a3, r::s0, 0);         // -2
+    a.lhu(r::a4, r::s0, 0);        // 0xfffe
+    a.lw(r::a5, r::s0, 0);
+    a.li(r::a6, 0x77);
+    a.sb(r::a6, r::s0, 1);
+    a.lw(r::a7, r::s0, 0);         // 0xffff77fe
+    a.sh(r::a6, r::s0, 2);
+    a.lw(r::t0, r::s0, 0);         // 0x007777fe? -> 0x0077 77fe
+  });
+  EXPECT_EQ(static_cast<i32>(res.regs[r::a1]), -2);
+  EXPECT_EQ(res.regs[r::a2], 0xfeu);
+  EXPECT_EQ(static_cast<i32>(res.regs[r::a3]), -2);
+  EXPECT_EQ(res.regs[r::a4], 0xfffeu);
+  EXPECT_EQ(res.regs[r::a5], 0xfffffffeu);
+  EXPECT_EQ(res.regs[r::a7], 0xffff77feu);
+  EXPECT_EQ(res.regs[r::t0], 0x007777feu);
+}
+
+TEST(Rv32i, MemoryFaultPropagates) {
+  EXPECT_THROW(run_program([](xasm::Assembler& a) {
+                 a.li(r::a0, 0x7ffffff0);
+                 a.lw(r::a1, r::a0, 0);
+               }),
+               MemoryFault);
+}
+
+TEST(Rv32i, CsrCycleAndInstret) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.nop();
+    a.nop();
+    a.csrrs(r::a0, 0xB00, r::zero);  // mcycle
+    a.csrrs(r::a1, 0xB02, r::zero);  // minstret
+    a.csrrs(r::a2, 0xF14, r::zero);  // mhartid
+  });
+  EXPECT_GE(res.regs[r::a0], 2u);
+  EXPECT_GE(res.regs[r::a1], 2u);
+  EXPECT_EQ(res.regs[r::a2], 0u);
+}
+
+TEST(Rv32i, EbreakHalts) {
+  auto res = run_program([](xasm::Assembler& a) { a.ebreak(); });
+  EXPECT_EQ(res.reason, sim::HaltReason::kEbreak);
+}
+
+TEST(Rv32i, FibonacciLoop) {
+  // A classic integration check: fib(20) with a branch loop.
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, 0);
+    a.li(r::a1, 1);
+    a.li(r::t0, 20);
+    auto loop = a.here();
+    a.add(r::t1, r::a0, r::a1);
+    a.mv(r::a0, r::a1);
+    a.mv(r::a1, r::t1);
+    a.addi(r::t0, r::t0, -1);
+    a.bne(r::t0, r::zero, loop);
+  });
+  EXPECT_EQ(res.regs[r::a0], 6765u);   // fib(20)
+  EXPECT_EQ(res.regs[r::a1], 10946u);  // fib(21)
+}
+
+}  // namespace
+}  // namespace xpulp

@@ -1,0 +1,87 @@
+// RV32M semantics including the specified division corner cases.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace xpulp {
+namespace {
+
+namespace r = xasm::reg;
+using test::run_program;
+
+u32 run_binop(void (xasm::Assembler::*op)(u8, u8, u8), i32 a, i32 b) {
+  auto res = run_program([&](xasm::Assembler& as) {
+    as.li(r::a0, a);
+    as.li(r::a1, b);
+    (as.*op)(r::a2, r::a0, r::a1);
+  });
+  return res.regs[r::a2];
+}
+
+TEST(Rv32m, Mul) {
+  EXPECT_EQ(run_binop(&xasm::Assembler::mul, 7, 6), 42u);
+  EXPECT_EQ(run_binop(&xasm::Assembler::mul, -7, 6),
+            static_cast<u32>(-42));
+  // Low 32 bits on overflow.
+  EXPECT_EQ(run_binop(&xasm::Assembler::mul, 0x10000, 0x10000), 0u);
+}
+
+TEST(Rv32m, MulHigh) {
+  EXPECT_EQ(run_binop(&xasm::Assembler::mulh, -1, -1), 0u);
+  EXPECT_EQ(run_binop(&xasm::Assembler::mulh, 0x40000000, 4), 1u);
+  EXPECT_EQ(run_binop(&xasm::Assembler::mulhu, -1, -1), 0xfffffffeu);
+}
+
+TEST(Rv32m, DivisionBasics) {
+  EXPECT_EQ(run_binop(&xasm::Assembler::div, 42, 7), 6u);
+  EXPECT_EQ(run_binop(&xasm::Assembler::div, -42, 7),
+            static_cast<u32>(-6));
+  EXPECT_EQ(run_binop(&xasm::Assembler::div, 43, -7),
+            static_cast<u32>(-6));  // truncation toward zero
+  EXPECT_EQ(run_binop(&xasm::Assembler::rem, 43, 7), 1u);
+  EXPECT_EQ(run_binop(&xasm::Assembler::rem, -43, 7),
+            static_cast<u32>(-1));  // sign of the dividend
+  EXPECT_EQ(run_binop(&xasm::Assembler::divu, 0x80000000, 2), 0x40000000u);
+  EXPECT_EQ(run_binop(&xasm::Assembler::remu, 10, 3), 1u);
+}
+
+TEST(Rv32m, DivisionByZero) {
+  // RISC-V: q = -1, r = dividend; no trap.
+  EXPECT_EQ(run_binop(&xasm::Assembler::div, 42, 0), 0xffffffffu);
+  EXPECT_EQ(run_binop(&xasm::Assembler::divu, 42, 0), 0xffffffffu);
+  EXPECT_EQ(run_binop(&xasm::Assembler::rem, 42, 0), 42u);
+  EXPECT_EQ(run_binop(&xasm::Assembler::remu, 42, 0), 42u);
+}
+
+TEST(Rv32m, DivisionOverflow) {
+  // INT_MIN / -1: q = INT_MIN, r = 0.
+  EXPECT_EQ(run_binop(&xasm::Assembler::div, std::numeric_limits<i32>::min(), -1),
+            0x80000000u);
+  EXPECT_EQ(run_binop(&xasm::Assembler::rem, std::numeric_limits<i32>::min(), -1),
+            0u);
+}
+
+TEST(Rv32m, TimingMulIsSingleCycleMulhAndDivStall) {
+  auto fast = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, 1234);
+    a.li(r::a1, 5678);
+    a.mul(r::a2, r::a0, r::a1);
+  });
+  auto slow = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, 1234);
+    a.li(r::a1, 5678);
+    a.mulh(r::a2, r::a0, r::a1);
+  });
+  // mulh is a 5-cycle multicycle op on RI5CY -> 4 extra cycles.
+  EXPECT_EQ(slow.perf.cycles - fast.perf.cycles, 4u);
+
+  auto divp = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, 1 << 20);
+    a.li(r::a1, 3);
+    a.divu(r::a2, r::a0, r::a1);
+  });
+  EXPECT_GT(divp.perf.mul_div_stall_cycles, 10u);  // serial divider
+}
+
+}  // namespace
+}  // namespace xpulp

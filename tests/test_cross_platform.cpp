@@ -1,0 +1,91 @@
+// Cross-platform agreement property: the same quantized layer (same packed
+// tensors, same thresholds) must produce the *identical* output on every
+// execution path in the repository -- extended core (hw and sw quant),
+// baseline RI5CY, Cortex-M4, Cortex-M7, the cluster, and the host golden
+// model. This is the strongest end-to-end invariant we have: it crosses
+// two ISAs, three quantization implementations, and five timing models.
+#include <gtest/gtest.h>
+
+#include "armv7e/cmsis_conv.hpp"
+#include "cluster/parallel_conv.hpp"
+#include "kernels/conv_layer.hpp"
+
+namespace xpulp {
+namespace {
+
+using kernels::ConvLayerData;
+using kernels::ConvVariant;
+
+struct Case {
+  unsigned bits;
+  int in_hw, in_c, out_c;
+  u64 seed;
+};
+
+class CrossPlatform : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossPlatform, AllPlatformsAgreeWithGolden) {
+  const auto [bits, in_hw, in_c, out_c, seed] = GetParam();
+  qnn::ConvSpec spec;
+  spec.in_h = spec.in_w = in_hw;
+  spec.in_c = in_c;
+  spec.out_c = out_c;
+  spec.in_bits = spec.w_bits = spec.out_bits = bits;
+  const auto data = ConvLayerData::random(spec, seed);
+  const auto gold = data.golden();
+
+  auto expect_same = [&](const qnn::Tensor& t, const char* who) {
+    ASSERT_EQ(t.shape(), gold.shape()) << who;
+    for (int i = 0; i < gold.elems(); ++i) {
+      ASSERT_EQ(t.flat(i), gold.flat(i)) << who << " elem " << i;
+    }
+  };
+
+  // RISC-V extended core.
+  const ConvVariant ext_v = (bits == 8) ? ConvVariant::kXpulpV2_8b
+                                        : ConvVariant::kXpulpNN_HwQ;
+  expect_same(
+      kernels::run_conv_layer(data, ext_v, sim::CoreConfig::extended()).output,
+      "xpulpnn");
+  if (bits != 8) {
+    expect_same(kernels::run_conv_layer(data, ConvVariant::kXpulpNN_SwQ,
+                                        sim::CoreConfig::extended())
+                    .output,
+                "xpulpnn-swq");
+  }
+
+  // Baseline RI5CY.
+  const ConvVariant base_v = (bits == 8) ? ConvVariant::kXpulpV2_8b
+                                         : ConvVariant::kXpulpV2_Sub;
+  expect_same(
+      kernels::run_conv_layer(data, base_v, sim::CoreConfig::ri5cy()).output,
+      "ri5cy");
+
+  // ARM models.
+  expect_same(armv7e::run_conv_layer_arm(data, armv7e::ArmModel::kCortexM4)
+                  .output,
+              "cortex-m4");
+  expect_same(armv7e::run_conv_layer_arm(data, armv7e::ArmModel::kCortexM7)
+                  .output,
+              "cortex-m7");
+
+  // 4-core cluster.
+  cluster::ClusterConfig ccfg;
+  ccfg.num_cores = 4;
+  expect_same(cluster::run_parallel_conv(data, ext_v, ccfg).output, "cluster");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSeeds, CrossPlatform,
+    ::testing::Values(Case{8, 6, 16, 8, 1}, Case{8, 6, 16, 8, 2},
+                      Case{4, 6, 16, 8, 3}, Case{4, 6, 16, 8, 4},
+                      Case{4, 8, 32, 4, 5}, Case{2, 6, 16, 8, 6},
+                      Case{2, 6, 16, 8, 7}, Case{2, 8, 32, 4, 8}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "b" + std::to_string(info.param.bits) + "_hw" +
+             std::to_string(info.param.in_hw) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace xpulp

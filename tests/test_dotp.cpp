@@ -1,0 +1,175 @@
+// Dot-product unit: all signedness variants and widths vs an independent
+// scalar reference, accumulation semantics, and switching-activity
+// bookkeeping under the power-management knob.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim_test_util.hpp"
+#include "sim/dotp_unit.hpp"
+
+namespace xpulp {
+namespace {
+
+namespace r = xasm::reg;
+using isa::Mnemonic;
+using isa::SimdFmt;
+using test::run_program;
+
+i64 ref_dot(Mnemonic op, SimdFmt fmt, u32 a, u32 b, i32 acc) {
+  const unsigned n = isa::simd_elem_count(fmt);
+  const bool a_signed = (op == Mnemonic::kPvDotsp || op == Mnemonic::kPvSdotsp);
+  const bool b_signed = (op != Mnemonic::kPvDotup && op != Mnemonic::kPvSdotup);
+  const bool accumulate = (op == Mnemonic::kPvSdotup ||
+                           op == Mnemonic::kPvSdotusp ||
+                           op == Mnemonic::kPvSdotsp);
+  const u32 vb = sim::simd_operand_b(b, fmt);
+  i64 s = accumulate ? acc : 0;
+  for (unsigned i = 0; i < n; ++i) {
+    s += static_cast<i64>(sim::simd_extract(a, fmt, i, a_signed)) *
+         static_cast<i64>(sim::simd_extract(vb, fmt, i, b_signed));
+  }
+  return static_cast<i32>(s);
+}
+
+struct DotCase {
+  Mnemonic op;
+  SimdFmt fmt;
+};
+
+class DotProperty : public ::testing::TestWithParam<DotCase> {};
+
+TEST_P(DotProperty, MatchesScalarReferenceOnCore) {
+  const auto [op, fmt] = GetParam();
+  Rng rng(0x5eed);
+  for (int trial = 0; trial < 64; ++trial) {
+    const u32 a = rng.next_u32();
+    const u32 b = rng.next_u32();
+    const i32 acc = static_cast<i32>(rng.next_u32());
+    auto res = run_program([&](xasm::Assembler& as) {
+      as.li(r::a0, static_cast<i32>(a));
+      as.li(r::a1, static_cast<i32>(b));
+      as.li(r::a2, acc);
+      as.pv_op(op, fmt, r::a2, r::a0, r::a1);
+    });
+    ASSERT_EQ(static_cast<i32>(res.regs[r::a2]), ref_dot(op, fmt, a, b, acc))
+        << mnemonic_name(op) << " a=0x" << std::hex << a << " b=0x" << b;
+  }
+}
+
+std::vector<DotCase> dot_cases() {
+  std::vector<DotCase> v;
+  for (SimdFmt f : {SimdFmt::kB, SimdFmt::kBSc, SimdFmt::kH, SimdFmt::kHSc,
+                    SimdFmt::kN, SimdFmt::kNSc, SimdFmt::kC, SimdFmt::kCSc}) {
+    for (Mnemonic m : {Mnemonic::kPvDotup, Mnemonic::kPvDotusp,
+                       Mnemonic::kPvDotsp, Mnemonic::kPvSdotup,
+                       Mnemonic::kPvSdotusp, Mnemonic::kPvSdotsp}) {
+      v.push_back({m, f});
+    }
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, DotProperty, ::testing::ValuesIn(dot_cases()),
+    [](const ::testing::TestParamInfo<DotCase>& info) {
+      std::string n{isa::mnemonic_name(info.param.op)};
+      for (char& c : n) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n + "_f" + std::to_string(static_cast<int>(info.param.fmt));
+    });
+
+TEST(Dotp, KnownValues) {
+  // nibble dotusp: unsigned activations x signed weights.
+  // a = lanes {1..8}? use 0x87654321: lanes 1,2,3,4,5,6,7,8.
+  // b = 0xF1F1F1F1: lanes alternate +1 and -1 (signed nibble 0xF = -1).
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, static_cast<i32>(0x87654321u));
+    a.li(r::a1, static_cast<i32>(0xF1F1F1F1u));
+    a.li(r::a2, 0);
+    a.pv_sdotusp(SimdFmt::kN, r::a2, r::a0, r::a1);
+  });
+  // 1*1 + 2*(-1) + 3*1 + 4*(-1) + 5*1 + 6*(-1) + 7*1 + 8*(-1) = -4
+  EXPECT_EQ(static_cast<i32>(res.regs[r::a2]), -4);
+}
+
+TEST(Dotp, SixteenCrumbsPerOp) {
+  // 2-bit dotup: all lanes 3 (0xFF... unsigned) x all lanes 1.
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, static_cast<i32>(0xFFFFFFFFu));  // 16 lanes of 3
+    a.li(r::a1, static_cast<i32>(0x55555555u));  // 16 lanes of 1
+    a.pv_dotup(SimdFmt::kC, r::a2, r::a0, r::a1);
+  });
+  EXPECT_EQ(res.regs[r::a2], 48u);
+}
+
+TEST(Dotp, AccumulatorChainsAcrossInstructions) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, 0x01010101);  // 4 bytes of 1
+    a.li(r::a1, 0x02020202);  // 4 bytes of 2
+    a.li(r::a2, 1000);
+    a.pv_sdotsp(SimdFmt::kB, r::a2, r::a0, r::a1);  // +8
+    a.pv_sdotsp(SimdFmt::kB, r::a2, r::a0, r::a1);  // +8
+    a.pv_sdotsp(SimdFmt::kB, r::a2, r::a0, r::a1);  // +8
+  });
+  EXPECT_EQ(res.regs[r::a2], 1024u);
+}
+
+TEST(Dotp, PerRegionOpCounters) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.pv_dotsp(SimdFmt::kH, r::a2, r::a0, r::a1);
+    a.pv_dotsp(SimdFmt::kB, r::a2, r::a0, r::a1);
+    a.pv_dotsp(SimdFmt::kB, r::a2, r::a0, r::a1);
+    a.pv_dotsp(SimdFmt::kN, r::a2, r::a0, r::a1);
+    a.pv_dotsp(SimdFmt::kC, r::a2, r::a0, r::a1);
+    a.pv_dotsp(SimdFmt::kC, r::a2, r::a0, r::a1);
+  });
+  EXPECT_EQ(res.perf.dotp_ops[0], 1u);
+  EXPECT_EQ(res.perf.dotp_ops[1], 2u);
+  EXPECT_EQ(res.perf.dotp_ops[2], 1u);
+  EXPECT_EQ(res.perf.dotp_ops[3], 2u);
+  EXPECT_EQ(res.activity.ops[1], 2u);
+}
+
+TEST(Dotp, ClockGatingLimitsToggleScope) {
+  sim::DotpUnit gated(true);
+  // Two ops in the nibble region: only region 2 accumulates toggles.
+  gated.dotp(Mnemonic::kPvDotup, SimdFmt::kN, 0xffffffffu, 0, 0);
+  gated.dotp(Mnemonic::kPvDotup, SimdFmt::kN, 0x00000000u, 0, 0);
+  EXPECT_EQ(gated.activity().operand_toggles[2], 64u);  // 32 + 32
+  EXPECT_EQ(gated.activity().operand_toggles[0], 0u);
+  EXPECT_EQ(gated.activity().operand_toggles[1], 0u);
+  EXPECT_EQ(gated.activity().operand_toggles[3], 0u);
+
+  sim::DotpUnit ungated(false);
+  ungated.broadcast_operands(0xffffffffu, 0);
+  ungated.broadcast_operands(0x00000000u, 0);
+  for (unsigned reg = 0; reg < 4; ++reg) {
+    EXPECT_EQ(ungated.activity().operand_toggles[reg], 64u);
+  }
+}
+
+TEST(Dotp, UngatedCoreBroadcastsEveryInstruction) {
+  auto cfg = sim::CoreConfig::extended();
+  cfg.clock_gating = false;
+  auto res = run_program(
+      [](xasm::Assembler& a) {
+        a.li(r::a0, -1);
+        a.addi(r::a1, r::a0, 0);
+        a.addi(r::a1, r::a0, 0);
+      },
+      cfg);
+  // Operand bus toggles recorded in all four regions, not just one.
+  EXPECT_GT(res.activity.operand_toggles[0], 0u);
+  EXPECT_GT(res.activity.operand_toggles[3], 0u);
+
+  auto res_gated = run_program([](xasm::Assembler& a) {
+    a.li(r::a0, -1);
+    a.addi(r::a1, r::a0, 0);
+    a.addi(r::a1, r::a0, 0);
+  });
+  EXPECT_EQ(res_gated.activity.operand_toggles[0], 0u);
+}
+
+}  // namespace
+}  // namespace xpulp

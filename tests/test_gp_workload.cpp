@@ -1,0 +1,63 @@
+// General-purpose workload (Table III "GP application"): functional
+// checksum and the paper's claim that the extended core runs GP code with
+// identical performance.
+#include <gtest/gtest.h>
+
+#include "kernels/gp_workload.hpp"
+
+namespace xpulp::kernels {
+namespace {
+
+TEST(GpWorkload, ChecksumMatchesHostModel) {
+  const auto w = make_gp_workload();
+  const auto res = run_gp_workload(w, sim::CoreConfig::extended());
+  EXPECT_EQ(res.checksum, w.expected_checksum);
+}
+
+TEST(GpWorkload, SameChecksumAndCyclesOnBaseline) {
+  const auto w = make_gp_workload();
+  const auto ext = run_gp_workload(w, sim::CoreConfig::extended());
+  const auto base = run_gp_workload(w, sim::CoreConfig::ri5cy());
+  EXPECT_EQ(base.checksum, w.expected_checksum);
+  // The extension adds no cycle overhead to general-purpose code.
+  EXPECT_EQ(ext.perf.cycles, base.perf.cycles);
+  EXPECT_EQ(ext.perf.instructions, base.perf.instructions);
+}
+
+TEST(GpWorkload, ClockGatingDoesNotChangeBehaviour) {
+  const auto w = make_gp_workload();
+  auto nopm = sim::CoreConfig::extended();
+  nopm.clock_gating = false;
+  const auto res = run_gp_workload(w, nopm);
+  EXPECT_EQ(res.checksum, w.expected_checksum);
+  const auto pm = run_gp_workload(w, sim::CoreConfig::extended());
+  EXPECT_EQ(res.perf.cycles, pm.perf.cycles);  // power knob, not timing
+}
+
+TEST(GpWorkload, ScalesWithElementCount) {
+  const auto small = make_gp_workload(32);
+  const auto large = make_gp_workload(128);
+  const auto rs = run_gp_workload(small, sim::CoreConfig::extended());
+  const auto rl = run_gp_workload(large, sim::CoreConfig::extended());
+  EXPECT_EQ(rs.checksum, small.expected_checksum);
+  EXPECT_EQ(rl.checksum, large.expected_checksum);
+  // Insertion sort is quadratic: 4x elements >> 4x cycles.
+  EXPECT_GT(rl.perf.cycles, rs.perf.cycles * 4);
+}
+
+TEST(GpWorkload, ExercisesAllInstructionClasses) {
+  const auto w = make_gp_workload();
+  const auto res = run_gp_workload(w, sim::CoreConfig::extended());
+  EXPECT_GT(res.perf.loads, 0u);
+  EXPECT_GT(res.perf.stores, 0u);
+  EXPECT_GT(res.perf.taken_branches, 0u);
+  EXPECT_GT(res.perf.not_taken_branches, 0u);
+  EXPECT_GT(res.perf.mul_ops, 0u);
+  EXPECT_GT(res.perf.scalar_alu_ops, 0u);
+  EXPECT_EQ(res.perf.dotp_ops[0] + res.perf.dotp_ops[1] +
+                res.perf.dotp_ops[2] + res.perf.dotp_ops[3],
+            0u);  // no SIMD in GP code
+}
+
+}  // namespace
+}  // namespace xpulp::kernels

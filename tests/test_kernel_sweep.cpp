@@ -1,0 +1,177 @@
+// Broad property sweep: the kernel generators must stay bit-exact across a
+// grid of layer geometries, bitwidths, kernel sizes, strides and seeds --
+// the combinations a real network zoo would throw at the library.
+#include <gtest/gtest.h>
+
+#include "kernels/conv_layer.hpp"
+#include "qnn/pack.hpp"
+
+namespace xpulp::kernels {
+namespace {
+
+struct SweepCase {
+  unsigned bits;
+  int h, w, cin, cout, k, pad, stride;
+  u64 seed;
+};
+
+qnn::ConvSpec to_spec(const SweepCase& c) {
+  qnn::ConvSpec s;
+  s.in_h = c.h;
+  s.in_w = c.w;
+  s.in_c = c.cin;
+  s.out_c = c.cout;
+  s.k_h = s.k_w = c.k;
+  s.pad = c.pad;
+  s.stride = c.stride;
+  s.in_bits = s.w_bits = s.out_bits = c.bits;
+  return s;
+}
+
+class KernelSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(KernelSweep, ExtendedKernelBitExact) {
+  const auto spec = to_spec(GetParam());
+  const auto data = ConvLayerData::random(spec, GetParam().seed);
+  const ConvVariant v = (spec.out_bits == 8) ? ConvVariant::kXpulpV2_8b
+                                             : ConvVariant::kXpulpNN_HwQ;
+  const auto res = run_conv_layer(data, v, sim::CoreConfig::extended());
+  const auto gold = data.golden();
+  for (int i = 0; i < gold.elems(); ++i) {
+    ASSERT_EQ(res.output.flat(i), gold.flat(i))
+        << "bits=" << spec.out_bits << " elem=" << i;
+  }
+}
+
+std::vector<SweepCase> grid() {
+  std::vector<SweepCase> v;
+  u64 seed = 1;
+  // 3x3 pad-1 stacks at several sizes and channel counts.
+  for (const unsigned bits : {8u, 4u, 2u}) {
+    const int cin_unit = 32 / static_cast<int>(bits) * 2;  // word-aligned
+    for (const int hw : {4, 6, 10}) {
+      for (const int cout : {4, 8}) {
+        v.push_back({bits, hw, hw, cin_unit, cout, 3, 1, 1, seed++});
+      }
+    }
+    // 5x5 kernels, no padding.
+    v.push_back({bits, 8, 8, cin_unit, 4, 5, 0, 1, seed++});
+    // 1x1 pointwise.
+    v.push_back({bits, 6, 6, cin_unit * 2, 8, 1, 0, 1, seed++});
+    // stride 2 downsampling.
+    v.push_back({bits, 8, 8, cin_unit, 4, 3, 1, 2, seed++});
+    // rectangular feature map.
+    v.push_back({bits, 4, 8, cin_unit, 4, 3, 1, 1, seed++});
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KernelSweep, ::testing::ValuesIn(grid()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      const auto& c = info.param;
+      return "b" + std::to_string(c.bits) + "_h" + std::to_string(c.h) + "w" +
+             std::to_string(c.w) + "_ci" + std::to_string(c.cin) + "co" +
+             std::to_string(c.cout) + "_k" + std::to_string(c.k) + "p" +
+             std::to_string(c.pad) + "s" + std::to_string(c.stride);
+    });
+
+// ---- failure injection: the checking machinery must actually detect
+// corruption (a test of the tests). ----
+
+TEST(FailureInjection, CorruptedThresholdsChangeTheOutput) {
+  qnn::ConvSpec s;
+  s.in_h = s.in_w = 6;
+  s.in_c = 16;
+  s.out_c = 8;
+  s.in_bits = s.w_bits = s.out_bits = 4;
+  const auto data = ConvLayerData::random(s, 77);
+  const auto gold = data.golden();
+
+  // Run with a corrupted threshold image: flip the root node of channel 3.
+  ConvKernel kernel = generate_conv_kernel(s, ConvVariant::kXpulpNN_HwQ);
+  mem::Memory mem;
+  kernel.program.load(mem);
+  mem.write_block(kernel.layout.input, qnn::pack_tensor(data.input, 4));
+  mem.write_block(kernel.layout.weights,
+                  qnn::pack_filter_bank(data.weights, 4));
+  auto tbytes = data.thresholds.serialize();
+  tbytes[3 * 32 + 1] ^= 0x40;  // channel 3, root node, high byte
+  mem.write_block(kernel.layout.thresholds, tbytes);
+
+  sim::Core core(mem);
+  core.reset(kernel.program.entry());
+  core.run();
+  std::vector<u8> out(kernel.layout.output_bytes);
+  mem.read_block(kernel.layout.output, out);
+  const auto t = qnn::unpack_tensor(out, {s.out_h(), s.out_w(), s.out_c}, 4,
+                                    false);
+  int diffs = 0;
+  for (int i = 0; i < gold.elems(); ++i) {
+    if (t.flat(i) != gold.flat(i)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);  // corruption is visible...
+  for (int oy = 0; oy < s.out_h(); ++oy) {
+    for (int ox = 0; ox < s.out_w(); ++ox) {
+      for (int oc = 0; oc < s.out_c; ++oc) {
+        if (oc != 3) {
+          // ...and confined to the corrupted channel.
+          ASSERT_EQ(t.at(oy, ox, oc), gold.at(oy, ox, oc));
+        }
+      }
+    }
+  }
+}
+
+TEST(FailureInjection, MemoryContentionChangesTimingNotResults) {
+  qnn::ConvSpec s;
+  s.in_h = s.in_w = 6;
+  s.in_c = 16;
+  s.out_c = 8;
+  s.in_bits = s.w_bits = s.out_bits = 4;
+  const auto data = ConvLayerData::random(s, 78);
+  const auto gold = data.golden();
+
+  ConvKernel kernel = generate_conv_kernel(s, ConvVariant::kXpulpNN_HwQ);
+  mem::Memory mem;
+  kernel.program.load(mem);
+  mem.write_block(kernel.layout.input, qnn::pack_tensor(data.input, 4));
+  mem.write_block(kernel.layout.weights, qnn::pack_filter_bank(data.weights, 4));
+  mem.write_block(kernel.layout.thresholds, data.thresholds.serialize());
+  mem.set_contention_period(3);  // heavy interconnect pressure
+
+  sim::Core core(mem);
+  core.reset(kernel.program.entry());
+  core.run();
+  EXPECT_GT(core.perf().mem_stall_cycles, 1000u);
+
+  std::vector<u8> out(kernel.layout.output_bytes);
+  mem.read_block(kernel.layout.output, out);
+  const auto t = qnn::unpack_tensor(out, {s.out_h(), s.out_w(), s.out_c}, 4,
+                                    false);
+  for (int i = 0; i < gold.elems(); ++i) {
+    ASSERT_EQ(t.flat(i), gold.flat(i));
+  }
+}
+
+TEST(FailureInjection, TruncatedProgramFaults) {
+  // Loading only half the kernel must end in an illegal instruction or a
+  // memory fault, not silent garbage.
+  qnn::ConvSpec s;
+  s.in_h = s.in_w = 4;
+  s.in_c = 16;
+  s.out_c = 4;
+  s.in_bits = s.w_bits = s.out_bits = 4;
+  ConvKernel kernel = generate_conv_kernel(s, ConvVariant::kXpulpNN_HwQ);
+  mem::Memory mem;
+  const auto words = kernel.program.words();
+  for (u32 i = 0; i < kernel.program.size_words() / 2; ++i) {
+    mem.store_u32(i * 4, words[i]);
+  }
+  sim::Core core(mem);
+  core.reset(0);
+  EXPECT_THROW(core.run(), SimError);
+}
+
+}  // namespace
+}  // namespace xpulp::kernels

@@ -1,0 +1,90 @@
+#include "mem/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xpulp::mem {
+namespace {
+
+TEST(Memory, LittleEndianTypedAccess) {
+  Memory m(1024);
+  m.store_u32(0, 0x11223344u);
+  EXPECT_EQ(m.load_u8(0), 0x44u);
+  EXPECT_EQ(m.load_u8(3), 0x11u);
+  EXPECT_EQ(m.load_u16(0), 0x3344u);
+  EXPECT_EQ(m.load_u16(2), 0x1122u);
+  EXPECT_EQ(m.load_u32(0), 0x11223344u);
+  m.store_u16(4, 0xbeefu);
+  m.store_u8(6, 0x7f);
+  EXPECT_EQ(m.load_u32(4), 0x007fbeefu);
+}
+
+TEST(Memory, GenericAccessZeroExtends) {
+  Memory m(64);
+  m.store(0, 0xffffffffu, 1);
+  EXPECT_EQ(m.load(0, 1), 0xffu);
+  EXPECT_EQ(m.load(0, 2), 0xffu);
+  m.store(8, 0xabcd1234u, 2);
+  EXPECT_EQ(m.load(8, 2), 0x1234u);
+}
+
+TEST(Memory, BoundsFaults) {
+  Memory m(16);
+  EXPECT_NO_THROW(m.load_u32(12));
+  EXPECT_THROW(m.load_u32(13), MemoryFault);
+  EXPECT_THROW(m.load_u8(16), MemoryFault);
+  EXPECT_THROW(m.store_u16(15, 0), MemoryFault);
+  EXPECT_THROW(m.load_u32(0xfffffffcu), MemoryFault);
+  try {
+    m.store_u32(20, 1);
+    FAIL();
+  } catch (const MemoryFault& f) {
+    EXPECT_EQ(f.addr(), 20u);
+    EXPECT_EQ(f.size(), 4u);
+    EXPECT_TRUE(f.is_store());
+  }
+}
+
+TEST(Memory, BlockTransfer) {
+  Memory m(64);
+  const std::vector<u8> data{1, 2, 3, 4, 5};
+  m.write_block(10, data);
+  std::vector<u8> back(5);
+  m.read_block(10, back);
+  EXPECT_EQ(back, data);
+  EXPECT_THROW(m.write_block(62, data), MemoryFault);
+  m.fill(0, 0xaa, 4);
+  EXPECT_EQ(m.load_u32(0), 0xaaaaaaaau);
+}
+
+TEST(Memory, AccessStatsAndMisalignment) {
+  Memory m(128);
+  EXPECT_EQ(m.access_cycles(0, 4, false), 0u);   // aligned: no stall
+  EXPECT_EQ(m.access_cycles(2, 4, false), 1u);   // misaligned word
+  EXPECT_EQ(m.access_cycles(1, 2, true), 1u);    // misaligned half
+  EXPECT_EQ(m.access_cycles(3, 1, true), 0u);    // bytes always aligned
+  const MemStats& s = m.stats();
+  EXPECT_EQ(s.loads, 2u);
+  EXPECT_EQ(s.stores, 2u);
+  EXPECT_EQ(s.load_bytes, 8u);
+  EXPECT_EQ(s.store_bytes, 3u);
+  EXPECT_EQ(s.misaligned_accesses, 2u);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().loads, 0u);
+}
+
+TEST(Memory, ContentionInjection) {
+  Memory m(128);
+  m.set_contention_period(3);
+  unsigned stalls = 0;
+  for (int i = 0; i < 9; ++i) stalls += m.access_cycles(0, 4, false);
+  EXPECT_EQ(stalls, 3u);
+  EXPECT_EQ(m.stats().contention_stalls, 3u);
+}
+
+TEST(Memory, DefaultSizeIsPulpissimo) {
+  Memory m;
+  EXPECT_EQ(m.size(), 512u * 1024u);
+}
+
+}  // namespace
+}  // namespace xpulp::mem

@@ -1,0 +1,105 @@
+// Sequential network runner: multi-layer on-device execution with
+// per-layer golden checks, across bitwidths, variants, and cores.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernels/network.hpp"
+
+namespace xpulp::kernels {
+namespace {
+
+qnn::Tensor random_input(qnn::Shape s, unsigned bits, u64 seed) {
+  Rng rng(seed);
+  qnn::Tensor t(s);
+  for (int i = 0; i < t.elems(); ++i) {
+    t.flat(i) = static_cast<i32>(rng.unsigned_bits(bits));
+  }
+  return t;
+}
+
+TEST(Network, ShapePropagation) {
+  Network net({16, 16, 8}, 4, 1);
+  net.conv(16).maxpool().conv(32).maxpool().linear(10);
+  EXPECT_EQ(net.output_shape(), (qnn::Shape{1, 1, 10}));
+  EXPECT_EQ(net.layer_count(), 5);
+}
+
+class NetworkBits : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NetworkBits, FiveLayerStackBitExact) {
+  const unsigned bits = GetParam();
+  Network net({8, 8, 16}, bits, 42);
+  net.conv(16).maxpool().conv(32).maxpool().linear(12);
+  const auto in = random_input({8, 8, 16}, bits, 7);
+  const ConvVariant v =
+      (bits == 8) ? ConvVariant::kXpulpV2_8b : ConvVariant::kXpulpNN_HwQ;
+  const auto res = net.run(in, sim::CoreConfig::extended(), v);
+  EXPECT_TRUE(res.all_matched);
+  ASSERT_EQ(res.layers.size(), 5u);
+  for (const auto& l : res.layers) {
+    EXPECT_TRUE(l.matched_golden) << l.name;
+    EXPECT_GT(l.cycles, 0u);
+  }
+  EXPECT_EQ(res.output.shape(), (qnn::Shape{1, 1, 12}));
+  EXPECT_EQ(res.total_macs,
+            static_cast<u64>(8 * 8 * 16 * 9 * 16) +        // conv0
+                static_cast<u64>(4 * 4 * 32 * 9 * 16) +    // conv2
+                static_cast<u64>(2 * 2 * 32 * 12));        // linear
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NetworkBits, ::testing::Values(8u, 4u, 2u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "b" + std::to_string(info.param);
+                         });
+
+TEST(Network, AvgPoolVariant) {
+  Network net({4, 4, 16}, 4, 3);
+  net.avgpool().conv(8, 1, 0);
+  const auto in = random_input({4, 4, 16}, 4, 9);
+  const auto res = net.run(in, sim::CoreConfig::extended());
+  EXPECT_TRUE(res.all_matched);
+  EXPECT_EQ(res.output.shape(), (qnn::Shape{2, 2, 8}));
+}
+
+TEST(Network, RunsOnBaselineWithSubByteVariant) {
+  Network net({6, 6, 16}, 4, 5);
+  net.conv(8);
+  const auto in = random_input({6, 6, 16}, 4, 5);
+  const auto res =
+      net.run(in, sim::CoreConfig::ri5cy(), ConvVariant::kXpulpV2_Sub);
+  EXPECT_TRUE(res.all_matched);
+}
+
+TEST(Network, SameNetworkFasterOnExtendedCore) {
+  Network net({8, 8, 16}, 2, 11);
+  net.conv(16).maxpool().conv(16);
+  const auto in = random_input({8, 8, 16}, 2, 11);
+  const auto ext = net.run(in, sim::CoreConfig::extended(),
+                           ConvVariant::kXpulpNN_HwQ);
+  const auto base = net.run(in, sim::CoreConfig::ri5cy(),
+                            ConvVariant::kXpulpV2_Sub);
+  EXPECT_TRUE(ext.all_matched);
+  EXPECT_TRUE(base.all_matched);
+  // Outputs agree across ISAs...
+  EXPECT_EQ(ext.output, base.output);
+  // ...and the extension pays off end to end, not just per layer.
+  EXPECT_GT(static_cast<double>(base.total_cycles),
+            4.0 * static_cast<double>(ext.total_cycles));
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  Network net({6, 6, 16}, 4, 21);
+  net.conv(8).maxpool();
+  const auto in = random_input({6, 6, 16}, 4, 2);
+  const auto a = net.run(in, sim::CoreConfig::extended());
+  const auto b = net.run(in, sim::CoreConfig::extended());
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+}
+
+TEST(Network, RejectsBadBits) {
+  EXPECT_THROW(Network({4, 4, 8}, 3, 1), SimError);
+}
+
+}  // namespace
+}  // namespace xpulp::kernels

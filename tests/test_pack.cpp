@@ -1,0 +1,98 @@
+// Sub-byte packing/unpacking round-trips and layout contracts.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "qnn/pack.hpp"
+
+namespace xpulp::qnn {
+namespace {
+
+TEST(Pack, PackedBytesArithmetic) {
+  EXPECT_EQ(packed_bytes(8, 8), 8u);
+  EXPECT_EQ(packed_bytes(8, 4), 4u);
+  EXPECT_EQ(packed_bytes(8, 2), 2u);
+  EXPECT_EQ(packed_bytes(7, 4), 4u);  // rounds up
+  EXPECT_EQ(packed_bytes(1, 2), 1u);
+  EXPECT_EQ(packed_bytes(0, 4), 0u);
+}
+
+TEST(Pack, LaneOrderIsLittleEndianWithinByte) {
+  // Elements {1, 2, 3, 4} at 4 bits: byte0 = 0x21, byte1 = 0x43.
+  const std::vector<i32> v{1, 2, 3, 4};
+  const auto bytes = pack_values(v, 4);
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x21);
+  EXPECT_EQ(bytes[1], 0x43);
+  // 2-bit: {1, 2, 3, 0} -> 0b00111001 = 0x39.
+  const auto b2 = pack_values(std::vector<i32>{1, 2, 3, 0}, 2);
+  EXPECT_EQ(b2[0], 0x39);
+}
+
+TEST(Pack, SignedValuesUseTwosComplement) {
+  const std::vector<i32> v{-1, -8, 7, 0};
+  const auto bytes = pack_values(v, 4);
+  EXPECT_EQ(bytes[0], 0x8f);  // -1 -> 0xf, -8 -> 0x8
+  EXPECT_EQ(bytes[1], 0x07);
+  const auto back = unpack_values(bytes, 4, 4, /*is_signed=*/true);
+  EXPECT_EQ(back, v);
+}
+
+class PackRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PackRoundTrip, UnsignedRoundTrip) {
+  const unsigned bits = GetParam();
+  Rng rng(bits);
+  std::vector<i32> v(257);
+  for (auto& e : v) e = static_cast<i32>(rng.unsigned_bits(bits));
+  const auto bytes = pack_values(v, bits);
+  EXPECT_EQ(bytes.size(), packed_bytes(257, bits));
+  EXPECT_EQ(unpack_values(bytes, 257, bits, false), v);
+}
+
+TEST_P(PackRoundTrip, SignedRoundTrip) {
+  const unsigned bits = GetParam();
+  Rng rng(bits + 100);
+  std::vector<i32> v(64);
+  for (auto& e : v) e = rng.signed_bits(bits);
+  const auto bytes = pack_values(v, bits);
+  EXPECT_EQ(unpack_values(bytes, 64, bits, true), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PackRoundTrip,
+                         ::testing::Values(2u, 4u, 8u));
+
+TEST(Pack, TensorRoundTrip) {
+  Rng rng(5);
+  Tensor t({3, 5, 8});
+  for (int i = 0; i < t.elems(); ++i) {
+    t.flat(i) = static_cast<i32>(rng.unsigned_bits(4));
+  }
+  const auto bytes = pack_tensor(t, 4);
+  const Tensor back = unpack_tensor(bytes, t.shape(), 4, false);
+  EXPECT_EQ(back, t);
+}
+
+TEST(Pack, FilterBankStrideIsWordAligned) {
+  EXPECT_EQ(packed_filter_stride(288, 4), 144u);
+  EXPECT_EQ(packed_filter_stride(288, 2), 72u);
+  EXPECT_EQ(packed_filter_stride(288, 8), 288u);
+  EXPECT_EQ(packed_filter_stride(9, 4), 8u);   // 5 bytes -> padded to 8
+  EXPECT_EQ(packed_filter_stride(9, 8), 12u);  // 9 bytes -> 12
+}
+
+TEST(Pack, FilterBankLayout) {
+  FilterBank f(3, {1, 1, 9});
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 9; ++j) f.flat(i, j) = (i == 1 && j == 0) ? -2 : j % 3;
+  }
+  const auto bytes = pack_filter_bank(f, 4);
+  const u32 stride = packed_filter_stride(9, 4);
+  ASSERT_EQ(bytes.size(), 3 * stride);
+  // Filter 1 starts at its stride boundary; first nibble is -2 = 0xe.
+  EXPECT_EQ(bytes[stride] & 0xf, 0xe);
+  // Padding bytes between filters are zero (acts as zero weights).
+  EXPECT_EQ(bytes[stride - 1], 0);
+}
+
+}  // namespace
+}  // namespace xpulp::qnn

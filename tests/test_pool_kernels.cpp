@@ -1,0 +1,81 @@
+// Pooling kernels: sub-byte SIMD max/avg on the extended core vs the
+// unpack/pool/repack path on the baseline, both bit-exact vs the reference.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernels/pool_gen.hpp"
+#include "qnn/ref_layers.hpp"
+
+namespace xpulp::kernels {
+namespace {
+
+qnn::Tensor random_tensor(qnn::Shape s, unsigned bits, u64 seed) {
+  Rng rng(seed);
+  qnn::Tensor t(s);
+  for (int i = 0; i < t.elems(); ++i) {
+    t.flat(i) = static_cast<i32>(rng.unsigned_bits(bits));
+  }
+  return t;
+}
+
+struct PoolCase {
+  unsigned bits;
+  PoolOp op;
+  bool extended;
+};
+
+class Pool2x2 : public ::testing::TestWithParam<PoolCase> {};
+
+TEST_P(Pool2x2, MatchesReference) {
+  const auto [bits, op, extended] = GetParam();
+  const auto in = random_tensor({8, 8, static_cast<int>(32 / bits) * 2}, bits,
+                                bits * 7 + static_cast<int>(op));
+  const auto cfg = extended ? sim::CoreConfig::extended()
+                            : sim::CoreConfig::ri5cy();
+  const auto res = run_pool2x2(in, bits, op, cfg);
+  const auto gold = (op == PoolOp::kMax) ? qnn::maxpool2x2_ref(in)
+                                         : qnn::avgpool2x2_ref(in);
+  ASSERT_EQ(res.output.shape(), gold.shape());
+  for (int i = 0; i < gold.elems(); ++i) {
+    ASSERT_EQ(res.output.flat(i), gold.flat(i)) << "elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidths, Pool2x2,
+    ::testing::Values(PoolCase{8, PoolOp::kMax, true},
+                      PoolCase{8, PoolOp::kAvg, true},
+                      PoolCase{4, PoolOp::kMax, true},
+                      PoolCase{4, PoolOp::kAvg, true},
+                      PoolCase{2, PoolOp::kMax, true},
+                      PoolCase{2, PoolOp::kAvg, true},
+                      PoolCase{4, PoolOp::kMax, false},
+                      PoolCase{4, PoolOp::kAvg, false},
+                      PoolCase{2, PoolOp::kMax, false},
+                      PoolCase{8, PoolOp::kMax, false}),
+    [](const ::testing::TestParamInfo<PoolCase>& info) {
+      return std::string("b") + std::to_string(info.param.bits) +
+             (info.param.op == PoolOp::kMax ? "_max" : "_avg") +
+             (info.param.extended ? "_ext" : "_base");
+    });
+
+TEST(Pool2x2, SubByteSimdBeatsUnpackRepack) {
+  const auto in = random_tensor({8, 8, 16}, 4, 33);
+  const auto ext = run_pool2x2(in, 4, PoolOp::kMax, sim::CoreConfig::extended());
+  const auto base = run_pool2x2(in, 4, PoolOp::kMax, sim::CoreConfig::ri5cy());
+  EXPECT_GT(static_cast<double>(base.perf.cycles) /
+                static_cast<double>(ext.perf.cycles),
+            3.0);
+}
+
+TEST(Pool2x2, RejectsOddShapes) {
+  const auto in = random_tensor({3, 4, 16}, 4, 1);
+  EXPECT_THROW(run_pool2x2(in, 4, PoolOp::kMax, sim::CoreConfig::extended()),
+               SimError);
+  const auto bad_c = random_tensor({4, 4, 6}, 4, 1);  // 24 bits per pixel
+  EXPECT_THROW(run_pool2x2(bad_c, 4, PoolOp::kMax, sim::CoreConfig::extended()),
+               SimError);
+}
+
+}  // namespace
+}  // namespace xpulp::kernels

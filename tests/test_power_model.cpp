@@ -1,0 +1,157 @@
+// Area/power model: Table III structure, the power-management knob, and
+// the derived efficiency metric used by Figs. 7 and 9.
+#include <gtest/gtest.h>
+
+#include "kernels/conv_layer.hpp"
+#include "kernels/gp_workload.hpp"
+#include "power/power_model.hpp"
+
+namespace xpulp::power {
+namespace {
+
+using kernels::ConvLayerData;
+using kernels::ConvVariant;
+
+TEST(AreaModel, BaselineMatchesCalibration) {
+  const auto t = area_table();
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t[0].ri5cy_um2, 19729.9);
+  EXPECT_DOUBLE_EQ(t[1].ri5cy_um2, 5708.9);
+}
+
+TEST(AreaModel, OverheadsTrackThePaper) {
+  const auto t = area_table();
+  // Total overhead: paper reports 8.59% (no PM) and 11.1% (PM).
+  const double total_nopm = (t[0].ext_nopm_um2 / t[0].ri5cy_um2 - 1) * 100;
+  const double total_pm = (t[0].ext_pm_um2 / t[0].ri5cy_um2 - 1) * 100;
+  EXPECT_NEAR(total_nopm, 8.59, 1.2);
+  EXPECT_NEAR(total_pm, 11.1, 1.2);
+  // dotp unit: 18.3% / 19.9%.
+  EXPECT_NEAR((t[1].ext_nopm_um2 / t[1].ri5cy_um2 - 1) * 100, 18.3, 0.5);
+  EXPECT_NEAR((t[1].ext_pm_um2 / t[1].ri5cy_um2 - 1) * 100, 19.9, 0.5);
+  // Ordering: PM adds registers/gating on top of the no-PM design.
+  for (const auto& row : t) {
+    EXPECT_GT(row.ext_nopm_um2, row.ri5cy_um2);
+    if (row.component != "LSU") {
+      EXPECT_GE(row.ext_pm_um2, row.ext_nopm_um2);
+    }
+  }
+  EXPECT_EQ(core_area(false, true), t[0].ri5cy_um2);
+  EXPECT_EQ(core_area(true, true), t[0].ext_pm_um2);
+}
+
+struct Measured {
+  SocPower pm;
+  SocPower nopm;
+  SocPower baseline;
+  cycles_t cycles = 0;
+  u64 macs = 0;
+};
+
+Measured measure(unsigned bits, ConvVariant v) {
+  Measured m;
+  const auto data = ConvLayerData::random(qnn::ConvSpec::paper_layer(bits), 7);
+  auto run_on = [&](sim::CoreConfig cfg) {
+    const auto r = run_conv_layer(data, v, cfg);
+    m.cycles = r.perf.cycles;
+    m.macs = r.macs;
+    return estimate_power(r.perf, r.activity, r.mem_stats, cfg);
+  };
+  m.pm = run_on(sim::CoreConfig::extended());
+  auto nopm_cfg = sim::CoreConfig::extended();
+  nopm_cfg.clock_gating = false;
+  m.nopm = run_on(nopm_cfg);
+  if (v == ConvVariant::kXpulpV2_8b) {
+    m.baseline = run_on(sim::CoreConfig::ri5cy());
+  }
+  return m;
+}
+
+TEST(PowerModel, TableIIICorePowerCalibration) {
+  const auto m = measure(8, ConvVariant::kXpulpV2_8b);
+  // Paper: RI5CY 1.15 mW, extended+PM 1.22 mW (5.9% overhead) on the 8-bit
+  // MatMul at 250 MHz.
+  EXPECT_NEAR(m.baseline.core.core_mw(), 1.15, 0.06);
+  EXPECT_NEAR(m.pm.core.core_mw(), 1.22, 0.06);
+  const double overhead =
+      (m.pm.core.core_mw() / m.baseline.core.core_mw() - 1) * 100;
+  EXPECT_NEAR(overhead, 5.9, 2.0);
+}
+
+TEST(PowerModel, TableIIISocPowerCalibration) {
+  const auto m8 = measure(8, ConvVariant::kXpulpV2_8b);
+  EXPECT_NEAR(m8.baseline.soc_mw(), 5.93, 0.35);
+  EXPECT_NEAR(m8.pm.soc_mw(), 6.04, 0.35);
+  const auto m4 = measure(4, ConvVariant::kXpulpNN_HwQ);
+  EXPECT_NEAR(m4.pm.soc_mw(), 5.71, 0.40);
+  EXPECT_NEAR(m4.nopm.soc_mw(), 8.14, 0.80);
+  const auto m2 = measure(2, ConvVariant::kXpulpNN_HwQ);
+  EXPECT_NEAR(m2.pm.soc_mw(), 5.87, 0.40);
+  EXPECT_NEAR(m2.nopm.soc_mw(), 8.99, 0.90);
+}
+
+TEST(PowerModel, PowerManagementSavesOnSubByteKernels) {
+  for (unsigned bits : {4u, 2u}) {
+    const auto m = measure(bits, ConvVariant::kXpulpNN_HwQ);
+    EXPECT_GT(m.nopm.soc_mw(), m.pm.soc_mw() * 1.25) << bits;
+  }
+}
+
+TEST(PowerModel, GpApplicationRunsInTheSameEnvelope) {
+  const auto w = kernels::make_gp_workload();
+  auto power_of = [&](sim::CoreConfig cfg) {
+    mem::Memory mem;
+    w.program.load(mem);
+    sim::Core core(mem, cfg);
+    core.reset(w.program.entry());
+    core.run();
+    return estimate_power(core.perf(), core.dotp_unit().activity(),
+                          mem.stats(), cfg);
+  };
+  const double base = power_of(sim::CoreConfig::ri5cy()).soc_mw();
+  const double pm = power_of(sim::CoreConfig::extended()).soc_mw();
+  auto nopm_cfg = sim::CoreConfig::extended();
+  nopm_cfg.clock_gating = false;
+  const double nopm = power_of(nopm_cfg).soc_mw();
+  // Paper: +3.5% with PM, +45.2% without.
+  EXPECT_LT((pm / base - 1) * 100, 6.0);
+  EXPECT_NEAR((nopm / pm - 1) * 100, 45.2, 12.0);
+}
+
+TEST(PowerModel, EfficiencyMetric) {
+  // 1 GMAC in 4 ms at 1 mW -> 2.5e14 MAC/s/W = 250,000 GMAC/s/W.
+  const double eff = gmac_per_s_per_w(1'000'000'000ull, 1'000'000, 1.0);
+  EXPECT_NEAR(eff, 250'000.0, 1e-6);
+  EXPECT_EQ(gmac_per_s_per_w(1, 0, 1.0), 0.0);
+}
+
+TEST(PowerModel, ExtendedCoreWinsEfficiencyOnSubByte) {
+  // Fig. 7: the extended core improves sub-byte energy efficiency by up to
+  // ~9x over the baseline running packed kernels.
+  const auto data2 = ConvLayerData::random(qnn::ConvSpec::paper_layer(2), 7);
+  const auto ext = run_conv_layer(data2, ConvVariant::kXpulpNN_HwQ,
+                                  sim::CoreConfig::extended());
+  const auto base = run_conv_layer(data2, ConvVariant::kXpulpV2_Sub,
+                                   sim::CoreConfig::ri5cy());
+  const auto p_ext = estimate_power(ext.perf, ext.activity, ext.mem_stats,
+                                    sim::CoreConfig::extended());
+  const auto p_base = estimate_power(base.perf, base.activity, base.mem_stats,
+                                     sim::CoreConfig::ri5cy());
+  const double e_ext =
+      gmac_per_s_per_w(ext.macs, ext.perf.cycles, p_ext.soc_mw());
+  const double e_base =
+      gmac_per_s_per_w(base.macs, base.perf.cycles, p_base.soc_mw());
+  EXPECT_GT(e_ext / e_base, 7.0);
+  EXPECT_LT(e_ext / e_base, 12.0);
+  // Peak efficiency in the paper's ballpark (279 GMAC/s/W).
+  EXPECT_NEAR(e_ext, 279.0, 45.0);
+}
+
+TEST(PowerModel, ArmPlatformConstants) {
+  EXPECT_EQ(stm32l4_platform().freq_hz, 80e6);
+  EXPECT_EQ(stm32h7_platform().freq_hz, 400e6);
+  EXPECT_GT(stm32h7_platform().power_mw, stm32l4_platform().power_mw);
+}
+
+}  // namespace
+}  // namespace xpulp::power

@@ -1,0 +1,160 @@
+// Quantization unit (pv.qnt): functional agreement with the staircase
+// reference, the 9-/5-cycle latency contract, the fixed second-tree offset,
+// and memory-stall behaviour on misaligned trees.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "qnn/thresholds.hpp"
+#include "sim_test_util.hpp"
+#include "sim/quant_unit.hpp"
+
+namespace xpulp {
+namespace {
+
+namespace r = xasm::reg;
+using test::run_program;
+
+void write_tree(mem::Memory& mem, addr_t base, const qnn::Thresholds& t) {
+  const auto& e = t.eytzinger();
+  for (size_t i = 0; i < e.size(); ++i) {
+    mem.store_u16(base + static_cast<u32>(i) * 2, static_cast<u16>(e[i]));
+  }
+}
+
+class QuantProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QuantProperty, HardwareWalkEqualsLinearStaircase) {
+  const unsigned q = GetParam();
+  Rng rng(99 + q);
+  mem::Memory mem(4096);
+  sim::QuantUnit unit;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto th = qnn::Thresholds::random(rng, q, -3000, 3000);
+    write_tree(mem, 256, th);
+    const i16 x = static_cast<i16>(rng.uniform(-32768, 32767));
+    EXPECT_EQ(sim::QuantUnit::quantize_one(mem, 256, x, q), th.quantize(x))
+        << "q=" << q << " x=" << x;
+  }
+}
+
+TEST_P(QuantProperty, ExactlyOnThresholdCountsAsAbove) {
+  const unsigned q = GetParam();
+  Rng rng(7);
+  mem::Memory mem(4096);
+  const auto th = qnn::Thresholds::random(rng, q, -100, 100);
+  write_tree(mem, 0, th);
+  for (const i16 t : th.sorted()) {
+    // x == threshold: the staircase counts it (x >= t).
+    EXPECT_EQ(sim::QuantUnit::quantize_one(mem, 0, t, q), th.quantize(t));
+    EXPECT_EQ(th.quantize(t), th.quantize(t - 1) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NibbleAndCrumb, QuantProperty,
+                         ::testing::Values(4u, 2u));
+
+TEST(QuantUnit, DuplicateThresholdsStillRankCorrectly) {
+  // Saturated/duplicated thresholds appear when trained thresholds clamp;
+  // the BST walk must still return the rank.
+  mem::Memory mem(256);
+  const qnn::Thresholds th(2, {5, 5, 5});
+  write_tree(mem, 0, th);
+  EXPECT_EQ(sim::QuantUnit::quantize_one(mem, 0, 4, 2), 0u);
+  EXPECT_EQ(sim::QuantUnit::quantize_one(mem, 0, 5, 2), 3u);
+  EXPECT_EQ(sim::QuantUnit::quantize_one(mem, 0, 6, 2), 3u);
+}
+
+TEST(QuantUnit, LatencyContract) {
+  mem::Memory mem(4096);
+  Rng rng(3);
+  write_tree(mem, 0, qnn::Thresholds::random(rng, 4, -50, 50));
+  write_tree(mem, 32, qnn::Thresholds::random(rng, 4, -50, 50));
+  sim::QuantUnit unit;
+  const auto res4 = unit.execute(mem, 0x00100010u, 0, 4);
+  EXPECT_EQ(res4.cycles, 9u);  // paper: 9 cycles for two 4-bit activations
+  EXPECT_EQ(res4.mem_loads, 8u);
+
+  write_tree(mem, 64, qnn::Thresholds::random(rng, 2, -50, 50));
+  write_tree(mem, 72, qnn::Thresholds::random(rng, 2, -50, 50));
+  const auto res2 = unit.execute(mem, 0x00100010u, 64, 2);
+  EXPECT_EQ(res2.cycles, 5u);  // 5 cycles for two 2-bit activations
+  EXPECT_EQ(res2.mem_loads, 4u);
+}
+
+TEST(QuantUnit, MisalignedTreeAddsMemoryStalls) {
+  mem::Memory mem(4096);
+  Rng rng(5);
+  write_tree(mem, 1, qnn::Thresholds::random(rng, 2, -50, 50));
+  write_tree(mem, 9, qnn::Thresholds::random(rng, 2, -50, 50));
+  sim::QuantUnit unit;
+  const auto res = unit.execute(mem, 0, 1, 2);
+  EXPECT_GT(res.cycles, 5u);  // every halfword fetch splits
+}
+
+TEST(QuantUnit, SecondActivationUsesFixedOffsetTree) {
+  mem::Memory mem(4096);
+  // Tree 0: thresholds {10, 20, 30}; tree 1 at +8 bytes: {-5, 0, 5}.
+  const qnn::Thresholds t0(2, {10, 20, 30});
+  const qnn::Thresholds t1(2, {-5, 0, 5});
+  write_tree(mem, 128, t0);
+  write_tree(mem, 128 + sim::QuantUnit::tree_stride_bytes(2), t1);
+  sim::QuantUnit unit;
+  // act0 = 25 -> rank 2 in t0; act1 = 1 -> rank 2 in t1.
+  const u32 rs1 = (static_cast<u32>(static_cast<u16>(1)) << 16) | 25u;
+  const auto res = unit.execute(mem, rs1, 128, 2);
+  EXPECT_EQ(res.rd & 0x3u, 2u);
+  EXPECT_EQ((res.rd >> 16) & 0x3u, 2u);
+}
+
+TEST(QuantUnit, NegativeActivationsQuantize) {
+  mem::Memory mem(4096);
+  const qnn::Thresholds t(4, {-70, -60, -50, -40, -30, -20, -10, 0, 10, 20,
+                              30, 40, 50, 60, 70});
+  write_tree(mem, 0, t);
+  EXPECT_EQ(sim::QuantUnit::quantize_one(mem, 0, -100, 4), 0u);
+  EXPECT_EQ(sim::QuantUnit::quantize_one(mem, 0, -55, 4), 2u);
+  EXPECT_EQ(sim::QuantUnit::quantize_one(mem, 0, 0, 4), 8u);
+  EXPECT_EQ(sim::QuantUnit::quantize_one(mem, 0, 100, 4), 15u);
+}
+
+TEST(QuantUnit, PvQntInstructionEndToEnd) {
+  // Full pipeline: core executes pv.qnt.n against trees in guest memory.
+  Rng rng(11);
+  const auto th0 = qnn::Thresholds::random(rng, 4, -500, 500);
+  const auto th1 = qnn::Thresholds::random(rng, 4, -500, 500);
+  const i16 act0 = -123, act1 = 456;
+  auto res = run_program(
+      [&](xasm::Assembler& a) {
+        a.li(r::a0, static_cast<i32>((static_cast<u32>(static_cast<u16>(act1))
+                                      << 16) |
+                                     static_cast<u16>(act0)));
+        a.li(r::a1, 0x2000);
+        a.pv_qnt(4, r::a2, r::a0, r::a1);
+      },
+      sim::CoreConfig::extended(),
+      [&](mem::Memory& mem, sim::Core&) {
+        write_tree(mem, 0x2000, th0);
+        write_tree(mem, 0x2000 + 32, th1);
+      });
+  EXPECT_EQ(res.regs[r::a2] & 0xfu, th0.quantize(act0));
+  EXPECT_EQ((res.regs[r::a2] >> 16) & 0xfu, th1.quantize(act1));
+  EXPECT_EQ(res.perf.qnt_ops, 1u);
+  EXPECT_EQ(res.perf.qnt_stall_cycles, 8u);  // 9-cycle instruction
+}
+
+TEST(QuantUnit, PvQntIllegalOnBaselineCore) {
+  EXPECT_THROW(run_program(
+                   [](xasm::Assembler& a) {
+                     a.pv_qnt(4, r::a2, r::a0, r::a1);
+                   },
+                   sim::CoreConfig::ri5cy()),
+               IllegalInstruction);
+}
+
+TEST(QuantUnit, TreeStride) {
+  EXPECT_EQ(sim::QuantUnit::tree_stride_bytes(4), 32u);
+  EXPECT_EQ(sim::QuantUnit::tree_stride_bytes(2), 8u);
+}
+
+}  // namespace
+}  // namespace xpulp

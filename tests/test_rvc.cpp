@@ -1,0 +1,192 @@
+// Compressed-instruction decoder tests: each supported RVC form is checked
+// against its 32-bit expansion (encodings cross-checked with GNU as).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/decoder.hpp"
+
+namespace xpulp::isa {
+namespace {
+
+using M = Mnemonic;
+
+TEST(Rvc, CAddi4Spn) {
+  // c.addi4spn a0, sp, 16  ->  0x0808
+  const Instr in = decode_compressed(0x0808, 0);
+  EXPECT_EQ(in.op, M::kAddi);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 2);
+  EXPECT_EQ(in.imm, 16);
+  EXPECT_EQ(in.size, 2u);
+}
+
+TEST(Rvc, CLwAndCSw) {
+  // c.lw a0, 4(a1)  ->  0x41c8
+  const Instr lw = decode_compressed(0x41c8, 0);
+  EXPECT_EQ(lw.op, M::kLw);
+  EXPECT_EQ(lw.rd, 10);
+  EXPECT_EQ(lw.rs1, 11);
+  EXPECT_EQ(lw.imm, 4);
+  // c.sw a0, 4(a1)  ->  0xc1c8
+  const Instr sw = decode_compressed(0xc1c8, 0);
+  EXPECT_EQ(sw.op, M::kSw);
+  EXPECT_EQ(sw.rs2, 10);
+  EXPECT_EQ(sw.rs1, 11);
+  EXPECT_EQ(sw.imm, 4);
+}
+
+TEST(Rvc, CAddiAndNop) {
+  // c.addi a0, -1  ->  0x157d
+  const Instr in = decode_compressed(0x157d, 0);
+  EXPECT_EQ(in.op, M::kAddi);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 10);
+  EXPECT_EQ(in.imm, -1);
+  // c.nop  ->  0x0001
+  const Instr nop = decode_compressed(0x0001, 0);
+  EXPECT_EQ(nop.op, M::kAddi);
+  EXPECT_EQ(nop.rd, 0);
+  EXPECT_EQ(nop.imm, 0);
+}
+
+TEST(Rvc, CLi) {
+  // c.li a0, 17  ->  0x4545
+  const Instr in = decode_compressed(0x4545, 0);
+  EXPECT_EQ(in.op, M::kAddi);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 0);
+  EXPECT_EQ(in.imm, 17);
+}
+
+TEST(Rvc, CLuiAndAddi16Sp) {
+  // c.lui a0, 0x1f  ->  0x657d
+  const Instr lui = decode_compressed(0x657d, 0);
+  EXPECT_EQ(lui.op, M::kLui);
+  EXPECT_EQ(lui.rd, 10);
+  EXPECT_EQ(lui.imm, 0x1f000);
+  // c.addi16sp sp, -64  ->  0x7139
+  const Instr sp = decode_compressed(0x7139, 0);
+  EXPECT_EQ(sp.op, M::kAddi);
+  EXPECT_EQ(sp.rd, 2);
+  EXPECT_EQ(sp.rs1, 2);
+  EXPECT_EQ(sp.imm, -64);
+}
+
+TEST(Rvc, ShiftsAndAndi) {
+  // c.srli a0, 3  ->  0x810d
+  const Instr srli = decode_compressed(0x810d, 0);
+  EXPECT_EQ(srli.op, M::kSrli);
+  EXPECT_EQ(srli.rd, 10);
+  EXPECT_EQ(srli.imm, 3);
+  // c.srai a0, 3  ->  0x850d
+  const Instr srai = decode_compressed(0x850d, 0);
+  EXPECT_EQ(srai.op, M::kSrai);
+  EXPECT_EQ(srai.imm, 3);
+  // c.andi a0, 15  ->  0x893d
+  const Instr andi = decode_compressed(0x893d, 0);
+  EXPECT_EQ(andi.op, M::kAndi);
+  EXPECT_EQ(andi.imm, 15);
+  // c.slli a0, 4  ->  0x0512
+  const Instr slli = decode_compressed(0x0512, 0);
+  EXPECT_EQ(slli.op, M::kSlli);
+  EXPECT_EQ(slli.rd, 10);
+  EXPECT_EQ(slli.imm, 4);
+}
+
+TEST(Rvc, RegisterRegisterGroup) {
+  // c.sub a0, a1  ->  0x8d0d
+  const Instr sub = decode_compressed(0x8d0d, 0);
+  EXPECT_EQ(sub.op, M::kSub);
+  EXPECT_EQ(sub.rd, 10);
+  EXPECT_EQ(sub.rs1, 10);
+  EXPECT_EQ(sub.rs2, 11);
+  // c.xor a0, a1  ->  0x8d2d
+  EXPECT_EQ(decode_compressed(0x8d2d, 0).op, M::kXor);
+  // c.or a0, a1   ->  0x8d4d
+  EXPECT_EQ(decode_compressed(0x8d4d, 0).op, M::kOr);
+  // c.and a0, a1  ->  0x8d6d
+  EXPECT_EQ(decode_compressed(0x8d6d, 0).op, M::kAnd);
+}
+
+TEST(Rvc, JumpsAndBranches) {
+  // c.j +32  ->  0xa005
+  const Instr j = decode_compressed(0xa005, 0);
+  EXPECT_EQ(j.op, M::kJal);
+  EXPECT_EQ(j.rd, 0);
+  EXPECT_EQ(j.imm, 32);
+  // c.jal +32 (RV32)  ->  0x2005
+  const Instr jal = decode_compressed(0x2005, 0);
+  EXPECT_EQ(jal.op, M::kJal);
+  EXPECT_EQ(jal.rd, 1);
+  EXPECT_EQ(jal.imm, 32);
+  // c.beqz a0, +16  ->  0xc901
+  const Instr beq = decode_compressed(0xc901, 0);
+  EXPECT_EQ(beq.op, M::kBeq);
+  EXPECT_EQ(beq.rs1, 10);
+  EXPECT_EQ(beq.rs2, 0);
+  EXPECT_EQ(beq.imm, 16);
+  // c.bnez a0, +16  ->  0xe901
+  const Instr bne = decode_compressed(0xe901, 0);
+  EXPECT_EQ(bne.op, M::kBne);
+  EXPECT_EQ(bne.imm, 16);
+}
+
+TEST(Rvc, Quadrant2MovesJumps) {
+  // c.mv a0, a1  ->  0x852e
+  const Instr mv = decode_compressed(0x852e, 0);
+  EXPECT_EQ(mv.op, M::kAdd);
+  EXPECT_EQ(mv.rd, 10);
+  EXPECT_EQ(mv.rs1, 0);
+  EXPECT_EQ(mv.rs2, 11);
+  // c.add a0, a1  ->  0x952e
+  const Instr add = decode_compressed(0x952e, 0);
+  EXPECT_EQ(add.op, M::kAdd);
+  EXPECT_EQ(add.rs1, 10);
+  EXPECT_EQ(add.rs2, 11);
+  // c.jr a0  ->  0x8502
+  const Instr jr = decode_compressed(0x8502, 0);
+  EXPECT_EQ(jr.op, M::kJalr);
+  EXPECT_EQ(jr.rd, 0);
+  EXPECT_EQ(jr.rs1, 10);
+  // c.jalr a0  ->  0x9502
+  const Instr jalr = decode_compressed(0x9502, 0);
+  EXPECT_EQ(jalr.op, M::kJalr);
+  EXPECT_EQ(jalr.rd, 1);
+  // c.ebreak  ->  0x9002
+  EXPECT_EQ(decode_compressed(0x9002, 0).op, M::kEbreak);
+}
+
+TEST(Rvc, LwspSwsp) {
+  // c.lwsp a0, 8(sp)  ->  0x4522
+  const Instr lwsp = decode_compressed(0x4522, 0);
+  EXPECT_EQ(lwsp.op, M::kLw);
+  EXPECT_EQ(lwsp.rd, 10);
+  EXPECT_EQ(lwsp.rs1, 2);
+  EXPECT_EQ(lwsp.imm, 8);
+  // c.swsp a0, 8(sp)  ->  0xc42a
+  const Instr swsp = decode_compressed(0xc42a, 0);
+  EXPECT_EQ(swsp.op, M::kSw);
+  EXPECT_EQ(swsp.rs2, 10);
+  EXPECT_EQ(swsp.rs1, 2);
+  EXPECT_EQ(swsp.imm, 8);
+}
+
+TEST(Rvc, IllegalForms) {
+  EXPECT_THROW(decode_compressed(0x0000, 0), IllegalInstruction);
+  // c.addi4spn with zero immediate is reserved.
+  EXPECT_THROW(decode_compressed(0x0008, 0), IllegalInstruction);
+  // c.lui with zero immediate is reserved.
+  EXPECT_THROW(decode_compressed(0x6501, 0), IllegalInstruction);
+}
+
+TEST(Rvc, DispatchedThroughMainDecode) {
+  // decode() must route 16-bit parcels to the compressed decoder.
+  const Instr in = decode(0x4545, 0);  // c.li a0, 17
+  EXPECT_EQ(in.op, M::kAddi);
+  EXPECT_EQ(in.size, 2u);
+  EXPECT_TRUE(is_compressed(0x4545));
+  EXPECT_FALSE(is_compressed(0x00510093));
+}
+
+}  // namespace
+}  // namespace xpulp::isa

@@ -1,0 +1,77 @@
+// PULPissimo SoC wrapper: load/run/report plumbing.
+#include <gtest/gtest.h>
+
+#include "soc/pulpissimo.hpp"
+
+#include "xasm/assembler.hpp"
+
+namespace xpulp::soc {
+namespace {
+
+namespace r = xasm::reg;
+
+xasm::Program counting_program(u32 n) {
+  xasm::Assembler a(0);
+  a.li(r::t0, static_cast<i32>(n));
+  a.li(r::a0, 0);
+  auto loop = a.here();
+  a.addi(r::a0, r::a0, 2);
+  a.addi(r::t0, r::t0, -1);
+  a.bne(r::t0, r::zero, loop);
+  a.li(r::t1, 0x8000);
+  a.sw(r::a0, r::t1, 0);
+  a.ecall();
+  return a.finish();
+}
+
+TEST(Pulpissimo, RunsAndReports) {
+  Pulpissimo soc;
+  const auto prog = counting_program(1000);
+  soc.load(prog);
+  EXPECT_EQ(soc.run(), sim::HaltReason::kEcall);
+  EXPECT_EQ(soc.memory().load_u32(0x8000), 2000u);
+  EXPECT_EQ(soc.core().reg(r::a0), 2000u);
+  EXPECT_GT(soc.core().perf().cycles, 3000u);
+
+  // 250 MHz operating point.
+  const double secs = soc.seconds();
+  EXPECT_NEAR(secs, static_cast<double>(soc.core().perf().cycles) / 250e6,
+              1e-12);
+  EXPECT_GT(soc.power().soc_mw(), 3.0);
+  EXPECT_LT(soc.power().soc_mw(), 12.0);
+  EXPECT_GT(soc.energy_uj(), 0.0);
+}
+
+TEST(Pulpissimo, BaselineConfigRejectsXpulpNN) {
+  Pulpissimo soc(sim::CoreConfig::ri5cy());
+  xasm::Assembler a(0);
+  a.pv_qnt(4, r::a0, r::a1, r::a2);
+  a.ecall();
+  soc.load(a.finish());
+  EXPECT_THROW(soc.run(), IllegalInstruction);
+}
+
+TEST(Pulpissimo, CustomOperatingPoint) {
+  power::OperatingPoint op;
+  op.freq_hz = 100e6;
+  Pulpissimo soc(sim::CoreConfig::extended(), op);
+  soc.load(counting_program(10));
+  soc.run();
+  EXPECT_NEAR(soc.seconds(),
+              static_cast<double>(soc.core().perf().cycles) / 100e6, 1e-12);
+}
+
+TEST(Pulpissimo, ReloadResetsState) {
+  Pulpissimo soc;
+  soc.load(counting_program(10));
+  soc.run();
+  const auto c1 = soc.core().perf().cycles;
+  soc.load(counting_program(10));
+  EXPECT_FALSE(soc.core().halted());
+  soc.run();
+  // Perf counters accumulate across runs unless reset; cycles grew.
+  EXPECT_GT(soc.core().perf().cycles, c1);
+}
+
+}  // namespace
+}  // namespace xpulp::soc

@@ -1,0 +1,118 @@
+// µDMA weight streaming: functional equivalence with the resident kernels,
+// makespan accounting, and the double-buffering benefit.
+#include <gtest/gtest.h>
+
+#include "kernels/linear.hpp"
+#include "soc/streamed_conv.hpp"
+
+namespace xpulp::soc {
+namespace {
+
+using kernels::ConvLayerData;
+using kernels::ConvVariant;
+
+qnn::ConvSpec small_spec(unsigned bits) {
+  qnn::ConvSpec s;
+  s.in_h = s.in_w = 6;
+  s.in_c = 16;
+  s.out_c = 16;
+  s.in_bits = s.w_bits = s.out_bits = bits;
+  return s;
+}
+
+TEST(Udma, TransferCycleModel) {
+  mem::Memory l2(4096), tcdm(4096);
+  Udma dma(l2, tcdm, 4, 16);
+  EXPECT_EQ(dma.transfer_cycles(0), 16u);
+  EXPECT_EQ(dma.transfer_cycles(4), 17u);
+  EXPECT_EQ(dma.transfer_cycles(5), 18u);  // rounds up
+  l2.store_u32(0x10, 0xdeadbeef);
+  const auto c = dma.copy_in(0x10, 0x20, 4);
+  EXPECT_EQ(c, 17u);
+  EXPECT_EQ(tcdm.load_u32(0x20), 0xdeadbeefu);
+  EXPECT_EQ(dma.total_bytes(), 4u);
+  EXPECT_EQ(dma.transfers(), 1u);
+}
+
+class StreamedTiles : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamedTiles, BitExactForAnyTileSize) {
+  const int tile = GetParam();
+  const auto data = ConvLayerData::random(small_spec(4), 0x5eed);
+  const auto gold = data.golden();
+  for (const bool dbuf : {false, true}) {
+    const auto res = run_conv_streamed(data, ConvVariant::kXpulpNN_HwQ,
+                                       sim::CoreConfig::extended(), tile, dbuf);
+    ASSERT_EQ(res.tiles, 16 / tile);
+    for (int i = 0; i < gold.elems(); ++i) {
+      ASSERT_EQ(res.output.flat(i), gold.flat(i)) << "tile=" << tile;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, StreamedTiles,
+                         ::testing::Values(2, 4, 8, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(StreamedConv, MatchesResidentKernelCycles) {
+  // Per-tile compute sums to roughly the resident kernel (the channel loop
+  // is just split; only per-tile setup is added).
+  const auto data = ConvLayerData::random(small_spec(4), 3);
+  const auto resident = kernels::run_conv_layer(
+      data, ConvVariant::kXpulpNN_HwQ, sim::CoreConfig::extended());
+  const auto streamed =
+      run_conv_streamed(data, ConvVariant::kXpulpNN_HwQ,
+                        sim::CoreConfig::extended(), 8);
+  EXPECT_NEAR(static_cast<double>(streamed.compute_cycles),
+              static_cast<double>(resident.perf.cycles),
+              0.15 * static_cast<double>(resident.perf.cycles));
+}
+
+TEST(StreamedConv, DoubleBufferingHidesDmaTime) {
+  // A DMA-heavy fully-connected layer (many weight bytes per MAC) at 1
+  // byte/cycle: the ping-pong scheme must hide most of the transfer time.
+  const auto fc = kernels::LinearLayerData::random(512, 64, 4, 9);
+  const auto data = fc.as_conv();
+  const auto serial = run_conv_streamed(data, ConvVariant::kXpulpNN_HwQ,
+                                        sim::CoreConfig::extended(), 16,
+                                        /*double_buffered=*/false,
+                                        /*dma_bytes_per_cycle=*/1);
+  const auto dbuf = run_conv_streamed(data, ConvVariant::kXpulpNN_HwQ,
+                                      sim::CoreConfig::extended(), 16,
+                                      /*double_buffered=*/true,
+                                      /*dma_bytes_per_cycle=*/1);
+  // Same work, same transfers.
+  EXPECT_EQ(serial.compute_cycles, dbuf.compute_cycles);
+  EXPECT_EQ(serial.dma_cycles, dbuf.dma_cycles);
+  EXPECT_GT(serial.dma_cycles, serial.compute_cycles / 4);  // DMA matters
+  EXPECT_LT(dbuf.makespan, serial.makespan);
+  EXPECT_GT(dbuf.overlap_efficiency(), 0.2);
+  // Output identical and correct.
+  const auto gold = fc.golden();
+  for (int i = 0; i < gold.elems(); ++i) {
+    ASSERT_EQ(dbuf.output.flat(i), gold.flat(i));
+  }
+}
+
+TEST(StreamedConv, MakespanNeverBeatsComputeAlone) {
+  const auto data = ConvLayerData::random(small_spec(2), 4);
+  const auto res = run_conv_streamed(data, ConvVariant::kXpulpNN_HwQ,
+                                     sim::CoreConfig::extended(), 4);
+  EXPECT_GE(res.makespan, res.compute_cycles);
+  EXPECT_LE(res.makespan, res.compute_cycles + res.dma_cycles);
+}
+
+TEST(StreamedConv, RejectsBadTiling) {
+  const auto data = ConvLayerData::random(small_spec(4), 5);
+  EXPECT_THROW(run_conv_streamed(data, ConvVariant::kXpulpNN_HwQ,
+                                 sim::CoreConfig::extended(), 5),
+               SimError);  // 5 does not divide 16
+  EXPECT_THROW(run_conv_streamed(data, ConvVariant::kXpulpNN_HwQ,
+                                 sim::CoreConfig::extended(), 0),
+               SimError);
+}
+
+}  // namespace
+}  // namespace xpulp::soc

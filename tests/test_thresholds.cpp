@@ -1,0 +1,115 @@
+// Staircase thresholds: Eytzinger construction, serialization layout, and
+// the rank property the hardware walk depends on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "qnn/thresholds.hpp"
+
+namespace xpulp::qnn {
+namespace {
+
+TEST(Thresholds, RejectsMalformedInput) {
+  EXPECT_THROW(Thresholds(4, {1, 2, 3}), std::invalid_argument);  // wrong size
+  EXPECT_THROW(Thresholds(2, {3, 2, 1}), std::invalid_argument);  // not sorted
+  EXPECT_THROW(Thresholds(0, {}), std::invalid_argument);
+}
+
+TEST(Thresholds, QuantizeIsTheRankFunction) {
+  const Thresholds t(2, {-10, 0, 10});
+  EXPECT_EQ(t.quantize(-11), 0u);
+  EXPECT_EQ(t.quantize(-10), 1u);  // x >= t counts
+  EXPECT_EQ(t.quantize(-1), 1u);
+  EXPECT_EQ(t.quantize(0), 2u);
+  EXPECT_EQ(t.quantize(9), 2u);
+  EXPECT_EQ(t.quantize(10), 3u);
+  EXPECT_EQ(t.quantize(10000), 3u);
+}
+
+TEST(Thresholds, EytzingerIsBfsOfTheSortedArray) {
+  // Sorted 1..7 for Q=3 -> BFS: 4, 2, 6, 1, 3, 5, 7.
+  const Thresholds t(3, {1, 2, 3, 4, 5, 6, 7});
+  const auto& e = t.eytzinger();
+  ASSERT_EQ(e.size(), 8u);  // padded to 2^Q
+  EXPECT_EQ(e[0], 4);
+  EXPECT_EQ(e[1], 2);
+  EXPECT_EQ(e[2], 6);
+  EXPECT_EQ(e[3], 1);
+  EXPECT_EQ(e[4], 3);
+  EXPECT_EQ(e[5], 5);
+  EXPECT_EQ(e[6], 7);
+  EXPECT_EQ(e[7], std::numeric_limits<i16>::max());  // padding slot
+}
+
+TEST(Thresholds, TreeWalkEqualsRankProperty) {
+  // A pure-host walk of the Eytzinger array must equal the linear count,
+  // for random trees AND trees with duplicates.
+  Rng rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    const unsigned q = (trial % 2) ? 4 : 2;
+    Thresholds t = Thresholds::random(rng, q, -500, 500);
+    for (int k = 0; k < 50; ++k) {
+      const i32 x = rng.uniform(-600, 600);
+      u32 idx = 0, code = 0;
+      for (unsigned level = 0; level < q; ++level) {
+        const u32 b = (x >= t.eytzinger()[idx]) ? 1 : 0;
+        code = (code << 1) | b;
+        idx = 2 * idx + 1 + b;
+      }
+      ASSERT_EQ(code, t.quantize(x)) << "q=" << q << " x=" << x;
+    }
+  }
+}
+
+TEST(Thresholds, DuplicateValuesRankCorrectly) {
+  const Thresholds t(2, {5, 5, 9});
+  for (const i32 x : {4, 5, 6, 9, 10}) {
+    u32 idx = 0, code = 0;
+    for (unsigned level = 0; level < 2; ++level) {
+      const u32 b = (x >= t.eytzinger()[idx]) ? 1 : 0;
+      code = (code << 1) | b;
+      idx = 2 * idx + 1 + b;
+    }
+    EXPECT_EQ(code, t.quantize(x)) << x;
+  }
+}
+
+TEST(Thresholds, UniformStaircase) {
+  const Thresholds t = Thresholds::uniform(4, 10);
+  EXPECT_EQ(t.sorted().size(), 15u);
+  // Steps are 10 apart and centered.
+  for (size_t i = 1; i < t.sorted().size(); ++i) {
+    EXPECT_EQ(t.sorted()[i] - t.sorted()[i - 1], 10);
+  }
+  EXPECT_EQ(t.quantize(t.sorted()[7]), 8u);
+}
+
+TEST(Thresholds, StrideBytes) {
+  EXPECT_EQ(Thresholds::uniform(4, 1).stride_bytes(), 32u);
+  EXPECT_EQ(Thresholds::uniform(2, 1).stride_bytes(), 8u);
+}
+
+TEST(LayerThresholds, SerializeLayout) {
+  Rng rng(3);
+  const auto lt = LayerThresholds::random(rng, 2, 3, -100, 100);
+  const auto bytes = lt.serialize();
+  ASSERT_EQ(bytes.size(), 3u * 8u);
+  for (int c = 0; c < 3; ++c) {
+    const auto& tree = lt.channel(c).eytzinger();
+    for (size_t i = 0; i < tree.size(); ++i) {
+      const u16 lo = bytes[static_cast<size_t>(c) * 8 + i * 2];
+      const u16 hi = bytes[static_cast<size_t>(c) * 8 + i * 2 + 1];
+      EXPECT_EQ(static_cast<i16>(lo | (hi << 8)), tree[i]);
+    }
+  }
+}
+
+TEST(LayerThresholds, RejectsMixedWidths) {
+  Rng rng(4);
+  std::vector<Thresholds> mixed;
+  mixed.push_back(Thresholds::random(rng, 4, -10, 10));
+  mixed.push_back(Thresholds::random(rng, 2, -10, 10));
+  EXPECT_THROW(LayerThresholds(4, std::move(mixed)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xpulp::qnn

@@ -1,0 +1,156 @@
+// Cycle-accuracy contracts of the RI5CY timing model (DESIGN.md §4).
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace xpulp {
+namespace {
+
+namespace r = xasm::reg;
+using test::run_program;
+
+cycles_t cycles_of(const std::function<void(xasm::Assembler&)>& body) {
+  return run_program(body).perf.cycles;
+}
+
+TEST(Timing, StraightLineAluIsOneCpi) {
+  const cycles_t c = cycles_of([](xasm::Assembler& a) {
+    for (int i = 0; i < 10; ++i) a.addi(r::a0, r::a0, 1);
+  });
+  // 10 ALU ops + ecall.
+  EXPECT_EQ(c, 11u);
+}
+
+TEST(Timing, TakenBranchCostsThreeCycles) {
+  const cycles_t base = cycles_of([](xasm::Assembler& a) {
+    a.li(r::a0, 0);
+    auto skip = a.new_label();
+    a.beq(r::a0, r::a1, skip);  // a1 == 0 -> taken
+    a.nop();
+    a.bind(skip);
+  });
+  const cycles_t untaken = cycles_of([](xasm::Assembler& a) {
+    a.li(r::a0, 1);
+    auto skip = a.new_label();
+    a.beq(r::a0, r::a1, skip);  // not taken
+    a.nop();
+    a.bind(skip);
+  });
+  // Taken: li + br(3) + ecall = 5. Untaken: li + br(1) + nop + ecall = 4.
+  EXPECT_EQ(base, 5u);
+  EXPECT_EQ(untaken, 4u);
+}
+
+TEST(Timing, JumpCostsTwoCycles) {
+  const cycles_t c = cycles_of([](xasm::Assembler& a) {
+    auto l = a.new_label();
+    a.j(l);
+    a.nop();
+    a.bind(l);
+  });
+  EXPECT_EQ(c, 3u);  // j (2) + ecall
+}
+
+TEST(Timing, LoadUseHazardStallsOneCycle) {
+  const cycles_t hazard = cycles_of([](xasm::Assembler& a) {
+    a.lw(r::a0, r::zero, 0x100);
+    a.addi(r::a1, r::a0, 1);  // consumes the load result immediately
+  });
+  const cycles_t no_hazard = cycles_of([](xasm::Assembler& a) {
+    a.lw(r::a0, r::zero, 0x100);
+    a.addi(r::a1, r::a2, 1);  // independent
+  });
+  EXPECT_EQ(hazard, no_hazard + 1);
+}
+
+TEST(Timing, LoadUseHazardAppliesToStoreData) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::s0, 0x100);
+    a.lw(r::a0, r::s0, 0);
+    a.sw(r::a0, r::s0, 4);  // store data depends on the load
+  });
+  EXPECT_EQ(res.perf.load_use_stall_cycles, 1u);
+}
+
+TEST(Timing, HardwareLoopBackEdgeIsFree) {
+  // Equivalent loops: hardware loop vs branch loop, 50 iterations x 2 ops.
+  const cycles_t hw = cycles_of([](xasm::Assembler& a) {
+    a.li(r::t0, 50);
+    auto end = a.new_label();
+    a.lp_setup(0, r::t0, end);
+    a.addi(r::a0, r::a0, 1);
+    a.addi(r::a1, r::a1, 1);
+    a.bind(end);
+  });
+  const cycles_t sw = cycles_of([](xasm::Assembler& a) {
+    a.li(r::t0, 50);
+    auto loop = a.here();
+    a.addi(r::a0, r::a0, 1);
+    a.addi(r::a1, r::a1, 1);
+    a.addi(r::t0, r::t0, -1);
+    a.bne(r::t0, r::zero, loop);
+  });
+  // hw: 2 setup + 100 body + ecall = 103.
+  EXPECT_EQ(hw, 103u);
+  // sw: 1 + 50*(2+1) + 49*3 (taken) + 1 (fall-through) + ecall = 300.
+  EXPECT_EQ(sw, 300u);
+}
+
+TEST(Timing, MisalignedAccessAddsOneCycle) {
+  const cycles_t aligned = cycles_of([](xasm::Assembler& a) {
+    a.li(r::s0, 0x100);
+    a.lw(r::a0, r::s0, 0);
+  });
+  const cycles_t misaligned = cycles_of([](xasm::Assembler& a) {
+    a.li(r::s0, 0x102);
+    a.lw(r::a0, r::s0, 0);
+  });
+  EXPECT_EQ(misaligned, aligned + 1);
+}
+
+TEST(Timing, QntStallsReportedSeparately) {
+  auto res = run_program(
+      [](xasm::Assembler& a) {
+        a.li(r::a0, 0);
+        a.li(r::a1, 0x2000);
+        a.pv_qnt(2, r::a2, r::a0, r::a1);
+        a.pv_qnt(2, r::a2, r::a0, r::a1);
+      });
+  EXPECT_EQ(res.perf.qnt_stall_cycles, 8u);  // 2 x (5 - 1)
+  EXPECT_EQ(res.perf.qnt_ops, 2u);
+}
+
+TEST(Timing, MemoryContentionStallsAccumulate) {
+  auto res = run_program(
+      [](xasm::Assembler& a) {
+        a.li(r::s0, 0x100);
+        for (int i = 0; i < 8; ++i) a.lw(r::a0, r::s0, 0);
+      },
+      sim::CoreConfig::extended(),
+      [](mem::Memory& m, sim::Core&) { m.set_contention_period(2); });
+  EXPECT_EQ(res.mem.stats().contention_stalls, 4u);
+  EXPECT_EQ(res.perf.mem_stall_cycles, 4u);
+}
+
+TEST(Timing, PerfCountersAreConsistent) {
+  auto res = run_program([](xasm::Assembler& a) {
+    a.li(r::t0, 10);
+    auto loop = a.here();
+    a.lw(r::a0, r::zero, 0x100);
+    a.addi(r::a0, r::a0, 1);  // load-use each iteration
+    a.addi(r::t0, r::t0, -1);
+    a.bne(r::t0, r::zero, loop);
+  });
+  // cycles = instructions + all stall categories.
+  const auto& p = res.perf;
+  EXPECT_EQ(p.cycles,
+            p.instructions + p.branch_stall_cycles + p.load_use_stall_cycles +
+                p.mem_stall_cycles + p.mul_div_stall_cycles +
+                p.qnt_stall_cycles);
+  EXPECT_EQ(p.taken_branches, 9u);
+  EXPECT_EQ(p.not_taken_branches, 1u);
+  EXPECT_EQ(p.loads, 10u);
+}
+
+}  // namespace
+}  // namespace xpulp

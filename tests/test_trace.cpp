@@ -1,0 +1,74 @@
+// Instruction-trace writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hpp"
+#include "xasm/assembler.hpp"
+
+namespace xpulp::sim {
+namespace {
+
+namespace r = xasm::reg;
+
+TEST(Trace, WritesOneLinePerInstruction) {
+  mem::Memory mem(64 * 1024);
+  xasm::Assembler a(0);
+  a.li(r::a0, 5);
+  a.addi(r::a0, r::a0, 1);
+  a.pv_sdotusp(isa::SimdFmt::kN, r::a1, r::a0, r::a0);
+  a.ecall();
+  auto prog = a.finish();
+  prog.load(mem);
+
+  Core core(mem);
+  core.reset(0);
+  std::ostringstream os;
+  TraceWriter trace(core, os);
+  core.run();
+
+  EXPECT_EQ(trace.lines_written(), core.perf().instructions);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("addi a0, zero, 5"), std::string::npos);
+  EXPECT_NE(out.find("pv.sdotusp.n a1, a0, a0"), std::string::npos);
+  EXPECT_NE(out.find("ecall"), std::string::npos);
+  EXPECT_NE(out.find("00000000:"), std::string::npos);
+}
+
+TEST(Trace, LimitStopsOutputButNotExecution) {
+  mem::Memory mem(64 * 1024);
+  xasm::Assembler a(0);
+  for (int i = 0; i < 20; ++i) a.nop();
+  a.ecall();
+  auto prog = a.finish();
+  prog.load(mem);
+
+  Core core(mem);
+  core.reset(0);
+  std::ostringstream os;
+  TraceWriter trace(core, os, /*limit=*/5);
+  core.run();
+  EXPECT_EQ(trace.lines_written(), 5u);
+  EXPECT_EQ(core.perf().instructions, 21u);
+}
+
+TEST(Trace, DetachStopsTracing) {
+  mem::Memory mem(64 * 1024);
+  xasm::Assembler a(0);
+  for (int i = 0; i < 10; ++i) a.nop();
+  a.ecall();
+  auto prog = a.finish();
+  prog.load(mem);
+
+  Core core(mem);
+  core.reset(0);
+  std::ostringstream os;
+  TraceWriter trace(core, os);
+  for (int i = 0; i < 3; ++i) core.step();
+  trace.detach();
+  core.run();
+  EXPECT_EQ(trace.lines_written(), 3u);
+}
+
+}  // namespace
+}  // namespace xpulp::sim
