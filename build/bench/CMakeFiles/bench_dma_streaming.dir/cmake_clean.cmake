@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dma_streaming.dir/bench_dma_streaming.cpp.o"
+  "CMakeFiles/bench_dma_streaming.dir/bench_dma_streaming.cpp.o.d"
+  "bench_dma_streaming"
+  "bench_dma_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dma_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_energy_soa.dir/bench_fig9_energy_soa.cpp.o"
+  "CMakeFiles/bench_fig9_energy_soa.dir/bench_fig9_energy_soa.cpp.o.d"
+  "bench_fig9_energy_soa"
+  "bench_fig9_energy_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_energy_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

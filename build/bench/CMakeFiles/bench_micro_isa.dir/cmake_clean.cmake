@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_isa.dir/bench_micro_isa.cpp.o"
+  "CMakeFiles/bench_micro_isa.dir/bench_micro_isa.cpp.o.d"
+  "bench_micro_isa"
+  "bench_micro_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

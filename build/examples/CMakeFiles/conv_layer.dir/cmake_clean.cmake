@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_layer.dir/conv_layer.cpp.o"
+  "CMakeFiles/conv_layer.dir/conv_layer.cpp.o.d"
+  "conv_layer"
+  "conv_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

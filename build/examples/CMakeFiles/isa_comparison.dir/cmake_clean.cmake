@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_comparison.dir/isa_comparison.cpp.o"
+  "CMakeFiles/isa_comparison.dir/isa_comparison.cpp.o.d"
+  "isa_comparison"
+  "isa_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

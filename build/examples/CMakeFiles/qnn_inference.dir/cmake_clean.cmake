@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_inference.dir/qnn_inference.cpp.o"
+  "CMakeFiles/qnn_inference.dir/qnn_inference.cpp.o.d"
+  "qnn_inference"
+  "qnn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xp_armv7e.dir/arm_core.cpp.o"
+  "CMakeFiles/xp_armv7e.dir/arm_core.cpp.o.d"
+  "CMakeFiles/xp_armv7e.dir/arm_disasm.cpp.o"
+  "CMakeFiles/xp_armv7e.dir/arm_disasm.cpp.o.d"
+  "CMakeFiles/xp_armv7e.dir/arm_isa.cpp.o"
+  "CMakeFiles/xp_armv7e.dir/arm_isa.cpp.o.d"
+  "CMakeFiles/xp_armv7e.dir/cmsis_conv.cpp.o"
+  "CMakeFiles/xp_armv7e.dir/cmsis_conv.cpp.o.d"
+  "libxp_armv7e.a"
+  "libxp_armv7e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xp_armv7e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxp_armv7e.a"
+)

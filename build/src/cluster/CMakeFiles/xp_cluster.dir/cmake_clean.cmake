@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xp_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/xp_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/xp_cluster.dir/parallel_conv.cpp.o"
+  "CMakeFiles/xp_cluster.dir/parallel_conv.cpp.o.d"
+  "libxp_cluster.a"
+  "libxp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xp_isa.dir/decoder.cpp.o"
+  "CMakeFiles/xp_isa.dir/decoder.cpp.o.d"
+  "CMakeFiles/xp_isa.dir/disasm.cpp.o"
+  "CMakeFiles/xp_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/xp_isa.dir/encoding.cpp.o"
+  "CMakeFiles/xp_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/xp_isa.dir/instruction.cpp.o"
+  "CMakeFiles/xp_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/xp_isa.dir/rvc.cpp.o"
+  "CMakeFiles/xp_isa.dir/rvc.cpp.o.d"
+  "libxp_isa.a"
+  "libxp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/conv_gen.cpp" "src/kernels/CMakeFiles/xp_kernels.dir/conv_gen.cpp.o" "gcc" "src/kernels/CMakeFiles/xp_kernels.dir/conv_gen.cpp.o.d"
+  "/root/repo/src/kernels/conv_layer.cpp" "src/kernels/CMakeFiles/xp_kernels.dir/conv_layer.cpp.o" "gcc" "src/kernels/CMakeFiles/xp_kernels.dir/conv_layer.cpp.o.d"
+  "/root/repo/src/kernels/gp_workload.cpp" "src/kernels/CMakeFiles/xp_kernels.dir/gp_workload.cpp.o" "gcc" "src/kernels/CMakeFiles/xp_kernels.dir/gp_workload.cpp.o.d"
+  "/root/repo/src/kernels/linear.cpp" "src/kernels/CMakeFiles/xp_kernels.dir/linear.cpp.o" "gcc" "src/kernels/CMakeFiles/xp_kernels.dir/linear.cpp.o.d"
+  "/root/repo/src/kernels/network.cpp" "src/kernels/CMakeFiles/xp_kernels.dir/network.cpp.o" "gcc" "src/kernels/CMakeFiles/xp_kernels.dir/network.cpp.o.d"
+  "/root/repo/src/kernels/pool_gen.cpp" "src/kernels/CMakeFiles/xp_kernels.dir/pool_gen.cpp.o" "gcc" "src/kernels/CMakeFiles/xp_kernels.dir/pool_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xasm/CMakeFiles/xp_xasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qnn/CMakeFiles/xp_qnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xp_kernels.dir/conv_gen.cpp.o"
+  "CMakeFiles/xp_kernels.dir/conv_gen.cpp.o.d"
+  "CMakeFiles/xp_kernels.dir/conv_layer.cpp.o"
+  "CMakeFiles/xp_kernels.dir/conv_layer.cpp.o.d"
+  "CMakeFiles/xp_kernels.dir/gp_workload.cpp.o"
+  "CMakeFiles/xp_kernels.dir/gp_workload.cpp.o.d"
+  "CMakeFiles/xp_kernels.dir/linear.cpp.o"
+  "CMakeFiles/xp_kernels.dir/linear.cpp.o.d"
+  "CMakeFiles/xp_kernels.dir/network.cpp.o"
+  "CMakeFiles/xp_kernels.dir/network.cpp.o.d"
+  "CMakeFiles/xp_kernels.dir/pool_gen.cpp.o"
+  "CMakeFiles/xp_kernels.dir/pool_gen.cpp.o.d"
+  "libxp_kernels.a"
+  "libxp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

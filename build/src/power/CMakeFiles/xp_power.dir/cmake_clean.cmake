@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xp_power.dir/power_model.cpp.o"
+  "CMakeFiles/xp_power.dir/power_model.cpp.o.d"
+  "libxp_power.a"
+  "libxp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qnn/pack.cpp" "src/qnn/CMakeFiles/xp_qnn.dir/pack.cpp.o" "gcc" "src/qnn/CMakeFiles/xp_qnn.dir/pack.cpp.o.d"
+  "/root/repo/src/qnn/ref_layers.cpp" "src/qnn/CMakeFiles/xp_qnn.dir/ref_layers.cpp.o" "gcc" "src/qnn/CMakeFiles/xp_qnn.dir/ref_layers.cpp.o.d"
+  "/root/repo/src/qnn/thresholds.cpp" "src/qnn/CMakeFiles/xp_qnn.dir/thresholds.cpp.o" "gcc" "src/qnn/CMakeFiles/xp_qnn.dir/thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xp_qnn.dir/pack.cpp.o"
+  "CMakeFiles/xp_qnn.dir/pack.cpp.o.d"
+  "CMakeFiles/xp_qnn.dir/ref_layers.cpp.o"
+  "CMakeFiles/xp_qnn.dir/ref_layers.cpp.o.d"
+  "CMakeFiles/xp_qnn.dir/thresholds.cpp.o"
+  "CMakeFiles/xp_qnn.dir/thresholds.cpp.o.d"
+  "libxp_qnn.a"
+  "libxp_qnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xp_qnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

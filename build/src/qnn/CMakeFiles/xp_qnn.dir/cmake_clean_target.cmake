@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxp_qnn.a"
+)

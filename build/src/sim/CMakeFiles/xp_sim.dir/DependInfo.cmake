@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/xp_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/xp_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/dotp_unit.cpp" "src/sim/CMakeFiles/xp_sim.dir/dotp_unit.cpp.o" "gcc" "src/sim/CMakeFiles/xp_sim.dir/dotp_unit.cpp.o.d"
+  "/root/repo/src/sim/quant_unit.cpp" "src/sim/CMakeFiles/xp_sim.dir/quant_unit.cpp.o" "gcc" "src/sim/CMakeFiles/xp_sim.dir/quant_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/xp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xp_sim.dir/core.cpp.o"
+  "CMakeFiles/xp_sim.dir/core.cpp.o.d"
+  "CMakeFiles/xp_sim.dir/dotp_unit.cpp.o"
+  "CMakeFiles/xp_sim.dir/dotp_unit.cpp.o.d"
+  "CMakeFiles/xp_sim.dir/quant_unit.cpp.o"
+  "CMakeFiles/xp_sim.dir/quant_unit.cpp.o.d"
+  "libxp_sim.a"
+  "libxp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xp_soc.dir/streamed_conv.cpp.o"
+  "CMakeFiles/xp_soc.dir/streamed_conv.cpp.o.d"
+  "libxp_soc.a"
+  "libxp_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xp_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xasm/assembler.cpp" "src/xasm/CMakeFiles/xp_xasm.dir/assembler.cpp.o" "gcc" "src/xasm/CMakeFiles/xp_xasm.dir/assembler.cpp.o.d"
+  "/root/repo/src/xasm/text_asm.cpp" "src/xasm/CMakeFiles/xp_xasm.dir/text_asm.cpp.o" "gcc" "src/xasm/CMakeFiles/xp_xasm.dir/text_asm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/xp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

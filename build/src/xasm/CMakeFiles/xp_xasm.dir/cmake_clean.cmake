@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xp_xasm.dir/assembler.cpp.o"
+  "CMakeFiles/xp_xasm.dir/assembler.cpp.o.d"
+  "CMakeFiles/xp_xasm.dir/text_asm.cpp.o"
+  "CMakeFiles/xp_xasm.dir/text_asm.cpp.o.d"
+  "libxp_xasm.a"
+  "libxp_xasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xp_xasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

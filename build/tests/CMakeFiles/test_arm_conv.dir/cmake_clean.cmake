@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arm_conv.dir/test_arm_conv.cpp.o"
+  "CMakeFiles/test_arm_conv.dir/test_arm_conv.cpp.o.d"
+  "test_arm_conv"
+  "test_arm_conv.pdb"
+  "test_arm_conv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arm_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

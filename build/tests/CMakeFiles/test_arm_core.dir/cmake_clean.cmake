@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arm_core.dir/test_arm_core.cpp.o"
+  "CMakeFiles/test_arm_core.dir/test_arm_core.cpp.o.d"
+  "test_arm_core"
+  "test_arm_core.pdb"
+  "test_arm_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

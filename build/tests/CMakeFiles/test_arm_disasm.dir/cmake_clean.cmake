@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arm_disasm.dir/test_arm_disasm.cpp.o"
+  "CMakeFiles/test_arm_disasm.dir/test_arm_disasm.cpp.o.d"
+  "test_arm_disasm"
+  "test_arm_disasm.pdb"
+  "test_arm_disasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arm_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rv32i.dir/test_core_rv32i.cpp.o"
+  "CMakeFiles/test_core_rv32i.dir/test_core_rv32i.cpp.o.d"
+  "test_core_rv32i"
+  "test_core_rv32i.pdb"
+  "test_core_rv32i[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rv32i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

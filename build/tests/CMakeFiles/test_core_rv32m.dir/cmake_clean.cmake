@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rv32m.dir/test_core_rv32m.cpp.o"
+  "CMakeFiles/test_core_rv32m.dir/test_core_rv32m.cpp.o.d"
+  "test_core_rv32m"
+  "test_core_rv32m.pdb"
+  "test_core_rv32m[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rv32m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dotp.dir/test_dotp.cpp.o"
+  "CMakeFiles/test_dotp.dir/test_dotp.cpp.o.d"
+  "test_dotp"
+  "test_dotp.pdb"
+  "test_dotp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dotp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_decoder.dir/test_fuzz_decoder.cpp.o"
+  "CMakeFiles/test_fuzz_decoder.dir/test_fuzz_decoder.cpp.o.d"
+  "test_fuzz_decoder"
+  "test_fuzz_decoder.pdb"
+  "test_fuzz_decoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gp_workload.dir/test_gp_workload.cpp.o"
+  "CMakeFiles/test_gp_workload.dir/test_gp_workload.cpp.o.d"
+  "test_gp_workload"
+  "test_gp_workload.pdb"
+  "test_gp_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant_unit.dir/test_quant_unit.cpp.o"
+  "CMakeFiles/test_quant_unit.dir/test_quant_unit.cpp.o.d"
+  "test_quant_unit"
+  "test_quant_unit.pdb"
+  "test_quant_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref_layers.dir/test_ref_layers.cpp.o"
+  "CMakeFiles/test_ref_layers.dir/test_ref_layers.cpp.o.d"
+  "test_ref_layers"
+  "test_ref_layers.pdb"
+  "test_ref_layers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_elem.dir/test_simd_elem.cpp.o"
+  "CMakeFiles/test_simd_elem.dir/test_simd_elem.cpp.o.d"
+  "test_simd_elem"
+  "test_simd_elem.pdb"
+  "test_simd_elem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_elem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

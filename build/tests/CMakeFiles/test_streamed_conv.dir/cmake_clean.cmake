@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streamed_conv.dir/test_streamed_conv.cpp.o"
+  "CMakeFiles/test_streamed_conv.dir/test_streamed_conv.cpp.o.d"
+  "test_streamed_conv"
+  "test_streamed_conv.pdb"
+  "test_streamed_conv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streamed_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
