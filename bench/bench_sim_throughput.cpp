@@ -1,0 +1,173 @@
+// Host-throughput benchmark of the interpreter itself: simulated MIPS
+// (million instructions per host second) for the paper's convolution layer,
+// comparing the legacy switch-on-mnemonic reference interpreter against the
+// predecoded handler-table fast path. Both modes are cycle-identical by
+// construction (see test_dispatch_diff); this bench quantifies the host
+// speed gained by moving classification work to decode time.
+//
+// Emits BENCH_throughput.json next to the binary's working directory.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mem/memory.hpp"
+#include "qnn/pack.hpp"
+#include "sim/core.hpp"
+
+using namespace xpulp;
+using namespace xpulp::bench;
+using kernels::ConvVariant;
+
+namespace {
+
+struct Workload {
+  std::string platform;
+  std::string variant;
+  unsigned bits = 0;
+  kernels::ConvKernel kernel;
+  mem::Memory pristine;  // loaded program + layer data, untouched by runs
+  sim::CoreConfig cfg;
+};
+
+struct Measurement {
+  u64 instructions = 0;
+  double host_seconds = 0;
+  double mips() const {
+    return host_seconds > 0
+               ? static_cast<double>(instructions) / host_seconds / 1e6
+               : 0;
+  }
+};
+
+Workload make_workload(unsigned bits, ConvVariant v, sim::CoreConfig cfg) {
+  const auto spec = qnn::ConvSpec::paper_layer(bits);
+  const auto data = kernels::ConvLayerData::random(spec, kSeed);
+  Workload w{cfg.name,
+             kernels::variant_name(v),
+             bits,
+             kernels::generate_conv_kernel(spec, v, 0x40000),
+             mem::Memory{},
+             std::move(cfg)};
+  w.kernel.program.load(w.pristine);
+  w.pristine.write_block(w.kernel.layout.input,
+                         qnn::pack_tensor(data.input, spec.in_bits));
+  w.pristine.write_block(w.kernel.layout.weights,
+                         qnn::pack_filter_bank(data.weights, spec.w_bits));
+  if (spec.out_bits != 8) {
+    w.pristine.write_block(w.kernel.layout.thresholds,
+                           data.thresholds.serialize());
+  }
+  return w;
+}
+
+/// One timed repetition: restore memory from the pristine image, reset and
+/// run the kernel to completion, accumulating host time and instructions.
+void one_rep(const Workload& w, sim::Core& core, mem::Memory& mem,
+             Measurement& m) {
+  mem = w.pristine;
+  core.reset(w.kernel.program.entry(),
+             w.kernel.program.base() + w.kernel.program.size_bytes());
+  core.reset_perf();
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::HaltReason r = core.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (r != sim::HaltReason::kEcall) {
+    std::fprintf(stderr, "kernel did not complete\n");
+    std::exit(1);
+  }
+  m.host_seconds += std::chrono::duration<double>(t1 - t0).count();
+  m.instructions += core.perf().instructions;
+}
+
+/// Measure both dispatch modes in alternating *rounds* and report each
+/// mode's best round. Round-level interleaving keeps slow host-clock drift
+/// (thermal, scheduler) from biasing the ratio, each round is long enough
+/// that cross-mode cache/predictor pollution at the switch is amortized
+/// away, and taking the best round discards downward scheduler noise
+/// symmetrically for both modes. The first repetition of every round is a
+/// warm-up and not counted.
+std::pair<Measurement, Measurement> measure_pair(const Workload& w,
+                                                 double round_seconds = 0.25,
+                                                 int rounds = 5) {
+  Measurement ref, fast;
+  mem::Memory mem;
+  sim::Core core(mem, w.cfg);
+
+  for (int r = 0; r < rounds; ++r) {
+    for (const bool reference : {true, false}) {
+      core.set_reference_dispatch(reference);
+      Measurement warm;
+      one_rep(w, core, mem, warm);
+      Measurement round;
+      while (round.host_seconds < round_seconds) one_rep(w, core, mem, round);
+      Measurement& best = reference ? ref : fast;
+      if (round.mips() > best.mips()) best = round;
+    }
+  }
+  return {ref, fast};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("interpreter host throughput -- paper conv layer\n");
+  std::printf("%-28s %10s %12s %12s %9s\n", "workload", "minstr",
+              "ref MIPS", "fast MIPS", "speedup");
+
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      make_workload(8, ConvVariant::kXpulpV2_8b, sim::CoreConfig::ri5cy()));
+  workloads.push_back(make_workload(4, ConvVariant::kXpulpNN_HwQ,
+                                    sim::CoreConfig::extended()));
+
+  std::string json = "{\n  \"bench\": \"sim_throughput\",\n  \"unit\": "
+                     "\"host MIPS\",\n  \"workloads\": [\n";
+  bool first = true;
+  double min_speedup = 1e30;
+
+  for (const Workload& w : workloads) {
+    const auto [ref, fast] = measure_pair(w);
+    const double speedup = fast.mips() / ref.mips();
+    if (speedup < min_speedup) min_speedup = speedup;
+
+    const std::string name = w.platform + "/" + w.variant;
+    std::printf("%-28s %10.2f %12.2f %12.2f %8.2fx\n", name.c_str(),
+                static_cast<double>(ref.instructions) / 1e6, ref.mips(),
+                fast.mips(), speedup);
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"platform\": \"%s\", \"variant\": \"%s\", \"bits\": %u,\n"
+        "     \"reference\": {\"instructions\": %llu, \"host_seconds\": "
+        "%.6f, \"mips\": %.2f},\n"
+        "     \"fast\": {\"instructions\": %llu, \"host_seconds\": %.6f, "
+        "\"mips\": %.2f},\n"
+        "     \"speedup\": %.3f}",
+        first ? "" : ",\n", w.platform.c_str(), w.variant.c_str(), w.bits,
+        static_cast<unsigned long long>(ref.instructions), ref.host_seconds,
+        ref.mips(), static_cast<unsigned long long>(fast.instructions),
+        fast.host_seconds, fast.mips(), speedup);
+    json += buf;
+    first = false;
+  }
+
+  char tail[128];
+  std::snprintf(tail, sizeof(tail), "\n  ],\n  \"min_speedup\": %.3f\n}\n",
+                min_speedup);
+  json += tail;
+
+  std::FILE* f = std::fopen("BENCH_throughput.json", "w");
+  if (f) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_throughput.json (min speedup %.2fx)\n",
+                min_speedup);
+  } else {
+    std::fprintf(stderr, "could not write BENCH_throughput.json\n");
+    return 1;
+  }
+  return 0;
+}

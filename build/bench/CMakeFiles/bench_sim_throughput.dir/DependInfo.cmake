@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sim_throughput.cpp" "bench/CMakeFiles/bench_sim_throughput.dir/bench_sim_throughput.cpp.o" "gcc" "bench/CMakeFiles/bench_sim_throughput.dir/bench_sim_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/xp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/xp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/armv7e/CMakeFiles/xp_armv7e.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/xp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/xp_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xasm/CMakeFiles/xp_xasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qnn/CMakeFiles/xp_qnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -148,4 +148,9 @@ src/sim/CMakeFiles/xp_sim.dir/core.cpp.o: /root/repo/src/sim/core.cpp \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/sim/dotp_unit.hpp /root/repo/src/sim/quant_unit.hpp \
- /root/repo/src/sim/timing.hpp /root/repo/src/isa/decoder.hpp
+ /root/repo/src/sim/timing.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/isa/decoder.hpp

@@ -35,8 +35,10 @@ src/sim/CMakeFiles/xp_sim.dir/dotp_unit.cpp.o: \
  /usr/include/c++/12/bits/stl_construct.h \
  /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/range_access.h /root/repo/src/common/types.hpp \
- /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/bits/range_access.h /root/repo/src/common/bitops.hpp \
+ /usr/include/c++/12/bit /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/limits \
+ /root/repo/src/common/types.hpp /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/types.h \
@@ -68,11 +70,9 @@ src/sim/CMakeFiles/xp_sim.dir/dotp_unit.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
- /usr/include/c++/12/bits/string_view.tcc /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/common/bitops.hpp \
- /usr/include/c++/12/bit /usr/include/c++/12/limits \
- /root/repo/src/common/error.hpp /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/string_view.tcc /root/repo/src/common/error.hpp \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/string /usr/include/c++/12/bits/allocator.h \

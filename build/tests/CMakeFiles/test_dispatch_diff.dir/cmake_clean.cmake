@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispatch_diff.dir/test_dispatch_diff.cpp.o"
+  "CMakeFiles/test_dispatch_diff.dir/test_dispatch_diff.cpp.o.d"
+  "test_dispatch_diff"
+  "test_dispatch_diff.pdb"
+  "test_dispatch_diff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispatch_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

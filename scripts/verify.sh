@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite on the default preset, then
+# the same suite under address+UB sanitizers (catches the memory bugs the
+# fast interpreter paths could hide, e.g. decode-cache indexing).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== default preset: build + ctest =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+echo "== asan-ubsan preset: build + ctest =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)"
+
+echo "verify: all suites passed"

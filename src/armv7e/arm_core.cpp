@@ -160,26 +160,27 @@ u32 ArmCore::exec(const AInstr& in) {
 }
 
 unsigned ArmCore::m4_cost(const AInstr& in, bool taken) const {
-  if (aop_is_load(in.op)) return 2;
+  if (in.is(aflag::kLoad)) return 2;
   if (in.op == AOp::kBl || in.op == AOp::kBxLr) return 3;
-  if (aop_is_branch(in.op)) return taken ? 3 : 1;
+  if (in.is(aflag::kBranch)) return taken ? 3 : 1;
   return 1;
 }
 
 bool ArmCore::m7_pairable(const AInstr& a, const AInstr& b) const {
-  if (aop_is_branch(a.op) || aop_is_branch(b.op)) return false;
-  const bool mem_a = aop_is_load(a.op) || aop_is_store(a.op);
-  const bool mem_b = aop_is_load(b.op) || aop_is_store(b.op);
+  if ((a.aflags | b.aflags) & aflag::kBranch) return false;
+  const bool mem_a = a.is(aflag::kLoad | aflag::kStore);
+  const bool mem_b = b.is(aflag::kLoad | aflag::kStore);
   if (mem_a && mem_b) return false;
-  if (aop_is_mac(a.op) && aop_is_mac(b.op)) return false;
+  if (a.is(aflag::kMac) && b.is(aflag::kMac)) return false;
   // RAW dependency: b reads a's destination (incl. post-index base update).
-  const u8 dest = aop_dest(a);
+  const u8 dest = a.dest;
   const u8 wb_dest = ((mem_a && a.wb) ? a.rn : u8{255});
   auto reads = [&](u8 r) {
     if (r == 255) return false;
     if (b.rn == r || b.rm == r || b.ra == r) return true;
     // Stores read rd as data; BFI reads rd as background.
-    if ((aop_is_store(b.op) || b.op == AOp::kBfi || b.op == AOp::kMovTopImm) &&
+    if ((b.is(aflag::kStore) || b.op == AOp::kBfi ||
+         b.op == AOp::kMovTopImm) &&
         b.rd == r) {
       return true;
     }
@@ -187,7 +188,7 @@ bool ArmCore::m7_pairable(const AInstr& a, const AInstr& b) const {
   };
   if (reads(dest) || reads(wb_dest)) return false;
   // WAW on the same destination register also blocks pairing.
-  if (dest != 255 && dest == aop_dest(b)) return false;
+  if (dest != 255 && dest == b.dest) return false;
   return true;
 }
 
@@ -198,9 +199,9 @@ void ArmCore::run(u64 max_instructions) {
     const AInstr& in = prog_[pc_];
     const u32 prev_pc = pc_;
     const u32 next = exec(in);
-    const bool taken = aop_is_branch(in.op) && next != prev_pc + 1;
+    const bool taken = in.is(aflag::kBranch) && next != prev_pc + 1;
     if (taken) ++perf_.taken_branches;
-    if (aop_is_mac(in.op)) ++perf_.macs;
+    if (in.is(aflag::kMac)) ++perf_.macs;
     ++perf_.instructions;
 
     if (model_ == ArmModel::kCortexM4) {
@@ -208,14 +209,14 @@ void ArmCore::run(u64 max_instructions) {
       pc_ = next;
     } else {
       // M7 dual issue: attempt to pair with the fall-through successor.
-      if (!halted_ && !aop_is_branch(in.op) && next == prev_pc + 1 &&
+      if (!halted_ && !in.is(aflag::kBranch) && next == prev_pc + 1 &&
           next < prog_.size() && m7_pairable(in, prog_[next])) {
         const AInstr& in2 = prog_[next];
         pc_ = next;  // exec() derives the fall-through pc from pc_
         const u32 next2 = exec(in2);
-        const bool taken2 = aop_is_branch(in2.op) && next2 != next + 1;
+        const bool taken2 = in2.is(aflag::kBranch) && next2 != next + 1;
         if (taken2) ++perf_.taken_branches;
-        if (aop_is_mac(in2.op)) ++perf_.macs;
+        if (in2.is(aflag::kMac)) ++perf_.macs;
         ++perf_.instructions;
         ++perf_.dual_issued_pairs;
         perf_.cycles += 1;

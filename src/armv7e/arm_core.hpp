@@ -39,6 +39,7 @@ class ArmCore {
 
   void load_program(std::vector<AInstr> prog) {
     prog_ = std::move(prog);
+    for (AInstr& in : prog_) annotate(in);  // pack predicate results once
     reset();
   }
 

@@ -103,4 +103,12 @@ u8 aop_dest(const AInstr& in) {
   return in.rd;
 }
 
+void annotate(AInstr& in) {
+  in.aflags = static_cast<u8>((aop_is_load(in.op) ? aflag::kLoad : 0) |
+                              (aop_is_store(in.op) ? aflag::kStore : 0) |
+                              (aop_is_branch(in.op) ? aflag::kBranch : 0) |
+                              (aop_is_mac(in.op) ? aflag::kMac : 0));
+  in.dest = aop_dest(in);
+}
+
 }  // namespace xpulp::armv7e

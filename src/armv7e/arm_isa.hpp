@@ -50,6 +50,16 @@ enum class AOp : u16 {
 
 std::string_view aop_name(AOp op);
 
+/// Packed classification flags, precomputed per instruction when a program
+/// is loaded so the timing models read one byte instead of re-running the
+/// aop_* predicate switches every executed instruction.
+namespace aflag {
+inline constexpr u8 kLoad = 1u << 0;
+inline constexpr u8 kStore = 1u << 1;
+inline constexpr u8 kBranch = 1u << 2;
+inline constexpr u8 kMac = 1u << 3;
+}  // namespace aflag
+
 struct AInstr {
   AOp op = AOp::kNop;
   u8 rd = 0, rn = 0, rm = 0, ra = 0;
@@ -57,6 +67,12 @@ struct AInstr {
   u8 imm2 = 0;      // second immediate (bitfield width)
   bool wb = false;  // post-index writeback for memory ops
   u32 target = 0;   // branch target (instruction index)
+
+  // Derived fields filled by annotate() (ArmCore::load_program).
+  u8 aflags = 0;    // aflag:: bits
+  u8 dest = 255;    // register written (255 = none), == aop_dest()
+
+  bool is(u8 f) const { return (aflags & f) != 0; }
 };
 
 bool aop_is_load(AOp op);
@@ -66,5 +82,9 @@ bool aop_is_mac(AOp op);
 
 /// Destination register written by the instruction (255 = none).
 u8 aop_dest(const AInstr& in);
+
+/// Fill the derived AInstr fields from the aop_* predicates. Idempotent;
+/// defined to agree exactly with the predicate functions.
+void annotate(AInstr& in);
 
 }  // namespace xpulp::armv7e

@@ -25,7 +25,8 @@ void Cluster::load(const std::vector<xasm::Program>& programs) {
     programs[i].load(mem_);
   }
   for (size_t i = 0; i < programs.size(); ++i) {
-    cores_[i]->reset(programs[i].entry());
+    cores_[i]->reset(programs[i].entry(),
+                     programs[i].base() + programs[i].size_bytes());
   }
   mem_.reset_stats();
 }
@@ -34,6 +35,14 @@ ClusterStats Cluster::run(u64 max_total_instructions) {
   u64 executed = 0;
   const u64 base_conflicts = arbiter_.conflicts();
   const u64 base_accesses = arbiter_.accesses();
+
+  // Route the stepping core's data accesses through the bank arbiter at
+  // its current local cycle. Installed once; the scheduling loop only
+  // updates active_core_/active_core_id_ instead of building a new
+  // std::function closure per step.
+  mem_.set_access_hook([this](addr_t a, unsigned, bool) {
+    return arbiter_.access(active_core_id_, active_core_->perf().cycles, a);
+  });
 
   while (true) {
     // Pick the non-halted core with the smallest local time.
@@ -48,11 +57,8 @@ ClusterStats Cluster::run(u64 max_total_instructions) {
     }
     if (next == nullptr) break;  // all halted
 
-    // Route this core's data accesses through the bank arbiter at its
-    // current local cycle.
-    mem_.set_access_hook([this, next, next_id](addr_t a, unsigned, bool) {
-      return arbiter_.access(next_id, next->perf().cycles, a);
-    });
+    active_core_ = next;
+    active_core_id_ = next_id;
     next->step();
     if (++executed > max_total_instructions) {
       mem_.set_access_hook({});
@@ -60,6 +66,8 @@ ClusterStats Cluster::run(u64 max_total_instructions) {
     }
   }
   mem_.set_access_hook({});
+  active_core_ = nullptr;
+  active_core_id_ = -1;
 
   ClusterStats stats;
   for (const auto& c : cores_) {

@@ -106,6 +106,11 @@ class Cluster {
   mem::Memory mem_;
   std::vector<std::unique_ptr<sim::Core>> cores_;
   BankArbiter arbiter_;
+
+  // Core currently stepping inside run(). One persistent access hook reads
+  // these instead of run() rebuilding a std::function closure every step.
+  sim::Core* active_core_ = nullptr;
+  int active_core_id_ = -1;
 };
 
 }  // namespace xpulp::cluster

@@ -402,11 +402,9 @@ Instr decode_simd(const Fields& f, u32 raw, addr_t pc) {
   return in;
 }
 
-}  // namespace
-
-Instr decode(u32 raw, addr_t pc) {
-  if (is_compressed(raw)) return decode_compressed(static_cast<u16>(raw), pc);
-
+// Raw 32-bit decode without the derived-field pass; decode() below
+// finalizes the result.
+Instr decode32(u32 raw, addr_t pc) {
   const Fields f = split(raw);
   switch (f.opcode) {
     case kOpLui: {
@@ -445,6 +443,15 @@ Instr decode(u32 raw, addr_t pc) {
     default:
       illegal(pc, raw);
   }
+}
+
+}  // namespace
+
+Instr decode(u32 raw, addr_t pc) {
+  if (is_compressed(raw)) return decode_compressed(static_cast<u16>(raw), pc);
+  Instr in = decode32(raw, pc);
+  finalize_decode(in);
+  return in;
 }
 
 }  // namespace xpulp::isa

@@ -362,4 +362,169 @@ bool load_is_signed(Mnemonic m) {
   }
 }
 
+namespace {
+
+ExecClass classify(Mnemonic m) {
+  using M = Mnemonic;
+  switch (m) {
+    case M::kLui: return ExecClass::kLui;
+    case M::kAuipc: return ExecClass::kAuipc;
+    case M::kJal: case M::kJalr:
+    case M::kBeq: case M::kBne: case M::kBlt: case M::kBge:
+    case M::kBltu: case M::kBgeu:
+    case M::kPBeqimm: case M::kPBneimm:
+      return ExecClass::kBranchJump;
+    case M::kAddi: case M::kSlti: case M::kSltiu: case M::kXori:
+    case M::kOri: case M::kAndi: case M::kSlli: case M::kSrli:
+    case M::kSrai:
+      return ExecClass::kAluImm;
+    case M::kAdd: case M::kSub: case M::kSll: case M::kSlt:
+    case M::kSltu: case M::kXor: case M::kSrl: case M::kSra:
+    case M::kOr: case M::kAnd:
+      return ExecClass::kAluReg;
+    case M::kMul: case M::kMulh: case M::kMulhsu: case M::kMulhu:
+    case M::kDiv: case M::kDivu: case M::kRem: case M::kRemu:
+      return ExecClass::kMulDiv;
+    case M::kFence: return ExecClass::kFence;
+    case M::kEcall: return ExecClass::kEcall;
+    case M::kEbreak: return ExecClass::kEbreak;
+    case M::kCsrrw: case M::kCsrrs: case M::kCsrrc:
+    case M::kCsrrwi: case M::kCsrrsi: case M::kCsrrci:
+      return ExecClass::kCsr;
+    case M::kLpStarti: case M::kLpEndi: case M::kLpCount:
+    case M::kLpCounti: case M::kLpSetup: case M::kLpSetupi:
+      return ExecClass::kHwloop;
+    case M::kPAbs: case M::kPMin: case M::kPMinu: case M::kPMax:
+    case M::kPMaxu: case M::kPExths: case M::kPExthz: case M::kPExtbs:
+    case M::kPExtbz: case M::kPCnt: case M::kPFf1: case M::kPFl1:
+    case M::kPClb: case M::kPRor: case M::kPClip: case M::kPClipu:
+    case M::kPMac: case M::kPMsu:
+    case M::kPExtract: case M::kPExtractu: case M::kPInsert:
+    case M::kPBclr: case M::kPBset:
+      return ExecClass::kPulpScalar;
+    default:
+      if (is_load(m) || is_store(m)) return ExecClass::kMem;
+      if (m == M::kPvQnt) return ExecClass::kSimdQnt;
+      if (is_dotp(m)) return ExecClass::kSimdDotp;
+      if (is_elem_manip(m)) return ExecClass::kSimdElem;
+      if (is_simd(m)) return ExecClass::kSimdAlu;
+      return ExecClass::kIllegal;
+  }
+}
+
+bool mem_is_base_rv32i(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kLb: case Mnemonic::kLh: case Mnemonic::kLw:
+    case Mnemonic::kLbu: case Mnemonic::kLhu:
+    case Mnemonic::kSb: case Mnemonic::kSh: case Mnemonic::kSw:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+bool mem_is_post_inc(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kPLbPostImm: case Mnemonic::kPLhPostImm:
+    case Mnemonic::kPLwPostImm: case Mnemonic::kPLbuPostImm:
+    case Mnemonic::kPLhuPostImm:
+    case Mnemonic::kPSbPostImm: case Mnemonic::kPShPostImm:
+    case Mnemonic::kPSwPostImm:
+    case Mnemonic::kPLbPostReg: case Mnemonic::kPLhPostReg:
+    case Mnemonic::kPLwPostReg: case Mnemonic::kPLbuPostReg:
+    case Mnemonic::kPLhuPostReg:
+    case Mnemonic::kPSbPostReg: case Mnemonic::kPShPostReg:
+    case Mnemonic::kPSwPostReg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool mem_is_reg_offset(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kPLbPostReg: case Mnemonic::kPLhPostReg:
+    case Mnemonic::kPLwPostReg: case Mnemonic::kPLbuPostReg:
+    case Mnemonic::kPLhuPostReg:
+    case Mnemonic::kPSbPostReg: case Mnemonic::kPShPostReg:
+    case Mnemonic::kPSwPostReg:
+    case Mnemonic::kPLbRegReg: case Mnemonic::kPLhRegReg:
+    case Mnemonic::kPLwRegReg: case Mnemonic::kPLbuRegReg:
+    case Mnemonic::kPLhuRegReg:
+    case Mnemonic::kPSbRegReg: case Mnemonic::kPShRegReg:
+    case Mnemonic::kPSwRegReg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void finalize_decode(Instr& in) {
+  u16 f = 0;
+  if (reads_rs1(in)) f |= iflag::kReadsRs1;
+  if (reads_rs2(in)) f |= iflag::kReadsRs2;
+  if (reads_rd(in)) f |= iflag::kReadsRd;
+  if (writes_rd(in)) f |= iflag::kWritesRd;
+  if (is_load(in.op)) f |= iflag::kIsLoad;
+  if (is_store(in.op)) f |= iflag::kIsStore;
+  if (load_is_signed(in.op)) f |= iflag::kLoadSigned;
+  if (mem_is_post_inc(in.op)) f |= iflag::kMemPostInc;
+  if (mem_is_reg_offset(in.op)) f |= iflag::kMemRegOff;
+  switch (in.op) {
+    case Mnemonic::kPvSdotup:
+      f |= iflag::kDotAccum;
+      break;
+    case Mnemonic::kPvDotusp:
+      f |= iflag::kDotSignedB;
+      break;
+    case Mnemonic::kPvSdotusp:
+      f |= iflag::kDotAccum | iflag::kDotSignedB;
+      break;
+    case Mnemonic::kPvDotsp:
+      f |= iflag::kDotSignedA | iflag::kDotSignedB;
+      break;
+    case Mnemonic::kPvSdotsp:
+      f |= iflag::kDotAccum | iflag::kDotSignedA | iflag::kDotSignedB;
+      break;
+    default:
+      break;
+  }
+
+  const ExecClass cls = classify(in.op);
+  switch (cls) {
+    case ExecClass::kHwloop:
+      f |= iflag::kNeedXpulpV2 | iflag::kNeedHwloops;
+      break;
+    case ExecClass::kPulpScalar:
+      f |= iflag::kNeedXpulpV2;
+      break;
+    case ExecClass::kBranchJump:
+      if (in.op == Mnemonic::kPBeqimm || in.op == Mnemonic::kPBneimm) {
+        f |= iflag::kNeedXpulpV2;
+      }
+      break;
+    case ExecClass::kMem:
+      if (!mem_is_base_rv32i(in.op)) f |= iflag::kNeedXpulpV2;
+      break;
+    default:
+      if (exec_class_is_simd(cls)) {
+        f |= iflag::kNeedXpulpV2;
+        if (simd_is_subbyte(in.fmt) || in.op == Mnemonic::kPvQnt) {
+          f |= iflag::kNeedXpulpNN;
+        }
+      }
+      break;
+  }
+
+  in.flags = f;
+  in.cls = cls;
+  in.mem_size = static_cast<u8>(mem_access_size(in.op));
+}
+
 }  // namespace xpulp::isa

@@ -116,9 +116,70 @@ constexpr bool simd_is_subbyte(SimdFmt f) {
   return simd_elem_bits(f) == 4 || simd_elem_bits(f) == 2;
 }
 
+/// Handler class an instruction dispatches to. Computed once at decode
+/// time; the core indexes a static handler table with it instead of
+/// switching over the ~130 mnemonics on every executed instruction.
+enum class ExecClass : u8 {
+  kIllegal = 0,
+  kLui,
+  kAuipc,
+  kBranchJump,  // jal/jalr, conditional branches, p.beqimm/p.bneimm
+  kAluImm,      // RV32I immediate ALU ops
+  kAluReg,      // RV32I register ALU ops
+  kMulDiv,
+  kMem,         // every load/store addressing mode
+  kFence,
+  kEcall,
+  kEbreak,
+  kCsr,
+  kHwloop,
+  kPulpScalar,
+  kSimdAlu,     // packed SIMD arithmetic/logic/shift
+  kSimdDotp,    // pv.dot* / pv.sdot*
+  kSimdElem,    // pv.extract/insert/shuffle/pack
+  kSimdQnt,     // pv.qnt
+  kCount,
+};
+
+/// True for the four packed-SIMD handler classes.
+constexpr bool exec_class_is_simd(ExecClass c) {
+  return c == ExecClass::kSimdAlu || c == ExecClass::kSimdDotp ||
+         c == ExecClass::kSimdElem || c == ExecClass::kSimdQnt;
+}
+
+/// Packed operand-use / classification flags, filled at decode time from
+/// the predicate functions below so the interpreter's per-step hot path
+/// reads one bitmask instead of re-running mnemonic switches.
+namespace iflag {
+inline constexpr u16 kReadsRs1 = 1u << 0;
+inline constexpr u16 kReadsRs2 = 1u << 1;
+inline constexpr u16 kReadsRd = 1u << 2;   // rd used as a source operand
+inline constexpr u16 kWritesRd = 1u << 3;
+inline constexpr u16 kIsLoad = 1u << 4;
+inline constexpr u16 kIsStore = 1u << 5;
+inline constexpr u16 kLoadSigned = 1u << 6;
+// ISA-feature requirements; the core pre-computes a mask of *missing*
+// features from its config and a single AND replaces the require() chains.
+inline constexpr u16 kNeedXpulpV2 = 1u << 7;
+inline constexpr u16 kNeedXpulpNN = 1u << 8;
+inline constexpr u16 kNeedHwloops = 1u << 9;
+// Load/store addressing mode, resolved at decode time so the memory handler
+// needs no mnemonic switch: post-increment addresses with the unmodified
+// base and writes base+offset back to rs1; reg-offset takes the offset from
+// a register (rs2 for loads, the rd field for stores) instead of `imm`.
+inline constexpr u16 kMemPostInc = 1u << 10;
+inline constexpr u16 kMemRegOff = 1u << 11;
+// Dot-product family, resolved at decode time: sdot accumulates into rd,
+// and each operand is independently signed (pv.dotusp is unsigned x signed).
+inline constexpr u16 kDotAccum = 1u << 12;
+inline constexpr u16 kDotSignedA = 1u << 13;
+inline constexpr u16 kDotSignedB = 1u << 14;
+}  // namespace iflag
+
 /// A decoded instruction. `imm` is the primary (sign-extended) immediate;
 /// `imm2` carries secondary fields: Is3 for bit-manipulation ops, the loop
-/// index L for hardware loops, and the CSR uimm for CSRR*I.
+/// index L for hardware loops, and the CSR uimm for CSRR*I. `flags`,
+/// `cls` and `mem_size` are derived fields filled by finalize_decode().
 struct Instr {
   Mnemonic op = Mnemonic::kInvalid;
   SimdFmt fmt = SimdFmt::kNone;
@@ -130,8 +191,20 @@ struct Instr {
   u32 raw = 0;
   u8 size = 4;  // bytes: 2 for compressed, 4 otherwise
 
+  u16 flags = 0;                       // iflag:: bits
+  ExecClass cls = ExecClass::kIllegal;
+  u8 mem_size = 0;                     // bytes for loads/stores, else 0
+
   bool valid() const { return op != Mnemonic::kInvalid; }
+  bool has(u16 f) const { return (flags & f) != 0; }
 };
+
+/// Fill the derived fields (`flags`, `cls`, `mem_size`) of a decoded
+/// instruction from its mnemonic/format. Idempotent; decode() and
+/// decode_compressed() call it on every instruction they produce. The
+/// values are defined to agree exactly with the predicate functions below
+/// (the differential dispatch test enforces this).
+void finalize_decode(Instr& in);
 
 /// Human-readable mnemonic (e.g. "pv.sdotsp"). The SIMD format suffix is
 /// appended by the disassembler, not included here.

@@ -248,12 +248,15 @@ Instr quadrant2(u16 raw, addr_t pc) {
 }  // namespace
 
 Instr decode_compressed(u16 raw, addr_t pc) {
+  Instr in;
   switch (raw & 0x3u) {
-    case 0b00: return quadrant0(raw, pc);
-    case 0b01: return quadrant1(raw, pc);
-    case 0b10: return quadrant2(raw, pc);
+    case 0b00: in = quadrant0(raw, pc); break;
+    case 0b01: in = quadrant1(raw, pc); break;
+    case 0b10: in = quadrant2(raw, pc); break;
     default: illegal(pc, raw);
   }
+  finalize_decode(in);
+  return in;
 }
 
 }  // namespace xpulp::isa

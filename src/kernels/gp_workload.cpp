@@ -126,7 +126,7 @@ GpRunResult run_gp_workload(const GpWorkload& w, const sim::CoreConfig& cfg) {
   mem::Memory mem;
   w.program.load(mem);
   sim::Core core(mem, cfg);
-  core.reset(w.program.entry());
+  core.reset(w.program.entry(), w.program.base() + w.program.size_bytes());
   if (core.run() != sim::HaltReason::kEcall) {
     throw SimError("GP workload did not complete");
   }

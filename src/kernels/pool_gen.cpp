@@ -126,7 +126,7 @@ PoolRunResult run_pool2x2(const qnn::Tensor& in, unsigned bits, PoolOp op,
   mem.write_block(in_base, qnn::pack_tensor(in, bits));
 
   sim::Core core(mem, cfg);
-  core.reset(prog.entry());
+  core.reset(prog.entry(), prog.base() + prog.size_bytes());
   if (core.run() != sim::HaltReason::kEcall) {
     throw SimError("pool kernel did not complete");
   }

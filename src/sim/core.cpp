@@ -1,5 +1,6 @@
 #include "sim/core.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/bitops.hpp"
@@ -10,11 +11,18 @@ namespace xpulp::sim {
 
 using isa::Instr;
 using isa::Mnemonic;
+namespace iflag = isa::iflag;
 
 Core::Core(mem::Memory& mem, CoreConfig cfg)
-    : mem_(mem), cfg_(std::move(cfg)), dotp_(cfg_.clock_gating) {}
+    : mem_(mem), cfg_(std::move(cfg)), dotp_(cfg_.clock_gating) {
+  ref_dispatch_ = cfg_.reference_dispatch;
+  feature_guard_ =
+      static_cast<u16>((cfg_.xpulpv2 ? 0 : iflag::kNeedXpulpV2) |
+                       (cfg_.xpulpnn ? 0 : iflag::kNeedXpulpNN) |
+                       (cfg_.hwloops ? 0 : iflag::kNeedHwloops));
+}
 
-void Core::reset(addr_t pc) {
+void Core::reset(addr_t pc, addr_t code_end) {
   regs_.fill(0);
   // Stack pointer at the top of SRAM by convention; programs may override.
   regs_[2] = mem_.size();
@@ -23,29 +31,57 @@ void Core::reset(addr_t pc) {
   hwl_start_.fill(0);
   hwl_end_.fill(0);
   hwl_count_.fill(0);
+  hwl_active_ = false;
   last_load_rd_ = 0;
   halt_ = HaltReason::kRunning;
   icache_.clear();
   icache_valid_.clear();
+  if (code_end != 0) {
+    // Pre-size the decode cache to the loaded image so the run loop never
+    // pays a resize, and stores beyond the code range cost one compare.
+    const u32 parcels = static_cast<u32>(
+        std::min<u64>((static_cast<u64>(code_end) + 1) >> 1,
+                      (static_cast<u64>(mem_.size()) + 1) >> 1));
+    icache_.resize(parcels);
+    icache_valid_.assign(parcels, 0);
+  }
 }
 
 const Instr& Core::fetch_decode(addr_t pc) {
   const u32 idx = pc >> 1;
+  if (idx < icache_valid_.size() && icache_valid_[idx]) return icache_[idx];
+
+  // Cold path. Fetch the parcels first so a wild pc faults before the
+  // cache allocates anything: 16-bit parcels; a 32-bit fetch at the end of
+  // memory must not fault if the instruction is compressed.
+  const u16 low = mem_.load_u16(pc);
+  u32 raw = low;
+  if (!isa::is_compressed(low)) raw |= static_cast<u32>(mem_.load_u16(pc + 2)) << 16;
+
   if (idx >= icache_valid_.size()) {
-    const u32 new_size = std::max<u32>(idx + 1, 4096);
+    // Geometric growth; the old resize-to-idx+1 policy re-copied the whole
+    // cache on every miss past the end (O(n^2) in fetched code size).
+    const u32 cap = (mem_.size() + 1) >> 1;  // every in-bounds pc fits
+    u32 new_size = std::max<u32>(4096, static_cast<u32>(icache_valid_.size()) * 2);
+    new_size = std::min(std::max(new_size, idx + 1), cap);
     icache_.resize(new_size);
     icache_valid_.resize(new_size, 0);
   }
-  if (!icache_valid_[idx]) {
-    // Instruction fetch: 16-bit parcels; a 32-bit fetch at the end of
-    // memory must not fault if the instruction is compressed.
-    const u16 low = mem_.load_u16(pc);
-    u32 raw = low;
-    if (!isa::is_compressed(low)) raw |= static_cast<u32>(mem_.load_u16(pc + 2)) << 16;
-    icache_[idx] = isa::decode(raw, pc);
-    icache_valid_[idx] = 1;
-  }
+  icache_[idx] = isa::decode(raw, pc);
+  icache_valid_[idx] = 1;
   return icache_[idx];
+}
+
+void Core::icache_invalidate(addr_t a, unsigned size) {
+  const u32 limit = static_cast<u32>(icache_valid_.size());
+  if (limit == 0) return;
+  // A 32-bit instruction starting one parcel below the store covers the
+  // stored parcel too.
+  const u32 first = a >> 1;
+  const u32 lo = first == 0 ? 0 : first - 1;
+  if (lo >= limit) return;
+  const u32 hi = std::min((a + size - 1) >> 1, limit - 1);
+  for (u32 i = lo; i <= hi; ++i) icache_valid_[i] = 0;
 }
 
 void Core::require(bool cond, const Instr& in) {
@@ -53,16 +89,23 @@ void Core::require(bool cond, const Instr& in) {
 }
 
 bool Core::step() {
+  if (ref_dispatch_) return step_reference();
+  return trace_ ? step_fast<true>() : step_fast<false>();
+}
+
+template <bool Traced>
+bool Core::step_fast() {
   if (halted()) return false;
-  const Instr& in = fetch_decode(pc_);
-  if (trace_) trace_(pc_, in);
+  const Instr& in = fetch_decode_fast(pc_);
+  if constexpr (Traced) trace_(pc_, in);
+  const u16 f = in.flags;
 
   // Load-use hazard: the previous instruction was a load and we consume its
   // destination register now.
   if (last_load_rd_ != 0) {
-    const bool hazard = (isa::reads_rs1(in) && in.rs1 == last_load_rd_) ||
-                        (isa::reads_rs2(in) && in.rs2 == last_load_rd_) ||
-                        (isa::reads_rd(in) && in.rd == last_load_rd_);
+    const bool hazard = ((f & iflag::kReadsRs1) && in.rs1 == last_load_rd_) ||
+                        ((f & iflag::kReadsRs2) && in.rs2 == last_load_rd_) ||
+                        ((f & iflag::kReadsRd) && in.rd == last_load_rd_);
     if (hazard) {
       perf_.cycles += timing_.load_use_penalty;
       perf_.load_use_stall_cycles += timing_.load_use_penalty;
@@ -76,40 +119,109 @@ bool Core::step() {
   if (!cfg_.clock_gating) {
     dotp_.broadcast_operands(reg(in.rs1), reg(in.rs2));
   }
-  execute(in);
+  if (f & feature_guard_) throw IllegalInstruction(pc_, in.raw);
+  // Direct calls for the two classes that dominate QNN kernels (loads/
+  // stores and dot products) let the compiler inline them here; everything
+  // else goes through the handler table's indirect call.
+  if (in.cls == isa::ExecClass::kMem) {
+    exec_mem(in);
+  } else if (in.cls == isa::ExecClass::kSimdDotp) {
+    exec_simd_dotp_fast(in);
+  } else {
+    (this->*kExecTable[static_cast<size_t>(in.cls)])(in);
+  }
 
   perf_.instructions += 1;
   perf_.cycles += 1;
 
-  last_load_rd_ = isa::is_load(in.op) ? in.rd : 0;
+  last_load_rd_ = (f & iflag::kIsLoad) ? in.rd : 0;
 
-  // Hardware-loop back-edges (zero overhead). Only on fall-through paths;
-  // inner loop L0 has priority over L1.
-  if (!redirect_ && cfg_.hwloops) {
+  if (!redirect_ && hwl_active_) {
+    // Inline filter: most loop-body instructions are not at a loop end, so
+    // skip the out-of-line backedge handler on the common path.
     const addr_t after = pc_ + in.size;
-    for (unsigned l = 0; l < 2; ++l) {
-      if (after == hwl_end_[l] && hwl_count_[l] > 0) {
-        if (hwl_count_[l] > 1) {
-          hwl_count_[l] -= 1;
-          next_pc_ = hwl_start_[l];
-          perf_.hwloop_backedges += 1;
-        } else {
-          hwl_count_[l] = 0;  // final iteration: fall through
-        }
-        break;
-      }
-    }
+    if (after == hwl_end_[0] || after == hwl_end_[1]) hwloop_backedge(after);
   }
 
   pc_ = next_pc_;
   return !halted();
 }
 
+bool Core::step_reference() {
+  if (halted()) return false;
+  const Instr& in = fetch_decode(pc_);
+  if (trace_) trace_(pc_, in);
+
+  if (last_load_rd_ != 0) {
+    const bool hazard = (isa::reads_rs1(in) && in.rs1 == last_load_rd_) ||
+                        (isa::reads_rs2(in) && in.rs2 == last_load_rd_) ||
+                        (isa::reads_rd(in) && in.rd == last_load_rd_);
+    if (hazard) {
+      perf_.cycles += timing_.load_use_penalty;
+      perf_.load_use_stall_cycles += timing_.load_use_penalty;
+    }
+  }
+
+  next_pc_ = pc_ + in.size;
+  redirect_ = false;
+  if (!cfg_.clock_gating) {
+    dotp_.broadcast_operands(reg(in.rs1), reg(in.rs2));
+  }
+  execute_reference(in);
+
+  perf_.instructions += 1;
+  perf_.cycles += 1;
+
+  last_load_rd_ = isa::is_load(in.op) ? in.rd : 0;
+
+  if (!redirect_ && cfg_.hwloops) hwloop_backedge(pc_ + in.size);
+
+  pc_ = next_pc_;
+  return !halted();
+}
+
+void Core::hwloop_backedge(addr_t after) {
+  // Hardware-loop back-edges (zero overhead). Only on fall-through paths;
+  // inner loop L0 has priority over L1.
+  for (unsigned l = 0; l < 2; ++l) {
+    if (after == hwl_end_[l] && hwl_count_[l] > 0) {
+      if (hwl_count_[l] > 1) {
+        hwl_count_[l] -= 1;
+        next_pc_ = hwl_start_[l];
+        perf_.hwloop_backedges += 1;
+      } else {
+        hwl_count_[l] = 0;  // final iteration: fall through
+        update_hwl_active();
+      }
+      break;
+    }
+  }
+}
+
 HaltReason Core::run(u64 max_instructions) {
-  const u64 limit = perf_.instructions + max_instructions;
+  if (ref_dispatch_) {
+    // Legacy loop shape: dynamic trace check inside step_reference and the
+    // limit read back from the perf counters every iteration.
+    const u64 limit = perf_.instructions + max_instructions;
+    while (!halted()) {
+      step_reference();
+      if (perf_.instructions >= limit) {
+        halt_ = HaltReason::kInstrLimit;
+        break;
+      }
+    }
+    return halt_;
+  }
+  return trace_ ? run_fast<true>(max_instructions)
+                : run_fast<false>(max_instructions);
+}
+
+template <bool Traced>
+HaltReason Core::run_fast(u64 max_instructions) {
+  u64 executed = 0;
   while (!halted()) {
-    step();
-    if (perf_.instructions >= limit) {
+    step_fast<Traced>();
+    if (++executed >= max_instructions) {
       halt_ = HaltReason::kInstrLimit;
       break;
     }
@@ -117,16 +229,43 @@ HaltReason Core::run(u64 max_instructions) {
   return halt_;
 }
 
-void Core::execute(const Instr& in) {
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+const std::array<Core::ExecFn, static_cast<size_t>(isa::ExecClass::kCount)>
+    Core::kExecTable = {
+        &Core::exec_illegal,      // kIllegal
+        &Core::exec_lui,          // kLui
+        &Core::exec_auipc,        // kAuipc
+        &Core::exec_branch_jump,  // kBranchJump
+        &Core::exec_alu_imm,      // kAluImm
+        &Core::exec_alu_reg,      // kAluReg
+        &Core::exec_muldiv,       // kMulDiv
+        &Core::exec_mem,          // kMem
+        &Core::exec_fence,        // kFence
+        &Core::exec_ecall,        // kEcall
+        &Core::exec_ebreak,       // kEbreak
+        &Core::exec_csr_system,   // kCsr
+        &Core::exec_hwloop,       // kHwloop
+        &Core::exec_pulp_scalar,  // kPulpScalar
+        &Core::exec_simd_alu,     // kSimdAlu
+        &Core::exec_simd_dotp_fast,  // kSimdDotp
+        &Core::exec_simd_elem,    // kSimdElem
+        &Core::exec_simd_qnt,     // kSimdQnt
+};
+
+// The pre-optimization interpreter, kept verbatim as the semantic
+// reference: switch on mnemonic, feature require() chains recomputed per
+// executed instruction.
+void Core::execute_reference(const Instr& in) {
   using M = Mnemonic;
   switch (in.op) {
     case M::kLui:
-      set_reg(in.rd, static_cast<u32>(in.imm));
-      perf_.scalar_alu_ops += 1;
+      exec_lui(in);
       break;
     case M::kAuipc:
-      set_reg(in.rd, pc_ + static_cast<u32>(in.imm));
-      perf_.scalar_alu_ops += 1;
+      exec_auipc(in);
       break;
     case M::kJal: case M::kJalr:
     case M::kBeq: case M::kBne: case M::kBlt: case M::kBge:
@@ -181,7 +320,7 @@ void Core::execute(const Instr& in) {
             in.op != M::kSh && in.op != M::kSw) {
           require(cfg_.xpulpv2, in);
         }
-        exec_mem(in);
+        exec_mem_reference(in);
       } else if (isa::is_simd(in.op)) {
         require(cfg_.xpulpv2, in);
         if (isa::simd_is_subbyte(in.fmt) || in.op == M::kPvQnt) {
@@ -195,14 +334,33 @@ void Core::execute(const Instr& in) {
   }
 }
 
-void Core::exec_alu(const Instr& in) {
+// ---------------------------------------------------------------------------
+// Handlers (shared by both dispatch modes)
+// ---------------------------------------------------------------------------
+
+void Core::exec_illegal(const Instr& in) {
+  throw IllegalInstruction(pc_, in.raw);
+}
+
+void Core::exec_lui(const Instr& in) {
+  set_reg(in.rd, static_cast<u32>(in.imm));
+  perf_.scalar_alu_ops += 1;
+}
+
+void Core::exec_auipc(const Instr& in) {
+  set_reg(in.rd, pc_ + static_cast<u32>(in.imm));
+  perf_.scalar_alu_ops += 1;
+}
+
+void Core::exec_fence(const Instr&) {}  // single hart, no-op
+
+void Core::exec_ecall(const Instr&) { halt_ = HaltReason::kEcall; }
+
+void Core::exec_ebreak(const Instr&) { halt_ = HaltReason::kEbreak; }
+
+void Core::alu_body(const Instr& in, u32 b) {
   using M = Mnemonic;
   const u32 a = reg(in.rs1);
-  const bool immediate =
-      in.op == M::kAddi || in.op == M::kSlti || in.op == M::kSltiu ||
-      in.op == M::kXori || in.op == M::kOri || in.op == M::kAndi ||
-      in.op == M::kSlli || in.op == M::kSrli || in.op == M::kSrai;
-  const u32 b = immediate ? static_cast<u32>(in.imm) : reg(in.rs2);
   u32 r = 0;
   switch (in.op) {
     case M::kAddi: case M::kAdd: r = a + b; break;
@@ -223,6 +381,21 @@ void Core::exec_alu(const Instr& in) {
   }
   set_reg(in.rd, r);
   perf_.scalar_alu_ops += 1;
+}
+
+void Core::exec_alu_imm(const Instr& in) {
+  alu_body(in, static_cast<u32>(in.imm));
+}
+
+void Core::exec_alu_reg(const Instr& in) { alu_body(in, reg(in.rs2)); }
+
+void Core::exec_alu(const Instr& in) {
+  using M = Mnemonic;
+  const bool immediate =
+      in.op == M::kAddi || in.op == M::kSlti || in.op == M::kSltiu ||
+      in.op == M::kXori || in.op == M::kOri || in.op == M::kAndi ||
+      in.op == M::kSlli || in.op == M::kSrli || in.op == M::kSrai;
+  alu_body(in, immediate ? static_cast<u32>(in.imm) : reg(in.rs2));
 }
 
 void Core::exec_muldiv(const Instr& in) {
@@ -347,10 +520,8 @@ void Core::exec_branch_jump(const Instr& in) {
   }
 }
 
-void Core::exec_mem(const Instr& in) {
+void Core::mem_body(const Instr& in, unsigned size, bool store, bool sext) {
   using M = Mnemonic;
-  const unsigned size = isa::mem_access_size(in.op);
-  const bool store = isa::is_store(in.op);
   addr_t addr = 0;
   u32 new_base = 0;
   bool update_base = false;
@@ -398,10 +569,13 @@ void Core::exec_mem(const Instr& in) {
 
   if (store) {
     mem_.store(addr, reg(in.rs2), size);
+    // Decode-cache coherence: a store into already-decoded instruction
+    // memory must not keep executing the stale decode.
+    icache_invalidate(addr, size);
     perf_.stores += 1;
   } else {
     u32 v = mem_.load(addr, size);
-    if (isa::load_is_signed(in.op)) {
+    if (sext) {
       v = static_cast<u32>(sign_extend(v, size * 8));
     }
     perf_.lsu_data_toggles += hamming_distance(last_load_data_, v);
@@ -410,6 +584,44 @@ void Core::exec_mem(const Instr& in) {
     perf_.loads += 1;
   }
   if (update_base) set_reg(in.rs1, new_base);
+}
+
+void Core::exec_mem(const Instr& in) {
+  // Fast path: addressing mode comes packed in the decode flags, so no
+  // mnemonic switch runs here (compare mem_body, the reference shape).
+  const u16 f = in.flags;
+  const bool store = (f & iflag::kIsStore) != 0;
+  const u32 base = reg(in.rs1);
+  const u32 off = (f & iflag::kMemRegOff) ? reg(store ? in.rd : in.rs2)
+                                          : static_cast<u32>(in.imm);
+  const bool post = (f & iflag::kMemPostInc) != 0;
+  const addr_t addr = post ? base : base + off;
+  const unsigned size = in.mem_size;
+
+  const unsigned stalls = mem_.access_cycles(addr, size, store);
+  perf_.cycles += stalls;
+  perf_.mem_stall_cycles += stalls;
+
+  if (store) {
+    mem_.store(addr, reg(in.rs2), size);
+    icache_invalidate(addr, size);
+    perf_.stores += 1;
+  } else {
+    u32 v = mem_.load(addr, size);
+    if (f & iflag::kLoadSigned) {
+      v = static_cast<u32>(sign_extend(v, size * 8));
+    }
+    perf_.lsu_data_toggles += hamming_distance(last_load_data_, v);
+    last_load_data_ = v;
+    set_reg(in.rd, v);
+    perf_.loads += 1;
+  }
+  if (post) set_reg(in.rs1, base + off);
+}
+
+void Core::exec_mem_reference(const Instr& in) {
+  mem_body(in, isa::mem_access_size(in.op), isa::is_store(in.op),
+           isa::load_is_signed(in.op));
 }
 
 void Core::exec_pulp_scalar(const Instr& in) {
@@ -523,70 +735,138 @@ void Core::exec_hwloop(const Instr& in) {
     default:
       throw IllegalInstruction(pc_, in.raw);
   }
+  update_hwl_active();
   perf_.scalar_alu_ops += 1;
 }
 
 void Core::exec_simd(const Instr& in) {
+  if (in.op == Mnemonic::kPvQnt) {
+    exec_simd_qnt(in);
+    return;
+  }
+  if (isa::is_dotp(in.op)) {
+    exec_simd_dotp(in);
+    return;
+  }
+  if (isa::is_elem_manip(in.op)) {
+    exec_simd_elem(in);
+    return;
+  }
+  exec_simd_alu(in);
+}
+
+void Core::exec_simd_qnt(const Instr& in) {
+  const unsigned q_bits = isa::simd_elem_bits(in.fmt);
+  const QuantResult res = qnt_.execute(mem_, reg(in.rs1), reg(in.rs2), q_bits);
+  set_reg(in.rd, res.rd);
+  perf_.qnt_ops += 1;
+  // Base cycle is charged in step(); the remainder stalls the pipeline.
+  perf_.cycles += res.cycles - 1;
+  perf_.qnt_stall_cycles += res.cycles - 1;
+}
+
+void Core::exec_simd_dotp(const Instr& in) {
+  const i32 acc = static_cast<i32>(reg(in.rd));
+  const i32 r = dotp_.dotp(in.op, in.fmt, reg(in.rs1), reg(in.rs2), acc);
+  set_reg(in.rd, static_cast<u32>(r));
+  perf_.dotp_ops[static_cast<unsigned>(region_for(in.fmt))] += 1;
+}
+
+namespace {
+
+// Decode-specialized dot-product kernel for the fast path. With the lane
+// width a template parameter the loop fully unrolls (and vectorizes for the
+// sub-byte formats); DotpUnit::dotp_reference keeps both width and count as
+// runtime values and pays a function call plus bit-slicing per lane.
+//
+// Bit-identical to dotp_reference: that routine widens to 64 bits and
+// truncates the final sum to 32, which equals mod-2^32 (u32 wraparound)
+// multiply-accumulate — so everything stays in 32-bit registers here.
+template <unsigned W, bool ScalarRep>
+i32 dotp_lanes(u32 a, u32 b, u32 sum, bool sa, bool sb) {
+  if constexpr (ScalarRep) {
+    b = (b & low_mask(W)) * (~0u / low_mask(W));  // replicate over all lanes
+  }
+  for (unsigned i = 0; i < 32 / W; ++i) {
+    const u32 ra = (a >> (i * W)) & low_mask(W);
+    const u32 rb = (b >> (i * W)) & low_mask(W);
+    const u32 ea =
+        sa ? static_cast<u32>(sign_extend(ra, W)) : ra;
+    const u32 eb =
+        sb ? static_cast<u32>(sign_extend(rb, W)) : rb;
+    sum += ea * eb;
+  }
+  return static_cast<i32>(sum);
+}
+
+}  // namespace
+
+void Core::exec_simd_dotp_fast(const Instr& in) {
+  using isa::SimdFmt;
+  const u32 a = reg(in.rs1);
+  const u32 b = reg(in.rs2);
+  const u16 f = in.flags;
+  const bool sa = (f & iflag::kDotSignedA) != 0;
+  const bool sb = (f & iflag::kDotSignedB) != 0;
+  const u32 acc = (f & iflag::kDotAccum) ? reg(in.rd) : 0;
+  i32 r = 0;
+  unsigned region = 0;  // DotpRegion numbering: 16-bit first, then narrower
+  switch (in.fmt) {
+    case SimdFmt::kH: r = dotp_lanes<16, false>(a, b, acc, sa, sb); region = 0; break;
+    case SimdFmt::kHSc: r = dotp_lanes<16, true>(a, b, acc, sa, sb); region = 0; break;
+    case SimdFmt::kB: r = dotp_lanes<8, false>(a, b, acc, sa, sb); region = 1; break;
+    case SimdFmt::kBSc: r = dotp_lanes<8, true>(a, b, acc, sa, sb); region = 1; break;
+    case SimdFmt::kN: r = dotp_lanes<4, false>(a, b, acc, sa, sb); region = 2; break;
+    case SimdFmt::kNSc: r = dotp_lanes<4, true>(a, b, acc, sa, sb); region = 2; break;
+    case SimdFmt::kC: r = dotp_lanes<2, false>(a, b, acc, sa, sb); region = 3; break;
+    case SimdFmt::kCSc: r = dotp_lanes<2, true>(a, b, acc, sa, sb); region = 3; break;
+    default: throw IllegalInstruction(pc_, in.raw);
+  }
+  dotp_.note_dotp(region, a, b);
+  set_reg(in.rd, static_cast<u32>(r));
+  perf_.dotp_ops[region] += 1;
+}
+
+void Core::exec_simd_elem(const Instr& in) {
   using M = Mnemonic;
   const u32 a = reg(in.rs1);
   const u32 b = reg(in.rs2);
-
-  if (in.op == M::kPvQnt) {
-    const unsigned q_bits = isa::simd_elem_bits(in.fmt);
-    const QuantResult res = qnt_.execute(mem_, a, b, q_bits);
-    set_reg(in.rd, res.rd);
-    perf_.qnt_ops += 1;
-    // Base cycle is charged in step(); the remainder stalls the pipeline.
-    perf_.cycles += res.cycles - 1;
-    perf_.qnt_stall_cycles += res.cycles - 1;
-    return;
-  }
-
-  if (isa::is_dotp(in.op)) {
-    const i32 acc = static_cast<i32>(reg(in.rd));
-    const i32 r = dotp_.dotp(in.op, in.fmt, a, b, acc);
-    set_reg(in.rd, static_cast<u32>(r));
-    perf_.dotp_ops[static_cast<unsigned>(region_for(in.fmt))] += 1;
-    return;
-  }
-
-  if (isa::is_elem_manip(in.op)) {
-    const unsigned lanes = isa::simd_elem_count(in.fmt);
-    const unsigned lane = static_cast<unsigned>(in.imm) & (lanes - 1);
-    u32 r = 0;
-    switch (in.op) {
-      case M::kPvElemExtract:
-        r = static_cast<u32>(simd_extract(a, in.fmt, lane, /*sign=*/true));
-        break;
-      case M::kPvElemExtractu:
-        r = static_cast<u32>(simd_extract(a, in.fmt, lane, /*sign=*/false));
-        break;
-      case M::kPvElemInsert:
-        r = simd_insert(reg(in.rd), in.fmt, lane, a);
-        break;
-      case M::kPvShuffle: {
-        for (unsigned i = 0; i < lanes; ++i) {
-          const unsigned src =
-              static_cast<unsigned>(simd_extract(b, in.fmt, i, false)) &
-              (lanes - 1);
-          r = simd_insert(
-              r, in.fmt, i,
-              static_cast<u32>(simd_extract(a, in.fmt, src, false)));
-        }
-        break;
+  const unsigned lanes = isa::simd_elem_count(in.fmt);
+  const unsigned lane = static_cast<unsigned>(in.imm) & (lanes - 1);
+  u32 r = 0;
+  switch (in.op) {
+    case M::kPvElemExtract:
+      r = static_cast<u32>(simd_extract(a, in.fmt, lane, /*sign=*/true));
+      break;
+    case M::kPvElemExtractu:
+      r = static_cast<u32>(simd_extract(a, in.fmt, lane, /*sign=*/false));
+      break;
+    case M::kPvElemInsert:
+      r = simd_insert(reg(in.rd), in.fmt, lane, a);
+      break;
+    case M::kPvShuffle: {
+      for (unsigned i = 0; i < lanes; ++i) {
+        const unsigned src =
+            static_cast<unsigned>(simd_extract(b, in.fmt, i, false)) &
+            (lanes - 1);
+        r = simd_insert(
+            r, in.fmt, i,
+            static_cast<u32>(simd_extract(a, in.fmt, src, false)));
       }
-      case M::kPvPackH:
-        r = (a << 16) | (b & 0xffffu);
-        break;
-      default:
-        throw IllegalInstruction(pc_, in.raw);
+      break;
     }
-    set_reg(in.rd, r);
-    perf_.simd_alu_ops += 1;
-    return;
+    case M::kPvPackH:
+      r = (a << 16) | (b & 0xffffu);
+      break;
+    default:
+      throw IllegalInstruction(pc_, in.raw);
   }
+  set_reg(in.rd, r);
+  perf_.simd_alu_ops += 1;
+}
 
-  set_reg(in.rd, dotp_.alu_op(in.op, in.fmt, a, b));
+void Core::exec_simd_alu(const Instr& in) {
+  set_reg(in.rd, dotp_.alu_op(in.op, in.fmt, reg(in.rs1), reg(in.rs2)));
   perf_.simd_alu_ops += 1;
 }
 

@@ -27,6 +27,12 @@ struct CoreConfig {
   bool xpulpnn = true;    // nibble/crumb SIMD + pv.qnt
   bool hwloops = true;    // can be disabled separately for ablations
   bool clock_gating = true;
+  /// Use the legacy switch-on-mnemonic interpreter instead of the
+  /// predecoded handler-table fast path. Functionally and cycle-wise
+  /// identical (enforced by the differential dispatch test); kept as the
+  /// reference implementation and as the baseline of the host-throughput
+  /// bench.
+  bool reference_dispatch = false;
   std::string name = "xpulpnn";
 
   static CoreConfig extended() { return CoreConfig{}; }
@@ -78,8 +84,10 @@ class Core {
   Core(mem::Memory& mem, CoreConfig cfg = CoreConfig::extended());
 
   /// Reset architectural state and start executing at `pc`. Clears the
-  /// decode cache (call after loading a new program image).
-  void reset(addr_t pc);
+  /// decode cache (call after loading a new program image). When
+  /// `code_end` (one past the last code byte) is nonzero the decode cache
+  /// is pre-sized to cover [0, code_end) so the hot loop never resizes.
+  void reset(addr_t pc, addr_t code_end = 0);
 
   u32 reg(unsigned r) const { return regs_[r & 31]; }
   void set_reg(unsigned r, u32 v) {
@@ -109,23 +117,88 @@ class Core {
   using TraceFn = std::function<void(addr_t, const isa::Instr&)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
+  /// Switch between the handler-table fast path and the legacy reference
+  /// switch interpreter at runtime (differential tests flip this).
+  void set_reference_dispatch(bool on) { ref_dispatch_ = on; }
+  bool reference_dispatch() const { return ref_dispatch_; }
+
  private:
   const isa::Instr& fetch_decode(addr_t pc);
-  void execute(const isa::Instr& in);
 
-  // Execution helpers (defined in core.cpp).
-  void exec_alu(const isa::Instr& in);
-  void exec_mem(const isa::Instr& in);
+  /// Fast-path fetch: the decode-cache hit test inlines into step_fast();
+  /// only misses go through the out-of-line fetch_decode(). The reference
+  /// path keeps calling fetch_decode() directly, preserving the pre-PR
+  /// per-step call.
+  const isa::Instr& fetch_decode_fast(addr_t pc) {
+    const u32 idx = pc >> 1;
+    if (idx < icache_valid_.size() && icache_valid_[idx]) [[likely]] {
+      return icache_[idx];
+    }
+    return fetch_decode(pc);
+  }
+
+  /// Fast path: one instruction via the predecoded handler table, reading
+  /// the packed Instr flags. `Traced` is a compile-time knob so untraced
+  /// runs pay zero trace overhead.
+  template <bool Traced>
+  bool step_fast();
+  template <bool Traced>
+  HaltReason run_fast(u64 max_instructions);
+
+  /// Reference path: the pre-optimization interpreter, byte-for-byte —
+  /// mnemonic switch dispatch plus per-step isa:: predicate calls.
+  bool step_reference();
+  void execute_reference(const isa::Instr& in);
+
+  /// Hardware-loop back-edge check after a fall-through instruction ending
+  /// at `after`; shared by both step paths.
+  void hwloop_backedge(addr_t after);
+
+  // Execution helpers (defined in core.cpp). The semantic bodies are
+  // shared between the reference switch and the handler table, so both
+  // dispatch modes run identical semantics/timing; only classification
+  // work differs (decode-time for the fast path, per-step for reference).
+  void exec_lui(const isa::Instr& in);
+  void exec_auipc(const isa::Instr& in);
+  void alu_body(const isa::Instr& in, u32 b);
+  void exec_alu(const isa::Instr& in);      // reference: imm-vs-reg chain
+  void exec_alu_imm(const isa::Instr& in);  // fast: class-resolved
+  void exec_alu_reg(const isa::Instr& in);
+  void mem_body(const isa::Instr& in, unsigned size, bool store, bool sext);
+  void exec_mem(const isa::Instr& in);            // fast: packed flags
+  void exec_mem_reference(const isa::Instr& in);  // reference: isa:: calls
   void exec_branch_jump(const isa::Instr& in);
   void exec_muldiv(const isa::Instr& in);
   void exec_pulp_scalar(const isa::Instr& in);
   void exec_hwloop(const isa::Instr& in);
-  void exec_simd(const isa::Instr& in);
+  void exec_simd(const isa::Instr& in);  // reference: predicate chain
+  void exec_simd_alu(const isa::Instr& in);
+  void exec_simd_dotp(const isa::Instr& in);
+  void exec_simd_dotp_fast(const isa::Instr& in);  // decode-specialized lanes
+  void exec_simd_elem(const isa::Instr& in);
+  void exec_simd_qnt(const isa::Instr& in);
   void exec_csr_system(const isa::Instr& in);
+  void exec_fence(const isa::Instr& in);
+  void exec_ecall(const isa::Instr& in);
+  void exec_ebreak(const isa::Instr& in);
+  void exec_illegal(const isa::Instr& in);
+
+  using ExecFn = void (Core::*)(const isa::Instr&);
+  static const std::array<ExecFn,
+                          static_cast<size_t>(isa::ExecClass::kCount)>
+      kExecTable;
 
   u32 csr_read(u32 addr) const;
 
   void require(bool cond, const isa::Instr& in);
+
+  /// Decode-cache coherence: drop cached decodes covering a stored-to
+  /// range (self-modifying code support).
+  void icache_invalidate(addr_t a, unsigned size);
+
+  void update_hwl_active() {
+    hwl_active_ = hwl_count_[0] != 0 || hwl_count_[1] != 0;
+  }
 
   mem::Memory& mem_;
   CoreConfig cfg_;
@@ -147,6 +220,15 @@ class Core {
   u32 last_load_data_ = 0;
   HaltReason halt_ = HaltReason::kRunning;
   u32 mscratch_ = 0;
+
+  /// True while either hardware loop has a nonzero count, so the fast
+  /// step skips the back-edge comparison entirely outside loops.
+  bool hwl_active_ = false;
+
+  bool ref_dispatch_ = false;
+  /// iflag:: feature bits *not* provided by this config; decoded flags
+  /// ANDed against it replace the per-step require() chains.
+  u16 feature_guard_ = 0;
 
   PerfCounters perf_;
   TraceFn trace_;

@@ -14,6 +14,7 @@
 
 #include <array>
 
+#include "common/bitops.hpp"
 #include "common/types.hpp"
 #include "isa/instruction.hpp"
 
@@ -55,6 +56,21 @@ class DotpUnit {
   /// multiply-accumulate in 64-bit, truncated to 32.
   static i32 dotp_reference(isa::Mnemonic op, isa::SimdFmt fmt, u32 a, u32 b,
                             i32 acc);
+
+  /// Fast-path bookkeeping, bit-identical to what dotp() records: latch the
+  /// raw operands into the selected region (when gated) and count the op.
+  /// The caller computes the arithmetic itself through its decode-
+  /// specialized kernels (see Core::exec_simd_dotp_fast).
+  void note_dotp(unsigned region, u32 a, u32 b) {
+    if (clock_gating_) {
+      activity_.operand_toggles[region] +=
+          hamming_distance(last_a_[region], a) +
+          hamming_distance(last_b_[region], b);
+      last_a_[region] = a;
+      last_b_[region] = b;
+    }
+    activity_.ops[region] += 1;
+  }
 
   const DotpActivity& activity() const { return activity_; }
   void reset_activity() { activity_ = DotpActivity{}; }

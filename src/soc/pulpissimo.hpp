@@ -27,7 +27,7 @@ class Pulpissimo {
   /// Load a program image and reset the core to its entry point.
   void load(const xasm::Program& prog) {
     prog.load(*mem_);
-    core_->reset(prog.entry());
+    core_->reset(prog.entry(), prog.base() + prog.size_bytes());
     mem_->reset_stats();
   }
 

@@ -89,7 +89,8 @@ StreamedConvResult run_conv_streamed(const ConvLayerData& data,
         dma.copy_in(static_cast<u32>(t * tile_channels) * layout.filter_stride,
                     buf[t % 2], tile_bytes);
     const cycles_t before = core.perf().cycles;
-    core.reset(programs[static_cast<size_t>(t)].program.entry());
+    const xasm::Program& tp = programs[static_cast<size_t>(t)].program;
+    core.reset(tp.entry(), tp.base() + tp.size_bytes());
     if (core.run() != sim::HaltReason::kEcall) {
       throw SimError("streamed tile did not complete");
     }
