@@ -10,6 +10,23 @@ cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
+echo "== xlint: encoding-space audit + kernel sweep =="
+./build/tools/xlint --audit --kernels
+
+echo "== clang-tidy (bugprone/performance/readability) =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --preset tidy
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build-tidy -quiet "src/.*\.cpp$" "tools/.*\.cpp$"
+  else
+    # Fall back to serial invocation when the parallel driver is absent.
+    find src tools -name '*.cpp' -print0 |
+      xargs -0 -n 1 clang-tidy -p build-tidy --quiet
+  fi
+else
+  echo "clang-tidy not installed; skipping (config in .clang-tidy)"
+fi
+
 echo "== asan-ubsan preset: build + ctest =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"

@@ -1,0 +1,389 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "sim/quant_unit.hpp"
+
+namespace xpulp::analysis {
+
+namespace {
+
+using isa::Mnemonic;
+namespace iflag = isa::iflag;
+
+std::string hex(addr_t a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+std::string loop_desc(const HwLoop& l) {
+  std::ostringstream os;
+  os << "hardware loop L" << l.index << " [" << hex(l.start) << ", "
+     << hex(l.end) << ")";
+  return os.str();
+}
+
+/// Collector with per-kind/address dedup so loops in the image do not
+/// flood the report with one copy of the same finding per iteration path.
+class Diags {
+ public:
+  explicit Diags(std::vector<Diagnostic>& out) : out_(out) {}
+
+  void add(DiagKind kind, Severity sev, addr_t addr, std::string msg) {
+    for (const Diagnostic& d : out_) {
+      if (d.kind == kind && d.addr == addr) return;
+    }
+    out_.push_back({kind, sev, addr, std::move(msg)});
+  }
+
+ private:
+  std::vector<Diagnostic>& out_;
+};
+
+void check_canonical(const CodeImage& image, Diags& diags) {
+  for (const DecodedInstr& d : image.instrs()) {
+    if (d.illegal || d.in.size != 4) continue;  // compressed forms re-encode wide
+    u32 reencoded = 0;
+    bool encodable = true;
+    try {
+      reencoded = isa::encode(d.in);
+    } catch (const AsmError&) {
+      encodable = false;
+    }
+    if (!encodable || reencoded != d.in.raw) {
+      std::ostringstream os;
+      os << std::string(isa::mnemonic_name(d.in.op))
+         << " sets reserved/ignored bits: word " << hex(d.in.raw)
+         << ", canonical " << (encodable ? hex(reencoded) : "form unknown");
+      diags.add(DiagKind::kNonCanonicalEncoding, Severity::kWarning, d.addr,
+                os.str());
+    }
+  }
+}
+
+void check_features(const CodeImage& image, const Cfg& cfg,
+                    const AnalyzerOptions& opt, Diags& diags) {
+  for (size_t i = 0; i < image.instrs().size(); ++i) {
+    const DecodedInstr& d = image.instrs()[i];
+    if (d.illegal || !cfg.is_reachable(static_cast<int>(i))) continue;
+    const char* missing = nullptr;
+    if (d.in.has(iflag::kNeedXpulpV2) && !opt.xpulpv2) missing = "XpulpV2";
+    else if (d.in.has(iflag::kNeedXpulpNN) && !opt.xpulpnn) missing = "XpulpNN";
+    else if (d.in.has(iflag::kNeedHwloops) && !opt.hwloops) {
+      missing = "hardware loops";
+    }
+    if (missing) {
+      diags.add(DiagKind::kMissingIsaFeature, Severity::kError, d.addr,
+                std::string(isa::mnemonic_name(d.in.op)) + " requires " +
+                    missing + ", absent on the target core");
+    }
+  }
+}
+
+void check_unreachable(const CodeImage& image, const Cfg& cfg, Diags& diags) {
+  // Coalesce consecutive unreachable instructions into one finding.
+  const auto& instrs = image.instrs();
+  size_t i = 0;
+  while (i < instrs.size()) {
+    if (instrs[i].illegal || cfg.is_reachable(static_cast<int>(i))) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j + 1 < instrs.size() && !instrs[j + 1].illegal &&
+           !cfg.is_reachable(static_cast<int>(j + 1))) {
+      ++j;
+    }
+    std::ostringstream os;
+    os << (j - i + 1) << " instruction(s) unreachable from the entry point";
+    diags.add(DiagKind::kUnreachableCode, Severity::kWarning, instrs[i].addr,
+              os.str());
+    i = j + 1;
+  }
+}
+
+void check_hwloops(const CodeImage& image, const Cfg& cfg, Diags& diags) {
+  const auto& loops = cfg.hwloops();
+  for (const HwLoop& l : loops) {
+    const int s = image.index_of(l.start);
+    const int e = l.end == image.end() ? static_cast<int>(image.instrs().size())
+                                       : image.index_of(l.end);
+    if (l.start >= l.end || s < 0 || e < 0) {
+      diags.add(DiagKind::kHwloopBadNesting, Severity::kError, l.setup_addr,
+                loop_desc(l) + " has an empty, inverted or misaligned range");
+      continue;
+    }
+
+    // Minimum body length: RI5CY requires at least two instructions
+    // between start and end (the generators' documented convention).
+    if (e - s < 2) {
+      diags.add(DiagKind::kHwloopBodyTooShort, Severity::kError, l.setup_addr,
+                loop_desc(l) + " body has " + std::to_string(e - s) +
+                    " instruction(s); the hardware requires >= 2");
+    }
+
+    // No control flow crossing the body boundary, and the body must not
+    // end in a control-flow instruction (the back edge fires only on
+    // fall-through past the end address).
+    for (int i = s; i < e; ++i) {
+      const DecodedInstr& d = image.instrs()[static_cast<size_t>(i)];
+      if (d.illegal || !is_control_flow(d.in)) continue;
+      if (d.in.op == Mnemonic::kJalr) {
+        diags.add(DiagKind::kHwloopBranchInBody, Severity::kError, d.addr,
+                  "indirect jump inside " + loop_desc(l));
+        continue;
+      }
+      const addr_t target = d.addr + static_cast<u32>(d.in.imm);
+      const bool leaves = target < l.start || target >= l.end;
+      if (d.in.op == Mnemonic::kJal && d.in.rd != 0) {
+        diags.add(DiagKind::kHwloopBranchInBody, Severity::kError, d.addr,
+                  "call inside " + loop_desc(l));
+      } else if (leaves) {
+        diags.add(DiagKind::kHwloopBranchInBody, Severity::kError, d.addr,
+                  "branch/jump out of " + loop_desc(l) + " to " + hex(target));
+      }
+      if (d.addr + d.in.size == l.end) {
+        diags.add(DiagKind::kHwloopEndsInControlFlow, Severity::kError, d.addr,
+                  loop_desc(l) + " ends in a control-flow instruction; the "
+                                 "back edge fires on fall-through only");
+      }
+    }
+
+    // Branches into the body from outside (entering anywhere but the
+    // start skips iterations unpredictably).
+    for (size_t i = 0; i < image.instrs().size(); ++i) {
+      const DecodedInstr& d = image.instrs()[i];
+      if (d.illegal) continue;
+      if (d.addr >= l.start && d.addr < l.end) continue;
+      if (d.in.op != Mnemonic::kJal && !isa::is_branch(d.in.op)) continue;
+      const addr_t target = d.addr + static_cast<u32>(d.in.imm);
+      if (target > l.start && target < l.end) {
+        diags.add(DiagKind::kHwloopBranchInBody, Severity::kError, d.addr,
+                  "branch/jump into the middle of " + loop_desc(l));
+      }
+    }
+  }
+
+  // Nesting: overlapping loops must be properly nested with distinct
+  // indices, the inner one on L0.
+  for (size_t a = 0; a < loops.size(); ++a) {
+    for (size_t b = a + 1; b < loops.size(); ++b) {
+      const HwLoop& x = loops[a];
+      const HwLoop& y = loops[b];
+      if (x.start >= x.end || y.start >= y.end) continue;
+      const bool overlap = x.start < y.end && y.start < x.end;
+      if (!overlap) continue;
+      const bool x_in_y = x.start >= y.start && x.end <= y.end;
+      const bool y_in_x = y.start >= x.start && y.end <= x.end;
+      if (!x_in_y && !y_in_x) {
+        diags.add(DiagKind::kHwloopBadNesting, Severity::kError, y.setup_addr,
+                  loop_desc(y) + " partially overlaps " + loop_desc(x));
+      } else if (x.index == y.index) {
+        diags.add(DiagKind::kHwloopBadNesting, Severity::kError, y.setup_addr,
+                  "nested hardware loops share index L" +
+                      std::to_string(x.index));
+      } else {
+        const HwLoop& inner = x_in_y ? x : y;
+        if (inner.index != 0) {
+          diags.add(DiagKind::kHwloopBadNesting, Severity::kError,
+                    inner.setup_addr,
+                    "inner " + loop_desc(inner) + " must use L0 (L0 is the "
+                                                  "innermost loop on RI5CY)");
+        }
+      }
+    }
+  }
+}
+
+void check_dataflow(const CodeImage& image, const Cfg& cfg,
+                    const std::vector<RegState>& states,
+                    const AnalyzerOptions& opt, Diags& diags) {
+  for (size_t i = 0; i < image.instrs().size(); ++i) {
+    const DecodedInstr& d = image.instrs()[i];
+    if (d.illegal || !cfg.is_reachable(static_cast<int>(i))) continue;
+    const RegState& st = states[i];
+    if (!st.feasible) continue;
+    const isa::Instr& in = d.in;
+
+    if (opt.check_uninit_read) {
+      u32 reads = 0;
+      if (in.has(iflag::kReadsRs1)) reads |= 1u << in.rs1;
+      if (in.has(iflag::kReadsRs2)) reads |= 1u << in.rs2;
+      // p.insert / pv.insert read rd only to merge bits into it; the
+      // generators deliberately build packed words in fresh registers
+      // (every bit gets inserted), so insert counts as a definition.
+      if (in.has(iflag::kReadsRd) && in.op != Mnemonic::kPInsert &&
+          in.op != Mnemonic::kPvElemInsert) {
+        reads |= 1u << in.rd;
+      }
+      u32 uninit = reads & ~st.init & ~1u;
+      while (uninit) {
+        const unsigned r = static_cast<unsigned>(__builtin_ctz(uninit));
+        uninit &= uninit - 1;
+        diags.add(DiagKind::kUninitRead, Severity::kError, d.addr,
+                  std::string(isa::mnemonic_name(in.op)) + " reads " +
+                      std::string(isa::reg_name(static_cast<u8>(r))) +
+                      ", which no path has written");
+      }
+    }
+
+    if (opt.check_memory && opt.mem_size != 0 && in.mem_size != 0) {
+      // Effective address when statically known. Post-increment forms
+      // address through the unmodified base; reg-reg forms add an index
+      // register (rs2 for loads, the rd field for stores).
+      bool known = false;
+      u32 ea = 0;
+      if (in.has(iflag::kMemPostInc)) {
+        known = st.is_known(in.rs1);
+        ea = st.value(in.rs1);
+      } else if (in.has(iflag::kMemRegOff)) {
+        const unsigned idx = in.has(iflag::kIsStore) ? in.rd : in.rs2;
+        known = st.is_known(in.rs1) && st.is_known(idx);
+        ea = st.value(in.rs1) + st.value(idx);
+      } else {
+        known = st.is_known(in.rs1);
+        ea = st.value(in.rs1) + static_cast<u32>(in.imm);
+      }
+      if (known) {
+        const u64 end = static_cast<u64>(ea) + in.mem_size;
+        if (end > opt.mem_size) {
+          diags.add(DiagKind::kTcdmOutOfBounds, Severity::kError, d.addr,
+                    std::string(isa::mnemonic_name(in.op)) + " accesses " +
+                        hex(ea) + ", past the " +
+                        std::to_string(opt.mem_size / 1024) + " kB TCDM");
+        } else if (ea % in.mem_size != 0) {
+          diags.add(DiagKind::kMisalignedAccess, Severity::kWarning, d.addr,
+                    std::string(isa::mnemonic_name(in.op)) + " accesses " +
+                        hex(ea) + ", misaligned for size " +
+                        std::to_string(in.mem_size) +
+                        " (one stall cycle per access)");
+        }
+      }
+    }
+
+    if (opt.check_simd_conventions) {
+      if (in.has(iflag::kDotAccum) &&
+          (in.rd == in.rs1 || in.rd == in.rs2)) {
+        diags.add(DiagKind::kDotpAccumOverlap, Severity::kWarning, d.addr,
+                  std::string(isa::mnemonic_name(in.op)) + " accumulator " +
+                      std::string(isa::reg_name(in.rd)) +
+                      " doubles as a vector operand");
+      }
+      if (in.op == Mnemonic::kPvQnt) {
+        const unsigned q = isa::simd_elem_bits(in.fmt);
+        const u32 stride = sim::QuantUnit::tree_stride_bytes(q);
+        if (st.is_known(in.rs2)) {
+          const u32 ptr = st.value(in.rs2);
+          if (ptr % 2 != 0) {
+            diags.add(DiagKind::kQntThresholdSetup, Severity::kError, d.addr,
+                      "pv.qnt threshold tree at " + hex(ptr) +
+                          " is not 16-bit aligned");
+          } else if (static_cast<u64>(ptr) + 2ull * stride > opt.mem_size) {
+            diags.add(DiagKind::kQntThresholdSetup, Severity::kError, d.addr,
+                      "pv.qnt threshold trees at " + hex(ptr) +
+                          " extend past the TCDM");
+          }
+        }
+      }
+    }
+
+    if (cfg.falls_off_end(static_cast<int>(i))) {
+      diags.add(DiagKind::kFallOffEnd, Severity::kError, d.addr,
+                "execution can fall off the end of the code image");
+    }
+  }
+}
+
+}  // namespace
+
+u32 AnalyzerOptions::abi_entry_mask() {
+  u32 m = 1;                        // x0
+  for (u8 r : {1, 2, 3, 4}) m |= 1u << r;       // ra/sp/gp/tp
+  for (u8 r = 10; r <= 17; ++r) m |= 1u << r;   // a0-a7
+  return m;
+}
+
+AnalyzerOptions AnalyzerOptions::for_core(const sim::CoreConfig& cfg) {
+  AnalyzerOptions o;
+  o.xpulpv2 = cfg.xpulpv2;
+  o.xpulpnn = cfg.xpulpnn;
+  o.hwloops = cfg.hwloops;
+  return o;
+}
+
+AnalysisReport ProgramAnalyzer::analyze(const xasm::Program& prog) const {
+  std::vector<u8> bytes(prog.size_bytes());
+  for (u32 i = 0; i < prog.size_words(); ++i) {
+    const u32 w = prog.words()[i];
+    bytes[i * 4 + 0] = static_cast<u8>(w);
+    bytes[i * 4 + 1] = static_cast<u8>(w >> 8);
+    bytes[i * 4 + 2] = static_cast<u8>(w >> 16);
+    bytes[i * 4 + 3] = static_cast<u8>(w >> 24);
+  }
+  return analyze(prog.base(), bytes, prog.entry());
+}
+
+AnalysisReport ProgramAnalyzer::analyze(addr_t base,
+                                        const std::vector<u8>& bytes,
+                                        addr_t entry) const {
+  AnalysisReport report;
+  Diags diags(report.diags);
+
+  CodeImage image(base, bytes, report.diags);
+  report.instr_count = image.instrs().size();
+
+  check_canonical(image, diags);
+
+  Cfg cfg(image, entry, report.diags);
+  report.hwloop_count = cfg.hwloops().size();
+  if (image.index_of(entry) < 0) {
+    diags.add(DiagKind::kBadJumpTarget, Severity::kError, entry,
+              "entry point is not an instruction boundary of the image");
+    return report;
+  }
+  report.reachable_count = static_cast<size_t>(std::count(
+      cfg.reachable().begin(), cfg.reachable().end(), true));
+
+  check_features(image, cfg, opt_, diags);
+  check_unreachable(image, cfg, diags);
+  if (opt_.check_hwloops) check_hwloops(image, cfg, diags);
+
+  RegState entry_state;
+  entry_state.init = opt_.assume_initialized | 1u;
+  entry_state.known = 1;
+  const std::vector<RegState> states =
+      solve_dataflow(image, cfg, entry, entry_state);
+  check_dataflow(image, cfg, states, opt_, diags);
+
+  return report;
+}
+
+sim::Core::PreRunGate make_pre_run_gate(AnalyzerOptions opt) {
+  return [opt](const mem::Memory& mem, addr_t entry, addr_t code_end) {
+    if (code_end <= entry) return;
+    std::vector<u8> bytes(code_end - entry);
+    mem.read_block(entry, bytes);
+    AnalysisReport report =
+        ProgramAnalyzer(opt).analyze(entry, bytes, entry);
+    if (!report.has_errors()) return;
+    std::string msg = "pre-run analysis failed: ";
+    size_t errors = 0;
+    for (const Diagnostic& d : report.diags) {
+      if (d.severity != Severity::kError) continue;
+      if (errors++ == 0) msg += d.to_string();
+    }
+    if (errors > 1) {
+      msg += " (+" + std::to_string(errors - 1) + " more)";
+    }
+    throw AnalysisError(std::move(msg), std::move(report));
+  };
+}
+
+}  // namespace xpulp::analysis

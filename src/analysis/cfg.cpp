@@ -1,0 +1,229 @@
+#include "analysis/cfg.hpp"
+
+#include <array>
+#include <optional>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+
+namespace xpulp::analysis {
+
+namespace {
+
+std::string hex(addr_t a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+}  // namespace
+
+bool is_control_flow(const isa::Instr& in) {
+  return isa::is_branch(in.op) || in.op == isa::Mnemonic::kJal ||
+         in.op == isa::Mnemonic::kJalr;
+}
+
+bool is_terminator(const isa::Instr& in) {
+  return in.op == isa::Mnemonic::kJal || in.op == isa::Mnemonic::kJalr ||
+         in.op == isa::Mnemonic::kEcall || in.op == isa::Mnemonic::kEbreak;
+}
+
+CodeImage::CodeImage(addr_t base, const std::vector<u8>& bytes,
+                     std::vector<Diagnostic>& diags)
+    : base_(base), end_(base + static_cast<u32>(bytes.size())) {
+  addr_t a = base;
+  while (a < end_) {
+    const size_t off = a - base;
+    const u16 lo = static_cast<u16>(
+        bytes[off] | (off + 1 < bytes.size() ? bytes[off + 1] << 8 : 0));
+    const bool compressed = (lo & 3u) != 3u;
+    DecodedInstr d;
+    d.addr = a;
+    unsigned advance;
+    if (!compressed && off + 4 > bytes.size()) {
+      d.illegal = true;
+      advance = static_cast<unsigned>(bytes.size() - off);
+      diags.push_back({DiagKind::kIllegalEncoding, Severity::kError, a,
+                       "truncated instruction at end of image"});
+    } else {
+      u32 raw = lo;
+      if (!compressed) {
+        raw |= static_cast<u32>(bytes[off + 2]) << 16;
+        raw |= static_cast<u32>(bytes[off + 3]) << 24;
+      }
+      try {
+        d.in = isa::decode(raw, a);
+        advance = d.in.size;
+      } catch (const IllegalInstruction&) {
+        d.illegal = true;
+        advance = compressed ? 2 : 4;
+        std::ostringstream os;
+        os << "word 0x" << std::hex << raw << " does not decode";
+        diags.push_back(
+            {DiagKind::kIllegalEncoding, Severity::kError, a, os.str()});
+      }
+    }
+    index_.emplace(a, static_cast<int>(instrs_.size()));
+    instrs_.push_back(d);
+    a += advance;
+  }
+}
+
+int CodeImage::index_of(addr_t addr) const {
+  const auto it = index_.find(addr);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Cfg::Cfg(const CodeImage& image, addr_t entry,
+         std::vector<Diagnostic>& diags) {
+  const size_t n = image.instrs().size();
+  succ_.assign(n, {});
+  reachable_.assign(n, false);
+  falls_off_.assign(n, false);
+  collect_hwloops(image, diags);
+  wire_edges(image, diags);
+  mark_reachable(image, entry);
+}
+
+void Cfg::collect_hwloops(const CodeImage& image,
+                          std::vector<Diagnostic>& diags) {
+  // Linear scan: the repo's generators (and RI5CY programming practice)
+  // place the setup instructions directly before the loop, so program
+  // order is the right approximation for matching starti/endi to count.
+  std::array<std::optional<addr_t>, 2> pend_start{};
+  std::array<std::optional<addr_t>, 2> pend_end{};
+  using M = isa::Mnemonic;
+  for (const DecodedInstr& d : image.instrs()) {
+    if (d.illegal) continue;
+    const unsigned l = d.in.imm2 & 1u;
+    switch (d.in.op) {
+      case M::kLpStarti:
+        pend_start[l] = d.addr + static_cast<u32>(d.in.imm);
+        break;
+      case M::kLpEndi:
+        pend_end[l] = d.addr + static_cast<u32>(d.in.imm);
+        break;
+      case M::kLpSetup:
+      case M::kLpSetupi:
+        loops_.push_back(
+            {l, d.addr, d.addr + 4, d.addr + static_cast<u32>(d.in.imm)});
+        break;
+      case M::kLpCount:
+      case M::kLpCounti:
+        if (pend_start[l] && pend_end[l]) {
+          loops_.push_back({l, d.addr, *pend_start[l], *pend_end[l]});
+        } else {
+          diags.push_back({DiagKind::kHwloopSetupOrder, Severity::kError,
+                           d.addr,
+                           std::string(isa::mnemonic_name(d.in.op)) +
+                               " for loop " + std::to_string(l) +
+                               " before lp.starti/lp.endi set its bounds"});
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Cfg::wire_edges(const CodeImage& image, std::vector<Diagnostic>& diags) {
+  const auto& instrs = image.instrs();
+  std::vector<int> ret_sites;
+  std::vector<int> call_fallthrough_idx;  // -1 = falls past the image end
+  std::vector<int> call_sites;
+
+  auto target_index = [&](const DecodedInstr& d, addr_t target) -> int {
+    const int t = image.index_of(target);
+    if (t < 0) {
+      diags.push_back({DiagKind::kBadJumpTarget, Severity::kError, d.addr,
+                       "control transfer to " + hex(target) +
+                           (target >= image.base() && target < image.end()
+                                ? " (mid-instruction)"
+                                : " (outside the code image)")});
+    }
+    return t;
+  };
+
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    const DecodedInstr& d = instrs[i];
+    if (d.illegal) continue;  // traps; no successors
+    const isa::Instr& in = d.in;
+    auto& out = succ_[i];
+
+    // Fall-through edge (also fires the hardware-loop back edge below).
+    addr_t ft = 0;
+    if (!is_terminator(in)) {
+      ft = d.addr + in.size;
+      if (ft >= image.end()) {
+        falls_off_[i] = true;
+      } else {
+        out.push_back(image.index_of(ft));
+      }
+    }
+
+    if (in.op == isa::Mnemonic::kJal) {
+      const addr_t target = d.addr + static_cast<u32>(in.imm);
+      const int t = target_index(d, target);
+      if (t >= 0) out.push_back(t);
+      if (in.rd != 0) {
+        // Call: the fall-through is reached through the callee's ret.
+        call_sites.push_back(static_cast<int>(i));
+        const addr_t after = d.addr + in.size;
+        call_fallthrough_idx.push_back(
+            after >= image.end() ? -1 : image.index_of(after));
+      }
+    } else if (in.op == isa::Mnemonic::kJalr) {
+      if (in.rd == 0 && in.rs1 == 1 && in.imm == 0) {
+        ret_sites.push_back(static_cast<int>(i));
+      }
+      // Any other jalr is an indirect jump with no static successors.
+    } else if (isa::is_branch(in.op)) {
+      const addr_t target = d.addr + static_cast<u32>(in.imm);
+      const int t = target_index(d, target);
+      if (t >= 0) out.push_back(t);
+    }
+
+    // Hardware-loop back edge: fall-through onto a loop's end address
+    // re-enters the body at its start while the iteration count is > 0.
+    if (ft != 0 || falls_off_[i]) {
+      const addr_t after = d.addr + in.size;
+      for (const HwLoop& loop : loops_) {
+        if (after != loop.end || loop.start >= loop.end) continue;
+        const int s = image.index_of(loop.start);
+        if (s >= 0) out.push_back(s);
+      }
+    }
+  }
+
+  // Merged-context return edges: every ret may resume after any call.
+  for (const int r : ret_sites) {
+    for (size_t c = 0; c < call_sites.size(); ++c) {
+      if (call_fallthrough_idx[c] >= 0) {
+        succ_[static_cast<size_t>(r)].push_back(call_fallthrough_idx[c]);
+      } else {
+        falls_off_[static_cast<size_t>(call_sites[c])] = true;
+      }
+    }
+  }
+}
+
+void Cfg::mark_reachable(const CodeImage& image, addr_t entry) {
+  const int e = image.index_of(entry);
+  if (e < 0) return;
+  std::vector<int> work{e};
+  reachable_[static_cast<size_t>(e)] = true;
+  while (!work.empty()) {
+    const int i = work.back();
+    work.pop_back();
+    for (const int s : succ_[static_cast<size_t>(i)]) {
+      if (!reachable_[static_cast<size_t>(s)]) {
+        reachable_[static_cast<size_t>(s)] = true;
+        work.push_back(s);
+      }
+    }
+  }
+}
+
+}  // namespace xpulp::analysis

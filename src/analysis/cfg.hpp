@@ -1,0 +1,95 @@
+// Decode sweep + control-flow graph over an assembled code image.
+//
+// The sweep walks [base, end) instruction by instruction (stepping by the
+// decoded size, so RV32C code is handled), recording illegal words as
+// diagnostics instead of throwing. The CFG is built at instruction
+// granularity with:
+//   - fall-through and branch/jump edges;
+//   - call edges for jal with a link register, and merged-context return
+//     edges from every `ret` (jalr x0, ra) back to every call site's
+//     fall-through — the standard conservative interprocedural CFG;
+//   - hardware-loop back edges from any instruction whose fall-through
+//     address equals a loop's end address (RI5CY fires the back edge on
+//     fall-through only).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "isa/instruction.hpp"
+
+namespace xpulp::analysis {
+
+struct DecodedInstr {
+  addr_t addr = 0;
+  isa::Instr in;
+  bool illegal = false;  // word failed to decode; `in` is invalid
+};
+
+/// One hardware loop discovered by the linear setup scan.
+struct HwLoop {
+  unsigned index = 0;      // L: 0 (inner) or 1 (outer)
+  addr_t setup_addr = 0;   // the lp.setup/lp.count that armed the loop
+  addr_t start = 0;
+  addr_t end = 0;          // one past the last body instruction
+};
+
+class CodeImage {
+ public:
+  /// Decode-sweep `bytes` as the image of [base, base + bytes.size()).
+  /// Illegal words become DecodedInstr{illegal} entries (advancing by the
+  /// apparent instruction size) plus kIllegalEncoding diagnostics in
+  /// `diags`.
+  CodeImage(addr_t base, const std::vector<u8>& bytes,
+            std::vector<Diagnostic>& diags);
+
+  addr_t base() const { return base_; }
+  addr_t end() const { return end_; }
+  const std::vector<DecodedInstr>& instrs() const { return instrs_; }
+
+  /// Index of the instruction at `addr`; -1 if `addr` is not an
+  /// instruction boundary of the image.
+  int index_of(addr_t addr) const;
+
+ private:
+  addr_t base_;
+  addr_t end_;
+  std::vector<DecodedInstr> instrs_;
+  std::unordered_map<addr_t, int> index_;
+};
+
+class Cfg {
+ public:
+  /// Build the CFG for `image` with entry point `entry`. Emits
+  /// kBadJumpTarget and kHwloopSetupOrder diagnostics discovered while
+  /// wiring edges.
+  Cfg(const CodeImage& image, addr_t entry, std::vector<Diagnostic>& diags);
+
+  const std::vector<std::vector<int>>& successors() const { return succ_; }
+  const std::vector<bool>& reachable() const { return reachable_; }
+  bool is_reachable(int idx) const { return reachable_[static_cast<size_t>(idx)]; }
+  const std::vector<HwLoop>& hwloops() const { return loops_; }
+
+  /// True if instruction `idx` can fall through past the end of the image.
+  bool falls_off_end(int idx) const { return falls_off_[static_cast<size_t>(idx)]; }
+
+ private:
+  void collect_hwloops(const CodeImage& image, std::vector<Diagnostic>& diags);
+  void wire_edges(const CodeImage& image, std::vector<Diagnostic>& diags);
+  void mark_reachable(const CodeImage& image, addr_t entry);
+
+  std::vector<std::vector<int>> succ_;
+  std::vector<bool> reachable_;
+  std::vector<bool> falls_off_;
+  std::vector<HwLoop> loops_;
+};
+
+/// True for instructions that redirect control flow (branches and jumps;
+/// not ecall/ebreak, which halt this core).
+bool is_control_flow(const isa::Instr& in);
+
+/// True for instructions that never fall through to the next address.
+bool is_terminator(const isa::Instr& in);
+
+}  // namespace xpulp::analysis

@@ -1,0 +1,149 @@
+#include "analysis/dataflow.hpp"
+
+#include <deque>
+
+namespace xpulp::analysis {
+
+using isa::Mnemonic;
+namespace iflag = isa::iflag;
+
+bool join(RegState& s, const RegState& o) {
+  if (!o.feasible) return false;
+  if (!s.feasible) {
+    s = o;
+    return true;
+  }
+  bool changed = false;
+  const u32 ninit = s.init & o.init;
+  if (ninit != s.init) {
+    s.init = ninit;
+    changed = true;
+  }
+  u32 nknown = s.known & o.known;
+  for (unsigned r = 1; r < 32; ++r) {
+    if ((nknown >> r & 1u) && s.val[r] != o.val[r]) nknown &= ~(1u << r);
+  }
+  if (nknown != s.known) {
+    s.known = nknown;
+    changed = true;
+  }
+  return changed;
+}
+
+RegState transfer(const RegState& s, const isa::Instr& in, addr_t addr) {
+  RegState o = s;
+  o.feasible = true;
+  const auto set_unknown = [&o](unsigned r) {
+    if (r == 0) return;
+    o.init |= 1u << r;
+    o.known &= ~(1u << r);
+  };
+  const auto set_const = [&o](unsigned r, u32 v) {
+    if (r == 0) return;
+    o.init |= 1u << r;
+    o.known |= 1u << r;
+    o.val[r] = v;
+  };
+
+  // Post-increment addressing writes the stepped base back to rs1. The
+  // increment register of the store forms lives in the rd field.
+  if (in.has(iflag::kMemPostInc)) {
+    const unsigned base = in.rs1;
+    if (in.has(iflag::kMemRegOff)) {
+      const unsigned inc = in.has(iflag::kIsStore) ? in.rd : in.rs2;
+      if (s.is_known(base) && s.is_known(inc)) {
+        set_const(base, s.value(base) + s.value(inc));
+      } else {
+        set_unknown(base);
+      }
+    } else if (s.is_known(base)) {
+      set_const(base, s.value(base) + static_cast<u32>(in.imm));
+    } else {
+      set_unknown(base);
+    }
+  }
+
+  if (!in.has(iflag::kWritesRd)) return o;
+  const unsigned rd = in.rd;
+  const u32 imm = static_cast<u32>(in.imm);
+  switch (in.op) {
+    case Mnemonic::kLui: set_const(rd, imm); break;
+    case Mnemonic::kAuipc: set_const(rd, addr + imm); break;
+    case Mnemonic::kJal:
+    case Mnemonic::kJalr: set_const(rd, addr + in.size); break;
+    case Mnemonic::kAddi:
+      if (s.is_known(in.rs1)) set_const(rd, s.value(in.rs1) + imm);
+      else set_unknown(rd);
+      break;
+    case Mnemonic::kXori:
+      if (s.is_known(in.rs1)) set_const(rd, s.value(in.rs1) ^ imm);
+      else set_unknown(rd);
+      break;
+    case Mnemonic::kOri:
+      if (s.is_known(in.rs1)) set_const(rd, s.value(in.rs1) | imm);
+      else set_unknown(rd);
+      break;
+    case Mnemonic::kAndi:
+      if (s.is_known(in.rs1)) set_const(rd, s.value(in.rs1) & imm);
+      else set_unknown(rd);
+      break;
+    case Mnemonic::kSlli:
+      if (s.is_known(in.rs1)) set_const(rd, s.value(in.rs1) << (imm & 31));
+      else set_unknown(rd);
+      break;
+    case Mnemonic::kSrli:
+      if (s.is_known(in.rs1)) set_const(rd, s.value(in.rs1) >> (imm & 31));
+      else set_unknown(rd);
+      break;
+    case Mnemonic::kAdd:
+      if (s.is_known(in.rs1) && s.is_known(in.rs2)) {
+        set_const(rd, s.value(in.rs1) + s.value(in.rs2));
+      } else {
+        set_unknown(rd);
+      }
+      break;
+    case Mnemonic::kSub:
+      if (s.is_known(in.rs1) && s.is_known(in.rs2)) {
+        set_const(rd, s.value(in.rs1) - s.value(in.rs2));
+      } else {
+        set_unknown(rd);
+      }
+      break;
+    default:
+      set_unknown(rd);
+      break;
+  }
+  return o;
+}
+
+std::vector<RegState> solve_dataflow(const CodeImage& image, const Cfg& cfg,
+                                     addr_t entry, RegState entry_state) {
+  const size_t n = image.instrs().size();
+  std::vector<RegState> in_states(n);
+  const int e = image.index_of(entry);
+  if (e < 0) return in_states;
+
+  entry_state.feasible = true;
+  in_states[static_cast<size_t>(e)] = entry_state;
+
+  std::deque<int> work{e};
+  std::vector<bool> queued(n, false);
+  queued[static_cast<size_t>(e)] = true;
+  while (!work.empty()) {
+    const int i = work.front();
+    work.pop_front();
+    queued[static_cast<size_t>(i)] = false;
+    const DecodedInstr& d = image.instrs()[static_cast<size_t>(i)];
+    if (d.illegal) continue;
+    const RegState out = transfer(in_states[static_cast<size_t>(i)], d.in, d.addr);
+    for (const int s : cfg.successors()[static_cast<size_t>(i)]) {
+      if (join(in_states[static_cast<size_t>(s)], out) && !queued[static_cast<size_t>(s)]) {
+        queued[static_cast<size_t>(s)] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  return in_states;
+}
+
+}  // namespace xpulp::analysis

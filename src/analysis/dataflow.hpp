@@ -1,0 +1,42 @@
+// Forward dataflow over the instruction-granularity CFG: a product of
+//   - must-initialized registers (intersection at joins) backing the
+//     read-of-never-written-register diagnostic, and
+//   - constant propagation (join of unequal constants -> unknown) backing
+//     the static TCDM bounds/alignment and pv.qnt threshold checks.
+// Loop-carried post-increment pointers naturally join to unknown after one
+// back-edge pass, so address checks only fire where the address really is
+// static (li-addressed accesses, setup code).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "isa/instruction.hpp"
+
+namespace xpulp::analysis {
+
+struct RegState {
+  u32 init = 1;    // bit r: register r definitely written (x0 always)
+  u32 known = 1;   // bit r: register r holds the compile-time constant val[r]
+  std::array<u32, 32> val{};
+  bool feasible = false;  // some path reaches this point
+
+  bool is_init(unsigned r) const { return (init >> (r & 31)) & 1u; }
+  bool is_known(unsigned r) const { return (known >> (r & 31)) & 1u; }
+  u32 value(unsigned r) const { return val[r & 31]; }
+};
+
+/// Meet `o` into `s`; returns true if `s` changed.
+bool join(RegState& s, const RegState& o);
+
+/// Abstract transfer of one instruction at `addr` (needed for auipc).
+RegState transfer(const RegState& s, const isa::Instr& in, addr_t addr);
+
+/// Fixpoint of the product analysis over `cfg` starting from `entry_state`
+/// at the entry instruction. Returns the IN state of every instruction
+/// (infeasible for instructions never reached).
+std::vector<RegState> solve_dataflow(const CodeImage& image, const Cfg& cfg,
+                                     addr_t entry, RegState entry_state);
+
+}  // namespace xpulp::analysis

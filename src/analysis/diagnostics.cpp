@@ -1,0 +1,59 @@
+#include "analysis/diagnostics.hpp"
+
+#include <sstream>
+
+namespace xpulp::analysis {
+
+const char* diag_kind_name(DiagKind k) {
+  switch (k) {
+    case DiagKind::kIllegalEncoding: return "illegal-encoding";
+    case DiagKind::kNonCanonicalEncoding: return "non-canonical-encoding";
+    case DiagKind::kUnreachableCode: return "unreachable-code";
+    case DiagKind::kBadJumpTarget: return "bad-jump-target";
+    case DiagKind::kMissingIsaFeature: return "missing-isa-feature";
+    case DiagKind::kUninitRead: return "uninit-read";
+    case DiagKind::kTcdmOutOfBounds: return "tcdm-out-of-bounds";
+    case DiagKind::kMisalignedAccess: return "misaligned-access";
+    case DiagKind::kHwloopBodyTooShort: return "hwloop-body-too-short";
+    case DiagKind::kHwloopBranchInBody: return "hwloop-branch-in-body";
+    case DiagKind::kHwloopBadNesting: return "hwloop-bad-nesting";
+    case DiagKind::kHwloopSetupOrder: return "hwloop-setup-order";
+    case DiagKind::kHwloopEndsInControlFlow: return "hwloop-ends-in-control-flow";
+    case DiagKind::kDotpAccumOverlap: return "dotp-accum-overlap";
+    case DiagKind::kQntThresholdSetup: return "qnt-threshold-setup";
+    case DiagKind::kFallOffEnd: return "fall-off-end";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << (severity == Severity::kError ? "error" : "warning") << " ["
+     << diag_kind_name(kind) << "] at 0x" << std::hex << addr << std::dec
+     << ": " << message;
+  return os.str();
+}
+
+bool AnalysisReport::has_errors() const {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+size_t AnalysisReport::count(DiagKind k) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diags) n += d.kind == k;
+  return n;
+}
+
+std::string AnalysisReport::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags) os << d.to_string() << "\n";
+  os << instr_count << " instructions, " << reachable_count << " reachable, "
+     << hwloop_count << " hardware loops, " << diags.size()
+     << " diagnostics\n";
+  return os.str();
+}
+
+}  // namespace xpulp::analysis

@@ -1,0 +1,79 @@
+// Diagnostic records produced by the static program analyzer (xlint).
+// Each diagnostic carries a machine-readable kind (tests key off it), a
+// severity, the program address it anchors to, and a human message.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace xpulp::analysis {
+
+enum class DiagKind : u8 {
+  /// A word in the code image does not decode (would trap at runtime).
+  kIllegalEncoding,
+  /// Decodes, but re-encoding the decoded form yields different bits:
+  /// the word sets fields the hardware ignores (reserved-field lint).
+  kNonCanonicalEncoding,
+  /// Instruction can never execute (not reachable from the entry point).
+  kUnreachableCode,
+  /// Branch/jump target outside the code image or not on an instruction
+  /// boundary.
+  kBadJumpTarget,
+  /// Instruction requires an ISA extension the target core lacks.
+  kMissingIsaFeature,
+  /// A register is read on some path before any instruction writes it.
+  kUninitRead,
+  /// Statically-known data address falls outside TCDM.
+  kTcdmOutOfBounds,
+  /// Statically-known data address is misaligned for the access size
+  /// (legal, but costs a stall cycle per access on RI5CY's LSU).
+  kMisalignedAccess,
+  /// Hardware-loop body shorter than the 2-instruction minimum.
+  kHwloopBodyTooShort,
+  /// Branch or jump crossing a hardware-loop body boundary.
+  kHwloopBranchInBody,
+  /// Hardware loops overlap without proper nesting, reuse a loop index,
+  /// have an empty/inverted range, or nest with L0 outside L1.
+  kHwloopBadNesting,
+  /// lp.count/lp.counti issued before the loop's start/end are set.
+  kHwloopSetupOrder,
+  /// The last instruction of a hardware-loop body is a control-flow
+  /// instruction (the back-edge only fires on fall-through).
+  kHwloopEndsInControlFlow,
+  /// Dot-product accumulator (rd of pv.sdot*) doubles as a vector operand.
+  kDotpAccumOverlap,
+  /// pv.qnt threshold pointer misaligned or trees out of TCDM bounds.
+  kQntThresholdSetup,
+  /// Execution can fall off the end of the code image.
+  kFallOffEnd,
+};
+
+enum class Severity : u8 { kWarning, kError };
+
+const char* diag_kind_name(DiagKind k);
+
+struct Diagnostic {
+  DiagKind kind;
+  Severity severity;
+  addr_t addr;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+struct AnalysisReport {
+  std::vector<Diagnostic> diags;
+  size_t instr_count = 0;
+  size_t reachable_count = 0;
+  size_t hwloop_count = 0;
+
+  bool clean() const { return diags.empty(); }
+  bool has_errors() const;
+  size_t count(DiagKind k) const;
+  std::string to_string() const;
+};
+
+}  // namespace xpulp::analysis

@@ -97,6 +97,13 @@ class Cluster {
   /// in the shared memory) and reset every core to its entry point.
   void load(const std::vector<xasm::Program>& programs);
 
+  /// Install a pre-run gate on every core (see sim::Core::PreRunGate);
+  /// load() then verifies each per-core program before any of them runs.
+  /// Call before load().
+  void set_pre_run_gate(const sim::Core::PreRunGate& gate) {
+    for (auto& c : cores_) c->set_pre_run_gate(gate);
+  }
+
   /// Run event-driven until every core executed its ecall. Throws on any
   /// abnormal halt or if the instruction budget is exceeded.
   ClusterStats run(u64 max_total_instructions = 2'000'000'000);

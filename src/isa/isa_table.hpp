@@ -1,0 +1,71 @@
+// Declarative table of every canonical instruction encoding the simulator
+// implements: one (mask, match) pair per mnemonic (per SIMD format for the
+// packed ops). The table is the machine-checkable description of the
+// encoding space documented in encoding.hpp; the auditor in src/analysis
+// proves it pairwise non-overlapping and round-trip exact against the real
+// encoder/decoder, so table and implementation cannot drift apart.
+//
+// "Canonical" means the bit pattern the encoder emits. The decoder is
+// deliberately lenient in a few places (ignored rs2 bits of unary ops,
+// ignored rd[4:1] of hardware loops, any funct3 under MISC-MEM); such
+// words decode but do not match any table entry, which is exactly what the
+// analyzer's non-canonical-encoding diagnostic keys off.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace xpulp::isa {
+
+/// Encoding shape of a table entry: which fields are free (encodable
+/// operands) and what constraints they carry. Drives canonical sample
+/// generation for the round-trip audit.
+enum class EncShape : u8 {
+  kU,         // rd, 20-bit upper immediate
+  kJ,         // rd, 21-bit even jump offset
+  kI,         // rd, rs1, signed 12-bit immediate
+  kShift,     // rd, rs1, 5-bit shamt (funct7 fixed)
+  kB,         // rs1, rs2, 13-bit even branch offset
+  kBImm5,     // rs1, raw imm5 in the rs2 field, branch offset (p.beqimm)
+  kS,         // rs1, rs2, signed 12-bit immediate
+  kR,         // rd, rs1, rs2
+  kRUnary,    // rd, rs1 (rs2 field fixed 0)
+  kClipImm,   // rd, rs1, 5-bit immediate in the rs2 field
+  kCsr,       // rd, rs1, 12-bit CSR address
+  kCsrImm,    // rd, uimm5 in the rs1 field, 12-bit CSR address
+  kFixedWord, // no operands (ecall/ebreak/fence)
+  kBitmanip,  // rd, rs1, Is2 in rs2 field, Is3 in funct7[4:0]
+  kHwBound,   // lp.starti/lp.endi: loop index L, even 13-bit offset
+  kHwCount,   // lp.count: L, rs1
+  kHwCounti,  // lp.counti: L, unsigned 12-bit count
+  kHwSetup,   // lp.setup: L, rs1, even offset
+  kHwSetupi,  // lp.setupi: L, uimm5 count in the rs1 field, even offset
+  kSimdR,     // rd, rs1, rs2 (format from the entry)
+  kSimdUnary, // rd, rs1 (rs2 field fixed 0)
+  kSimdLane,  // rd, rs1, lane index in the rs2 field (< element count)
+};
+
+struct IsaTableEntry {
+  Mnemonic op = Mnemonic::kInvalid;
+  SimdFmt fmt = SimdFmt::kNone;
+  EncShape shape = EncShape::kR;
+  u32 mask = 0;
+  u32 match = 0;
+};
+
+/// The full table: RV32IM + XpulpV2 + XpulpNN, one entry per canonical
+/// (mnemonic, format) encoding. Built once, in Mnemonic order.
+const std::vector<IsaTableEntry>& isa_table();
+
+/// Operand-varied sample instructions for one entry, each satisfying the
+/// entry's field constraints (shift ranges, Is2+Is3+1 <= 32, lane < lane
+/// count, even offsets, ...). Used by the round-trip audit and by the
+/// encoder->decoder->disassembler property test.
+std::vector<Instr> canonical_samples(const IsaTableEntry& e);
+
+/// Table lookup by decoded instruction (op + fmt); nullptr if absent.
+const IsaTableEntry* isa_table_lookup(Mnemonic op, SimdFmt fmt);
+
+}  // namespace xpulp::isa

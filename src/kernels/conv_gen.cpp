@@ -88,6 +88,31 @@ struct Gen {
     }
   }
 
+  /// Counted loop for the im2col copy/fill/unpack helpers: a hardware
+  /// loop when enabled, otherwise the same tp-counted decrement-and-branch
+  /// as the ablation inner loop. `count_scratch` holds the iteration count
+  /// when it does not fit lp.setupi's 5-bit immediate.
+  void emit_counted_loop(u32 count, u8 count_scratch,
+                         const std::function<void()>& body) {
+    if (opts.use_hwloops) {
+      const Label end = a.new_label();
+      if (count <= 31) {
+        a.lp_setupi(0, count, end);
+      } else {
+        a.li(count_scratch, static_cast<i32>(count));
+        a.lp_setup(0, count_scratch, end);
+      }
+      body();
+      a.bind(end);
+    } else {
+      a.li(r::tp, static_cast<i32>(count));
+      const Label loop = a.here();
+      body();
+      a.addi(r::tp, r::tp, -1);
+      a.bne(r::tp, r::zero, loop);
+    }
+  }
+
   bool is_baseline_sub() const {
     return variant == ConvVariant::kXpulpV2_Sub ||
            variant == ConvVariant::kXpulpV2_SubShf;
@@ -143,16 +168,10 @@ struct Gen {
       return;
     }
     // Hardware-loop body must be >= 2 instructions: store two words/iter.
-    const Label end = a.new_label();
-    if (words / 2 <= 31) {
-      a.lp_setupi(0, words / 2, end);
-    } else {
-      a.li(r::t4, static_cast<i32>(words / 2));
-      a.lp_setup(0, r::t4, end);
-    }
-    a.p_sw_post(r::zero, r::t3, 4);
-    a.p_sw_post(r::zero, r::t3, 4);
-    a.bind(end);
+    emit_counted_loop(words / 2, r::t4, [&] {
+      a.p_sw_post(r::zero, r::t3, 4);
+      a.p_sw_post(r::zero, r::t3, 4);
+    });
     if (words % 2) a.p_sw_post(r::zero, r::t3, 4);
   }
 
@@ -168,16 +187,10 @@ struct Gen {
       }
       return;
     }
-    const Label end = a.new_label();
-    if (words <= 31) {
-      a.lp_setupi(0, words, end);
-    } else {
-      a.li(r::t4, static_cast<i32>(words));
-      a.lp_setup(0, r::t4, end);
-    }
-    a.p_lw_post(r::t1, r::t0, 4);
-    a.p_sw_post(r::t1, r::t3, 4);
-    a.bind(end);
+    emit_counted_loop(words, r::t4, [&] {
+      a.p_lw_post(r::t1, r::t0, 4);
+      a.p_sw_post(r::t1, r::t3, 4);
+    });
   }
 
   /// Baseline sub-byte: copy + unpack `packed_words` words of Q-bit codes
@@ -206,15 +219,7 @@ struct Gen {
       for (u32 i = 0; i < packed_words; ++i) body();
       return;
     }
-    const Label end = a.new_label();
-    if (packed_words <= 31) {
-      a.lp_setupi(0, packed_words, end);
-    } else {
-      a.li(r::t5, static_cast<i32>(packed_words));
-      a.lp_setup(0, r::t5, end);
-    }
-    body();
-    a.bind(end);
+    emit_counted_loop(packed_words, r::t5, body);
   }
 
   /// Emit the im2col block for output pixel (oy, ox) into buffer at

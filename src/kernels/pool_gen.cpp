@@ -50,9 +50,8 @@ void emit_repack(Assembler& a, unsigned bits, const std::vector<u8>& src,
 
 }  // namespace
 
-PoolRunResult run_pool2x2(const qnn::Tensor& in, unsigned bits, PoolOp op,
-                          const sim::CoreConfig& cfg) {
-  const qnn::Shape s = in.shape();
+PoolKernel generate_pool2x2_kernel(const qnn::Shape& s, unsigned bits,
+                                   PoolOp op, bool native_subbyte) {
   if (s.h % 2 || s.w % 2 || (s.c * static_cast<int>(bits)) % 32 != 0) {
     throw SimError("pool2x2: bad shape for packed processing");
   }
@@ -62,7 +61,6 @@ PoolRunResult run_pool2x2(const qnn::Tensor& in, unsigned bits, PoolOp op,
   const addr_t out_base =
       in_base + ((static_cast<u32>(s.elems()) * bits / 8 + 15) & ~15u);
 
-  const bool native_subbyte = (bits == 8) || cfg.xpulpnn;
   const SimdFmt f = fmt_for(bits);
   const unsigned sub_words = (32 / bits) / 4;  // byte-words per packed word
 
@@ -119,7 +117,18 @@ PoolRunResult run_pool2x2(const qnn::Tensor& in, unsigned bits, PoolOp op,
   }
   a.halt();
 
-  xasm::Program prog = a.finish();
+  return PoolKernel{a.finish(), in_base, out_base};
+}
+
+PoolRunResult run_pool2x2(const qnn::Tensor& in, unsigned bits, PoolOp op,
+                          const sim::CoreConfig& cfg) {
+  const qnn::Shape s = in.shape();
+  const bool native_subbyte = (bits == 8) || cfg.xpulpnn;
+  PoolKernel k = generate_pool2x2_kernel(s, bits, op, native_subbyte);
+  const addr_t in_base = k.in_base;
+  const addr_t out_base = k.out_base;
+  xasm::Program& prog = k.program;
+
   mem::Memory mem;
   if (prog.size_bytes() > in_base) throw SimError("pool kernel too large");
   prog.load(mem);

@@ -12,6 +12,7 @@
 
 #include "qnn/tensor.hpp"
 #include "sim/core.hpp"
+#include "xasm/program.hpp"
 
 namespace xpulp::kernels {
 
@@ -21,6 +22,21 @@ struct PoolRunResult {
   qnn::Tensor output;
   sim::PerfCounters perf;
 };
+
+/// A generated pooling program plus its data-layout plan.
+struct PoolKernel {
+  xasm::Program program;
+  addr_t in_base = 0;
+  addr_t out_base = 0;
+};
+
+/// Generate (without running) the 2x2/stride-2 pooling kernel for shape
+/// `s`. `native_subbyte` selects word-wide sub-byte SIMD (XpulpNN path);
+/// otherwise the kernel unpacks to bytes, pools at 8-bit, and re-packs.
+/// Exposed so the static analyzer (tools/xlint) can verify the generated
+/// code without executing it.
+PoolKernel generate_pool2x2_kernel(const qnn::Shape& s, unsigned bits,
+                                   PoolOp op, bool native_subbyte);
 
 /// Run a 2x2/stride-2 pooling layer over `in` (unsigned codes, `bits` wide,
 /// H and W even, (c*bits) % 32 == 0) on a simulated core. Uses sub-byte

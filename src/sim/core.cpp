@@ -45,6 +45,9 @@ void Core::reset(addr_t pc, addr_t code_end) {
     icache_.resize(parcels);
     icache_valid_.assign(parcels, 0);
   }
+  if (pre_run_gate_ && code_end > pc) {
+    pre_run_gate_(mem_, pc, code_end);
+  }
 }
 
 const Instr& Core::fetch_decode(addr_t pc) {

@@ -117,6 +117,15 @@ class Core {
   using TraceFn = std::function<void(addr_t, const isa::Instr&)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
+  /// Optional pre-run gate: invoked by reset(pc, code_end) with the loaded
+  /// memory and the code extent [pc, code_end) whenever code_end is
+  /// nonzero, *before* any instruction executes. The static analyzer
+  /// (analysis::make_pre_run_gate) installs itself here; a gate vetoes the
+  /// run by throwing.
+  using PreRunGate =
+      std::function<void(const mem::Memory&, addr_t entry, addr_t code_end)>;
+  void set_pre_run_gate(PreRunGate g) { pre_run_gate_ = std::move(g); }
+
   /// Switch between the handler-table fast path and the legacy reference
   /// switch interpreter at runtime (differential tests flip this).
   void set_reference_dispatch(bool on) { ref_dispatch_ = on; }
@@ -232,6 +241,7 @@ class Core {
 
   PerfCounters perf_;
   TraceFn trace_;
+  PreRunGate pre_run_gate_;
 
   // Direct-mapped decode cache indexed by pc >> 1.
   std::vector<isa::Instr> icache_;

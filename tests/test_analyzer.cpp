@@ -1,0 +1,563 @@
+// ProgramAnalyzer unit tests: every diagnostic kind has a positive case
+// (a program that must trigger it) and a negative case (the corrected
+// program stays clean of that kind). Programs are built with the real
+// assembler where possible; lenient/illegal encodings the assembler
+// refuses to emit are fed in as raw words.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "xasm/assembler.hpp"
+
+namespace xpulp::analysis {
+namespace {
+
+namespace r = xasm::reg;
+using isa::SimdFmt;
+
+AnalysisReport analyze(const std::function<void(xasm::Assembler&)>& body,
+                       AnalyzerOptions opt = {}) {
+  xasm::Assembler a(0);
+  body(a);
+  return ProgramAnalyzer(opt).analyze(a.finish());
+}
+
+AnalysisReport analyze_words(const std::vector<u32>& words,
+                             AnalyzerOptions opt = {}, addr_t entry = 0) {
+  std::vector<u8> bytes;
+  for (const u32 w : words) {
+    bytes.push_back(static_cast<u8>(w));
+    bytes.push_back(static_cast<u8>(w >> 8));
+    bytes.push_back(static_cast<u8>(w >> 16));
+    bytes.push_back(static_cast<u8>(w >> 24));
+  }
+  return ProgramAnalyzer(opt).analyze(0, bytes, entry);
+}
+
+constexpr u32 kEcall = 0x00000073;
+
+// ---- kIllegalEncoding ----
+
+TEST(Analyzer, IllegalEncodingFlagged) {
+  // Major opcode 0x7f is unused in RV32IMC + Xpulp.
+  const auto rep = analyze_words({0x0000007fu, kEcall});
+  EXPECT_GE(rep.count(DiagKind::kIllegalEncoding), 1u);
+  EXPECT_TRUE(rep.has_errors());
+}
+
+TEST(Analyzer, LegalProgramHasNoIllegalEncoding) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kIllegalEncoding), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// ---- kNonCanonicalEncoding ----
+
+TEST(Analyzer, NonCanonicalFenceFlagged) {
+  // MISC-MEM with funct3 != 0 decodes leniently as fence but is not the
+  // canonical form the encoder emits.
+  const auto rep = analyze_words({0x0000100fu, kEcall});
+  EXPECT_GE(rep.count(DiagKind::kNonCanonicalEncoding), 1u);
+}
+
+TEST(Analyzer, AssembledOutputIsCanonical) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 1);
+    a.li(r::a1, 2);
+    a.p_mac(r::a0, r::a1, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kNonCanonicalEncoding), 0u);
+}
+
+// ---- kUnreachableCode ----
+
+TEST(Analyzer, DeadCodeAfterJumpFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    const auto l = a.new_label();
+    a.j(l);
+    a.nop();  // skipped by the jump, no path leads here
+    a.nop();
+    a.bind(l);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kUnreachableCode), 1u);  // coalesced run
+}
+
+TEST(Analyzer, FullyReachableProgramClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    const auto l = a.new_label();
+    a.j(l);
+    a.bind(l);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kUnreachableCode), 0u);
+}
+
+// ---- kBadJumpTarget ----
+
+TEST(Analyzer, JumpPastImageEndFlagged) {
+  // jal x0, +16 in a 2-word image.
+  const auto rep = analyze_words({0x0100006fu, kEcall});
+  EXPECT_GE(rep.count(DiagKind::kBadJumpTarget), 1u);
+}
+
+TEST(Analyzer, EntryOffBoundaryFlagged) {
+  const auto rep = analyze_words({kEcall}, {}, /*entry=*/2);
+  EXPECT_GE(rep.count(DiagKind::kBadJumpTarget), 1u);
+}
+
+TEST(Analyzer, InImageJumpClean) {
+  // jal x0, +4 lands on the ecall.
+  const auto rep = analyze_words({0x0040006fu, kEcall});
+  EXPECT_EQ(rep.count(DiagKind::kBadJumpTarget), 0u);
+}
+
+// ---- kMissingIsaFeature ----
+
+TEST(Analyzer, SimdOnBaseCoreFlagged) {
+  AnalyzerOptions opt;
+  opt.xpulpv2 = false;
+  opt.xpulpnn = false;
+  opt.hwloops = false;
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        a.li(r::a0, 1);
+        a.li(r::a1, 2);
+        a.pv_add(SimdFmt::kB, r::a2, r::a0, r::a1);
+        a.ecall();
+      },
+      opt);
+  EXPECT_GE(rep.count(DiagKind::kMissingIsaFeature), 1u);
+}
+
+TEST(Analyzer, HwloopWithoutHwloopSupportFlagged) {
+  AnalyzerOptions opt;
+  opt.hwloops = false;
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        a.li(r::a0, 0);
+        const auto end = a.new_label();
+        a.lp_setupi(0, 3, end);
+        a.addi(r::a0, r::a0, 1);
+        a.addi(r::a0, r::a0, 1);
+        a.bind(end);
+        a.ecall();
+      },
+      opt);
+  EXPECT_GE(rep.count(DiagKind::kMissingIsaFeature), 1u);
+}
+
+TEST(Analyzer, SimdOnExtendedCoreClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 1);
+    a.li(r::a1, 2);
+    a.pv_add(SimdFmt::kB, r::a2, r::a0, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kMissingIsaFeature), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// ---- kUninitRead ----
+
+TEST(Analyzer, ReadOfColdRegisterFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.add(r::a0, r::a1, r::a2);  // a1/a2 never written
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kUninitRead), 1u);
+}
+
+TEST(Analyzer, UninitOnOnePathOnlyStillFlagged) {
+  // a1 is written on the taken path but not on the fall-through: the
+  // must-init join has to catch the uninitialized path.
+  const auto rep = analyze([](xasm::Assembler& a) {
+    const auto skip = a.new_label();
+    a.li(r::a0, 1);
+    a.beq(r::a0, r::zero, skip);
+    a.li(r::a1, 7);
+    a.bind(skip);
+    a.add(r::a2, r::a1, r::a0);
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kUninitRead), 1u);
+}
+
+TEST(Analyzer, InitializedReadsClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a1, 1);
+    a.li(r::a2, 2);
+    a.add(r::a0, r::a1, r::a2);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kUninitRead), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+TEST(Analyzer, AbiEntryMaskSuppressesArgumentReads) {
+  AnalyzerOptions opt;
+  opt.assume_initialized = AnalyzerOptions::abi_entry_mask();
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        a.add(r::a0, r::a1, r::a2);  // arguments under the calling convention
+        a.ecall();
+      },
+      opt);
+  EXPECT_EQ(rep.count(DiagKind::kUninitRead), 0u);
+}
+
+// ---- kTcdmOutOfBounds ----
+
+TEST(Analyzer, KnownAddressPastTcdmFlagged) {
+  AnalyzerOptions opt;
+  opt.mem_size = 0x10000;
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        a.li(r::a0, 0x20000);
+        a.lw(r::a1, r::a0, 0);
+        a.ecall();
+      },
+      opt);
+  EXPECT_GE(rep.count(DiagKind::kTcdmOutOfBounds), 1u);
+}
+
+TEST(Analyzer, InBoundsAccessClean) {
+  AnalyzerOptions opt;
+  opt.mem_size = 0x10000;
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        a.li(r::a0, 0x8000);
+        a.lw(r::a1, r::a0, 0);
+        a.ecall();
+      },
+      opt);
+  EXPECT_EQ(rep.count(DiagKind::kTcdmOutOfBounds), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// ---- kMisalignedAccess ----
+
+TEST(Analyzer, MisalignedWordAccessWarned) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 0x1002);
+    a.lw(r::a1, r::a0, 0);
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kMisalignedAccess), 1u);
+  // Misalignment is legal on this core (one stall per access): a warning,
+  // not an error.
+  EXPECT_FALSE(rep.has_errors()) << rep.to_string();
+}
+
+TEST(Analyzer, AlignedWordAccessClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 0x1004);
+    a.lw(r::a1, r::a0, 0);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kMisalignedAccess), 0u);
+}
+
+// ---- kHwloopBodyTooShort ----
+
+TEST(Analyzer, OneInstructionLoopBodyFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 0);
+    const auto end = a.new_label();
+    a.lp_setupi(0, 3, end);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(end);
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kHwloopBodyTooShort), 1u);
+}
+
+TEST(Analyzer, TwoInstructionLoopBodyClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 0);
+    const auto end = a.new_label();
+    a.lp_setupi(0, 3, end);
+    a.addi(r::a0, r::a0, 1);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(end);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kHwloopBodyTooShort), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// ---- kHwloopBranchInBody ----
+
+TEST(Analyzer, BranchLeavingLoopBodyFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 3);
+    const auto end = a.new_label();
+    const auto out = a.new_label();
+    a.lp_setupi(0, 3, end);
+    a.beq(r::a0, r::zero, out);  // escapes the hardware loop
+    a.addi(r::a0, r::a0, -1);
+    a.bind(end);
+    a.bind(out);
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kHwloopBranchInBody), 1u);
+}
+
+TEST(Analyzer, JumpIntoLoopBodyFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 3);
+    const auto mid = a.new_label();
+    const auto end = a.new_label();
+    a.j(mid);  // enters the body past its first instruction
+    a.lp_setupi(0, 3, end);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(mid);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(end);
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kHwloopBranchInBody), 1u);
+}
+
+TEST(Analyzer, InBodyBranchStayingInsideClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 3);
+    const auto end = a.new_label();
+    a.lp_setupi(0, 3, end);
+    const auto top = a.here();
+    a.beq(r::a0, r::zero, top);  // stays within [start, end)
+    a.addi(r::a0, r::a0, -1);
+    a.bind(end);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kHwloopBranchInBody), 0u);
+}
+
+// ---- kHwloopEndsInControlFlow ----
+
+TEST(Analyzer, LoopEndingInBranchFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 3);
+    const auto end = a.new_label();
+    a.lp_setupi(0, 3, end);
+    const auto top = a.here();
+    a.addi(r::a0, r::a0, -1);
+    a.beq(r::a0, r::zero, top);  // last body instruction is control flow
+    a.bind(end);
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kHwloopEndsInControlFlow), 1u);
+}
+
+TEST(Analyzer, LoopEndingInFallThroughClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 3);
+    const auto end = a.new_label();
+    a.lp_setupi(0, 3, end);
+    a.addi(r::a0, r::a0, -1);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(end);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kHwloopEndsInControlFlow), 0u);
+}
+
+// ---- kHwloopBadNesting ----
+
+TEST(Analyzer, NestedLoopsSharingIndexFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 0);
+    const auto outer = a.new_label();
+    const auto inner = a.new_label();
+    a.lp_setupi(0, 3, outer);  // both on L0
+    a.lp_setupi(0, 3, inner);
+    a.addi(r::a0, r::a0, 1);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(inner);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(outer);
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kHwloopBadNesting), 1u);
+}
+
+TEST(Analyzer, InnerLoopNotOnL0Flagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 0);
+    const auto outer = a.new_label();
+    const auto inner = a.new_label();
+    a.lp_setupi(0, 3, outer);  // L0 outside...
+    a.lp_setupi(1, 3, inner);  // ...L1 inside: inverted on RI5CY
+    a.addi(r::a0, r::a0, 1);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(inner);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(outer);
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kHwloopBadNesting), 1u);
+}
+
+TEST(Analyzer, ProperlyNestedLoopsClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 0);
+    const auto outer = a.new_label();
+    const auto inner = a.new_label();
+    a.lp_setupi(1, 3, outer);  // L1 outer, L0 inner
+    a.lp_setupi(0, 3, inner);
+    a.addi(r::a0, r::a0, 1);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(inner);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(outer);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kHwloopBadNesting), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// ---- kHwloopSetupOrder ----
+
+TEST(Analyzer, CountBeforeBoundsFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.lp_counti(0, 5);  // no lp.starti/lp.endi has set the bounds yet
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kHwloopSetupOrder), 1u);
+}
+
+TEST(Analyzer, BoundsThenCountClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 0);
+    const auto s = a.new_label();
+    const auto e = a.new_label();
+    a.lp_starti(0, s);
+    a.lp_endi(0, e);
+    a.lp_counti(0, 3);
+    a.bind(s);
+    a.addi(r::a0, r::a0, 1);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(e);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kHwloopSetupOrder), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// ---- kDotpAccumOverlap ----
+
+TEST(Analyzer, AccumulatorReusedAsOperandWarned) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 1);
+    a.li(r::a1, 2);
+    a.pv_sdotsp(SimdFmt::kB, r::a0, r::a0, r::a1);  // rd == rs1
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kDotpAccumOverlap), 1u);
+  EXPECT_FALSE(rep.has_errors()) << rep.to_string();  // advisory only
+}
+
+TEST(Analyzer, DistinctAccumulatorClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 1);
+    a.li(r::a1, 2);
+    a.li(r::a2, 0);
+    a.pv_sdotsp(SimdFmt::kB, r::a2, r::a0, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kDotpAccumOverlap), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// ---- kQntThresholdSetup ----
+
+TEST(Analyzer, OddThresholdPointerFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a1, 0x1001);  // Eytzinger trees are arrays of i16
+    a.li(r::a2, 5);
+    a.pv_qnt(4, r::a0, r::a2, r::a1);
+    a.ecall();
+  });
+  EXPECT_GE(rep.count(DiagKind::kQntThresholdSetup), 1u);
+}
+
+TEST(Analyzer, ThresholdTreesPastTcdmFlagged) {
+  AnalyzerOptions opt;
+  opt.mem_size = 0x1000;
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        a.li(r::a1, 0xff0);  // both trees (2 * 32 B for 4-bit) overrun
+        a.li(r::a2, 5);
+        a.pv_qnt(4, r::a0, r::a2, r::a1);
+        a.ecall();
+      },
+      opt);
+  EXPECT_GE(rep.count(DiagKind::kQntThresholdSetup), 1u);
+}
+
+TEST(Analyzer, AlignedInBoundsThresholdsClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a1, 0x1000);
+    a.li(r::a2, 5);
+    a.pv_qnt(4, r::a0, r::a2, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kQntThresholdSetup), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// ---- kFallOffEnd ----
+
+TEST(Analyzer, MissingTerminatorFlagged) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 1);  // no ecall: execution runs past the image
+  });
+  EXPECT_GE(rep.count(DiagKind::kFallOffEnd), 1u);
+  EXPECT_TRUE(rep.has_errors());
+}
+
+TEST(Analyzer, TerminatedProgramClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kFallOffEnd), 0u);
+}
+
+// ---- report plumbing ----
+
+TEST(Analyzer, ReportCountsInstructionsAndLoops) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.li(r::a0, 0);
+    const auto end = a.new_label();
+    a.lp_setupi(0, 3, end);
+    a.addi(r::a0, r::a0, 1);
+    a.addi(r::a0, r::a0, 1);
+    a.bind(end);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.hwloop_count, 1u);
+  EXPECT_GE(rep.instr_count, 5u);
+  EXPECT_EQ(rep.reachable_count, rep.instr_count);
+}
+
+TEST(Analyzer, DiagnosticsCarryKindNamesAndAddresses) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    a.add(r::a0, r::a1, r::a2);
+    a.ecall();
+  });
+  ASSERT_FALSE(rep.diags.empty());
+  const auto& d = rep.diags.front();
+  EXPECT_EQ(d.kind, DiagKind::kUninitRead);
+  EXPECT_NE(d.to_string().find(diag_kind_name(DiagKind::kUninitRead)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpulp::analysis
