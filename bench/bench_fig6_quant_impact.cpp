@@ -6,7 +6,11 @@
 // Paper reference points: quantization share with pv.qnt ~4% (4-bit) and
 // ~11% (2-bit); kernel speedup from pv.qnt 1.21x (4-bit) and 1.16x (2-bit);
 // near-linear 8b -> 4b -> 2b cycle scaling.
+//
+// Emits BENCH_fig6.json (obs::Registry JSON) next to the binary's working
+// directory.
 #include "bench_util.hpp"
+#include "obs/registry.hpp"
 
 using namespace xpulp;
 using namespace xpulp::bench;
@@ -63,7 +67,33 @@ int main() {
   std::printf("2-bit speedup over 8-bit: %.2fx (linear would be 4x)\n",
               static_cast<double>(r8.cycles) / static_cast<double>(h2.cycles));
 
+  obs::Registry reg;
+  reg.text("bench", "fig6_quant_impact");
+  add_platform_result(reg, "kernels.8b", r8);
+  add_platform_result(reg, "kernels.4b_swq", s4);
+  add_platform_result(reg, "kernels.4b_hwq", h4);
+  add_platform_result(reg, "kernels.2b_swq", s2);
+  add_platform_result(reg, "kernels.2b_hwq", h2);
+  reg.gauge("speedup_from_qnt.4b",
+            static_cast<double>(s4.cycles) / static_cast<double>(h4.cycles));
+  reg.gauge("speedup_from_qnt.2b",
+            static_cast<double>(s2.cycles) / static_cast<double>(h2.cycles));
+  reg.gauge("quant_share.4b_swq",
+            static_cast<double>(s4.quant_cycles) / static_cast<double>(s4.cycles));
+  reg.gauge("quant_share.4b_hwq",
+            static_cast<double>(h4.quant_cycles) / static_cast<double>(h4.cycles));
+  reg.gauge("quant_share.2b_swq",
+            static_cast<double>(s2.quant_cycles) / static_cast<double>(s2.cycles));
+  reg.gauge("quant_share.2b_hwq",
+            static_cast<double>(h2.quant_cycles) / static_cast<double>(h2.cycles));
+  reg.gauge("scaling_vs_8b.4b",
+            static_cast<double>(r8.cycles) / static_cast<double>(h4.cycles));
+  reg.gauge("scaling_vs_8b.2b",
+            static_cast<double>(r8.cycles) / static_cast<double>(h2.cycles));
+
   const bool all_ok = r8.output_ok && h4.output_ok && s4.output_ok &&
                       h2.output_ok && s2.output_ok;
+  reg.flag("all_ok", all_ok);
+  if (!save_bench_json(reg, "BENCH_fig6.json")) return 1;
   return all_ok ? 0 : 1;
 }

@@ -5,7 +5,8 @@
 // construction (see test_dispatch_diff); this bench quantifies the host
 // speed gained by moving classification work to decode time.
 //
-// Emits BENCH_throughput.json next to the binary's working directory.
+// Emits BENCH_throughput.json (obs::Registry JSON) next to the binary's
+// working directory.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "bench_util.hpp"
 #include "mem/memory.hpp"
+#include "obs/registry.hpp"
 #include "qnn/pack.hpp"
 #include "sim/core.hpp"
 
@@ -122,10 +124,17 @@ int main() {
   workloads.push_back(make_workload(4, ConvVariant::kXpulpNN_HwQ,
                                     sim::CoreConfig::extended()));
 
-  std::string json = "{\n  \"bench\": \"sim_throughput\",\n  \"unit\": "
-                     "\"host MIPS\",\n  \"workloads\": [\n";
-  bool first = true;
+  obs::Registry reg;
+  reg.text("bench", "sim_throughput");
+  reg.text("unit", "host MIPS");
   double min_speedup = 1e30;
+
+  const auto add_measurement = [&reg](const std::string& prefix,
+                                      const Measurement& m) {
+    reg.counter(prefix + ".instructions", m.instructions);
+    reg.gauge(prefix + ".host_seconds", m.host_seconds);
+    reg.gauge(prefix + ".mips", m.mips());
+  };
 
   for (const Workload& w : workloads) {
     const auto [ref, fast] = measure_pair(w);
@@ -137,37 +146,17 @@ int main() {
                 static_cast<double>(ref.instructions) / 1e6, ref.mips(),
                 fast.mips(), speedup);
 
-    char buf[512];
-    std::snprintf(
-        buf, sizeof(buf),
-        "%s    {\"platform\": \"%s\", \"variant\": \"%s\", \"bits\": %u,\n"
-        "     \"reference\": {\"instructions\": %llu, \"host_seconds\": "
-        "%.6f, \"mips\": %.2f},\n"
-        "     \"fast\": {\"instructions\": %llu, \"host_seconds\": %.6f, "
-        "\"mips\": %.2f},\n"
-        "     \"speedup\": %.3f}",
-        first ? "" : ",\n", w.platform.c_str(), w.variant.c_str(), w.bits,
-        static_cast<unsigned long long>(ref.instructions), ref.host_seconds,
-        ref.mips(), static_cast<unsigned long long>(fast.instructions),
-        fast.host_seconds, fast.mips(), speedup);
-    json += buf;
-    first = false;
+    const std::string key = "workloads." + w.platform + "_" + w.variant;
+    reg.text(key + ".platform", w.platform);
+    reg.text(key + ".variant", w.variant);
+    reg.counter(key + ".bits", w.bits);
+    add_measurement(key + ".reference", ref);
+    add_measurement(key + ".fast", fast);
+    reg.gauge(key + ".speedup", speedup);
   }
+  reg.gauge("min_speedup", min_speedup);
 
-  char tail[128];
-  std::snprintf(tail, sizeof(tail), "\n  ],\n  \"min_speedup\": %.3f\n}\n",
-                min_speedup);
-  json += tail;
-
-  std::FILE* f = std::fopen("BENCH_throughput.json", "w");
-  if (f) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("\nwrote BENCH_throughput.json (min speedup %.2fx)\n",
-                min_speedup);
-  } else {
-    std::fprintf(stderr, "could not write BENCH_throughput.json\n");
-    return 1;
-  }
+  if (!save_bench_json(reg, "BENCH_throughput.json")) return 1;
+  std::printf("min speedup %.2fx\n", min_speedup);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "armv7e/cmsis_conv.hpp"
 #include "kernels/conv_layer.hpp"
+#include "obs/registry.hpp"
 #include "power/power_model.hpp"
 
 namespace xpulp::bench {
@@ -98,5 +99,30 @@ inline void print_header(const char* title) {
 }
 
 inline const char* okstr(bool ok) { return ok ? "ok" : "MISMATCH"; }
+
+/// Publish a platform result under `prefix` in the metrics registry, so
+/// benches can emit their tables as Registry JSON instead of hand-rolled
+/// string building.
+inline void add_platform_result(obs::Registry& reg, const std::string& prefix,
+                                const PlatformResult& r) {
+  reg.text(prefix + ".platform", r.platform);
+  reg.counter(prefix + ".bits", r.bits);
+  reg.counter(prefix + ".cycles", r.cycles);
+  reg.counter(prefix + ".macs", r.macs);
+  reg.counter(prefix + ".quant_cycles", r.quant_cycles);
+  reg.counter(prefix + ".qnt_stall_cycles", r.qnt_stall_cycles);
+  reg.gauge(prefix + ".macs_per_cycle", r.macs_per_cycle());
+  reg.flag(prefix + ".output_ok", r.output_ok);
+}
+
+/// Save the registry next to the working directory and report the path.
+inline bool save_bench_json(const obs::Registry& reg, const char* path) {
+  if (!reg.save_json(path)) {
+    std::fprintf(stderr, "could not write %s\n", path);
+    return false;
+  }
+  std::printf("\nwrote %s\n", path);
+  return true;
+}
 
 }  // namespace xpulp::bench

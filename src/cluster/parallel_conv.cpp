@@ -23,14 +23,18 @@ constexpr addr_t kDataBase = 0x40000;
 }  // namespace
 
 ParallelConvResult run_parallel_conv(const ConvLayerData& data,
-                                     ConvVariant v, const ClusterConfig& cfg) {
+                                     ConvVariant v, const ClusterConfig& cfg,
+                                     const ClusterInstrument& instrument,
+                                     const ClusterInstrument& after_run) {
   const qnn::ConvSpec& spec = data.spec;
   const int n = cfg.num_cores;
   if (static_cast<u32>(n) * kCodeRegion > kDataBase) {
     throw SimError("too many cores for the code region layout");
   }
 
-  // Generate one program per core over its row slice.
+  // Generate one program per core over its row slice. The kernels stay
+  // alive so the instrument hook can read their region maps.
+  std::vector<ConvKernel> kernels;
   std::vector<xasm::Program> programs;
   ConvMemLayout layout{};
   const int rows = spec.out_h();
@@ -44,9 +48,9 @@ ParallelConvResult run_parallel_conv(const ConvLayerData& data,
     o.buffer_slots = n;
     o.buffer_slot = c;
     row += share;
-    ConvKernel k = kernels::generate_conv_kernel(spec, v, kDataBase, o);
-    layout = k.layout;
-    programs.push_back(std::move(k.program));
+    kernels.push_back(kernels::generate_conv_kernel(spec, v, kDataBase, o));
+    layout = kernels.back().layout;
+    programs.push_back(kernels.back().program);
   }
 
   Cluster cluster(cfg);
@@ -58,10 +62,12 @@ ParallelConvResult run_parallel_conv(const ConvLayerData& data,
     mem.write_block(layout.thresholds, data.thresholds.serialize());
   }
   cluster.load(programs);
+  if (instrument) instrument(cluster, kernels);
 
   ParallelConvResult res;
   res.stats = cluster.run();
   res.macs = spec.macs();
+  if (after_run) after_run(cluster, kernels);
 
   std::vector<u8> out_bytes(layout.output_bytes);
   mem.read_block(layout.output, out_bytes);

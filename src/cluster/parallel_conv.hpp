@@ -4,6 +4,9 @@
 // live once in the shared TCDM.
 #pragma once
 
+#include <functional>
+#include <vector>
+
 #include "cluster/cluster.hpp"
 #include "kernels/conv_layer.hpp"
 
@@ -21,12 +24,24 @@ struct ParallelConvResult {
   }
 };
 
+/// Observability hook: `instrument` is invoked after the programs are
+/// loaded and the cores reset, immediately before the cluster runs.
+/// kernels[i] is core i's generated kernel (with its region map); attach
+/// per-core profilers or trace hooks through cluster.core(i). `after_run`
+/// fires right after the run completes, while the cluster and its cores
+/// are still alive — finalize profilers there, NOT after the call returns
+/// (the cluster is destroyed with the stack frame).
+using ClusterInstrument = std::function<void(
+    Cluster&, const std::vector<kernels::ConvKernel>& kernels)>;
+
 /// Run the layer across `cfg.num_cores` cores. Rows are distributed in
 /// contiguous slices (remainder rows go to the first cores). Output is
 /// read back from shared memory and must be checked by the caller against
 /// ConvLayerData::golden().
 ParallelConvResult run_parallel_conv(const kernels::ConvLayerData& data,
                                      kernels::ConvVariant v,
-                                     const ClusterConfig& cfg);
+                                     const ClusterConfig& cfg,
+                                     const ClusterInstrument& instrument = {},
+                                     const ClusterInstrument& after_run = {});
 
 }  // namespace xpulp::cluster

@@ -49,6 +49,7 @@ struct Gen {
   ConvGenOptions opts;
   ConvMemLayout lay;
   std::vector<std::pair<addr_t, addr_t>> quant_ranges;
+  obs::RegionMap regions;
 
   Gen(const qnn::ConvSpec& s, ConvVariant v, addr_t data_base,
       const ConvGenOptions& o)
@@ -395,7 +396,10 @@ struct Gen {
 
   /// Begin/end markers for quantization-cycle attribution.
   void quant_begin() { quant_start_ = a.current_addr(); }
-  void quant_end() { quant_ranges.emplace_back(quant_start_, a.current_addr()); }
+  void quant_end() {
+    quant_ranges.emplace_back(quant_start_, a.current_addr());
+    regions.add_range("quant", quant_start_, a.current_addr());
+  }
   addr_t quant_start_ = 0;
 
   /// Re-quantize + store the 4 accumulators of one channel pair (4-bit and
@@ -600,11 +604,21 @@ struct Gen {
       throw SimError("channel tile must be a non-empty multiple of the pack group");
     }
 
+    // Phase regions for the profiler. Creation order is attribution
+    // priority (later wins on overlap): the quantization staircase is
+    // emitted *inside* the matmul subroutine and must attribute to
+    // "quant", so "quant" is created after "matmul".
+    regions.region("matmul");
+    regions.region("quant");
+    regions.region("im2col");
+
     const Label main = a.new_label();
     a.jal(r::zero, main);  // entry: skip the subroutine
 
     const Label matmul = a.here();
+    const addr_t matmul_lo = a.current_addr();
     emit_matmul_subroutine();
+    regions.add_range("matmul", matmul_lo, a.current_addr());
 
     a.bind(main);
     const int step = opts.pixel_block;
@@ -613,10 +627,14 @@ struct Gen {
         opts.row_end < 0 ? spec.out_h() : std::min(opts.row_end, spec.out_h());
     for (int oy = row_begin; oy < row_end; ++oy) {
       for (int ox = 0; ox < spec.out_w(); ox += step) {
+        addr_t im2col_lo = a.current_addr();
         emit_im2col(oy, ox, buf0_addr());
+        regions.add_range("im2col", im2col_lo, a.current_addr());
         a.li(r::s1, static_cast<i32>(output_pixel_addr(oy, ox)));
         if (two_pixels()) {
+          im2col_lo = a.current_addr();
           emit_im2col(oy, ox + 1, buf1_addr());
+          regions.add_range("im2col", im2col_lo, a.current_addr());
           a.li(r::s2, static_cast<i32>(output_pixel_addr(oy, ox + 1)));
         }
         a.jal(r::ra, matmul);
@@ -631,7 +649,8 @@ struct Gen {
     if (opts.buffer_slot < 0 || opts.buffer_slot >= opts.buffer_slots) {
       throw SimError("buffer_slot out of range");
     }
-    return ConvKernel{std::move(prog), lay, std::move(quant_ranges)};
+    return ConvKernel{std::move(prog), lay, std::move(quant_ranges),
+                      std::move(regions)};
   }
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/bitops.hpp"
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 #include "qnn/pack.hpp"
 
 namespace xpulp::kernels {
@@ -201,6 +202,20 @@ qnn::Tensor ConvLayerData::golden() const {
   return qnn::conv2d_ref(input, weights, thresholds, spec);
 }
 
+void load_conv_data(const ConvLayerData& data, const ConvMemLayout& layout,
+                    mem::Memory& mem) {
+  const qnn::ConvSpec& spec = data.spec;
+  const auto in_bytes = qnn::pack_tensor(data.input, spec.in_bits);
+  mem.write_block(layout.input, in_bytes);
+  const auto w_bytes = qnn::pack_filter_bank(data.weights, spec.w_bits);
+  mem.write_block(layout.weights, w_bytes);
+  if (spec.out_bits != 8) {
+    const auto t_bytes = data.thresholds.serialize();
+    mem.write_block(layout.thresholds, t_bytes);
+  }
+  mem.reset_stats();
+}
+
 ConvRunResult run_conv_layer(const ConvLayerData& data, ConvVariant v,
                              const sim::CoreConfig& cfg,
                              const ConvGenOptions& opts) {
@@ -213,16 +228,7 @@ ConvRunResult run_conv_layer(const ConvLayerData& data, ConvVariant v,
 
   mem::Memory mem;
   kernel.program.load(mem);
-
-  const auto in_bytes = qnn::pack_tensor(data.input, spec.in_bits);
-  mem.write_block(kernel.layout.input, in_bytes);
-  const auto w_bytes = qnn::pack_filter_bank(data.weights, spec.w_bits);
-  mem.write_block(kernel.layout.weights, w_bytes);
-  if (spec.out_bits != 8) {
-    const auto t_bytes = data.thresholds.serialize();
-    mem.write_block(kernel.layout.thresholds, t_bytes);
-  }
-  mem.reset_stats();
+  load_conv_data(data, kernel.layout, mem);
 
   sim::Core core(mem, cfg);
   core.reset(kernel.program.entry(),
@@ -232,8 +238,8 @@ ConvRunResult run_conv_layer(const ConvLayerData& data, ConvVariant v,
   const u64 max_instr = 600'000'000;
 
   if (kernel.quant_ranges.empty()) {
-    // No quantization ranges to attribute: use the core's own run loop
-    // (much faster on the host than stepping from here).
+    // No quantization ranges to attribute: run untraced (zero profiling
+    // overhead on the fast path).
     core.run(max_instr);
     if (core.halt_reason() == sim::HaltReason::kInstrLimit) {
       throw SimError("kernel did not terminate");
@@ -241,34 +247,24 @@ ConvRunResult run_conv_layer(const ConvLayerData& data, ConvVariant v,
     return finish_conv_run(core, mem, kernel, spec, res);
   }
 
-  // Step manually to attribute cycles spent in re-quantization code
-  // (Fig. 6 reports the quantization share).
-  addr_t q_lo = ~0u, q_hi = 0;
-  for (const auto& [lo, hi] : kernel.quant_ranges) {
-    q_lo = std::min(q_lo, lo);
-    q_hi = std::max(q_hi, hi);
-  }
-  u64 executed = 0;
-  while (!core.halted()) {
-    const addr_t pc = core.pc();
-    if (pc >= q_lo && pc < q_hi) {
-      bool in_range = false;
-      for (const auto& [lo, hi] : kernel.quant_ranges) {
-        if (pc >= lo && pc < hi) {
-          in_range = true;
-          break;
-        }
-      }
-      if (in_range) {
-        const cycles_t c0 = core.perf().cycles;
-        core.step();
-        res.quant_cycles += core.perf().cycles - c0;
-        ++executed;
-        continue;
-      }
+  // Attribute cycles spent in re-quantization code via the profiler
+  // (Fig. 6 reports the quantization share). Attribution is identical to
+  // stepping manually and diffing the cycle counter around each
+  // quant-range instruction: the hook fires before an instruction's
+  // stalls are charged, so each counter delta covers exactly one
+  // instruction.
+  {
+    obs::Profiler::Options popts;
+    popts.track_pc = false;  // only the region split is needed here
+    obs::Profiler prof(core, kernel.regions, popts);
+    core.run(max_instr);
+    if (core.halt_reason() == sim::HaltReason::kInstrLimit) {
+      throw SimError("kernel did not terminate");
     }
-    core.step();
-    if (++executed > max_instr) throw SimError("kernel did not terminate");
+    prof.finalize();
+    for (const obs::RegionStat& r : prof.region_stats()) {
+      if (r.name == "quant") res.quant_cycles += r.stat.cycles;
+    }
   }
   return finish_conv_run(core, mem, kernel, spec, res);
 }

@@ -29,6 +29,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/region.hpp"
 #include "qnn/ref_layers.hpp"
 #include "sim/core.hpp"
 #include "xasm/assembler.hpp"
@@ -93,6 +94,9 @@ struct ConvKernel {
   /// PC ranges [lo, hi) of re-quantization code, for cycle attribution
   /// (Fig. 6 reports the quantization share of total cycles).
   std::vector<std::pair<addr_t, addr_t>> quant_ranges;
+  /// Named phase regions ("im2col", "matmul", "quant") for the profiler;
+  /// the quant ranges above are also registered here.
+  obs::RegionMap regions;
 };
 
 /// Generator knobs for the ablation studies (DESIGN.md §7). Defaults
@@ -153,6 +157,11 @@ struct ConvRunResult {
     return perf.cycles ? static_cast<double>(macs) / static_cast<double>(perf.cycles) : 0.0;
   }
 };
+
+/// Pack and write a layer's tensors (input, weights, thresholds) into
+/// guest memory at the layout's addresses and reset the memory stats.
+void load_conv_data(const ConvLayerData& data, const ConvMemLayout& layout,
+                    mem::Memory& mem);
 
 /// Load data + kernel into a fresh memory image and run to completion on a
 /// core with the given configuration. Throws SimError on guest faults.

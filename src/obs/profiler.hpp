@@ -1,0 +1,183 @@
+// Cycle-attribution profiler. Attaches to a Core's trace hook (the hook
+// fires at the *start* of each instruction, before its stalls are
+// charged), snapshots the PerfCounters, and attributes the cycle delta
+// between consecutive hook firings — base cycle plus every stall the
+// instruction caused — to the previous instruction's pc, mnemonic,
+// ExecClass and RegionMap region. Works identically on the predecoded
+// fast path and the legacy reference interpreter: both fire the same
+// hook, and a core with no hook attached pays nothing (the templated
+// trace-free loop never tests for a profiler).
+//
+// Attach to a freshly reset core and call finalize() (or destroy the
+// profiler) after the run: total().cycles then equals the core's
+// PerfCounters.cycles, and the per-region cycle totals partition it.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "obs/region.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeline.hpp"
+#include "sim/core.hpp"
+
+namespace xpulp::obs {
+
+/// Per-site stall attribution, one field per PerfCounters stall cause.
+struct StallBreakdown {
+  u64 branch = 0;
+  u64 load_use = 0;
+  u64 mem = 0;
+  u64 mul_div = 0;
+  u64 qnt = 0;
+
+  u64 total() const { return branch + load_use + mem + mul_div + qnt; }
+  StallBreakdown& operator+=(const StallBreakdown& o) {
+    branch += o.branch;
+    load_use += o.load_use;
+    mem += o.mem;
+    mul_div += o.mul_div;
+    qnt += o.qnt;
+    return *this;
+  }
+};
+
+/// Accumulated cost of one attribution site (a pc, a mnemonic, a class or
+/// a region). stalls.total() <= cycles; cycles - stalls = active cycles.
+struct SiteStat {
+  u64 instructions = 0;
+  u64 cycles = 0;
+  StallBreakdown stalls;
+};
+
+struct RegionStat {
+  std::string name;
+  SiteStat stat;
+};
+
+struct PcStat {
+  addr_t pc = 0;
+  SiteStat stat;
+};
+
+class Profiler {
+ public:
+  struct Options {
+    /// Optional timeline sink: region begin/end slices, stall instants and
+    /// coalesced instruction blocks are recorded on `track`.
+    Timeline* timeline = nullptr;
+    u8 track = 0;
+    /// Keep the per-PC histogram (off saves memory on huge images).
+    bool track_pc = true;
+    /// Emit an instant event per stalled instruction (timeline only).
+    bool emit_stalls = true;
+    /// Coalesce this many instructions per timeline block slice.
+    u32 block_instructions = 64;
+  };
+
+  /// Attaches to `core`'s trace hook (displacing any other hook — one
+  /// owner at a time). `regions` maps pcs to named regions; unmatched pcs
+  /// fall into the trailing "other" bucket.
+  Profiler(sim::Core& core, const RegionMap& regions, const Options& opts);
+  Profiler(sim::Core& core, const RegionMap& regions)
+      : Profiler(core, regions, Options{}) {}
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Settle the still-pending instruction against the final counter state,
+  /// close open timeline slices and detach from the core. Idempotent;
+  /// results are stable afterwards.
+  void finalize();
+
+  const SiteStat& total() const { return total_; }
+
+  /// Per-region totals in RegionMap order plus a final "other" bucket.
+  /// The cycle fields partition total().cycles exactly.
+  std::vector<RegionStat> region_stats() const;
+
+  const std::array<SiteStat, static_cast<size_t>(isa::Mnemonic::kCount)>&
+  by_mnemonic() const {
+    return by_mnemonic_;
+  }
+  const std::array<SiteStat, static_cast<size_t>(isa::ExecClass::kCount)>&
+  by_class() const {
+    return by_class_;
+  }
+
+  /// Hottest pcs by attributed cycles, descending; empty if track_pc off.
+  std::vector<PcStat> hotspots(size_t top_n) const;
+
+  /// Collapsed flamegraph stacks ("root;region;mnemonic cycles" lines),
+  /// consumable by flamegraph.pl / speedscope / inferno.
+  std::string collapsed_stacks(std::string_view root) const;
+
+  /// Publish totals + per-region stats under `prefix`.
+  void add_to_registry(Registry& r, std::string_view prefix) const;
+
+ private:
+  struct Snapshot {
+    u64 cycles = 0;
+    u64 branch = 0;
+    u64 load_use = 0;
+    u64 mem = 0;
+    u64 mul_div = 0;
+    u64 qnt = 0;
+  };
+
+  Snapshot snap() const;
+  bool on_instr(addr_t pc, const isa::Instr& in);
+  void settle(const Snapshot& now);
+  int region_of(addr_t pc) const {
+    const size_t parcel = pc >> 1;
+    if (parcel < region_index_.size() && region_index_[parcel] >= 0) {
+      return region_index_[parcel];
+    }
+    return n_regions_;  // "other"
+  }
+  void flush_block(u64 end_ts);
+
+  sim::Core& core_;
+  std::vector<int> region_index_;
+  int n_regions_;
+  std::vector<std::string> region_names_;  // includes "other"
+
+  bool attached_ = false;
+  bool finalized_ = false;
+
+  Snapshot last_{};
+  bool pending_valid_ = false;
+  addr_t pending_pc_ = 0;
+  isa::Mnemonic pending_op_ = isa::Mnemonic::kInvalid;
+  isa::ExecClass pending_cls_ = isa::ExecClass::kIllegal;
+  int pending_region_ = 0;
+
+  SiteStat total_;
+  std::vector<SiteStat> pc_stats_;  // indexed by pc >> 1
+  std::array<SiteStat, static_cast<size_t>(isa::Mnemonic::kCount)>
+      by_mnemonic_{};
+  std::array<SiteStat, static_cast<size_t>(isa::ExecClass::kCount)>
+      by_class_{};
+  std::vector<SiteStat> region_stats_;  // n_regions_ + 1 ("other" last)
+  /// Region x mnemonic cycles for the collapsed-stack export.
+  std::vector<std::array<u64, static_cast<size_t>(isa::Mnemonic::kCount)>>
+      region_mnem_cycles_;
+
+  Timeline* tl_;
+  u8 track_;
+  bool track_pc_;
+  bool emit_stalls_;
+  u32 block_limit_;
+  int open_region_ = -1;  // -1: nothing open yet on the timeline
+  std::vector<u16> region_name_ids_;
+  u16 block_name_id_ = 0;
+  u16 stall_name_id_ = 0;
+  u64 block_start_ = 0;
+  u32 block_instrs_ = 0;
+};
+
+}  // namespace xpulp::obs

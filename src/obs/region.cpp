@@ -1,0 +1,51 @@
+#include "obs/region.hpp"
+
+#include <algorithm>
+
+namespace xpulp::obs {
+
+int RegionMap::region(std::string_view name) {
+  for (int i = 0; i < size(); ++i) {
+    if (regions_[static_cast<size_t>(i)].name == name) return i;
+  }
+  regions_.push_back({std::string(name), {}});
+  return size() - 1;
+}
+
+void RegionMap::add_range(std::string_view name, addr_t lo, addr_t hi) {
+  if (hi <= lo) return;
+  regions_[static_cast<size_t>(region(name))].ranges.emplace_back(lo, hi);
+}
+
+addr_t RegionMap::end_addr() const {
+  addr_t end = 0;
+  for (const Region& r : regions_) {
+    for (const auto& [lo, hi] : r.ranges) end = std::max(end, hi);
+  }
+  return end;
+}
+
+int RegionMap::lookup(addr_t pc) const {
+  for (int i = size() - 1; i >= 0; --i) {
+    for (const auto& [lo, hi] : regions_[static_cast<size_t>(i)].ranges) {
+      if (pc >= lo && pc < hi) return i;
+    }
+  }
+  return kNone;
+}
+
+std::vector<int> RegionMap::build_index() const {
+  std::vector<int> index(static_cast<size_t>((end_addr() + 1) >> 1), kNone);
+  // Paint in creation order so later regions overwrite earlier ones,
+  // matching lookup()'s innermost-wins rule.
+  for (int i = 0; i < size(); ++i) {
+    for (const auto& [lo, hi] : regions_[static_cast<size_t>(i)].ranges) {
+      for (addr_t p = lo >> 1; p < ((hi + 1) >> 1); ++p) {
+        index[p] = i;
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace xpulp::obs

@@ -1,0 +1,57 @@
+// Named PC-range regions for cycle attribution. Kernel generators mark the
+// code ranges of their phases (im2col / matmul / quantization) while
+// emitting; the profiler turns the map into an O(1) parcel-indexed lookup
+// so per-instruction attribution costs one array read.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace xpulp::obs {
+
+/// A set of named, possibly overlapping [lo, hi) code ranges. Overlap is
+/// resolved by region *creation* order: the latest-created region wins, so
+/// generators create outer phases first and nested phases after (the
+/// quantization staircase emitted inside the matmul subroutine attributes
+/// to "quant", not "matmul").
+class RegionMap {
+ public:
+  /// lookup() result for an address no range covers.
+  static constexpr int kNone = -1;
+
+  /// Id of the region called `name`, creating it (empty) on first use.
+  /// Ids are dense and assigned in creation order.
+  int region(std::string_view name);
+
+  /// Add the half-open byte range [lo, hi) to region `name`.
+  void add_range(std::string_view name, addr_t lo, addr_t hi);
+
+  int size() const { return static_cast<int>(regions_.size()); }
+  const std::string& name(int id) const { return regions_[id].name; }
+  const std::vector<std::pair<addr_t, addr_t>>& ranges(int id) const {
+    return regions_[id].ranges;
+  }
+
+  /// One past the highest code byte covered by any range (0 if empty).
+  addr_t end_addr() const;
+
+  /// Innermost (= latest-created) region containing pc, or kNone.
+  int lookup(addr_t pc) const;
+
+  /// Dense per-parcel table for the profiler's hot path: entry pc >> 1
+  /// holds lookup(pc) for every pc below end_addr().
+  std::vector<int> build_index() const;
+
+ private:
+  struct Region {
+    std::string name;
+    std::vector<std::pair<addr_t, addr_t>> ranges;
+  };
+  std::vector<Region> regions_;
+};
+
+}  // namespace xpulp::obs

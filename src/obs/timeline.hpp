@@ -1,0 +1,95 @@
+// Timeline trace sink: a fixed-capacity ring buffer of compact binary
+// events (region slices, stalls, coalesced instruction blocks, DMA
+// streaming windows) on named tracks, exportable as Chrome trace-event
+// JSON ("trace.json", loadable in Perfetto / chrome://tracing).
+//
+// Timestamps are simulated clock cycles. The JSON exporter writes them
+// into the `ts` microsecond field unscaled, so 1 µs on the Perfetto ruler
+// reads as 1 cycle.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace xpulp::obs {
+
+enum class EventKind : u8 {
+  kRegionBegin,  // open a nested slice on `track`
+  kRegionEnd,    // close the innermost open slice on `track`
+  kStall,        // instant marker; value = stall cycles
+  kInstrBlock,   // complete slice [ts, ts+dur); value = instructions
+  kDmaWindow,    // complete slice [ts, ts+dur); value = bytes moved
+};
+
+/// One 24-byte trace event. `name` indexes the Timeline's string table.
+struct Event {
+  u64 ts = 0;
+  u64 dur = 0;
+  u32 value = 0;
+  u16 name = 0;
+  EventKind kind = EventKind::kRegionBegin;
+  u8 track = 0;
+};
+
+class Timeline {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 20;
+
+  explicit Timeline(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity ? capacity : 1) {
+    ring_.reserve(std::min<size_t>(capacity_, 4096));
+  }
+
+  /// Intern `name`, returning its stable string-table id.
+  u16 intern(std::string_view name);
+  const std::string& name(u16 id) const { return names_[id]; }
+
+  /// Append an event; once the ring is full the oldest event is dropped.
+  void record(const Event& e) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(e);
+    } else {
+      ring_[head_] = e;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++recorded_;
+  }
+
+  /// Label a track (becomes a Perfetto thread_name; track 0-based).
+  /// In cluster runs, track i is core i's lane.
+  void set_track_name(u8 track, std::string_view name);
+
+  u64 recorded() const { return recorded_; }
+  u64 dropped() const {
+    return recorded_ <= capacity_ ? 0 : recorded_ - capacity_;
+  }
+  size_t size() const { return ring_.size(); }
+
+  /// Events still held, oldest first.
+  std::vector<Event> events() const;
+
+  /// Chrome trace-event JSON. Begin/end pairs that lost their partner to
+  /// the ring (or to an abandoned run) are repaired with synthetic events
+  /// at the retained window's edges, so the output always nests cleanly.
+  void write_chrome_json(std::ostream& os) const;
+  std::string chrome_json() const;
+
+ private:
+  size_t capacity_;
+  std::vector<Event> ring_;
+  size_t head_ = 0;  // oldest element once the ring is full
+  u64 recorded_ = 0;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, u16> name_ids_;
+  std::vector<std::pair<u8, std::string>> track_names_;
+};
+
+}  // namespace xpulp::obs

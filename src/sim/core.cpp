@@ -13,6 +13,32 @@ using isa::Instr;
 using isa::Mnemonic;
 namespace iflag = isa::iflag;
 
+std::string perf_invariant_violation(const PerfCounters& p) {
+  const auto diag = [](const char* what, u64 lhs, u64 rhs) {
+    return std::string(what) + ": " + std::to_string(lhs) +
+           " != " + std::to_string(rhs);
+  };
+  const u64 stalls = perf_stall_cycles(p);
+  if (p.cycles != p.instructions + stalls) {
+    return diag("cycles != instructions + stall cycles", p.cycles,
+                p.instructions + stalls);
+  }
+  if (p.mac_ops > p.mul_ops || p.mac_ops > p.scalar_alu_ops) {
+    return diag("mac_ops exceeds its parent class counters", p.mac_ops,
+                std::min(p.mul_ops, p.scalar_alu_ops));
+  }
+  const u64 classes = perf_class_ops(p);
+  if (classes != p.instructions) {
+    return diag("class counters don't sum to instructions", classes,
+                p.instructions);
+  }
+  const u64 branches = p.taken_branches + p.not_taken_branches;
+  if (p.hwloop_backedges > p.cycles || branches + p.jumps > p.instructions) {
+    return "control-flow counters exceed run totals";
+  }
+  return {};
+}
+
 Core::Core(mem::Memory& mem, CoreConfig cfg)
     : mem_(mem), cfg_(std::move(cfg)), dotp_(cfg_.clock_gating) {
   ref_dispatch_ = cfg_.reference_dispatch;
@@ -100,7 +126,12 @@ template <bool Traced>
 bool Core::step_fast() {
   if (halted()) return false;
   const Instr& in = fetch_decode_fast(pc_);
-  if constexpr (Traced) trace_(pc_, in);
+  if constexpr (Traced) {
+    // Detach-on-false: the callback must not reassign trace_ itself (that
+    // would destroy the std::function mid-call); the core drops it here,
+    // after the call has returned.
+    if (!trace_(pc_, in)) trace_ = {};
+  }
   const u16 f = in.flags;
 
   // Load-use hazard: the previous instruction was a load and we consume its
@@ -153,7 +184,7 @@ bool Core::step_fast() {
 bool Core::step_reference() {
   if (halted()) return false;
   const Instr& in = fetch_decode(pc_);
-  if (trace_) trace_(pc_, in);
+  if (trace_ && !trace_(pc_, in)) trace_ = {};
 
   if (last_load_rd_ != 0) {
     const bool hazard = (isa::reads_rs1(in) && in.rs1 == last_load_rd_) ||
@@ -228,6 +259,11 @@ HaltReason Core::run_fast(u64 max_instructions) {
       halt_ = HaltReason::kInstrLimit;
       break;
     }
+    if constexpr (Traced) {
+      // The hook detached itself (returned false): finish the run on the
+      // trace-free loop so the rest of the instructions pay no overhead.
+      if (!trace_) return run_fast<false>(max_instructions - executed);
+    }
   }
   return halt_;
 }
@@ -289,12 +325,13 @@ void Core::execute_reference(const Instr& in) {
       exec_muldiv(in);
       break;
     case M::kFence:
-      break;  // single hart, no-op
+      exec_fence(in);
+      break;
     case M::kEcall:
-      halt_ = HaltReason::kEcall;
+      exec_ecall(in);
       break;
     case M::kEbreak:
-      halt_ = HaltReason::kEbreak;
+      exec_ebreak(in);
       break;
     case M::kCsrrw: case M::kCsrrs: case M::kCsrrc:
     case M::kCsrrwi: case M::kCsrrsi: case M::kCsrrci:
@@ -355,11 +392,19 @@ void Core::exec_auipc(const Instr& in) {
   perf_.scalar_alu_ops += 1;
 }
 
-void Core::exec_fence(const Instr&) {}  // single hart, no-op
+void Core::exec_fence(const Instr&) {  // single hart: ordering is a no-op
+  perf_.sys_ops += 1;
+}
 
-void Core::exec_ecall(const Instr&) { halt_ = HaltReason::kEcall; }
+void Core::exec_ecall(const Instr&) {
+  halt_ = HaltReason::kEcall;
+  perf_.sys_ops += 1;
+}
 
-void Core::exec_ebreak(const Instr&) { halt_ = HaltReason::kEbreak; }
+void Core::exec_ebreak(const Instr&) {
+  halt_ = HaltReason::kEbreak;
+  perf_.sys_ops += 1;
+}
 
 void Core::alu_body(const Instr& in, u32 b) {
   using M = Mnemonic;
@@ -664,10 +709,12 @@ void Core::exec_pulp_scalar(const Instr& in) {
     case M::kPMac:
       r = reg(in.rd) + a * b;
       perf_.mul_ops += 1;
+      perf_.mac_ops += 1;
       break;
     case M::kPMsu:
       r = reg(in.rd) - a * b;
       perf_.mul_ops += 1;
+      perf_.mac_ops += 1;
       break;
     case M::kPExtract: {
       const unsigned width = static_cast<unsigned>(in.imm2) + 1;

@@ -67,6 +67,12 @@ struct PerfCounters {
   u64 qnt_ops = 0;
   u64 qnt_stall_cycles = 0;
   u64 csr_ops = 0;
+  /// fence / ecall / ebreak retires.
+  u64 sys_ops = 0;
+  /// p.mac / p.msu retires. These also count in both mul_ops (they use the
+  /// multiplier) and scalar_alu_ops (they retire through the scalar ALU
+  /// path), so class sums subtract mac_ops once to avoid double counting.
+  u64 mac_ops = 0;
 
   /// Dot-product ops by multiplier region {16, 8, 4, 2}-bit.
   std::array<u64, 4> dotp_ops{};
@@ -76,6 +82,29 @@ struct PerfCounters {
   /// isolation disabled (no power management) they switch with every load.
   u64 lsu_data_toggles = 0;
 };
+
+/// Sum of the per-cause stall counters.
+inline u64 perf_stall_cycles(const PerfCounters& p) {
+  return p.branch_stall_cycles + p.load_use_stall_cycles +
+         p.mem_stall_cycles + p.mul_div_stall_cycles + p.qnt_stall_cycles;
+}
+
+/// Sum of the instruction-class counters. Every retired instruction
+/// increments exactly one of these (p.mac/p.msu count in both mul_ops and
+/// scalar_alu_ops, hence the mac_ops correction).
+inline u64 perf_class_ops(const PerfCounters& p) {
+  u64 dotp = 0;
+  for (u64 d : p.dotp_ops) dotp += d;
+  return p.taken_branches + p.not_taken_branches + p.jumps + p.loads +
+         p.stores + p.scalar_alu_ops + (p.mul_ops - p.mac_ops) + p.div_ops +
+         p.simd_alu_ops + dotp + p.qnt_ops + p.csr_ops + p.sys_ops;
+}
+
+/// Accounting self-check for a run that ended cleanly (no mid-instruction
+/// fault): every cycle is either an instruction's base cycle or attributed
+/// to exactly one stall cause, and every instruction to exactly one class.
+/// Returns an empty string when the invariants hold, else a diagnostic.
+std::string perf_invariant_violation(const PerfCounters& p);
 
 enum class HaltReason { kRunning, kEcall, kEbreak, kInstrLimit };
 
@@ -113,9 +142,15 @@ class Core {
   const DotpUnit& dotp_unit() const { return dotp_; }
   const TimingModel& timing() const { return timing_; }
 
-  /// Optional per-instruction trace hook (pc, decoded instruction).
-  using TraceFn = std::function<void(addr_t, const isa::Instr&)>;
+  /// Optional per-instruction trace hook (pc, decoded instruction), invoked
+  /// at the start of each instruction, before its stalls and effects are
+  /// charged. Return true to stay attached; returning false detaches the
+  /// hook after the call returns (the traced run loop then drops back to
+  /// the zero-overhead untraced loop). Never reassign the hook from inside
+  /// the callback — the core owns that transition.
+  using TraceFn = std::function<bool(addr_t, const isa::Instr&)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+  bool has_trace() const { return static_cast<bool>(trace_); }
 
   /// Optional pre-run gate: invoked by reset(pc, code_end) with the loaded
   /// memory and the code extent [pc, code_end) whenever code_end is

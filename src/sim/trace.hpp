@@ -15,10 +15,12 @@ class TraceWriter {
  public:
   /// Attach to `core`; lines go to `os` until the writer is destroyed or
   /// detach() is called. `limit` stops tracing after that many
-  /// instructions (0 = unlimited).
+  /// instructions (0 = unlimited); hitting it detaches the hook, so the
+  /// rest of the run executes on the trace-free loop at full speed.
   TraceWriter(Core& core, std::ostream& os, u64 limit = 0)
       : core_(core), os_(os), limit_(limit) {
-    core_.set_trace([this](addr_t pc, const isa::Instr& in) { line(pc, in); });
+    core_.set_trace(
+        [this](addr_t pc, const isa::Instr& in) { return line(pc, in); });
   }
 
   ~TraceWriter() { detach(); }
@@ -31,13 +33,15 @@ class TraceWriter {
   u64 lines_written() const { return count_; }
 
  private:
-  void line(addr_t pc, const isa::Instr& in) {
-    if (limit_ != 0 && count_ >= limit_) return;
+  bool line(addr_t pc, const isa::Instr& in) {
     ++count_;
     os_ << std::hex << std::setw(8) << std::setfill('0') << pc << ":  "
         << std::setw(8) << in.raw << "  " << std::dec
         << isa::disassemble(in, pc) << "  [cyc " << core_.perf().cycles
         << "]\n";
+    // false once the limit is reached: the core drops the hook and the
+    // remaining instructions run untraced.
+    return limit_ == 0 || count_ < limit_;
   }
 
   Core& core_;

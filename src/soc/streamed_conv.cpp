@@ -14,7 +14,8 @@ using kernels::ConvVariant;
 StreamedConvResult run_conv_streamed(const ConvLayerData& data,
                                      ConvVariant v, const sim::CoreConfig& cfg,
                                      int tile_channels, bool double_buffered,
-                                     u32 dma_bytes_per_cycle) {
+                                     u32 dma_bytes_per_cycle,
+                                     obs::Timeline* timeline) {
   const qnn::ConvSpec& spec = data.spec;
   if (tile_channels <= 0 || spec.out_c % tile_channels != 0) {
     throw SimError("tile_channels must divide out_c");
@@ -81,6 +82,7 @@ StreamedConvResult run_conv_streamed(const ConvLayerData& data,
 
   std::vector<cycles_t> compute(static_cast<size_t>(tiles), 0);
   std::vector<cycles_t> dma_dur(static_cast<size_t>(tiles), 0);
+  std::vector<u64> tile_instrs(static_cast<size_t>(tiles), 0);
   for (int t = 0; t < tiles; ++t) {
     // Functionally: transfer tile t, then run its program. (With double
     // buffering the transfer of tile t overlaps tile t-1's compute; the
@@ -89,12 +91,15 @@ StreamedConvResult run_conv_streamed(const ConvLayerData& data,
         dma.copy_in(static_cast<u32>(t * tile_channels) * layout.filter_stride,
                     buf[t % 2], tile_bytes);
     const cycles_t before = core.perf().cycles;
+    const u64 instrs_before = core.perf().instructions;
     const xasm::Program& tp = programs[static_cast<size_t>(t)].program;
     core.reset(tp.entry(), tp.base() + tp.size_bytes());
     if (core.run() != sim::HaltReason::kEcall) {
       throw SimError("streamed tile did not complete");
     }
     compute[static_cast<size_t>(t)] = core.perf().cycles - before;
+    tile_instrs[static_cast<size_t>(t)] =
+        core.perf().instructions - instrs_before;
   }
 
   for (int t = 0; t < tiles; ++t) {
@@ -111,6 +116,55 @@ StreamedConvResult run_conv_streamed(const ConvLayerData& data,
     }
   } else {
     res.makespan = res.compute_cycles + res.dma_cycles;
+  }
+
+  if (timeline) {
+    // Replay the modelled schedule onto the timeline: compute slices on
+    // track 0, µDMA windows on track 1. Window starts follow the same
+    // arithmetic as the makespan above.
+    timeline->set_track_name(0, "core0");
+    timeline->set_track_name(1, "udma");
+    const auto dma_window = [&](int t, u64 start) {
+      obs::Event e;
+      e.kind = obs::EventKind::kDmaWindow;
+      e.track = 1;
+      e.ts = start;
+      e.dur = dma_dur[static_cast<size_t>(t)];
+      e.value = tile_bytes;
+      e.name = timeline->intern("weights tile " + std::to_string(t));
+      timeline->record(e);
+    };
+    const auto compute_slice = [&](int t, u64 start) {
+      obs::Event e;
+      e.kind = obs::EventKind::kInstrBlock;
+      e.track = 0;
+      e.ts = start;
+      e.dur = compute[static_cast<size_t>(t)];
+      e.value = static_cast<u32>(tile_instrs[static_cast<size_t>(t)]);
+      e.name = timeline->intern("compute tile " + std::to_string(t));
+      timeline->record(e);
+    };
+    if (double_buffered) {
+      dma_window(0, 0);
+      u64 start = dma_dur[0];
+      for (int t = 0; t < tiles; ++t) {
+        compute_slice(t, start);
+        cycles_t next_dma = 0;
+        if (t + 1 < tiles) {
+          next_dma = dma_dur[static_cast<size_t>(t + 1)];
+          dma_window(t + 1, start);
+        }
+        start += std::max(compute[static_cast<size_t>(t)], next_dma);
+      }
+    } else {
+      u64 start = 0;
+      for (int t = 0; t < tiles; ++t) {
+        dma_window(t, start);
+        start += dma_dur[static_cast<size_t>(t)];
+        compute_slice(t, start);
+        start += compute[static_cast<size_t>(t)];
+      }
+    }
   }
 
   std::vector<u8> out_bytes(layout.output_bytes);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "kernels/conv_layer.hpp"
+#include "obs/timeline.hpp"
 #include "soc/udma.hpp"
 
 namespace xpulp::soc {
@@ -33,11 +34,17 @@ struct StreamedConvResult {
 /// (must divide out_c and respect the packing group). When
 /// `double_buffered` is false the DMA and compute serialize (single
 /// buffer), quantifying what the ping-pong scheme buys.
+///
+/// When `timeline` is non-null, the modelled schedule is recorded on two
+/// lanes — per-tile compute slices on track 0 ("core0") and µDMA transfer
+/// windows on track 1 ("udma") — using the same makespan arithmetic the
+/// result reports, so overlap (or its absence) is visible in Perfetto.
 StreamedConvResult run_conv_streamed(const kernels::ConvLayerData& data,
                                      kernels::ConvVariant v,
                                      const sim::CoreConfig& cfg,
                                      int tile_channels,
                                      bool double_buffered = true,
-                                     u32 dma_bytes_per_cycle = 4);
+                                     u32 dma_bytes_per_cycle = 4,
+                                     obs::Timeline* timeline = nullptr);
 
 }  // namespace xpulp::soc

@@ -72,6 +72,8 @@ void expect_identical(const FinalState& ref, const FinalState& fast) {
   EXPECT_EQ(a.qnt_ops, b.qnt_ops);
   EXPECT_EQ(a.qnt_stall_cycles, b.qnt_stall_cycles);
   EXPECT_EQ(a.csr_ops, b.csr_ops);
+  EXPECT_EQ(a.sys_ops, b.sys_ops);
+  EXPECT_EQ(a.mac_ops, b.mac_ops);
   EXPECT_EQ(a.dotp_ops, b.dotp_ops);
   EXPECT_EQ(a.lsu_data_toggles, b.lsu_data_toggles);
 }
