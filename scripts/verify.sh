@@ -13,6 +13,13 @@ ctest --preset default -j "$(nproc)"
 echo "== xlint: encoding-space audit + kernel sweep =="
 ./build/tools/xlint --audit --kernels
 
+echo "== xfault: seeded fault campaign (gated) + determinism check =="
+./build/tools/xfault --small --inject 100 --seed 2026 \
+  --min-detected 1.0 --min-recovered 0.6 --json /tmp/xfault.json
+./build/tools/xfault --small --inject 100 --seed 2026 \
+  --json /tmp/xfault-rerun.json
+cmp /tmp/xfault.json /tmp/xfault-rerun.json
+
 echo "== clang-tidy (bugprone/performance/readability) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy

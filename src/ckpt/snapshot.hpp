@@ -1,0 +1,108 @@
+// Exact, versioned snapshot/restore of full simulation state.
+//
+// A Snapshot captures everything a Core (or a whole Cluster) plus its
+// Memory need to resume bit-identically: architectural registers, hwloop
+// state, performance counters, dot-product-unit activity latches, the TCDM
+// byte image, MemStats and the contention-injector phase, and — for
+// clusters — every core's state plus the bank arbiter's booking tables.
+// Host-side wiring (decode caches, access hooks, tracing sinks) is
+// deliberately excluded: caches are invalidated on restore and hooks are
+// reattached by whoever owns them.
+//
+// The binary format (DESIGN.md §11) is a tagged-section container:
+//
+//   u32 magic   'XCKP' (0x504b4358 little-endian)
+//   u16 version (kFormatVersion)
+//   u16 flags   (bit 0: snapshot contains cluster scheduling state)
+//   sections    repeated { u32 tag; u64 length; u8 payload[length] }
+//               tags: 'META', 'CORE' (one per core, in core order),
+//               'MEM ', 'CLUS' (arbiter bookings; cluster snapshots only)
+//   u32 crc32   over every preceding byte (IEEE 802.3 polynomial)
+//
+// Readers reject bad magic, unknown versions, truncated or oversized
+// sections, missing mandatory sections and checksum mismatches with a
+// CkptError describing the defect. Unknown *tags* are skipped so newer
+// writers can add sections without breaking older readers of the same
+// major version.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "mem/memory.hpp"
+#include "sim/core.hpp"
+
+namespace xpulp::ckpt {
+
+/// Raised on any malformed, truncated or inconsistent checkpoint image,
+/// and on applying a snapshot to a mismatched target (wrong memory size,
+/// wrong core count).
+class CkptError : public SimError {
+ public:
+  explicit CkptError(const std::string& what) : SimError("ckpt: " + what) {}
+};
+
+inline constexpr u32 kMagic = 0x504b4358;  // "XCKP" little-endian
+inline constexpr u16 kFormatVersion = 1;
+
+/// Serializable memory state: the full byte image plus the timing-relevant
+/// bookkeeping (stats, contention phase). The access hook is host wiring
+/// and not part of the snapshot.
+struct MemSnapshot {
+  std::vector<u8> bytes;
+  mem::MemStats stats;
+  u64 access_counter = 0;
+  u32 contention_period = 0;
+};
+
+/// A complete simulation snapshot. Single-core snapshots have one entry in
+/// `cores` and no `arbiter`; cluster snapshots carry one entry per core (in
+/// core order — core perf.cycles are the scheduler's local clocks) plus the
+/// arbiter booking tables.
+struct Snapshot {
+  std::vector<sim::CoreState> cores;
+  MemSnapshot mem;
+  std::optional<cluster::BankArbiterState> arbiter;
+
+  bool is_cluster() const { return arbiter.has_value(); }
+};
+
+// ---- Capture / apply ----
+
+/// Snapshot a single core and its memory at an instruction boundary.
+Snapshot capture(const sim::Core& core, const mem::Memory& mem);
+
+/// Snapshot a whole cluster (all cores, shared memory, arbiter bookings).
+Snapshot capture(const cluster::Cluster& cl);
+
+/// Restore a single-core snapshot. The memory image is applied first, then
+/// the core state; the core's decode cache is invalidated. Throws CkptError
+/// if the snapshot is a cluster snapshot, has no core, or the memory sizes
+/// differ.
+void apply(const Snapshot& s, sim::Core& core, mem::Memory& mem);
+
+/// Restore a cluster snapshot into a (possibly live) cluster. Core count,
+/// bank count and memory size must match. Decode caches are invalidated
+/// after the memory image is applied.
+void apply(const Snapshot& s, cluster::Cluster& cl);
+
+// ---- Binary serialization ----
+
+std::vector<u8> serialize(const Snapshot& s);
+Snapshot deserialize(std::span<const u8> bytes);
+
+/// File convenience wrappers; throw CkptError on I/O failure.
+void save_file(const Snapshot& s, const std::string& path);
+Snapshot load_file(const std::string& path);
+
+/// IEEE 802.3 CRC-32 (reflected, poly 0xEDB88320), the trailer checksum.
+/// Exposed for tests that hand-corrupt images.
+u32 crc32(std::span<const u8> bytes);
+
+}  // namespace xpulp::ckpt

@@ -28,7 +28,80 @@ void Cluster::load(const std::vector<xasm::Program>& programs) {
     cores_[i]->reset(programs[i].entry(),
                      programs[i].base() + programs[i].size_bytes());
   }
+  // A reloaded cluster starts a fresh run: local clocks back to zero and
+  // no bank bookings carried over. Leaving either in place leaks the
+  // previous run's cycle state into the scheduler (stale perf.cycles pick
+  // the wrong core; stale bookings charge far-future cascaded-conflict
+  // stalls against cores restarting at cycle 0).
+  for (auto& c : cores_) c->reset_perf();
+  arbiter_.reset_booking();
   mem_.reset_stats();
+}
+
+void Cluster::begin_run() {
+  // Route the stepping core's data accesses through the bank arbiter at
+  // its current local cycle. Installed once per run; the scheduling loop
+  // only updates active_core_/active_core_id_ instead of building a new
+  // std::function closure per step.
+  mem_.set_access_hook([this](addr_t a, unsigned, bool) {
+    return arbiter_.access(active_core_id_, active_core_->perf().cycles, a);
+  });
+}
+
+void Cluster::end_run() {
+  mem_.set_access_hook({});
+  active_core_ = nullptr;
+  active_core_id_ = -1;
+}
+
+bool Cluster::step_once() {
+  // Pick the non-halted core with the smallest local time.
+  sim::Core* next = nullptr;
+  int next_id = -1;
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i]->halted()) continue;
+    if (next == nullptr || cores_[i]->perf().cycles < next->perf().cycles) {
+      next = cores_[i].get();
+      next_id = static_cast<int>(i);
+    }
+  }
+  if (next == nullptr) return false;  // all halted
+
+  active_core_ = next;
+  active_core_id_ = next_id;
+  next->step();
+  return true;
+}
+
+ClusterStats Cluster::stats_since(u64 base_conflicts,
+                                  u64 base_accesses) const {
+  ClusterStats stats;
+  for (const auto& c : cores_) {
+    stats.core_cycles.push_back(c->perf().cycles);
+    stats.makespan = std::max(stats.makespan, c->perf().cycles);
+  }
+  stats.bank_conflicts = arbiter_.conflicts() - base_conflicts;
+  stats.data_accesses = arbiter_.accesses() - base_accesses;
+  return stats;
+}
+
+ClusterState Cluster::save_state() const {
+  ClusterState s;
+  s.cores.reserve(cores_.size());
+  for (const auto& c : cores_) s.cores.push_back(c->save_state());
+  s.arbiter = arbiter_.state();
+  return s;
+}
+
+void Cluster::restore_state(const ClusterState& s) {
+  if (s.cores.size() != cores_.size()) {
+    throw SimError("cluster state does not match core count");
+  }
+  arbiter_.restore(s.arbiter);  // validates bank count before any mutation
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i]->restore_state(s.cores[i]);
+    cores_[i]->invalidate_decode_cache();
+  }
 }
 
 ClusterStats Cluster::run(u64 max_total_instructions) {
@@ -36,50 +109,28 @@ ClusterStats Cluster::run(u64 max_total_instructions) {
   const u64 base_conflicts = arbiter_.conflicts();
   const u64 base_accesses = arbiter_.accesses();
 
-  // Route the stepping core's data accesses through the bank arbiter at
-  // its current local cycle. Installed once; the scheduling loop only
-  // updates active_core_/active_core_id_ instead of building a new
-  // std::function closure per step.
-  mem_.set_access_hook([this](addr_t a, unsigned, bool) {
-    return arbiter_.access(active_core_id_, active_core_->perf().cycles, a);
-  });
-
-  while (true) {
-    // Pick the non-halted core with the smallest local time.
-    sim::Core* next = nullptr;
-    int next_id = -1;
-    for (size_t i = 0; i < cores_.size(); ++i) {
-      if (cores_[i]->halted()) continue;
-      if (next == nullptr || cores_[i]->perf().cycles < next->perf().cycles) {
-        next = cores_[i].get();
-        next_id = static_cast<int>(i);
+  begin_run();
+  // The hook must come down on *every* exit path: a guest fault escaping
+  // step_once() would otherwise leave the arbiter hook (and its dangling
+  // active-core latch) installed on the shared memory.
+  try {
+    while (step_once()) {
+      if (++executed > max_total_instructions) {
+        throw SimError("cluster instruction budget exceeded");
       }
     }
-    if (next == nullptr) break;  // all halted
-
-    active_core_ = next;
-    active_core_id_ = next_id;
-    next->step();
-    if (++executed > max_total_instructions) {
-      mem_.set_access_hook({});
-      throw SimError("cluster instruction budget exceeded");
-    }
+  } catch (...) {
+    end_run();
+    throw;
   }
-  mem_.set_access_hook({});
-  active_core_ = nullptr;
-  active_core_id_ = -1;
+  end_run();
 
-  ClusterStats stats;
   for (const auto& c : cores_) {
     if (c->halt_reason() != sim::HaltReason::kEcall) {
       throw SimError("a cluster core halted abnormally");
     }
-    stats.core_cycles.push_back(c->perf().cycles);
-    stats.makespan = std::max(stats.makespan, c->perf().cycles);
   }
-  stats.bank_conflicts = arbiter_.conflicts() - base_conflicts;
-  stats.data_accesses = arbiter_.accesses() - base_accesses;
-  return stats;
+  return stats_since(base_conflicts, base_accesses);
 }
 
 }  // namespace xpulp::cluster

@@ -14,8 +14,11 @@
 //     (PULP cluster I$) and do not touch the interconnect.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
+
+#include "common/error.hpp"
 
 #include "mem/memory.hpp"
 #include "sim/core.hpp"
@@ -40,6 +43,15 @@ struct ClusterStats {
                                static_cast<double>(data_accesses)
                          : 0.0;
   }
+};
+
+/// Serializable arbiter state: per-bank booking tables plus the cumulative
+/// counters (src/ckpt carries this inside a cluster snapshot).
+struct BankArbiterState {
+  std::vector<cycles_t> last_cycle;
+  std::vector<int> last_core;
+  u64 conflicts = 0;
+  u64 accesses = 0;
 };
 
 /// Word-interleaved TCDM bank arbiter.
@@ -77,6 +89,28 @@ class BankArbiter {
   u64 conflicts() const { return conflicts_; }
   u64 accesses() const { return accesses_; }
 
+  /// Forget every bank booking (cumulative counters stay). Cores restart
+  /// from local cycle 0 on a reload; stale bookings from a previous run
+  /// would otherwise read as far-future reservations and charge absurd
+  /// cascaded-conflict stalls.
+  void reset_booking() {
+    std::fill(last_cycle_.begin(), last_cycle_.end(), ~0ull);
+    std::fill(last_core_.begin(), last_core_.end(), -1);
+  }
+
+  BankArbiterState state() const {
+    return BankArbiterState{last_cycle_, last_core_, conflicts_, accesses_};
+  }
+  void restore(const BankArbiterState& s) {
+    if (s.last_cycle.size() != banks_ || s.last_core.size() != banks_) {
+      throw SimError("bank arbiter state does not match bank count");
+    }
+    last_cycle_ = s.last_cycle;
+    last_core_ = s.last_core;
+    conflicts_ = s.conflicts;
+    accesses_ = s.accesses;
+  }
+
  private:
   u32 banks_;
   std::vector<cycles_t> last_cycle_;
@@ -85,13 +119,24 @@ class BankArbiter {
   u64 accesses_ = 0;
 };
 
+/// Serializable cluster scheduling state: every core's architectural state
+/// (whose perf.cycles are the scheduler's local clocks) plus the arbiter's
+/// bank bookings. The shared memory is captured separately by src/ckpt.
+struct ClusterState {
+  std::vector<sim::CoreState> cores;
+  BankArbiterState arbiter;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig cfg = {});
 
   int num_cores() const { return static_cast<int>(cores_.size()); }
   mem::Memory& memory() { return mem_; }
+  const mem::Memory& memory() const { return mem_; }
   sim::Core& core(int i) { return *cores_[static_cast<size_t>(i)]; }
+  const sim::Core& core(int i) const { return *cores_[static_cast<size_t>(i)]; }
+  const ClusterConfig& config() const { return cfg_; }
 
   /// Load one program per core (programs may live at distinct code bases
   /// in the shared memory) and reset every core to its entry point.
@@ -105,8 +150,38 @@ class Cluster {
   }
 
   /// Run event-driven until every core executed its ecall. Throws on any
-  /// abnormal halt or if the instruction budget is exceeded.
+  /// abnormal halt or if the instruction budget is exceeded. The arbiter
+  /// access hook is uninstalled on every exit path (including guest
+  /// faults), and a Cluster instance is fully re-runnable: load() again and
+  /// run() again, with per-run counters starting fresh.
   ClusterStats run(u64 max_total_instructions = 2'000'000'000);
+
+  // ---- Incremental stepping (checkpointing, fault injection) ----
+  // run() is begin_run(); while (step_once()) ...; end_run(); plus budget
+  // and halt-reason policy. External drivers use the pieces directly to
+  // pause at arbitrary points, snapshot, restore and resume.
+
+  /// Install the bank-arbiter access hook. Idempotent.
+  void begin_run();
+  /// Uninstall the hook and clear the active-core latch. Idempotent.
+  void end_run();
+  /// Schedule and execute one instruction on the core with the smallest
+  /// local cycle count. Returns false once every core has halted. Only
+  /// valid between begin_run() and end_run().
+  bool step_once();
+
+  /// Aggregate per-core cycle stats plus arbiter deltas against the given
+  /// baselines (pass 0,0 for cumulative totals). Unlike run(), does not
+  /// require cores to have halted via ecall.
+  ClusterStats stats_since(u64 base_conflicts, u64 base_accesses) const;
+
+  // ---- Snapshot/restore (src/ckpt) ----
+
+  ClusterState save_state() const;
+  /// Restore scheduling state into this (possibly live) cluster; core
+  /// count and bank count must match. Decode caches are invalidated —
+  /// callers restoring the shared memory must do that first.
+  void restore_state(const ClusterState& s);
 
  private:
   ClusterConfig cfg_;

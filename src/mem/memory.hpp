@@ -113,7 +113,16 @@ class Memory {
 
   /// Timing hook called by the core's LSU for every data access. Returns the
   /// number of *extra* stall cycles the access costs and updates statistics.
+  ///
+  /// The bounds check runs before any accounting: an access that (even
+  /// partially) falls outside the SRAM must trap without charging stats or
+  /// stall cycles. This covers the misaligned-access split — a word access
+  /// at size-2 is two SRAM transactions whose second half is out of range —
+  /// which previously counted a load, a misalignment and a stall cycle
+  /// before the data path raised the fault, leaving MemStats and the core's
+  /// PerfCounters inconsistent on the trapping path.
   unsigned access_cycles(addr_t a, unsigned size, bool is_store) {
+    check(a, size, is_store);
     if (is_store) {
       ++stats_.stores;
       stats_.store_bytes += size;
@@ -151,6 +160,16 @@ class Memory {
 
   const MemStats& stats() const { return stats_; }
   void reset_stats() { stats_ = MemStats{}; }
+
+  // ---- Snapshot/restore support (src/ckpt) ----
+  // The serializable timing-relevant state beyond the byte array: statistics
+  // and the contention phase. The access hook is host wiring, not simulation
+  // state, and is deliberately excluded — reattach it after restore.
+
+  void set_stats(const MemStats& s) { stats_ = s; }
+  u64 access_counter() const { return access_counter_; }
+  void set_access_counter(u64 c) { access_counter_ = c; }
+  u32 contention_period() const { return contention_period_; }
 
  private:
   void check(addr_t a, unsigned size, bool is_store) const {

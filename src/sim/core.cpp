@@ -62,6 +62,7 @@ void Core::reset(addr_t pc, addr_t code_end) {
   halt_ = HaltReason::kRunning;
   icache_.clear();
   icache_valid_.clear();
+  decode_gen_ += 1;
   if (code_end != 0) {
     // Pre-size the decode cache to the loaded image so the run loop never
     // pays a resize, and stores beyond the code range cost one compare.
@@ -115,6 +116,56 @@ void Core::icache_invalidate(addr_t a, unsigned size) {
 
 void Core::require(bool cond, const Instr& in) {
   if (!cond) throw IllegalInstruction(pc_, in.raw);
+}
+
+void Core::invalidate_decode_cache() {
+  std::fill(icache_valid_.begin(), icache_valid_.end(), 0);
+  decode_gen_ += 1;
+}
+
+void Core::set_isa_features(bool xpulpv2, bool xpulpnn, bool hwloops) {
+  cfg_.xpulpv2 = xpulpv2;
+  cfg_.xpulpnn = xpulpnn;
+  cfg_.hwloops = hwloops;
+  feature_guard_ =
+      static_cast<u16>((xpulpv2 ? 0 : iflag::kNeedXpulpV2) |
+                       (xpulpnn ? 0 : iflag::kNeedXpulpNN) |
+                       (hwloops ? 0 : iflag::kNeedHwloops));
+}
+
+CoreState Core::save_state() const {
+  CoreState s;
+  s.regs = regs_;
+  s.pc = pc_;
+  s.hwl_start = hwl_start_;
+  s.hwl_end = hwl_end_;
+  s.hwl_count = hwl_count_;
+  s.last_load_rd = last_load_rd_;
+  s.last_load_data = last_load_data_;
+  s.halt = halt_;
+  s.mscratch = mscratch_;
+  s.perf = perf_;
+  s.dotp = dotp_.state();
+  return s;
+}
+
+void Core::restore_state(const CoreState& s) {
+  regs_ = s.regs;
+  pc_ = s.pc;
+  // next_pc_/redirect_ only live inside a step; a boundary snapshot
+  // resumes with the restored pc.
+  next_pc_ = s.pc;
+  redirect_ = false;
+  hwl_start_ = s.hwl_start;
+  hwl_end_ = s.hwl_end;
+  hwl_count_ = s.hwl_count;
+  update_hwl_active();
+  last_load_rd_ = s.last_load_rd;
+  last_load_data_ = s.last_load_data;
+  halt_ = s.halt;
+  mscratch_ = s.mscratch;
+  perf_ = s.perf;
+  dotp_.restore(s.dotp);
 }
 
 bool Core::step() {
@@ -810,9 +861,15 @@ void Core::exec_simd_qnt(const Instr& in) {
   const QuantResult res = qnt_.execute(mem_, reg(in.rs1), reg(in.rs2), q_bits);
   set_reg(in.rd, res.rd);
   perf_.qnt_ops += 1;
-  // Base cycle is charged in step(); the remainder stalls the pipeline.
-  perf_.cycles += res.cycles - 1;
+  // Base cycle is charged in step(); the remainder of the unit's fixed
+  // latency (2*Q compare cycles) stalls the pipeline as a qnt stall, while
+  // stalls raised by the threshold fetches themselves (misaligned trees,
+  // contention) are memory stalls — the same cause they would carry on the
+  // LSU path. Charging them to qnt_stall_cycles would inflate the unit
+  // latency past the paper's 9-cycle nibble / 5-cycle crumb figures.
+  perf_.cycles += res.cycles - 1 + res.mem_stalls;
   perf_.qnt_stall_cycles += res.cycles - 1;
+  perf_.mem_stall_cycles += res.mem_stalls;
 }
 
 void Core::exec_simd_dotp(const Instr& in) {

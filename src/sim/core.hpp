@@ -108,6 +108,26 @@ std::string perf_invariant_violation(const PerfCounters& p);
 
 enum class HaltReason { kRunning, kEcall, kEbreak, kInstrLimit };
 
+/// Complete architectural + accounting state of a Core at an instruction
+/// boundary: everything needed to resume execution bit-identically (checked
+/// by the differential snapshot tests on both dispatch paths). The decode
+/// cache is deliberately absent — it is a host-side optimization that is
+/// rebuilt on demand and must be invalidated whenever memory is restored
+/// underneath the core.
+struct CoreState {
+  std::array<u32, 32> regs{};
+  addr_t pc = 0;
+  std::array<addr_t, 2> hwl_start{};
+  std::array<addr_t, 2> hwl_end{};
+  std::array<u32, 2> hwl_count{};
+  u8 last_load_rd = 0;
+  u32 last_load_data = 0;
+  HaltReason halt = HaltReason::kRunning;
+  u32 mscratch = 0;
+  PerfCounters perf;
+  DotpState dotp;
+};
+
 class Core {
  public:
   Core(mem::Memory& mem, CoreConfig cfg = CoreConfig::extended());
@@ -165,6 +185,31 @@ class Core {
   /// switch interpreter at runtime (differential tests flip this).
   void set_reference_dispatch(bool on) { ref_dispatch_ = on; }
   bool reference_dispatch() const { return ref_dispatch_; }
+
+  // ---- Snapshot/restore (src/ckpt) ----
+
+  /// Capture the full architectural + accounting state. Only meaningful at
+  /// an instruction boundary (between step() calls / after run() returns).
+  CoreState save_state() const;
+
+  /// Restore a previously captured state. Does not touch the decode cache:
+  /// call invalidate_decode_cache() as well whenever the backing memory
+  /// was restored or mutated from the host side.
+  void restore_state(const CoreState& s);
+
+  /// Drop every cached decode (host-side corruption of instruction memory,
+  /// memory restore). Bumps the decode generation.
+  void invalidate_decode_cache();
+
+  /// Number of whole-cache invalidations (reset/restore/host pokes) this
+  /// core has seen — diagnostic for checkpoint/fault reports.
+  u64 decode_generation() const { return decode_gen_; }
+
+  /// Degrade (or re-enable) ISA tiers at run time — the fault-injection
+  /// model of a failing XpulpNN/XpulpV2 functional unit, and the hook the
+  /// recovery path uses to fall back to a lower-tier kernel. Takes effect
+  /// from the next executed instruction on both dispatch paths.
+  void set_isa_features(bool xpulpv2, bool xpulpnn, bool hwloops);
 
  private:
   const isa::Instr& fetch_decode(addr_t pc);
@@ -281,6 +326,7 @@ class Core {
   // Direct-mapped decode cache indexed by pc >> 1.
   std::vector<isa::Instr> icache_;
   std::vector<u8> icache_valid_;
+  u64 decode_gen_ = 0;
 };
 
 }  // namespace xpulp::sim

@@ -32,6 +32,16 @@ struct DotpActivity {
   std::array<u64, 4> ops{};
 };
 
+/// Complete serializable unit state: the activity counters plus the
+/// per-region operand registers they are diffed against. Snapshot/restore
+/// must carry the latches too, or the first dot product after a restore
+/// would observe different Hamming toggles than the uninterrupted run.
+struct DotpState {
+  DotpActivity activity{};
+  std::array<u32, 4> last_a{};
+  std::array<u32, 4> last_b{};
+};
+
 class DotpUnit {
  public:
   /// `clock_gating` mirrors the paper's power-management knob: when false,
@@ -74,6 +84,13 @@ class DotpUnit {
 
   const DotpActivity& activity() const { return activity_; }
   void reset_activity() { activity_ = DotpActivity{}; }
+
+  DotpState state() const { return DotpState{activity_, last_a_, last_b_}; }
+  void restore(const DotpState& s) {
+    activity_ = s.activity;
+    last_a_ = s.last_a;
+    last_b_ = s.last_b;
+  }
   bool clock_gating() const { return clock_gating_; }
   void set_clock_gating(bool on) { clock_gating_ = on; }
 

@@ -43,11 +43,13 @@ QuantResult QuantUnit::execute(mem::Memory& mem, u32 rs1, addr_t rs2,
   res.mem_loads = 2 * q_bits;
 
   // Account the threshold fetches on the memory port; misaligned trees add
-  // stall cycles exactly like LSU accesses.
+  // stall cycles exactly like LSU accesses. Those are memory stalls, kept
+  // separate from the unit's fixed latency so the core can attribute each
+  // to its own stall cause.
   u32 idx0 = 0, idx1 = 0;
   for (unsigned level = 0; level < q_bits; ++level) {
-    res.cycles += mem.access_cycles(tree0 + idx0 * 2, 2, /*is_store=*/false);
-    res.cycles += mem.access_cycles(tree1 + idx1 * 2, 2, /*is_store=*/false);
+    res.mem_stalls += mem.access_cycles(tree0 + idx0 * 2, 2, /*is_store=*/false);
+    res.mem_stalls += mem.access_cycles(tree1 + idx1 * 2, 2, /*is_store=*/false);
     const u32 b0 = (act0 >= static_cast<i16>(mem.load_u16(tree0 + idx0 * 2))) ? 1u : 0u;
     const u32 b1 = (act1 >= static_cast<i16>(mem.load_u16(tree1 + idx1 * 2))) ? 1u : 0u;
     idx0 = 2 * idx0 + 1 + b0;

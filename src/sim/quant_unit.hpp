@@ -19,7 +19,14 @@ namespace xpulp::sim {
 
 struct QuantResult {
   u32 rd;            // quantized codes: bits [Q-1:0] and [16+Q-1:16]
-  unsigned cycles;   // total instruction latency including memory stalls
+  /// Architectural unit latency: 1 init + 2*Q compare cycles (9 for
+  /// nibble, 5 for crumb — the paper's figures). Excludes memory stalls.
+  unsigned cycles;
+  /// Extra stall cycles from the threshold fetches (misaligned trees,
+  /// injected contention). The core charges these to mem_stall_cycles, not
+  /// qnt_stall_cycles, so the per-cause stall partition matches the
+  /// paper's fixed 9/5-cycle unit latency.
+  unsigned mem_stalls;
   unsigned mem_loads;
 };
 

@@ -96,6 +96,84 @@ TEST(Cluster, ConflictsAriseOnSharedHotBank) {
   EXPECT_GT(stats.conflict_rate(), 0.3);
 }
 
+std::vector<xasm::Program> conflict_programs(int cores) {
+  std::vector<xasm::Program> progs;
+  for (int c = 0; c < cores; ++c) {
+    xasm::Assembler a(static_cast<addr_t>(c) * 0x1000);
+    a.li(r::s0, 0x30000);
+    for (int i = 0; i < 32; ++i) a.lw(r::a0, r::s0, 0);
+    a.li(r::t0, 50 * (c + 1));
+    auto loop = a.here();
+    a.addi(r::t0, r::t0, -1);
+    a.bne(r::t0, r::zero, loop);
+    a.ecall();
+    progs.push_back(a.finish());
+  }
+  return progs;
+}
+
+TEST(Cluster, SecondRunOnSameInstanceIsIdentical) {
+  // Regression: load() used to keep the previous run's per-core cycle
+  // counters and the arbiter's bank bookings, so a second run on the same
+  // instance reported cumulative core cycles and phantom cascaded
+  // conflicts. A reloaded cluster must behave exactly like a fresh one.
+  ClusterConfig cfg;
+  cfg.num_cores = 4;
+  Cluster cluster(cfg);
+  const auto progs = conflict_programs(4);
+
+  cluster.load(progs);
+  const auto first = cluster.run();
+  cluster.load(progs);
+  const auto second = cluster.run();
+
+  EXPECT_EQ(second.makespan, first.makespan);
+  EXPECT_EQ(second.core_cycles, first.core_cycles);
+  EXPECT_EQ(second.bank_conflicts, first.bank_conflicts);
+  EXPECT_EQ(second.data_accesses, first.data_accesses);
+
+  // And identical to a run on a brand-new instance.
+  Cluster fresh(cfg);
+  fresh.load(progs);
+  const auto baseline = fresh.run();
+  EXPECT_EQ(second.makespan, baseline.makespan);
+  EXPECT_EQ(second.core_cycles, baseline.core_cycles);
+  EXPECT_EQ(second.bank_conflicts, baseline.bank_conflicts);
+}
+
+TEST(Cluster, AccessHookUninstalledAfterGuestFault) {
+  // Regression: a guest fault escaping run() used to leave the arbiter
+  // access hook installed on the shared memory, with the active-core latch
+  // pointing at the faulted core — every later host-side access_cycles
+  // call would keep booking banks.
+  ClusterConfig cfg;
+  cfg.num_cores = 2;
+  Cluster cluster(cfg);
+
+  std::vector<xasm::Program> progs;
+  for (int c = 0; c < 2; ++c) {
+    xasm::Assembler a(static_cast<addr_t>(c) * 0x1000);
+    if (c == 1) {
+      a.li(r::s0, -4);  // 0xfffffffc: far outside the SRAM
+      a.lw(r::a0, r::s0, 0);
+    }
+    a.ecall();
+    progs.push_back(a.finish());
+  }
+  cluster.load(progs);
+  EXPECT_THROW(cluster.run(), MemoryFault);
+
+  const u64 accesses_after = cluster.stats_since(0, 0).data_accesses;
+  (void)cluster.memory().access_cycles(0x30000, 4, false);
+  EXPECT_EQ(cluster.stats_since(0, 0).data_accesses, accesses_after)
+      << "arbiter hook still installed after a faulting run";
+
+  // The instance stays usable: reload with healthy programs and run.
+  cluster.load(conflict_programs(2));
+  const auto stats = cluster.run();
+  EXPECT_GT(stats.makespan, 0u);
+}
+
 TEST(Cluster, RejectsBadConfigs) {
   ClusterConfig cfg;
   cfg.num_cores = 0;

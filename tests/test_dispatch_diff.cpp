@@ -7,7 +7,7 @@
 
 #include <vector>
 
-#include "common/rng.hpp"
+#include "diff_test_util.hpp"
 #include "isa/encoding.hpp"
 #include "kernels/conv_layer.hpp"
 #include "mem/memory.hpp"
@@ -18,170 +18,10 @@
 namespace xpulp {
 namespace {
 
-struct FinalState {
-  std::array<u32, 32> regs{};
-  addr_t pc = 0;
-  sim::HaltReason reason = sim::HaltReason::kRunning;
-  sim::PerfCounters perf;
-  std::vector<u8> mem;
-};
-
-FinalState run_mode(const xasm::Program& prog, sim::CoreConfig cfg,
-                    bool reference, u64 max_instr = 2'000'000) {
-  cfg.reference_dispatch = reference;
-  FinalState s;
-  mem::Memory mem;
-  prog.load(mem);
-  sim::Core core(mem, std::move(cfg));
-  core.reset(prog.entry(), prog.base() + prog.size_bytes());
-  s.reason = core.run(max_instr);
-  s.pc = core.pc();
-  for (unsigned i = 0; i < 32; ++i) s.regs[i] = core.reg(i);
-  s.perf = core.perf();
-  s.mem.resize(mem.size());
-  mem.read_block(0, s.mem);
-  return s;
-}
-
-void expect_identical(const FinalState& ref, const FinalState& fast) {
-  for (unsigned i = 0; i < 32; ++i) {
-    EXPECT_EQ(ref.regs[i], fast.regs[i]) << "x" << i;
-  }
-  EXPECT_EQ(ref.pc, fast.pc);
-  EXPECT_EQ(ref.reason, fast.reason);
-  EXPECT_EQ(ref.mem, fast.mem);
-
-  const sim::PerfCounters& a = ref.perf;
-  const sim::PerfCounters& b = fast.perf;
-  EXPECT_EQ(a.cycles, b.cycles);
-  EXPECT_EQ(a.instructions, b.instructions);
-  EXPECT_EQ(a.taken_branches, b.taken_branches);
-  EXPECT_EQ(a.not_taken_branches, b.not_taken_branches);
-  EXPECT_EQ(a.jumps, b.jumps);
-  EXPECT_EQ(a.branch_stall_cycles, b.branch_stall_cycles);
-  EXPECT_EQ(a.load_use_stall_cycles, b.load_use_stall_cycles);
-  EXPECT_EQ(a.mem_stall_cycles, b.mem_stall_cycles);
-  EXPECT_EQ(a.mul_div_stall_cycles, b.mul_div_stall_cycles);
-  EXPECT_EQ(a.hwloop_backedges, b.hwloop_backedges);
-  EXPECT_EQ(a.loads, b.loads);
-  EXPECT_EQ(a.stores, b.stores);
-  EXPECT_EQ(a.scalar_alu_ops, b.scalar_alu_ops);
-  EXPECT_EQ(a.mul_ops, b.mul_ops);
-  EXPECT_EQ(a.div_ops, b.div_ops);
-  EXPECT_EQ(a.simd_alu_ops, b.simd_alu_ops);
-  EXPECT_EQ(a.qnt_ops, b.qnt_ops);
-  EXPECT_EQ(a.qnt_stall_cycles, b.qnt_stall_cycles);
-  EXPECT_EQ(a.csr_ops, b.csr_ops);
-  EXPECT_EQ(a.sys_ops, b.sys_ops);
-  EXPECT_EQ(a.mac_ops, b.mac_ops);
-  EXPECT_EQ(a.dotp_ops, b.dotp_ops);
-  EXPECT_EQ(a.lsu_data_toggles, b.lsu_data_toggles);
-}
-
-/// One random instruction into the current basic block. Destinations avoid
-/// s0/s1 (x8/x9): they anchor the only legal data pointers.
-void random_op(xasm::Assembler& a, Rng& rng) {
-  static constexpr u8 kDests[] = {5, 6, 7, 10, 11, 12, 13, 14, 15};
-  const u8 rd = kDests[rng.uniform(0, 8)];
-  const u8 rs1 = static_cast<u8>(rng.uniform(5, 15));
-  const u8 rs2 = kDests[rng.uniform(0, 8)];
-  switch (rng.uniform(0, 22)) {
-    case 0: a.add(rd, rs1, rs2); break;
-    case 1: a.sub(rd, rs1, rs2); break;
-    case 2: a.mul(rd, rs1, rs2); break;
-    case 3: a.mulh(rd, rs1, rs2); break;
-    case 4: a.div(rd, rs1, rs2); break;
-    case 5: a.remu(rd, rs1, rs2); break;
-    case 6: a.p_max(rd, rs1, rs2); break;
-    case 7: a.p_mac(rd, rs1, rs2); break;
-    case 8: a.pv_add(isa::SimdFmt::kN, rd, rs1, rs2); break;
-    case 9: a.pv_sdotusp(isa::SimdFmt::kC, rd, rs1, rs2); break;
-    case 10: a.pv_sdotsp(isa::SimdFmt::kB, rd, rs1, rs2); break;
-    case 11: a.pv_shuffle(isa::SimdFmt::kB, rd, rs1, rs2); break;
-    // Loads feed the load-use hazard model; keep them frequent.
-    case 12: a.lw(rd, xasm::reg::s0, rng.uniform(0, 500) * 4); break;
-    case 13: a.lbu(rd, xasm::reg::s0, rng.uniform(0, 2000)); break;
-    case 14: a.sw(rd, xasm::reg::s0, rng.uniform(0, 500) * 4); break;
-    case 15: a.p_extractu(rd, rs1, 1 + rng.uniform(0, 7),
-                          rng.uniform(0, 24)); break;
-    case 16: a.srai(rd, rs1, static_cast<u32>(rng.uniform(0, 31))); break;
-    case 17: a.p_clip(rd, rs1, 1 + static_cast<u32>(rng.uniform(0, 15)));
-             break;
-    // Post-increment / reg-offset addressing: these carry their mode in the
-    // packed decode flags on the fast path. A scratch base keeps s0 stable;
-    // rd == base is legal and exercises the writeback-ordering edge.
-    case 18:
-      a.addi(7, xasm::reg::s0, rng.uniform(0, 64) * 4);
-      a.p_lw_post(rd, 7, rng.uniform(-16, 16) * 4);
-      break;
-    case 19:
-      a.addi(6, 0, rng.uniform(0, 127) * 4);
-      a.p_lw_rr(rd, xasm::reg::s0, 6);
-      break;
-    case 20:
-      a.addi(7, xasm::reg::s0, rng.uniform(0, 64) * 4);
-      a.p_sw_post(rd, 7, rng.uniform(-16, 16) * 4);
-      break;
-    // Remaining dot-product shapes: 16-bit lanes and scalar-replicated
-    // operands go through different decode-specialized kernels.
-    case 21: a.pv_dotup(isa::SimdFmt::kH, rd, rs1, rs2); break;
-    case 22: a.pv_sdotsp(isa::SimdFmt::kBSc, rd, rs1, rs2); break;
-  }
-}
-
-/// A random but always-terminating program: straight-line blocks mixed
-/// with forward branches, immediate-compare branches and nested hardware
-/// loops (the structures whose dispatch differs most between the modes).
-xasm::Program random_program(u64 seed) {
-  Rng rng(seed);
-  xasm::Assembler a(0);
-  a.li(xasm::reg::s0, 0x8000);  // data pointer (mapped, far from code)
-  a.li(xasm::reg::s1, 3);       // small loop count
-
-  const int blocks = 12;
-  for (int b = 0; b < blocks; ++b) {
-    switch (rng.uniform(0, 3)) {
-      case 0: {  // plain straight-line block
-        for (int i = 0; i < 12; ++i) random_op(a, rng);
-        break;
-      }
-      case 1: {  // forward conditional branch over a few ops
-        const xasm::Assembler::Label skip = a.new_label();
-        const u8 rs1 = static_cast<u8>(rng.uniform(5, 15));
-        const u8 rs2 = static_cast<u8>(rng.uniform(5, 15));
-        switch (rng.uniform(0, 3)) {
-          case 0: a.beq(rs1, rs2, skip); break;
-          case 1: a.bne(rs1, rs2, skip); break;
-          case 2: a.blt(rs1, rs2, skip); break;
-          case 3: a.p_beqimm(rs1, rng.uniform(-16, 15), skip); break;
-        }
-        for (int i = 0; i < 4; ++i) random_op(a, rng);
-        a.bind(skip);
-        break;
-      }
-      case 2: {  // hardware loop (immediate count)
-        const xasm::Assembler::Label end = a.new_label();
-        a.lp_setupi(0, static_cast<u32>(rng.uniform(2, 6)), end);
-        for (int i = 0; i < 5; ++i) random_op(a, rng);
-        a.bind(end);
-        break;
-      }
-      case 3: {  // nested hardware loops (register count in L1)
-        const xasm::Assembler::Label end1 = a.new_label();
-        const xasm::Assembler::Label end0 = a.new_label();
-        a.lp_setup(1, xasm::reg::s1, end1);
-        a.lp_setupi(0, static_cast<u32>(rng.uniform(2, 4)), end0);
-        for (int i = 0; i < 3; ++i) random_op(a, rng);
-        a.bind(end0);
-        random_op(a, rng);
-        a.bind(end1);
-        break;
-      }
-    }
-  }
-  a.ecall();
-  return a.finish();
-}
+using test::expect_identical;
+using test::FinalState;
+using test::random_program;
+using test::run_mode;
 
 TEST(DispatchDiff, RandomProgramsBitIdentical) {
   for (u64 trial = 0; trial < 25; ++trial) {

@@ -86,5 +86,48 @@ TEST(Memory, DefaultSizeIsPulpissimo) {
   EXPECT_EQ(m.size(), 512u * 1024u);
 }
 
+TEST(Memory, StraddlingAccessTrapsWithoutCharging) {
+  // A misaligned access whose split second transaction falls past the SRAM
+  // upper bound must trap with *no* side effects: no load/store count, no
+  // misalignment count, no stall charged. (Regression: the fault used to be
+  // raised by the data path only after access_cycles had already mutated
+  // the statistics, leaving MemStats inconsistent with the core's
+  // PerfCounters on the trapping path.)
+  Memory m(128);
+  struct Case {
+    addr_t addr;
+    unsigned size;
+    bool store;
+  };
+  const Case cases[] = {
+      {127, 4, false}, {126, 4, false}, {125, 4, true},  // word straddles
+      {127, 2, false}, {127, 2, true},                   // halfword straddles
+  };
+  for (const Case& c : cases) {
+    EXPECT_THROW(m.access_cycles(c.addr, c.size, c.store), MemoryFault)
+        << "addr=" << c.addr << " size=" << c.size;
+  }
+  const MemStats& s = m.stats();
+  EXPECT_EQ(s.loads, 0u);
+  EXPECT_EQ(s.stores, 0u);
+  EXPECT_EQ(s.load_bytes, 0u);
+  EXPECT_EQ(s.store_bytes, 0u);
+  EXPECT_EQ(s.misaligned_accesses, 0u);
+  EXPECT_EQ(s.contention_stalls, 0u);
+}
+
+TEST(Memory, StraddlingAccessDoesNotAdvanceContentionPhase) {
+  // The contention injector's access counter must not tick on the trapping
+  // path either, or the injection phase would diverge between a run that
+  // faults and one that does not.
+  Memory m(128);
+  m.set_contention_period(2);
+  EXPECT_THROW(m.access_cycles(126, 4, false), MemoryFault);
+  EXPECT_EQ(m.access_counter(), 0u);
+  EXPECT_EQ(m.access_cycles(0, 4, false), 0u);  // access 1 of period 2
+  EXPECT_EQ(m.access_cycles(0, 4, false), 1u);  // access 2: contention stall
+  EXPECT_EQ(m.stats().contention_stalls, 1u);
+}
+
 }  // namespace
 }  // namespace xpulp::mem

@@ -88,7 +88,12 @@ TEST(QuantUnit, MisalignedTreeAddsMemoryStalls) {
   write_tree(mem, 9, qnn::Thresholds::random(rng, 2, -50, 50));
   sim::QuantUnit unit;
   const auto res = unit.execute(mem, 0, 1, 2);
-  EXPECT_GT(res.cycles, 5u);  // every halfword fetch splits
+  // The architectural latency stays at the paper's fixed 1+2Q figure;
+  // misaligned threshold fetches surface as memory stalls, not as a longer
+  // unit occupancy (they are charged to mem_stall_cycles by the core).
+  EXPECT_EQ(res.cycles, 5u);
+  EXPECT_GT(res.mem_stalls, 0u);  // every halfword fetch splits
+  EXPECT_EQ(res.mem_stalls, res.mem_loads);
 }
 
 TEST(QuantUnit, SecondActivationUsesFixedOffsetTree) {
@@ -154,6 +159,83 @@ TEST(QuantUnit, PvQntIllegalOnBaselineCore) {
 TEST(QuantUnit, TreeStride) {
   EXPECT_EQ(sim::QuantUnit::tree_stride_bytes(4), 32u);
   EXPECT_EQ(sim::QuantUnit::tree_stride_bytes(2), 8u);
+}
+
+// Shared program for the stall-attribution regressions: pv.qnt.n against
+// *misaligned* trees (base 0x2001), so every halfword threshold fetch
+// splits and costs one memory stall.
+test::RunResult run_misaligned_qnt(sim::CoreConfig cfg,
+                                   bool traced = false) {
+  Rng rng(21);
+  const auto th0 = qnn::Thresholds::random(rng, 4, -500, 500);
+  const auto th1 = qnn::Thresholds::random(rng, 4, -500, 500);
+  return run_program(
+      [&](xasm::Assembler& a) {
+        a.li(r::a0, (456 << 16) | 123);
+        a.li(r::a1, 0x2001);
+        a.pv_qnt(4, r::a2, r::a0, r::a1);
+      },
+      std::move(cfg),
+      [&](mem::Memory& mem, sim::Core& core) {
+        write_tree(mem, 0x2001, th0);
+        write_tree(mem, 0x2001 + 32, th1);
+        if (traced) {
+          core.set_trace([](addr_t, const isa::Instr&) { return true; });
+        }
+      });
+}
+
+TEST(QuantUnit, MisalignedTreeStallAttribution) {
+  // Regression: threshold-fetch memory stalls used to be folded into
+  // qnt_stall_cycles, inflating the unit's latency past the paper's fixed
+  // 9-cycle figure. The unit occupancy must stay 1+2Q regardless of tree
+  // alignment; the split-fetch penalty belongs to mem_stall_cycles.
+  const auto res = run_misaligned_qnt(sim::CoreConfig::extended());
+  EXPECT_EQ(res.perf.qnt_ops, 1u);
+  EXPECT_EQ(res.perf.qnt_stall_cycles, 8u);  // 9-cycle instruction, exactly
+  // Q=4 levels, 2 halfword fetches per level, every one misaligned.
+  EXPECT_EQ(res.perf.mem_stall_cycles, 8u);
+  EXPECT_EQ(res.mem.stats().misaligned_accesses, 8u);
+}
+
+TEST(QuantUnit, MisalignedQntIdenticalAcrossDispatchPaths) {
+  // The attribution must agree between the predecoded fast path, the
+  // traced fast path and the legacy reference dispatch.
+  const auto fast = run_misaligned_qnt(sim::CoreConfig::extended());
+  const auto traced =
+      run_misaligned_qnt(sim::CoreConfig::extended(), /*traced=*/true);
+  sim::CoreConfig ref_cfg = sim::CoreConfig::extended();
+  ref_cfg.reference_dispatch = true;
+  const auto ref = run_misaligned_qnt(ref_cfg);
+
+  for (const auto* r : {&traced, &ref}) {
+    EXPECT_EQ(r->regs[r::a2], fast.regs[r::a2]);
+    EXPECT_EQ(r->perf.cycles, fast.perf.cycles);
+    EXPECT_EQ(r->perf.instructions, fast.perf.instructions);
+    EXPECT_EQ(r->perf.qnt_stall_cycles, fast.perf.qnt_stall_cycles);
+    EXPECT_EQ(r->perf.mem_stall_cycles, fast.perf.mem_stall_cycles);
+  }
+}
+
+TEST(QuantUnit, QntAsFinalInstructionKeepsInvariants) {
+  // pv.qnt immediately before the halting ecall: cycle accounting must
+  // still reconcile (every cycle is base or exactly one stall cause).
+  for (const bool misaligned : {false, true}) {
+    Rng rng(33);
+    const auto th = qnn::Thresholds::random(rng, 2, -50, 50);
+    const addr_t base = misaligned ? 0x2001 : 0x2000;
+    const auto res = run_program(
+        [&](xasm::Assembler& a) {
+          a.li(r::a0, 17);
+          a.li(r::a1, static_cast<i32>(base));
+          a.pv_qnt(2, r::a2, r::a0, r::a1);
+        },
+        sim::CoreConfig::extended(),
+        [&](mem::Memory& mem, sim::Core&) { write_tree(mem, base, th); });
+    EXPECT_EQ(sim::perf_invariant_violation(res.perf), "")
+        << "misaligned=" << misaligned;
+    EXPECT_EQ(res.perf.qnt_stall_cycles, 4u);  // 5-cycle crumb walk
+  }
 }
 
 }  // namespace
