@@ -7,8 +7,10 @@
 //
 // Emits BENCH_throughput.json (obs::Registry JSON) next to the binary's
 // working directory.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -83,40 +85,69 @@ void one_rep(const Workload& w, sim::Core& core, mem::Memory& mem,
   m.instructions += core.perf().instructions;
 }
 
-/// Measure both dispatch modes in alternating *rounds* and report each
+struct ModeResults {
+  Measurement ref, fast, superblock;
+  /// Superblock coverage from one clean repetition (Core::reset clears the
+  /// engine stats, so a single rep reports exactly one kernel run).
+  sim::SuperblockStats coverage;
+  u64 coverage_instructions = 0;
+};
+
+/// Measure the three dispatch modes in alternating *rounds* and report each
 /// mode's best round. Round-level interleaving keeps slow host-clock drift
-/// (thermal, scheduler) from biasing the ratio, each round is long enough
+/// (thermal, scheduler) from biasing the ratios, each round is long enough
 /// that cross-mode cache/predictor pollution at the switch is amortized
 /// away, and taking the best round discards downward scheduler noise
-/// symmetrically for both modes. The first repetition of every round is a
+/// symmetrically for every mode. The first repetition of every round is a
 /// warm-up and not counted.
-std::pair<Measurement, Measurement> measure_pair(const Workload& w,
-                                                 double round_seconds = 0.25,
-                                                 int rounds = 5) {
-  Measurement ref, fast;
+ModeResults measure_modes(const Workload& w, double round_seconds = 0.25,
+                          int rounds = 5) {
+  ModeResults out;
   mem::Memory mem;
   sim::Core core(mem, w.cfg);
 
   for (int r = 0; r < rounds; ++r) {
-    for (const bool reference : {true, false}) {
-      core.set_reference_dispatch(reference);
+    for (int mode = 0; mode < 3; ++mode) {
+      core.set_reference_dispatch(mode == 0);
+      core.set_superblock(mode == 2);
       Measurement warm;
       one_rep(w, core, mem, warm);
       Measurement round;
       while (round.host_seconds < round_seconds) one_rep(w, core, mem, round);
-      Measurement& best = reference ? ref : fast;
+      Measurement& best =
+          mode == 0 ? out.ref : mode == 1 ? out.fast : out.superblock;
       if (round.mips() > best.mips()) best = round;
     }
   }
-  return {ref, fast};
+
+  core.set_reference_dispatch(false);
+  core.set_superblock(true);
+  Measurement cov;
+  one_rep(w, core, mem, cov);
+  out.coverage = core.superblock_stats();
+  out.coverage_instructions = cov.instructions;
+  return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --min-speedup X: exit nonzero when the superblock-over-reference
+  // speedup of any workload falls below X (the CI regression gate).
+  double required_speedup = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--min-speedup" && i + 1 < argc) {
+      required_speedup = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr, "usage: %s [--min-speedup X]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("interpreter host throughput -- paper conv layer\n");
-  std::printf("%-28s %10s %12s %12s %9s\n", "workload", "minstr",
-              "ref MIPS", "fast MIPS", "speedup");
+  std::printf("%-28s %10s %10s %10s %10s %7s %7s %7s\n", "workload", "minstr",
+              "ref MIPS", "fast MIPS", "sb MIPS", "fast x", "sb x", "fused");
 
   std::vector<Workload> workloads;
   workloads.push_back(
@@ -127,7 +158,8 @@ int main() {
   obs::Registry reg;
   reg.text("bench", "sim_throughput");
   reg.text("unit", "host MIPS");
-  double min_speedup = 1e30;
+  double min_fast_speedup = 1e30;
+  double min_sb_speedup = 1e30;
 
   const auto add_measurement = [&reg](const std::string& prefix,
                                       const Measurement& m) {
@@ -137,26 +169,46 @@ int main() {
   };
 
   for (const Workload& w : workloads) {
-    const auto [ref, fast] = measure_pair(w);
-    const double speedup = fast.mips() / ref.mips();
-    if (speedup < min_speedup) min_speedup = speedup;
+    const ModeResults r = measure_modes(w);
+    const double fast_speedup = r.fast.mips() / r.ref.mips();
+    const double sb_speedup = r.superblock.mips() / r.ref.mips();
+    min_fast_speedup = std::min(min_fast_speedup, fast_speedup);
+    min_sb_speedup = std::min(min_sb_speedup, sb_speedup);
+    const double fused =
+        r.coverage_instructions != 0
+            ? static_cast<double>(r.coverage.fused_instructions) /
+                  static_cast<double>(r.coverage_instructions)
+            : 0;
 
     const std::string name = w.platform + "/" + w.variant;
-    std::printf("%-28s %10.2f %12.2f %12.2f %8.2fx\n", name.c_str(),
-                static_cast<double>(ref.instructions) / 1e6, ref.mips(),
-                fast.mips(), speedup);
+    std::printf("%-28s %10.2f %10.2f %10.2f %10.2f %6.2fx %6.2fx %6.1f%%\n",
+                name.c_str(), static_cast<double>(r.ref.instructions) / 1e6,
+                r.ref.mips(), r.fast.mips(), r.superblock.mips(), fast_speedup,
+                sb_speedup, 100 * fused);
 
     const std::string key = "workloads." + w.platform + "_" + w.variant;
     reg.text(key + ".platform", w.platform);
     reg.text(key + ".variant", w.variant);
     reg.counter(key + ".bits", w.bits);
-    add_measurement(key + ".reference", ref);
-    add_measurement(key + ".fast", fast);
-    reg.gauge(key + ".speedup", speedup);
+    add_measurement(key + ".reference", r.ref);
+    add_measurement(key + ".fast", r.fast);
+    add_measurement(key + ".superblock", r.superblock);
+    obs::add_superblock_stats(reg, key + ".superblock.coverage", r.coverage,
+                              r.coverage_instructions);
+    reg.gauge(key + ".speedup", fast_speedup);
+    reg.gauge(key + ".superblock_speedup", sb_speedup);
   }
-  reg.gauge("min_speedup", min_speedup);
+  reg.gauge("min_speedup", min_fast_speedup);
+  reg.gauge("min_superblock_speedup", min_sb_speedup);
 
   if (!save_bench_json(reg, "BENCH_throughput.json")) return 1;
-  std::printf("min speedup %.2fx\n", min_speedup);
+  std::printf("min speedup: fast %.2fx, superblock %.2fx\n", min_fast_speedup,
+              min_sb_speedup);
+  if (required_speedup > 0 && min_sb_speedup < required_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: superblock speedup %.2fx below required %.2fx\n",
+                 min_sb_speedup, required_speedup);
+    return 1;
+  }
   return 0;
 }

@@ -148,6 +148,74 @@ class Memory {
     return stalls;
   }
 
+  /// Superblock fast path: the bounds/alignment/contention part of
+  /// access_cycles() without the per-access load/store count bookkeeping,
+  /// which the fused loop batches per iteration through add_counts(). The
+  /// contention phase still advances per access, so stall injection stays
+  /// bit-identical across dispatch modes, and the bounds check still runs
+  /// before any accounting (trap-exact, like access_cycles).
+  unsigned access_stalls(addr_t a, unsigned size, bool is_store) {
+    check(a, size, is_store);
+    unsigned stalls = 0;
+    if (!is_aligned(a, size)) {
+      ++stats_.misaligned_accesses;
+      stalls += 1;
+    }
+    if (contention_period_ != 0 &&
+        ++access_counter_ % contention_period_ == 0) {
+      ++stats_.contention_stalls;
+      stalls += 1;
+    }
+    if (access_hook_) {
+      const unsigned extra = access_hook_(a, size, is_store);
+      stats_.contention_stalls += extra;
+      stalls += extra;
+    }
+    return stalls;
+  }
+
+  /// Batched count update for accesses already performed through
+  /// access_stalls(): `k` iterations worth of the per-iteration delta `d`.
+  /// Only the load/store count and byte fields of `d` are meaningful
+  /// (stall fields were charged eagerly).
+  void add_counts(const MemStats& d, u64 k = 1) {
+    stats_.loads += d.loads * k;
+    stats_.stores += d.stores * k;
+    stats_.load_bytes += d.load_bytes * k;
+    stats_.store_bytes += d.store_bytes * k;
+  }
+
+  /// Unchecked accessors for callers that already bounds-checked the
+  /// access this cycle (the superblock fused loop, straight after
+  /// access_stalls() on the same address/size).
+  u32 load_unchecked(addr_t a, unsigned size) const {
+    switch (size) {
+      case 1: return data_[a];
+      case 2: {
+        u16 v;
+        std::memcpy(&v, &data_[a], 2);
+        return v;
+      }
+      default: {
+        u32 v;
+        std::memcpy(&v, &data_[a], 4);
+        return v;
+      }
+    }
+  }
+
+  void store_unchecked(addr_t a, u32 v, unsigned size) {
+    switch (size) {
+      case 1: data_[a] = static_cast<u8>(v); break;
+      case 2: {
+        const u16 h = static_cast<u16>(v);
+        std::memcpy(&data_[a], &h, 2);
+        break;
+      }
+      default: std::memcpy(&data_[a], &v, 4); break;
+    }
+  }
+
   /// Inject one interconnect-contention stall every `period` data accesses
   /// (0 disables; used by stress tests to validate stall bookkeeping).
   void set_contention_period(u32 period) { contention_period_ = period; }
@@ -157,6 +225,7 @@ class Memory {
   /// scheduler swaps the hook per core before stepping it.
   using AccessHook = std::function<unsigned(addr_t, unsigned, bool)>;
   void set_access_hook(AccessHook hook) { access_hook_ = std::move(hook); }
+  bool has_access_hook() const { return static_cast<bool>(access_hook_); }
 
   const MemStats& stats() const { return stats_; }
   void reset_stats() { stats_ = MemStats{}; }

@@ -208,4 +208,24 @@ void add_mem_stats(Registry& r, std::string_view prefix,
   r.counter(pre + "contention_stalls", s.contention_stalls);
 }
 
+void add_superblock_stats(Registry& r, std::string_view prefix,
+                          const sim::SuperblockStats& s,
+                          u64 total_instructions) {
+  const std::string pre = std::string(prefix) + ".";
+  r.counter(pre + "blocks_compiled", s.blocks_compiled);
+  r.counter(pre + "compile_rejects", s.compile_rejects);
+  r.counter(pre + "entries", s.entries);
+  r.counter(pre + "entry_rejects", s.entry_rejects);
+  r.counter(pre + "fused_iterations", s.fused_iterations);
+  r.counter(pre + "fused_instructions", s.fused_instructions);
+  r.counter(pre + "smc_bails", s.smc_bails);
+  r.counter(pre + "trap_bails", s.trap_bails);
+  r.counter(pre + "invalidations", s.invalidations);
+  if (total_instructions != 0) {
+    r.gauge(pre + "fused_fraction",
+            static_cast<double>(s.fused_instructions) /
+                static_cast<double>(total_instructions));
+  }
+}
+
 }  // namespace xpulp::obs

@@ -69,4 +69,11 @@ void add_perf_counters(Registry& r, std::string_view prefix,
 void add_mem_stats(Registry& r, std::string_view prefix,
                    const mem::MemStats& s);
 
+/// Publish superblock-engine coverage/fallback counters under `prefix`
+/// (e.g. "sim.superblock"), plus the derived fused-instruction fraction
+/// when `total_instructions` is nonzero.
+void add_superblock_stats(Registry& r, std::string_view prefix,
+                          const sim::SuperblockStats& s,
+                          u64 total_instructions = 0);
+
 }  // namespace xpulp::obs

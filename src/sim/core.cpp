@@ -1,17 +1,28 @@
 #include "sim/core.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
 #include "common/bitops.hpp"
 #include "common/error.hpp"
 #include "isa/decoder.hpp"
+#include "sim/dotp_lanes.hpp"
+#include "sim/superblock.hpp"
 
 namespace xpulp::sim {
 
 using isa::Instr;
 using isa::Mnemonic;
 namespace iflag = isa::iflag;
+
+bool superblock_default() {
+  static const bool enabled = [] {
+    const char* e = std::getenv("XPULP_SUPERBLOCK");
+    return e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0');
+  }();
+  return enabled;
+}
 
 std::string perf_invariant_violation(const PerfCounters& p) {
   const auto diag = [](const char* what, u64 lhs, u64 rhs) {
@@ -48,6 +59,16 @@ Core::Core(mem::Memory& mem, CoreConfig cfg)
                        (cfg_.hwloops ? 0 : iflag::kNeedHwloops));
 }
 
+Core::~Core() = default;
+
+void Core::set_superblock(bool on) {
+  cfg_.superblock = on;
+  if (!on) {
+    sb_candidate_ = kNoSbCandidate;
+    sb_candidate_branch_ = 0;
+  }
+}
+
 void Core::reset(addr_t pc, addr_t code_end) {
   regs_.fill(0);
   // Stack pointer at the top of SRAM by convention; programs may override.
@@ -63,6 +84,8 @@ void Core::reset(addr_t pc, addr_t code_end) {
   icache_.clear();
   icache_valid_.clear();
   decode_gen_ += 1;
+  sb_clear();
+  sb_stats_ = SuperblockStats{};
   if (code_end != 0) {
     // Pre-size the decode cache to the loaded image so the run loop never
     // pays a resize, and stores beyond the code range cost one compare.
@@ -103,6 +126,12 @@ const Instr& Core::fetch_decode(addr_t pc) {
 }
 
 void Core::icache_invalidate(addr_t a, unsigned size) {
+  // Superblock coherence rides the same store path: two compares when any
+  // plan exists, a slow-path walk only on actual overlap.
+  if (!sb_plans_.empty() && static_cast<u64>(a) + size > sb_lo_ &&
+      a < sb_hi_) [[unlikely]] {
+    sb_invalidate_range(a, size);
+  }
   const u32 limit = static_cast<u32>(icache_valid_.size());
   if (limit == 0) return;
   // A 32-bit instruction starting one parcel below the store covers the
@@ -121,12 +150,16 @@ void Core::require(bool cond, const Instr& in) {
 void Core::invalidate_decode_cache() {
   std::fill(icache_valid_.begin(), icache_valid_.end(), 0);
   decode_gen_ += 1;
+  sb_stats_.invalidations += sb_plans_.size();
+  sb_clear();
 }
 
 void Core::set_isa_features(bool xpulpv2, bool xpulpnn, bool hwloops) {
   cfg_.xpulpv2 = xpulpv2;
   cfg_.xpulpnn = xpulpnn;
   cfg_.hwloops = hwloops;
+  // Eligibility (feature guards) baked into compiled plans changed.
+  sb_clear();
   feature_guard_ =
       static_cast<u16>((xpulpv2 ? 0 : iflag::kNeedXpulpV2) |
                        (xpulpnn ? 0 : iflag::kNeedXpulpNN) |
@@ -166,6 +199,11 @@ void Core::restore_state(const CoreState& s) {
   mscratch_ = s.mscratch;
   perf_ = s.perf;
   dotp_.restore(s.dotp);
+  // Compiled plans stay valid as long as the code bytes do (same contract
+  // as the decode cache: callers invalidate when memory was restored), but
+  // a pending fuse candidate refers to the pre-restore control flow.
+  sb_candidate_ = kNoSbCandidate;
+  sb_candidate_branch_ = 0;
 }
 
 bool Core::step() {
@@ -274,6 +312,12 @@ void Core::hwloop_backedge(addr_t after) {
         hwl_count_[l] -= 1;
         next_pc_ = hwl_start_[l];
         perf_.hwloop_backedges += 1;
+        if (cfg_.superblock && !ref_dispatch_) {
+          // The loop body is hot by definition; try to fuse the remaining
+          // iterations at the next instruction boundary.
+          sb_candidate_ = hwl_start_[l];
+          sb_candidate_branch_ = 0;
+        }
       } else {
         hwl_count_[l] = 0;  // final iteration: fall through
         update_hwl_active();
@@ -306,7 +350,27 @@ HaltReason Core::run_fast(u64 max_instructions) {
   u64 executed = 0;
   while (!halted()) {
     step_fast<Traced>();
-    if (++executed >= max_instructions) {
+    ++executed;
+    if constexpr (!Traced) {
+      // Superblock entry: the step above announced a hot block starting at
+      // the next pc (hwloop setup/backedge, hot backward branch). A burst
+      // retires whole iterations and never overshoots the remaining
+      // budget, so the kInstrLimit semantics below stay exact. Candidates
+      // are only ever set when cfg_.superblock is on, so the common path
+      // pays one compare. Traced runs never fuse: the per-instruction
+      // hook is the reason to interpret.
+      if (sb_candidate_ != kNoSbCandidate) [[unlikely]] {
+        const addr_t cand = sb_candidate_;
+        const addr_t cand_branch = sb_candidate_branch_;
+        sb_candidate_ = kNoSbCandidate;
+        sb_candidate_branch_ = 0;
+        if (executed < max_instructions && cand == pc_ && !halted()) {
+          executed +=
+              superblock_enter(cand, cand_branch, max_instructions - executed);
+        }
+      }
+    }
+    if (executed >= max_instructions) {
       halt_ = HaltReason::kInstrLimit;
       break;
     }
@@ -317,6 +381,25 @@ HaltReason Core::run_fast(u64 max_instructions) {
     }
   }
   return halt_;
+}
+
+u64 Core::run_steps(u64 n) {
+  u64 executed = 0;
+  while (executed < n && !halted()) {
+    step();
+    ++executed;
+    if (sb_candidate_ != kNoSbCandidate) {
+      const addr_t cand = sb_candidate_;
+      const addr_t cand_branch = sb_candidate_branch_;
+      sb_candidate_ = kNoSbCandidate;
+      sb_candidate_branch_ = 0;
+      if (!ref_dispatch_ && !trace_ && executed < n && cand == pc_ &&
+          !halted()) {
+        executed += superblock_enter(cand, cand_branch, n - executed);
+      }
+    }
+  }
+  return executed;
 }
 
 // ---------------------------------------------------------------------------
@@ -614,6 +697,9 @@ void Core::exec_branch_jump(const Instr& in) {
     perf_.taken_branches += 1;
     perf_.cycles += timing_.taken_branch_penalty;
     perf_.branch_stall_cycles += timing_.taken_branch_penalty;
+    if (in.imm < 0 && cfg_.superblock && !ref_dispatch_) {
+      sb_note_backedge(pc_, next_pc_);
+    }
   } else {
     perf_.not_taken_branches += 1;
   }
@@ -824,14 +910,17 @@ void Core::exec_hwloop(const Instr& in) {
       hwl_count_[l] = static_cast<u32>(in.imm);
       break;
     case M::kLpSetup:
-      hwl_start_[l] = pc_ + in.size;
-      hwl_end_[l] = pc_ + static_cast<u32>(in.imm);
-      hwl_count_[l] = reg(in.rs1);
-      break;
     case M::kLpSetupi:
       hwl_start_[l] = pc_ + in.size;
       hwl_end_[l] = pc_ + static_cast<u32>(in.imm);
-      hwl_count_[l] = in.rs1;  // 5-bit immediate count
+      // lp_setupi carries a 5-bit immediate count in the rs1 field.
+      hwl_count_[l] = in.op == M::kLpSetup ? reg(in.rs1) : in.rs1;
+      if (cfg_.superblock && !ref_dispatch_ && hwl_count_[l] > 1) {
+        // The next instruction is the loop start: fuse the whole loop from
+        // iteration one instead of waiting for the first backedge.
+        sb_candidate_ = hwl_start_[l];
+        sb_candidate_branch_ = 0;
+      }
       break;
     default:
       throw IllegalInstruction(pc_, in.raw);
@@ -879,35 +968,8 @@ void Core::exec_simd_dotp(const Instr& in) {
   perf_.dotp_ops[static_cast<unsigned>(region_for(in.fmt))] += 1;
 }
 
-namespace {
-
-// Decode-specialized dot-product kernel for the fast path. With the lane
-// width a template parameter the loop fully unrolls (and vectorizes for the
-// sub-byte formats); DotpUnit::dotp_reference keeps both width and count as
-// runtime values and pays a function call plus bit-slicing per lane.
-//
-// Bit-identical to dotp_reference: that routine widens to 64 bits and
-// truncates the final sum to 32, which equals mod-2^32 (u32 wraparound)
-// multiply-accumulate — so everything stays in 32-bit registers here.
-template <unsigned W, bool ScalarRep>
-i32 dotp_lanes(u32 a, u32 b, u32 sum, bool sa, bool sb) {
-  if constexpr (ScalarRep) {
-    b = (b & low_mask(W)) * (~0u / low_mask(W));  // replicate over all lanes
-  }
-  for (unsigned i = 0; i < 32 / W; ++i) {
-    const u32 ra = (a >> (i * W)) & low_mask(W);
-    const u32 rb = (b >> (i * W)) & low_mask(W);
-    const u32 ea =
-        sa ? static_cast<u32>(sign_extend(ra, W)) : ra;
-    const u32 eb =
-        sb ? static_cast<u32>(sign_extend(rb, W)) : rb;
-    sum += ea * eb;
-  }
-  return static_cast<i32>(sum);
-}
-
-}  // namespace
-
+// The decode-specialized dot-product kernel lives in sim/dotp_lanes.hpp,
+// shared with the superblock fused loop.
 void Core::exec_simd_dotp_fast(const Instr& in) {
   using isa::SimdFmt;
   const u32 a = reg(in.rs1);

@@ -10,7 +10,9 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -21,6 +23,13 @@
 #include "sim/timing.hpp"
 
 namespace xpulp::sim {
+
+struct SuperblockPlan;  // sim/superblock.hpp (host-side compiled blocks)
+
+/// Default of CoreConfig::superblock: false, flipped by the environment
+/// variable XPULP_SUPERBLOCK=1 so CI can rerun whole suites with the
+/// superblock engine active without threading a flag through every driver.
+bool superblock_default();
 
 struct CoreConfig {
   bool xpulpv2 = true;    // hardware loops, post-inc LSU, 8/16-bit SIMD, MAC
@@ -33,6 +42,13 @@ struct CoreConfig {
   /// reference implementation and as the baseline of the host-throughput
   /// bench.
   bool reference_dispatch = false;
+  /// Trace-compiled superblock execution of hot loop bodies on top of the
+  /// fast path (DESIGN.md §12): bit-identical state and PerfCounters,
+  /// enforced by the three-way differential dispatch test. Requires the
+  /// fast dispatch path and clock gating (the ungated operand-broadcast
+  /// model is inherently per-instruction); the engine simply stays cold
+  /// when either is off.
+  bool superblock = superblock_default();
   std::string name = "xpulpnn";
 
   static CoreConfig extended() { return CoreConfig{}; }
@@ -106,6 +122,21 @@ inline u64 perf_class_ops(const PerfCounters& p) {
 /// Returns an empty string when the invariants hold, else a diagnostic.
 std::string perf_invariant_violation(const PerfCounters& p);
 
+/// Coverage/fallback counters of the superblock engine (host-side only,
+/// not part of CoreState). `fused_instructions / perf.instructions` is the
+/// hit rate; the bail counters attribute every fallback to its cause.
+struct SuperblockStats {
+  u64 blocks_compiled = 0;
+  u64 compile_rejects = 0;   // regions that failed static eligibility
+  u64 entries = 0;           // fused bursts entered
+  u64 entry_rejects = 0;     // guard failures at entry (interpreter ran)
+  u64 fused_iterations = 0;  // whole loop iterations retired fused
+  u64 fused_instructions = 0;
+  u64 smc_bails = 0;   // self-modifying store hit the live block
+  u64 trap_bails = 0;  // memory fault repaired to an exact boundary
+  u64 invalidations = 0;  // plans evicted by stores / cache flushes
+};
+
 enum class HaltReason { kRunning, kEcall, kEbreak, kInstrLimit };
 
 /// Complete architectural + accounting state of a Core at an instruction
@@ -131,6 +162,7 @@ struct CoreState {
 class Core {
  public:
   Core(mem::Memory& mem, CoreConfig cfg = CoreConfig::extended());
+  ~Core();  // out of line: SuperblockPlan is incomplete here
 
   /// Reset architectural state and start executing at `pc`. Clears the
   /// decode cache (call after loading a new program image). When
@@ -152,6 +184,14 @@ class Core {
 
   /// Run until ecall/ebreak or the instruction limit; returns the reason.
   HaltReason run(u64 max_instructions = 400'000'000);
+
+  /// Execute up to `n` instructions (stopping early on halt) and return
+  /// how many retired. Unlike run(), reaching `n` does not set the
+  /// kInstrLimit halt reason — the core pauses at an exact instruction
+  /// boundary, which is what checkpoint tooling needs to position
+  /// snapshots at precise indices while the superblock engine is active
+  /// (a fused burst never overshoots the remaining budget).
+  u64 run_steps(u64 n);
 
   const PerfCounters& perf() const { return perf_; }
   void reset_perf() { perf_ = PerfCounters{}; }
@@ -185,6 +225,15 @@ class Core {
   /// switch interpreter at runtime (differential tests flip this).
   void set_reference_dispatch(bool on) { ref_dispatch_ = on; }
   bool reference_dispatch() const { return ref_dispatch_; }
+
+  /// Enable/disable superblock execution at runtime (differential tests
+  /// and benches flip this like set_reference_dispatch). Compiled plans
+  /// are kept — disabling only stops new bursts from being entered.
+  void set_superblock(bool on);
+  bool superblock_enabled() const { return cfg_.superblock; }
+
+  const SuperblockStats& superblock_stats() const { return sb_stats_; }
+  void reset_superblock_stats() { sb_stats_ = SuperblockStats{}; }
 
   // ---- Snapshot/restore (src/ckpt) ----
 
@@ -282,8 +331,30 @@ class Core {
   void require(bool cond, const isa::Instr& in);
 
   /// Decode-cache coherence: drop cached decodes covering a stored-to
-  /// range (self-modifying code support).
+  /// range (self-modifying code support). Also evicts (or dirties, when
+  /// live) overlapping superblock plans — one invalidation path for both
+  /// caches.
   void icache_invalidate(addr_t a, unsigned size);
+
+  // ---- Superblock engine (sim/superblock.cpp) ----
+
+  /// Compile-if-needed and run a fused burst at `start` with at most
+  /// `budget` instructions; returns how many retired (0 = fall back to
+  /// the interpreter). `branch_pc` is nonzero for backward-branch
+  /// candidates (the recorded backedge), zero for hardware-loop ones.
+  u64 superblock_enter(addr_t start, addr_t branch_pc, u64 budget);
+  SuperblockPlan* sb_find(addr_t start);
+  SuperblockPlan* sb_compile(addr_t start, addr_t branch_pc);
+  u64 sb_execute(SuperblockPlan& plan, u64 budget);
+  void sb_exit(SuperblockPlan& plan);
+  /// Heat counter for taken backward conditional branches; promotes the
+  /// target to a superblock candidate past the threshold.
+  void sb_note_backedge(addr_t branch_pc, addr_t target);
+  void sb_invalidate_range(addr_t a, unsigned size);
+  void sb_recompute_extent();
+  /// Drop every plan, reject record, heat entry and pending candidate
+  /// (reset, decode-cache flush, ISA feature change).
+  void sb_clear();
 
   void update_hwl_active() {
     hwl_active_ = hwl_count_[0] != 0 || hwl_count_[1] != 0;
@@ -327,6 +398,33 @@ class Core {
   std::vector<isa::Instr> icache_;
   std::vector<u8> icache_valid_;
   u64 decode_gen_ = 0;
+
+  // ---- Superblock engine state (host-side, never serialized) ----
+  static constexpr addr_t kNoSbCandidate = ~addr_t{0};
+  static constexpr unsigned kSbHeatSize = 64;  // direct-mapped, power of 2
+  static constexpr unsigned kSbHeatThreshold = 16;
+  static constexpr size_t kSbMaxOps = 128;
+
+  struct SbHeatEntry {
+    addr_t pc = 0;
+    u16 count = 0;
+  };
+
+  /// Block start the run loop should try to fuse at the next instruction
+  /// boundary (set by hwloop setup/backedges and hot backward branches).
+  addr_t sb_candidate_ = kNoSbCandidate;
+  addr_t sb_candidate_branch_ = 0;  // backedge pc for branch candidates
+  std::vector<std::unique_ptr<SuperblockPlan>> sb_plans_;
+  /// Regions that failed static eligibility, so hot-but-uncompilable
+  /// loops don't re-walk the block on every backedge. Range-keyed: a
+  /// store into the region clears the record (the patched code may now
+  /// compile).
+  std::vector<std::pair<addr_t, addr_t>> sb_rejects_;
+  addr_t sb_lo_ = 0, sb_hi_ = 0;  // union extent of plans (store filter)
+  SuperblockPlan* sb_active_ = nullptr;  // plan a burst is executing now
+  bool sb_active_dirty_ = false;  // live plan was stored into (SMC bail)
+  std::array<SbHeatEntry, kSbHeatSize> sb_heat_{};
+  SuperblockStats sb_stats_;
 };
 
 }  // namespace xpulp::sim

@@ -1,0 +1,32 @@
+// Decode-specialized dot-product kernel shared by the fast interpreter path
+// (core.cpp) and the superblock fused loop (superblock.cpp). With the lane
+// width a template parameter the loop fully unrolls (and vectorizes for the
+// sub-byte formats); DotpUnit::dotp_reference keeps both width and count as
+// runtime values and pays a function call plus bit-slicing per lane.
+//
+// Bit-identical to dotp_reference: that routine widens to 64 bits and
+// truncates the final sum to 32, which equals mod-2^32 (u32 wraparound)
+// multiply-accumulate — so everything stays in 32-bit registers here.
+#pragma once
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace xpulp::sim {
+
+template <unsigned W, bool ScalarRep>
+inline i32 dotp_lanes(u32 a, u32 b, u32 sum, bool sa, bool sb) {
+  if constexpr (ScalarRep) {
+    b = (b & low_mask(W)) * (~0u / low_mask(W));  // replicate over all lanes
+  }
+  for (unsigned i = 0; i < 32 / W; ++i) {
+    const u32 ra = (a >> (i * W)) & low_mask(W);
+    const u32 rb = (b >> (i * W)) & low_mask(W);
+    const u32 ea = sa ? static_cast<u32>(sign_extend(ra, W)) : ra;
+    const u32 eb = sb ? static_cast<u32>(sign_extend(rb, W)) : rb;
+    sum += ea * eb;
+  }
+  return static_cast<i32>(sum);
+}
+
+}  // namespace xpulp::sim

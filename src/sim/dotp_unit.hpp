@@ -85,6 +85,21 @@ class DotpUnit {
   const DotpActivity& activity() const { return activity_; }
   void reset_activity() { activity_ = DotpActivity{}; }
 
+  // Superblock burst support: the fused loop keeps one region's operand
+  // latches in host registers for a whole burst and batch-applies the
+  // accumulated toggles and op count at burst exit — bit-identical to the
+  // same sequence of note_dotp() calls.
+  u32 latch_a(unsigned region) const { return last_a_[region]; }
+  u32 latch_b(unsigned region) const { return last_b_[region]; }
+  void set_latches(unsigned region, u32 a, u32 b) {
+    last_a_[region] = a;
+    last_b_[region] = b;
+  }
+  void add_activity(unsigned region, u64 toggles, u64 ops) {
+    activity_.operand_toggles[region] += toggles;
+    activity_.ops[region] += ops;
+  }
+
   DotpState state() const { return DotpState{activity_, last_a_, last_b_}; }
   void restore(const DotpState& s) {
     activity_ = s.activity;

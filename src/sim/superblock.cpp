@@ -1,0 +1,1006 @@
+// Superblock engine: detection, compilation, fused execution and
+// invalidation (DESIGN.md §12). These are Core member functions — the
+// fused loop is an alternative inner loop of the same core, touching the
+// same architectural state as step_fast(), never a separate machine.
+//
+// Bit-exactness contract (enforced by the three-way differential tests):
+// every exit from a fused burst — normal completion, budget exhaustion,
+// self-modifying-store bail, memory fault — leaves registers, pc,
+// hardware-loop state, last-load tracking, PerfCounters and MemStats
+// exactly as if the interpreter had stepped each instruction.
+#include "sim/superblock.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "sim/dotp_lanes.hpp"
+
+#if defined(__SSE4_1__)
+#define XPULP_SB_HOST_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace xpulp::sim {
+
+using isa::Instr;
+using isa::Mnemonic;
+namespace iflag = isa::iflag;
+
+namespace {
+
+u8 load_dest(const SbOp& o) {
+  return (o.flags & iflag::kIsLoad) ? o.rd : u8{0};
+}
+
+bool reads_reg(const SbOp& o, u8 r) {
+  return ((o.flags & iflag::kReadsRs1) && o.rs1 == r) ||
+         ((o.flags & iflag::kReadsRs2) && o.rs2 == r) ||
+         ((o.flags & iflag::kReadsRd) && o.rd == r);
+}
+
+/// dst += d * k. Every PerfCounters field is linear in the number of
+/// iterations, so a whole burst's static accounting is one scaled add
+/// instead of one add per iteration.
+void add_scaled(PerfCounters& dst, const PerfCounters& d, u64 k) {
+  dst.cycles += d.cycles * k;
+  dst.instructions += d.instructions * k;
+  dst.taken_branches += d.taken_branches * k;
+  dst.not_taken_branches += d.not_taken_branches * k;
+  dst.jumps += d.jumps * k;
+  dst.branch_stall_cycles += d.branch_stall_cycles * k;
+  dst.load_use_stall_cycles += d.load_use_stall_cycles * k;
+  dst.mem_stall_cycles += d.mem_stall_cycles * k;
+  dst.mul_div_stall_cycles += d.mul_div_stall_cycles * k;
+  dst.hwloop_backedges += d.hwloop_backedges * k;
+  dst.loads += d.loads * k;
+  dst.stores += d.stores * k;
+  dst.scalar_alu_ops += d.scalar_alu_ops * k;
+  dst.mul_ops += d.mul_ops * k;
+  dst.div_ops += d.div_ops * k;
+  dst.simd_alu_ops += d.simd_alu_ops * k;
+  dst.qnt_ops += d.qnt_ops * k;
+  dst.qnt_stall_cycles += d.qnt_stall_cycles * k;
+  dst.csr_ops += d.csr_ops * k;
+  dst.sys_ops += d.sys_ops * k;
+  dst.mac_ops += d.mac_ops * k;
+  for (unsigned i = 0; i < d.dotp_ops.size(); ++i) {
+    dst.dotp_ops[i] += d.dotp_ops[i] * k;
+  }
+  dst.lsu_data_toggles += d.lsu_data_toggles * k;
+}
+
+void add_counters(PerfCounters& dst, const PerfCounters& d) {
+  add_scaled(dst, d, 1);
+}
+
+/// Static per-op accounting, batched into the per-iteration delta (and the
+/// repair prefixes). Must mirror the fused op bodies in sb_execute():
+/// fully-inlined kinds batch their class counter here; kAluImm/kAluReg/
+/// kHandler ops run the existing exec helpers, which charge class counters
+/// and static stalls (mulh latency, qnt compare cycles) eagerly, so only
+/// the base cycle/instruction and intra-block hazard are batched for them.
+void op_static_delta(const SbOp& o, PerfCounters& d, mem::MemStats& m) {
+  d.instructions += 1;
+  d.cycles += 1 + o.hazard;
+  d.load_use_stall_cycles += o.hazard;
+  switch (o.kind) {
+    case SbKind::kConst:
+    case SbKind::kAddImm:
+      d.scalar_alu_ops += 1;
+      break;
+    case SbKind::kMac:
+      d.scalar_alu_ops += 1;
+      d.mul_ops += 1;
+      d.mac_ops += 1;
+      break;
+    case SbKind::kMem:
+      if (o.flags & iflag::kIsStore) {
+        d.stores += 1;
+        m.stores += 1;
+        m.store_bytes += o.aux;
+      } else {
+        d.loads += 1;
+        m.loads += 1;
+        m.load_bytes += o.aux;
+      }
+      break;
+    case SbKind::kDotp:
+      d.dotp_ops[o.aux] += 1;
+      break;
+    default:
+      break;
+  }
+}
+
+#ifdef XPULP_SB_HOST_SIMD
+/// Host-SIMD dot kernels for the two hot SIMD widths (bytes and nibbles),
+/// bit-identical to dotp_lanes<W, false>: widen every lane to 16 bits with
+/// its operand's signedness, multiply-accumulate pairs into 32-bit lanes
+/// (a sum of <=8 products of 16-bit values cannot overflow 32 bits — this
+/// is why pmaddwd is used and not the saturating pmaddubsw), and fold.
+/// Lane sums wrap mod 2^32 exactly like the scalar kernel's u32 adds.
+
+inline i32 host_dot8(u32 a, u32 b, u32 sum, bool sa, bool sb) {
+  const __m128i va = _mm_cvtsi32_si128(static_cast<int>(a));
+  const __m128i vb = _mm_cvtsi32_si128(static_cast<int>(b));
+  const __m128i wa = sa ? _mm_cvtepi8_epi16(va) : _mm_cvtepu8_epi16(va);
+  const __m128i wb = sb ? _mm_cvtepi8_epi16(vb) : _mm_cvtepu8_epi16(vb);
+  const u64 q =
+      static_cast<u64>(_mm_cvtsi128_si64(_mm_madd_epi16(wa, wb)));
+  return static_cast<i32>(sum + static_cast<u32>(q) +
+                          static_cast<u32>(q >> 32));
+}
+
+inline i32 host_dot4(u32 a, u32 b, u32 sum, bool sa, bool sb) {
+  // Spread the eight nibbles into eight bytes (even nibbles in the low
+  // half, odd in the high — lane order is irrelevant to a dot product as
+  // long as both operands use the same one), then sign-extend
+  // nibble-in-byte via the (x ^ 8) - 8 identity where signed.
+  const auto expand = [](u32 v) {
+    const u64 lo = v & 0x0F0F0F0Fu;
+    const u64 hi = (static_cast<u64>(v) >> 4) & 0x0F0F0F0Fu;
+    return _mm_cvtsi64_si128(static_cast<long long>(lo | hi << 32));
+  };
+  const __m128i k8 = _mm_set1_epi8(8);
+  __m128i va = expand(a);
+  __m128i vb = expand(b);
+  if (sa) va = _mm_sub_epi8(_mm_xor_si128(va, k8), k8);
+  if (sb) vb = _mm_sub_epi8(_mm_xor_si128(vb, k8), k8);
+  const __m128i wa = sa ? _mm_cvtepi8_epi16(va) : _mm_cvtepu8_epi16(va);
+  const __m128i wb = sb ? _mm_cvtepi8_epi16(vb) : _mm_cvtepu8_epi16(vb);
+  __m128i p = _mm_madd_epi16(wa, wb);
+  p = _mm_add_epi32(p, _mm_shuffle_epi32(p, 0xEE));
+  const u64 q = static_cast<u64>(_mm_cvtsi128_si64(p));
+  return static_cast<i32>(sum + static_cast<u32>(q) +
+                          static_cast<u32>(q >> 32));
+}
+
+/// Raw lane-0 replication turning a .sc operand into a full vector. Lane
+/// extension happens inside the kernels, so replicating the unextended
+/// bits is exactly the dotp_lanes<W, true> semantics.
+inline u32 rep8(u32 b) { return (b & 0xFFu) * 0x01010101u; }
+inline u32 rep4(u32 b) { return (b & 0xFu) * 0x11111111u; }
+
+/// Nibbles of `v` spread into eight bytes (even nibbles in the low four,
+/// odd in the high four) for the kConvInner nibble kernel.
+inline u64 spread4(u32 v) {
+  return (v & 0x0F0F0F0Fu) |
+         ((static_cast<u64>(v) >> 4) & 0x0F0F0F0F) << 32;
+}
+
+/// Recognize the 2x2-blocked MatMul inner body (SbShape::kConvInner):
+///   ops[0..3]  post-increment word loads (any registers, any order);
+///   ops[4..7]  same-format byte/nibble dot products over two activation
+///              words x two weight words, one accumulator each.
+/// The structural requirements are exactly what makes the batched
+/// macro-op handler equivalent to executing the four dots in sequence:
+/// identical format/sign flags, the 2x2 operand pattern, and destination
+/// registers that are distinct and never read as dot operands (loads need
+/// no constraints — the handler sequences them like the generic loop).
+/// The nibble kernel multiplies via pmaddubsw, so its first operand must
+/// be unsigned; signed-by-signed nibble blocks stay on the generic path.
+bool matches_conv_inner(const SuperblockPlan& p) {
+  if (!p.is_hwloop || p.ops.size() != 8) return false;
+  for (size_t k = 0; k < 4; ++k) {
+    const SbOp& o = p.ops[k];
+    if (o.kind != SbKind::kMem) return false;
+    const u16 f = o.flags;
+    if ((f & iflag::kIsStore) || !(f & iflag::kMemPostInc) ||
+        (f & iflag::kMemRegOff) || o.aux != 4) {
+      return false;
+    }
+  }
+  const SbOp& d0 = p.ops[4];
+  if (d0.fmt != isa::SimdFmt::kB && d0.fmt != isa::SimdFmt::kN) return false;
+  if (d0.fmt == isa::SimdFmt::kN && (d0.flags & iflag::kDotSignedA)) {
+    return false;
+  }
+  constexpr u16 kDotMask =
+      iflag::kDotAccum | iflag::kDotSignedA | iflag::kDotSignedB;
+  for (size_t k = 4; k < 8; ++k) {
+    const SbOp& o = p.ops[k];
+    if (o.kind != SbKind::kDotp || o.fmt != d0.fmt) return false;
+    if ((o.flags & kDotMask) != (d0.flags & kDotMask)) return false;
+  }
+  if (p.ops[4].rs1 != p.ops[6].rs1 || p.ops[5].rs1 != p.ops[7].rs1) {
+    return false;
+  }
+  if (p.ops[4].rs2 != p.ops[5].rs2 || p.ops[6].rs2 != p.ops[7].rs2) {
+    return false;
+  }
+  for (size_t k = 4; k < 8; ++k) {
+    const u8 rd = p.ops[k].rd;
+    if (rd == 0) return false;
+    for (size_t j = 4; j < 8; ++j) {
+      if (j != k && p.ops[j].rd == rd) return false;
+      if (p.ops[j].rs1 == rd || p.ops[j].rs2 == rd) return false;
+    }
+  }
+  return true;
+}
+#endif  // XPULP_SB_HOST_SIMD
+
+bool is_conditional_branch(Mnemonic op) {
+  using M = Mnemonic;
+  switch (op) {
+    case M::kBeq: case M::kBne: case M::kBlt: case M::kBge:
+    case M::kBltu: case M::kBgeu: case M::kPBeqimm: case M::kPBneimm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Core::sb_note_backedge(addr_t branch_pc, addr_t target) {
+  SbHeatEntry& e = sb_heat_[(branch_pc >> 1) & (kSbHeatSize - 1)];
+  if (e.pc != branch_pc) {
+    e.pc = branch_pc;
+    e.count = 1;
+    return;
+  }
+  if (++e.count >= kSbHeatThreshold) {
+    e.count = 0;
+    sb_candidate_ = target;
+    sb_candidate_branch_ = branch_pc;
+  }
+}
+
+SuperblockPlan* Core::sb_find(addr_t start) {
+  // Linear scan: a program has a handful of hot loops, not hundreds.
+  for (const auto& p : sb_plans_) {
+    if (p->start == start) return p.get();
+  }
+  return nullptr;
+}
+
+void Core::sb_recompute_extent() {
+  sb_lo_ = ~addr_t{0};
+  sb_hi_ = 0;
+  for (const auto& p : sb_plans_) {
+    sb_lo_ = std::min(sb_lo_, p->start);
+    sb_hi_ = std::max(sb_hi_, p->end);
+  }
+  if (sb_plans_.empty()) sb_lo_ = sb_hi_ = 0;
+}
+
+void Core::sb_invalidate_range(addr_t a, unsigned size) {
+  const u64 sa = a;
+  const u64 se = sa + size;
+  bool changed = false;
+  for (auto it = sb_plans_.begin(); it != sb_plans_.end();) {
+    SuperblockPlan& p = **it;
+    if (se > p.start && sa < p.end) {
+      sb_stats_.invalidations += 1;
+      changed = true;
+      if (&p == sb_active_) {
+        // The fused loop is executing this plan right now (self-modifying
+        // store): the storage can't be freed under it. Flag it — the burst
+        // bails at the next op boundary and sb_exit() evicts it.
+        sb_active_dirty_ = true;
+        p.dead = true;
+        ++it;
+      } else {
+        it = sb_plans_.erase(it);
+      }
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = sb_rejects_.begin(); it != sb_rejects_.end();) {
+    // The patched region may compile now; forget the rejection.
+    if (se > it->first && sa < it->second) {
+      it = sb_rejects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (changed) sb_recompute_extent();
+}
+
+void Core::sb_clear() {
+  sb_plans_.clear();
+  sb_rejects_.clear();
+  sb_heat_.fill({});
+  sb_candidate_ = kNoSbCandidate;
+  sb_candidate_branch_ = 0;
+  sb_active_ = nullptr;
+  sb_active_dirty_ = false;
+  sb_lo_ = sb_hi_ = 0;
+}
+
+SuperblockPlan* Core::sb_compile(addr_t start, addr_t branch_pc) {
+  // Block bounds from the trigger: a hardware loop whose start register
+  // equals `start` gives exact bounds; otherwise the heat counter recorded
+  // the backward branch that targets `start`.
+  const bool is_hwloop = branch_pc == 0;
+  addr_t end = 0;  // one past the last *body* byte
+  if (is_hwloop) {
+    for (unsigned l = 0; l < 2; ++l) {
+      if (hwl_count_[l] > 0 && hwl_start_[l] == start) {
+        end = hwl_end_[l];
+        break;
+      }
+    }
+  } else {
+    end = branch_pc;
+  }
+
+  const auto reject = [&]() -> SuperblockPlan* {
+    sb_stats_.compile_rejects += 1;
+    if (sb_rejects_.size() >= 64) sb_rejects_.clear();  // bounded memory
+    sb_rejects_.emplace_back(start, std::max(end, start) + 4);
+    return nullptr;
+  };
+
+  if (end < start || end - start > 4 * kSbMaxOps) return reject();
+
+  auto plan = std::make_unique<SuperblockPlan>();
+  plan->start = start;
+  plan->is_hwloop = is_hwloop;
+
+  u8 prev_load_rd = 0;  // op[0]'s entry hazard is dynamic, not static
+  try {
+    for (addr_t pc = start; pc < end;) {
+      // Copy: fetch_decode returns a reference into the decode cache,
+      // which later fetches may reallocate.
+      const Instr in = fetch_decode(pc);
+      if (pc + in.size > end) return reject();  // straddles the boundary
+      if (in.flags & feature_guard_) return reject();  // would trap
+      if (plan->ops.size() >= kSbMaxOps) return reject();
+
+      SbOp o{};
+      o.rd = in.rd;
+      o.rs1 = in.rs1;
+      o.rs2 = in.rs2;
+      o.flags = in.flags;
+      o.fmt = in.fmt;
+      o.cls = in.cls;
+      o.op = in.op;
+      o.imm = in.imm;
+      using C = isa::ExecClass;
+      switch (in.cls) {
+        case C::kLui:
+          o.kind = SbKind::kConst;
+          break;
+        case C::kAuipc:
+          o.kind = SbKind::kConst;
+          o.imm = static_cast<i32>(pc + static_cast<u32>(in.imm));
+          break;
+        case C::kAluImm:
+          o.kind = in.op == Mnemonic::kAddi ? SbKind::kAddImm : SbKind::kAluImm;
+          break;
+        case C::kAluReg:
+          o.kind = SbKind::kAluReg;
+          break;
+        case C::kMem:
+          o.kind = SbKind::kMem;
+          o.aux = in.mem_size;
+          break;
+        case C::kSimdDotp:
+          o.kind = SbKind::kDotp;
+          o.aux = static_cast<u8>(region_for(in.fmt));
+          break;
+        case C::kPulpScalar:
+          if (in.op == Mnemonic::kPMac || in.op == Mnemonic::kPMsu) {
+            o.kind = SbKind::kMac;
+            o.aux = in.op == Mnemonic::kPMsu;
+          } else if (in.op == Mnemonic::kPInsert ||
+                     in.op == Mnemonic::kPBclr || in.op == Mnemonic::kPBset) {
+            // Illegal bit-field shapes trap with the faulting pc. Width
+            // legality is a static property of the immediates, so verify
+            // it here and keep compiled blocks IllegalInstruction-free
+            // instead of repairing a stale pc at run time.
+            const unsigned width = static_cast<unsigned>(in.imm2) + 1;
+            const unsigned pos = static_cast<unsigned>(in.imm);
+            if (pos + width > 32) return reject();
+            o.kind = SbKind::kHandler;
+          } else {
+            o.kind = SbKind::kHandler;
+          }
+          break;
+        case C::kMulDiv:
+        case C::kSimdAlu:
+        case C::kSimdElem:
+        case C::kSimdQnt:
+          o.kind = SbKind::kHandler;
+          break;
+        default:
+          // Control flow, hwloop setup, CSR (reads live cycle counters),
+          // fence/ecall/ebreak, illegal: never fused.
+          return reject();
+      }
+
+      if (prev_load_rd != 0 && reads_reg(o, prev_load_rd)) {
+        o.hazard = static_cast<u8>(timing_.load_use_penalty);
+      }
+      prev_load_rd = load_dest(o);
+
+      plan->op_pc.push_back(pc);
+      plan->ops.push_back(o);
+      plan->instrs.push_back(in);
+      pc += in.size;
+    }
+
+    if (!is_hwloop) {
+      const Instr in = fetch_decode(branch_pc);
+      if (!is_conditional_branch(in.op)) return reject();
+      if (in.flags & feature_guard_) return reject();
+      if (branch_pc + static_cast<u32>(in.imm) != start) return reject();
+      SbOp b{};
+      b.kind = SbKind::kBranch;
+      b.op = in.op;
+      b.rs1 = in.rs1;
+      b.rs2 = in.rs2;
+      b.flags = in.flags;
+      if (in.op == Mnemonic::kPBeqimm || in.op == Mnemonic::kPBneimm) {
+        b.imm = static_cast<i32>(sign_extend(in.imm2, 5));
+      }
+      if (prev_load_rd != 0 && reads_reg(b, prev_load_rd)) {
+        b.hazard = static_cast<u8>(timing_.load_use_penalty);
+      }
+      plan->branch = b;
+      plan->end = branch_pc + in.size;
+      plan->op_pc.push_back(branch_pc);
+    } else {
+      if (plan->ops.empty()) return reject();
+      plan->end = end;
+      plan->op_pc.push_back(end);
+    }
+  } catch (...) {
+    // Decode walked off mapped memory; the interpreter will fault at the
+    // precise instruction if execution ever reaches it.
+    return reject();
+  }
+
+  // Single-region dot-product blocks let the fused loop keep that region's
+  // operand latches in host registers for the whole burst (0xff = none or
+  // mixed; the per-op note_dotp path handles those).
+  {
+    u8 dr = 0xff;
+    bool mixed = false;
+    for (const SbOp& o : plan->ops) {
+      if (o.kind != SbKind::kDotp) continue;
+      if (dr == 0xff) {
+        dr = o.aux;
+      } else if (dr != o.aux) {
+        mixed = true;
+      }
+    }
+    plan->dotp_region = mixed ? u8{0xff} : dr;
+  }
+#ifdef XPULP_SB_HOST_SIMD
+  if (matches_conv_inner(*plan)) plan->shape = SbShape::kConvInner;
+#endif
+
+  // Batched static accounting: per-op prefixes for mid-iteration repair,
+  // plus the full-iteration deltas the fused loop applies.
+  const size_t n = plan->ops.size();
+  plan->perf_prefix.resize(n + 1);
+  plan->mem_prefix.resize(n + 1);
+  PerfCounters pacc{};
+  mem::MemStats macc{};
+  for (size_t i = 0; i < n; ++i) {
+    plan->perf_prefix[i] = pacc;
+    plan->mem_prefix[i] = macc;
+    op_static_delta(plan->ops[i], pacc, macc);
+  }
+  plan->perf_prefix[n] = pacc;
+  plan->mem_prefix[n] = macc;
+  plan->iter_mem = macc;
+  if (is_hwloop) {
+    plan->iter_perf = pacc;
+    // All but the final iteration charge a hardware-loop backedge; the
+    // burst exit subtracts the final one when the count is exhausted.
+    plan->iter_perf.hwloop_backedges = 1;
+    plan->exit_perf = pacc;  // unused: hwloop exits need no extra delta
+    plan->exit_last_load_rd = load_dest(plan->ops[n - 1]);
+    if (plan->exit_last_load_rd != 0 &&
+        reads_reg(plan->ops[0], plan->exit_last_load_rd)) {
+      plan->wrap_hazard = static_cast<u8>(timing_.load_use_penalty);
+    }
+  } else {
+    const SbOp& b = plan->branch;
+    PerfCounters taken = pacc;
+    taken.instructions += 1;
+    taken.cycles += 1 + b.hazard + timing_.taken_branch_penalty;
+    taken.load_use_stall_cycles += b.hazard;
+    taken.branch_stall_cycles += timing_.taken_branch_penalty;
+    taken.taken_branches += 1;
+    PerfCounters fall = pacc;
+    fall.instructions += 1;
+    fall.cycles += 1 + b.hazard;
+    fall.load_use_stall_cycles += b.hazard;
+    fall.not_taken_branches += 1;
+    plan->iter_perf = taken;
+    plan->exit_perf = fall;
+    // The op before op[0] on later iterations is the branch — never a
+    // load — so both wrap_hazard and the exit last-load slot stay 0.
+  }
+
+  sb_stats_.blocks_compiled += 1;
+  sb_plans_.push_back(std::move(plan));
+  SuperblockPlan* out = sb_plans_.back().get();
+  sb_recompute_extent();
+  return out;
+}
+
+u64 Core::superblock_enter(addr_t start, addr_t branch_pc, u64 budget) {
+  // The ungated config broadcasts EX-stage operands per instruction (a
+  // power-model effect the batched loop can't reproduce), and reference
+  // dispatch / tracing want the plain interpreters.
+  if (!cfg_.superblock || !cfg_.clock_gating) return 0;
+  SuperblockPlan* plan = sb_find(start);
+  if (plan == nullptr) {
+    for (const auto& r : sb_rejects_) {
+      if (r.first == start) return 0;
+    }
+    plan = sb_compile(start, branch_pc);
+    if (plan == nullptr) return 0;
+  }
+  return sb_execute(*plan, budget);
+}
+
+void Core::sb_exit(SuperblockPlan& plan) {
+  sb_active_ = nullptr;
+  if (plan.dead) {
+    for (auto it = sb_plans_.begin(); it != sb_plans_.end(); ++it) {
+      if (it->get() == &plan) {
+        sb_plans_.erase(it);
+        break;
+      }
+    }
+    sb_recompute_extent();
+  }
+  sb_active_dirty_ = false;
+}
+
+u64 Core::sb_execute(SuperblockPlan& plan, u64 budget) {
+  const size_t n = plan.ops.size();
+  const u64 per_iter = n + (plan.is_hwloop ? 0 : 1);
+
+  // Entry guards: the cached plan is keyed by its start address; verify
+  // the *current* machine state still matches the structure it was
+  // compiled for, else fall back to the interpreter for this visit.
+  int l = -1;
+  if (plan.is_hwloop) {
+    if (hwl_start_[0] == plan.start && hwl_end_[0] == plan.end &&
+        hwl_count_[0] > 0) {
+      l = 0;
+    } else if (hwl_start_[1] == plan.start && hwl_end_[1] == plan.end &&
+               hwl_count_[1] > 0) {
+      l = 1;
+    } else {
+      sb_stats_.entry_rejects += 1;
+      return 0;
+    }
+    // The other loop must not claim an instruction boundary inside the
+    // block: the interpreter services L0 before L1 at every boundary, so
+    // a shared end address is only safe when we fused L0.
+    const unsigned o = 1 - static_cast<unsigned>(l);
+    if (hwl_count_[o] != 0) {
+      const addr_t oe = hwl_end_[o];
+      if ((oe > plan.start && oe < plan.end) || (oe == plan.end && l != 0)) {
+        sb_stats_.entry_rejects += 1;
+        return 0;
+      }
+    }
+  } else if (hwl_active_) {
+    // A live hardware loop could take a backedge at any boundary inside
+    // the block; the plan has no hwloop checks compiled in.
+    sb_stats_.entry_rejects += 1;
+    return 0;
+  }
+
+  u64 iters = budget / per_iter;
+  u64 count_entry = 0;
+  if (plan.is_hwloop) {
+    count_entry = hwl_count_[l];
+    iters = std::min<u64>(iters, count_entry);
+  }
+  if (iters == 0) return 0;  // budget smaller than one iteration
+
+  sb_stats_.entries += 1;
+  sb_active_ = &plan;
+  sb_active_dirty_ = false;
+
+  // op[0]'s load-use hazard against the live entry context (first
+  // iteration only; afterwards it wraps around statically).
+  const SbOp* const ops = plan.ops.data();
+  unsigned hz0 = 0;
+  if (last_load_rd_ != 0) {
+    const SbOp& first = n != 0 ? ops[0] : plan.branch;
+    if (reads_reg(first, last_load_rd_)) hz0 = timing_.load_use_penalty;
+  }
+
+  // Burst-local hoisting. None of the ops a plan can contain reach these
+  // core members except the inlined kMem/kDotp bodies below (kMem never
+  // compiles to kHandler, note_dotp is only called from the dotp fast
+  // path, and broadcast_operands only runs ungated — excluded at entry),
+  // so they can live in host registers for the whole burst and be flushed
+  // once at every exit:
+  //   - the LSU data latch and its toggle count;
+  //   - the operand latches of the block's single dot-product region.
+  // The memory model's dynamic stall sources are loop-invariant too: with
+  // no hook and no contention injector, an aligned in-bounds access costs
+  // zero stalls and nothing else in access_stalls() can fire.
+  const u32 msize = mem_.size();
+  const bool mem_slim =
+      !mem_.has_access_hook() && mem_.contention_period() == 0;
+  u32 lld = last_load_data_;
+  u64 toggles = 0;
+  const unsigned dr = plan.dotp_region;
+  const bool hoist_dotp = dr != 0xff && dotp_.clock_gating();
+  u32 dla = 0, dlb = 0;
+  u64 dtog = 0, dops = 0;
+  if (hoist_dotp) {
+    dla = dotp_.latch_a(dr);
+    dlb = dotp_.latch_b(dr);
+  }
+  const auto flush = [&]() {
+    last_load_data_ = lld;
+    perf_.lsu_data_toggles += toggles;
+    if (hoist_dotp) {
+      dotp_.set_latches(dr, dla, dlb);
+      dotp_.add_activity(dr, dtog, dops);
+    }
+  };
+
+#ifdef XPULP_SB_HOST_SIMD
+  // The kConvInner macro-op handler needs the slim memory path (an access
+  // hook or contention injector must observe every access in order) and
+  // the hoisted dot latches; otherwise the generic op loop serves.
+  const bool use_conv =
+      plan.shape == SbShape::kConvInner && mem_slim && hoist_dotp;
+  u8 cx0 = 0, cx1 = 0, cw0 = 0, cw1 = 0;
+  bool conv_bytes = false, conv_sa = false, conv_sb = false,
+       conv_acc = false;
+  if (use_conv) {
+    cx0 = ops[4].rs1;
+    cx1 = ops[5].rs1;
+    cw0 = ops[4].rs2;
+    cw1 = ops[6].rs2;
+    conv_bytes = ops[4].fmt == isa::SimdFmt::kB;
+    conv_sa = (ops[4].flags & iflag::kDotSignedA) != 0;
+    conv_sb = (ops[4].flags & iflag::kDotSignedB) != 0;
+    conv_acc = (ops[4].flags & iflag::kDotAccum) != 0;
+  }
+#endif
+
+  // The static accounting of completed iterations is applied ONCE at burst
+  // exit, scaled by `done` (it is linear in the iteration count); only
+  // dynamic effects (memory stalls, toggles, handler-internal latencies)
+  // touch the counters inside the loop. Same for the hardware-loop count
+  // register. Every exit path below — completion, budget, SMC bail, trap —
+  // therefore finishes with the batched add before leaving.
+  u64 done = 0;      // completed iterations (incl. a final not-taken one)
+  u64 retired = 0;   // instructions retired by this burst
+  size_t i = 0;      // op cursor, read by the trap-repair path
+  bool fell_through = false;  // branch plans: exited via the not-taken side
+  bool exhausted = false;     // hwloop plans: final iteration retired
+  try {
+    for (;;) {
+      // Per-iteration guards, checked at the block-start boundary: a
+      // store from a previous iteration hit this block, or a trace hook
+      // attached mid-burst (possible only via a handler side effect —
+      // cheap to check, so check it anyway).
+      if (done != 0 && (sb_active_dirty_ || trace_)) [[unlikely]] {
+        pc_ = plan.start;
+        last_load_rd_ = plan.is_hwloop ? plan.exit_last_load_rd : 0;
+        break;
+      }
+      const unsigned hz = done == 0 ? hz0 : plan.wrap_hazard;
+      if (hz != 0) {
+        perf_.cycles += hz;
+        perf_.load_use_stall_cycles += hz;
+      }
+
+      size_t completed = n;
+#ifdef XPULP_SB_HOST_SIMD
+      if (use_conv) {
+        // Loads first, sequenced exactly like the generic loop (`i` stays
+        // the op cursor so a faulting load repairs identically).
+        for (i = 0; i < 4; ++i) {
+          const SbOp& o = ops[i];
+          const u32 base = regs_[o.rs1];
+          if (!((base & 3u) == 0 &&
+                static_cast<u64>(base) + 4 <= msize)) [[unlikely]] {
+            const unsigned stalls = mem_.access_stalls(base, 4, false);
+            if (stalls != 0) {
+              perf_.cycles += stalls;
+              perf_.mem_stall_cycles += stalls;
+            }
+          }
+          const u32 v = mem_.load_unchecked(base, 4);
+          toggles += hamming_distance(lld, v);
+          lld = v;
+          set_reg(o.rd, v);
+          set_reg(o.rs1, base + static_cast<u32>(o.imm));
+        }
+        // All four dots in two SIMD multiply-accumulate steps over the
+        // 2x2 operand block; nothing past the loads can fault.
+        const u32 x0 = regs_[cx0];
+        const u32 x1 = regs_[cx1];
+        const u32 w0 = regs_[cw0];
+        const u32 w1 = regs_[cw1];
+        __m128i s;  // [x0.w0, x1.w0, x0.w1, x1.w1]
+        if (conv_bytes) {
+          const __m128i va = _mm_cvtsi64_si128(static_cast<long long>(
+              static_cast<u64>(x0) | static_cast<u64>(x1) << 32));
+          const __m128i vb0 = _mm_cvtsi64_si128(static_cast<long long>(
+              static_cast<u64>(w0) | static_cast<u64>(w0) << 32));
+          const __m128i vb1 = _mm_cvtsi64_si128(static_cast<long long>(
+              static_cast<u64>(w1) | static_cast<u64>(w1) << 32));
+          const __m128i wa =
+              conv_sa ? _mm_cvtepi8_epi16(va) : _mm_cvtepu8_epi16(va);
+          const __m128i wb0 =
+              conv_sb ? _mm_cvtepi8_epi16(vb0) : _mm_cvtepu8_epi16(vb0);
+          const __m128i wb1 =
+              conv_sb ? _mm_cvtepi8_epi16(vb1) : _mm_cvtepu8_epi16(vb1);
+          s = _mm_hadd_epi32(_mm_madd_epi16(wa, wb0),
+                             _mm_madd_epi16(wa, wb1));
+        } else {
+          // Nibbles: unsigned-first pmaddubsw (compile-time guaranteed),
+          // pair sums <= 2*15*15 so the s16 saturation is unreachable.
+          const __m128i a16 = _mm_set_epi64x(
+              static_cast<long long>(spread4(x1)),
+              static_cast<long long>(spread4(x0)));
+          __m128i b0 = _mm_set1_epi64x(static_cast<long long>(spread4(w0)));
+          __m128i b1 = _mm_set1_epi64x(static_cast<long long>(spread4(w1)));
+          if (conv_sb) {
+            const __m128i k8 = _mm_set1_epi8(8);
+            b0 = _mm_sub_epi8(_mm_xor_si128(b0, k8), k8);
+            b1 = _mm_sub_epi8(_mm_xor_si128(b1, k8), k8);
+          }
+          const __m128i ones = _mm_set1_epi16(1);
+          s = _mm_hadd_epi32(
+              _mm_madd_epi16(_mm_maddubs_epi16(a16, b0), ones),
+              _mm_madd_epi16(_mm_maddubs_epi16(a16, b1), ones));
+        }
+        alignas(16) i32 d[4];
+        _mm_store_si128(reinterpret_cast<__m128i*>(d), s);
+        for (unsigned k = 0; k < 4; ++k) {
+          const SbOp& o = ops[4 + k];
+          const u32 acc = conv_acc ? regs_[o.rd] : 0;
+          set_reg(o.rd, acc + static_cast<u32>(d[k]));
+        }
+        // The dot-latch sequence x0,x1,x0,x1 / w0,w0,w1,w1 folds to four
+        // Hamming distances (two of the b-side steps are zero).
+        dtog += hamming_distance(dla, x0) + 3 * hamming_distance(x0, x1) +
+                hamming_distance(dlb, w0) + hamming_distance(w0, w1);
+        dla = x1;
+        dlb = w1;
+        dops += 4;
+      } else
+#endif
+      for (i = 0; i < n; ++i) {
+        const SbOp& o = ops[i];
+        switch (o.kind) {
+          case SbKind::kConst:
+            set_reg(o.rd, static_cast<u32>(o.imm));
+            break;
+          case SbKind::kAddImm:
+            set_reg(o.rd, regs_[o.rs1] + static_cast<u32>(o.imm));
+            break;
+          case SbKind::kAluImm:
+            alu_body(plan.instrs[i], static_cast<u32>(o.imm));
+            break;
+          case SbKind::kAluReg:
+            alu_body(plan.instrs[i], regs_[o.rs2]);
+            break;
+          case SbKind::kMac: {
+            const u32 prod = regs_[o.rs1] * regs_[o.rs2];
+            set_reg(o.rd, o.aux ? regs_[o.rd] - prod : regs_[o.rd] + prod);
+            break;
+          }
+          case SbKind::kMem: {
+            const u16 f = o.flags;
+            const bool store = (f & iflag::kIsStore) != 0;
+            const u32 base = regs_[o.rs1];
+            const u32 off = (f & iflag::kMemRegOff)
+                                ? regs_[store ? o.rd : o.rs2]
+                                : static_cast<u32>(o.imm);
+            const addr_t addr =
+                (f & iflag::kMemPostInc) ? base : base + off;
+            // Aligned in-bounds accesses are stall-free in slim mode;
+            // everything else (misaligned, out-of-range, hook, contention)
+            // takes the full accounting/trapping path.
+            if (!(mem_slim && (addr & (o.aux - 1u)) == 0 &&
+                  static_cast<u64>(addr) + o.aux <= msize)) [[unlikely]] {
+              const unsigned stalls = mem_.access_stalls(addr, o.aux, store);
+              if (stalls != 0) {
+                perf_.cycles += stalls;
+                perf_.mem_stall_cycles += stalls;
+              }
+            }
+            if (store) {
+              mem_.store_unchecked(addr, regs_[o.rs2], o.aux);
+              icache_invalidate(addr, o.aux);
+            } else {
+              u32 v = mem_.load_unchecked(addr, o.aux);
+              if (f & iflag::kLoadSigned) {
+                v = static_cast<u32>(sign_extend(v, o.aux * 8));
+              }
+              toggles += hamming_distance(lld, v);
+              lld = v;
+              set_reg(o.rd, v);
+            }
+            if (f & iflag::kMemPostInc) set_reg(o.rs1, base + off);
+            if (store && sb_active_dirty_) [[unlikely]] {
+              // Self-modifying store into this very block: stop at the
+              // boundary after the store, before any stale decode runs.
+              completed = i + 1;
+              break;
+            }
+            break;
+          }
+          case SbKind::kDotp: {
+            const u32 a = regs_[o.rs1];
+            const u32 b = regs_[o.rs2];
+            const u16 f = o.flags;
+            const bool sa = (f & iflag::kDotSignedA) != 0;
+            const bool sb = (f & iflag::kDotSignedB) != 0;
+            const u32 acc = (f & iflag::kDotAccum) ? regs_[o.rd] : 0;
+            i32 r = 0;
+            switch (o.fmt) {
+              case isa::SimdFmt::kH: r = dotp_lanes<16, false>(a, b, acc, sa, sb); break;
+              case isa::SimdFmt::kHSc: r = dotp_lanes<16, true>(a, b, acc, sa, sb); break;
+#ifdef XPULP_SB_HOST_SIMD
+              case isa::SimdFmt::kB: r = host_dot8(a, b, acc, sa, sb); break;
+              case isa::SimdFmt::kBSc: r = host_dot8(a, rep8(b), acc, sa, sb); break;
+              case isa::SimdFmt::kN: r = host_dot4(a, b, acc, sa, sb); break;
+              case isa::SimdFmt::kNSc: r = host_dot4(a, rep4(b), acc, sa, sb); break;
+#else
+              case isa::SimdFmt::kB: r = dotp_lanes<8, false>(a, b, acc, sa, sb); break;
+              case isa::SimdFmt::kBSc: r = dotp_lanes<8, true>(a, b, acc, sa, sb); break;
+              case isa::SimdFmt::kN: r = dotp_lanes<4, false>(a, b, acc, sa, sb); break;
+              case isa::SimdFmt::kNSc: r = dotp_lanes<4, true>(a, b, acc, sa, sb); break;
+#endif
+              case isa::SimdFmt::kC: r = dotp_lanes<2, false>(a, b, acc, sa, sb); break;
+              case isa::SimdFmt::kCSc: r = dotp_lanes<2, true>(a, b, acc, sa, sb); break;
+              default: break;  // unreachable: validated at compile time
+            }
+            if (hoist_dotp) {
+              dtog += hamming_distance(dla, a) + hamming_distance(dlb, b);
+              dla = a;
+              dlb = b;
+              dops += 1;
+            } else {
+              dotp_.note_dotp(o.aux, a, b);
+            }
+            set_reg(o.rd, static_cast<u32>(r));
+            break;
+          }
+          case SbKind::kHandler:
+            (this->*kExecTable[static_cast<size_t>(o.cls)])(plan.instrs[i]);
+            break;
+          case SbKind::kBranch:
+            break;  // unreachable: the terminal branch is not in ops
+        }
+        if (completed != n) break;
+      }
+
+      if (completed != n) [[unlikely]] {
+        // Mid-iteration SMC bail at an exact boundary: batched statics for
+        // the completed ops (the iteration-entry hazard was charged
+        // eagerly above), pc at the next op, last-load tracking from the
+        // op before it.
+        add_counters(perf_, plan.perf_prefix[completed]);
+        mem_.add_counts(plan.mem_prefix[completed]);
+        pc_ = plan.op_pc[completed];
+        last_load_rd_ = load_dest(ops[completed - 1]);
+        retired += completed;
+        sb_stats_.smc_bails += 1;
+        break;
+      }
+
+      if (plan.is_hwloop) {
+        retired += n;
+        done += 1;
+        if (done == iters) {
+          exhausted = done == count_entry;
+          pc_ = exhausted ? plan.end : plan.start;
+          last_load_rd_ = plan.exit_last_load_rd;
+          break;
+        }
+      } else {
+        if (sb_active_dirty_) [[unlikely]] {
+          // A store in this iteration hit the block with the terminal
+          // branch's bytes covered by the invalidation too — bail at the
+          // branch boundary so it re-runs interpreted from fresh decode.
+          add_counters(perf_, plan.perf_prefix[n]);
+          mem_.add_counts(plan.mem_prefix[n]);
+          pc_ = plan.op_pc[n];
+          if (n != 0) last_load_rd_ = load_dest(ops[n - 1]);
+          retired += n;
+          sb_stats_.smc_bails += 1;
+          break;
+        }
+        const SbOp& b = plan.branch;
+        const u32 a = regs_[b.rs1];
+        const u32 b2 = regs_[b.rs2];
+        bool taken = false;
+        switch (b.op) {
+          case Mnemonic::kBeq: taken = a == b2; break;
+          case Mnemonic::kBne: taken = a != b2; break;
+          case Mnemonic::kBlt:
+            taken = static_cast<i32>(a) < static_cast<i32>(b2);
+            break;
+          case Mnemonic::kBge:
+            taken = static_cast<i32>(a) >= static_cast<i32>(b2);
+            break;
+          case Mnemonic::kBltu: taken = a < b2; break;
+          case Mnemonic::kBgeu: taken = a >= b2; break;
+          case Mnemonic::kPBeqimm: taken = static_cast<i32>(a) == b.imm; break;
+          case Mnemonic::kPBneimm: taken = static_cast<i32>(a) != b.imm; break;
+          default: break;  // unreachable: validated at compile time
+        }
+        retired += per_iter;
+        done += 1;
+        last_load_rd_ = 0;  // the branch is always the last instruction
+        if (!taken) {
+          fell_through = true;
+          pc_ = plan.end;
+          break;
+        }
+        if (done == iters) {
+          pc_ = plan.start;
+          break;
+        }
+      }
+    }
+  } catch (...) {
+    // op[i] trapped mid-iteration. Only memory faults can reach a compiled
+    // block (IllegalInstruction is statically excluded at compile time),
+    // and MemoryFault carries the address, not the pc — but repair the pc
+    // anyway so the machine state equals the interpreter's at the faulting
+    // instruction: batched statics for the `done` whole iterations (all
+    // taken, for branch plans) and the completed ops of this one, the
+    // faulting op's own hazard (the step paths charge it before
+    // executing), pc at the op, last-load tracking from its predecessor.
+    flush();
+    add_scaled(perf_, plan.iter_perf, done);
+    mem_.add_counts(plan.iter_mem, done);
+    if (plan.is_hwloop) hwl_count_[l] -= static_cast<u32>(done);
+    add_counters(perf_, plan.perf_prefix[i]);
+    mem_.add_counts(plan.mem_prefix[i]);
+    if (i > 0) {
+      const unsigned hzf = ops[i].hazard;
+      if (hzf != 0) {
+        perf_.cycles += hzf;
+        perf_.load_use_stall_cycles += hzf;
+      }
+      last_load_rd_ = load_dest(ops[i - 1]);
+    } else if (done > 0) {
+      last_load_rd_ = plan.is_hwloop ? plan.exit_last_load_rd : 0;
+    }  // else: entry value, untouched by the burst, is already correct
+    pc_ = plan.op_pc[i];
+    sb_stats_.trap_bails += 1;
+    sb_stats_.fused_iterations += done;
+    sb_stats_.fused_instructions += retired + i;
+    sb_exit(plan);
+    throw;
+  }
+
+  // Batched static accounting of the completed iterations.
+  flush();
+  add_scaled(perf_, plan.iter_perf, done - (fell_through ? 1 : 0));
+  if (fell_through) add_counters(perf_, plan.exit_perf);
+  mem_.add_counts(plan.iter_mem, done);
+  if (plan.is_hwloop) {
+    hwl_count_[l] -= static_cast<u32>(done);
+    if (exhausted) {
+      // The final iteration falls through instead of taking the backedge.
+      perf_.hwloop_backedges -= 1;
+      update_hwl_active();
+    }
+  }
+  sb_stats_.fused_iterations += done;
+  sb_stats_.fused_instructions += retired;
+  sb_exit(plan);
+  return retired;
+}
+
+}  // namespace xpulp::sim

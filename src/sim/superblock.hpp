@@ -1,0 +1,118 @@
+// Trace-compiled superblock execution (DESIGN.md §12).
+//
+// The fast interpreter still pays per-instruction dispatch, hazard checks
+// and counter updates inside the tiny hardware-loop bodies that dominate
+// the paper's kernels (2 loads + 4 pv.sdot per MatMul inner iteration). A
+// superblock "compiles" such a hot straight-line region into a flat
+// SuperblockPlan — decoded operands pinned in a compact op array, one
+// fused C++ loop executing whole iterations, and the static part of the
+// PerfCounters/MemStats accounting applied as one batched per-iteration
+// delta. Dynamic effects (memory stalls, load-data toggles, division
+// latency, dot-product activity, self-modifying-store invalidation) stay
+// eager so every exit lands on a bit-exact instruction boundary.
+//
+// Detection, compilation, execution and invalidation live in
+// superblock.cpp as Core member functions; this header only defines the
+// plan layout so core.hpp can hold the cache by forward declaration.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "mem/memory.hpp"
+#include "sim/core.hpp"
+
+namespace xpulp::sim {
+
+/// How the fused loop executes one op. Fully-inlined kinds batch their
+/// class counter in the static per-iteration delta; the remaining kinds
+/// call the existing exec helpers, which charge class counters (and any
+/// static stalls such as mulh latency) eagerly.
+enum class SbKind : u8 {
+  kConst,    // lui / auipc: value precomputed at compile time
+  kAddImm,   // addi
+  kAluImm,   // other immediate ALU ops via alu_body
+  kAluReg,   // register ALU ops via alu_body
+  kMac,      // p.mac / p.msu
+  kMem,      // every load/store addressing mode, flags-driven
+  kDotp,     // pv.dotp/sdot families via the dotp_lanes kernel
+  kHandler,  // muldiv / pulp-scalar / simd-alu / simd-elem / pv.qnt
+  kBranch,   // terminal conditional branch (backward-branch plans only)
+};
+
+/// Recognized whole-iteration shapes. kConvInner is the 2x2-blocked
+/// MatMul inner body every conv kernel in this repo emits (4 post-inc
+/// word loads feeding 4 accumulate-dots over 2 activation x 2 weight
+/// words); sb_execute runs it through a hand-fused macro-op handler that
+/// expands each operand word once and computes all four dot products in
+/// two SIMD multiply-accumulate steps.
+enum class SbShape : u8 {
+  kGeneric = 0,
+  kConvInner,
+};
+
+struct SbOp {
+  SbKind kind = SbKind::kHandler;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  /// kMem: access size in bytes. kDotp: multiplier region (DotpRegion
+  /// numbering). kMac: 1 for p.msu.
+  u8 aux = 0;
+  /// Static load-use stall cycles against the previous op in the block
+  /// (op[0]'s hazard against the entry context is dynamic, see
+  /// SuperblockPlan::wrap_hazard).
+  u8 hazard = 0;
+  u16 flags = 0;  // iflag:: bits from the decode
+  isa::SimdFmt fmt = isa::SimdFmt::kNone;
+  isa::ExecClass cls = isa::ExecClass::kIllegal;
+  isa::Mnemonic op{};
+  /// Immediate operand; kConst: the precomputed result value; kBranch
+  /// p.beqimm/p.bneimm: the sign-extended compare immediate.
+  i32 imm = 0;
+};
+
+/// A compiled superblock: one hot straight-line region plus everything the
+/// fused loop needs to retire whole iterations without touching the
+/// decoder or the handler table. Host-side state only — never serialized;
+/// checkpoints restore into an empty cache and recompile lazily.
+struct SuperblockPlan {
+  addr_t start = 0;  // first instruction of the block
+  addr_t end = 0;    // one past the last code byte (= bail-out boundary)
+  bool is_hwloop = true;
+  /// Invalidated by a store while the fused loop was executing this plan;
+  /// evicted at burst exit (the storage can't be freed mid-burst).
+  bool dead = false;
+
+  std::vector<SbOp> ops;           // straight-line body, no control flow
+  std::vector<isa::Instr> instrs;  // parallel cold mirror for kHandler ops
+  /// ops.size()+1 entries: the pc of each op, then the boundary after the
+  /// body (hwloop: the loop end; branch plans: the branch pc).
+  std::vector<addr_t> op_pc;
+  SbOp branch{};  // branch plans: the terminal conditional branch
+
+  /// prefix[i] = batched static deltas of ops [0, i) — the repair applied
+  /// when a memory fault or self-modifying store exits mid-iteration.
+  std::vector<PerfCounters> perf_prefix;
+  std::vector<mem::MemStats> mem_prefix;
+  PerfCounters iter_perf;  // one full iteration (hwloop body / branch taken)
+  PerfCounters exit_perf;  // branch plans: final, not-taken iteration
+  mem::MemStats iter_mem;
+
+  /// Load-use stall of op[0] against the block's last op — static for
+  /// every iteration after the first (the first checks the live
+  /// last-load register at entry).
+  u8 wrap_hazard = 0;
+  /// Multiplier region shared by every kDotp op in the block, 0xff when
+  /// none or mixed. A single-region block lets the fused loop keep that
+  /// region's operand latches in host registers for the whole burst.
+  u8 dotp_region = 0xff;
+  /// Whole-iteration specialization selected at compile time.
+  SbShape shape = SbShape::kGeneric;
+  /// last_load_rd_ after a completed iteration (loads feed the hazard
+  /// check of whatever the interpreter executes next).
+  u8 exit_last_load_rd = 0;
+};
+
+}  // namespace xpulp::sim

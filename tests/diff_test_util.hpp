@@ -50,6 +50,21 @@ inline FinalState run_mode(const xasm::Program& prog, sim::CoreConfig cfg,
   return final_state_of(core, mem);
 }
 
+/// Third dispatch mode: the fast path with the superblock engine forced
+/// on, regardless of the XPULP_SUPERBLOCK environment default.
+inline FinalState run_mode_superblock(const xasm::Program& prog,
+                                      sim::CoreConfig cfg,
+                                      u64 max_instr = 2'000'000) {
+  cfg.reference_dispatch = false;
+  cfg.superblock = true;
+  mem::Memory mem;
+  prog.load(mem);
+  sim::Core core(mem, std::move(cfg));
+  core.reset(prog.entry(), prog.base() + prog.size_bytes());
+  core.run(max_instr);
+  return final_state_of(core, mem);
+}
+
 /// Every field must match: the fast path / a restored checkpoint is an
 /// optimization of the host interpreter, never of the modelled timing.
 inline void expect_identical(const FinalState& ref, const FinalState& fast) {

@@ -247,6 +247,110 @@ TEST(CkptDiff, ConvKernelVariantsRestoreBitIdentical) {
   }
 }
 
+TEST(CkptDiff, MidSuperblockSnapshotsLandOnExactBoundaries) {
+  // With the superblock engine active, whole loop iterations retire as
+  // fused bursts — a snapshot request at instruction index N must still
+  // land on *exactly* N retired instructions (run_steps caps the burst
+  // budget), and the resulting image must resume bit-identically into both
+  // a fresh core and the live, rewound instance.
+  qnn::ConvSpec spec = qnn::ConvSpec::paper_layer(8);
+  spec.in_h = spec.in_w = 4;
+  spec.out_c = 8;
+  const auto data = kernels::ConvLayerData::random(spec, 0x5eed);
+  const auto kernel =
+      kernels::generate_conv_kernel(spec, kernels::ConvVariant::kXpulpV2_8b);
+
+  sim::CoreConfig cfg = sim::CoreConfig::extended();
+  cfg.superblock = true;
+
+  // Uninterrupted superblock baseline; the engine must actually fuse here,
+  // or the snapshot points below would never fall inside a burst.
+  FinalState base;
+  {
+    mem::Memory mem;
+    kernel.program.load(mem);
+    kernels::load_conv_data(data, kernel.layout, mem);
+    sim::Core core(mem, cfg);
+    core.reset(kernel.program.entry(),
+               kernel.program.base() + kernel.program.size_bytes());
+    core.run(600'000'000);
+    ASSERT_GT(core.superblock_stats().fused_instructions, 0u);
+    base = final_state_of(core, mem);
+    ASSERT_EQ(base.reason, sim::HaltReason::kEcall);
+  }
+
+  Rng rng(0x5bc2);
+  const u64 instr = base.perf.instructions;
+  for (const u64 snap_at :
+       {instr / 4, instr / 2, instr * 3 / 4,
+        static_cast<u64>(1 + rng.uniform(0, static_cast<i32>(instr - 2)))}) {
+    mem::Memory mem;
+    kernel.program.load(mem);
+    kernels::load_conv_data(data, kernel.layout, mem);
+    sim::Core core(mem, cfg);
+    core.reset(kernel.program.entry(),
+               kernel.program.base() + kernel.program.size_bytes());
+
+    // The pause must be boundary-exact even when `snap_at` falls in the
+    // middle of a hot hwloop the engine would otherwise burst through.
+    ASSERT_EQ(core.run_steps(snap_at), snap_at);
+    ASSERT_EQ(core.perf().instructions, snap_at);
+    ASSERT_FALSE(core.halted());
+    const ckpt::Snapshot snap =
+        ckpt::deserialize(ckpt::serialize(ckpt::capture(core, mem)));
+
+    // Resume into a fresh machine (superblock plans rebuild lazily).
+    mem::Memory fresh_mem(mem.size());
+    sim::Core fresh(fresh_mem, cfg);
+    ckpt::apply(snap, fresh, fresh_mem);
+    fresh.run(600'000'000);
+    expect_identical(base, final_state_of(fresh, fresh_mem));
+
+    // Finish the paused instance, then rewind the same (live, warmed-up)
+    // core back to the snapshot and replay the tail.
+    core.run(600'000'000);
+    expect_identical(base, final_state_of(core, mem));
+    ckpt::apply(snap, core, mem);
+    core.run(600'000'000);
+    expect_identical(base, final_state_of(core, mem));
+    if (::testing::Test::HasFailure()) FAIL() << "snap_at " << snap_at;
+  }
+}
+
+TEST(CkptDiff, RandomProgramSnapshotsWithSuperblockActive) {
+  // Same boundary-exactness property over the random program generator:
+  // run_steps + capture + restore at arbitrary indices with fusion on.
+  for (u64 trial = 0; trial < 6; ++trial) {
+    const xasm::Program prog = random_program(0x5b00 + trial * 613);
+    sim::CoreConfig cfg = sim::CoreConfig::extended();
+    cfg.superblock = true;
+    const FinalState base = run_mode(prog, cfg, false);
+    ASSERT_EQ(base.reason, sim::HaltReason::kEcall) << "trial " << trial;
+
+    Rng rng(0xb0c + trial);
+    const u64 instr = base.perf.instructions;
+    const u64 snap_at =
+        static_cast<u64>(1 + rng.uniform(0, static_cast<i32>(instr - 2)));
+    mem::Memory mem;
+    prog.load(mem);
+    sim::Core core(mem, cfg);
+    core.reset(prog.entry(), prog.base() + prog.size_bytes());
+    ASSERT_EQ(core.run_steps(snap_at), snap_at);
+    ASSERT_EQ(core.perf().instructions, snap_at);
+    const ckpt::Snapshot snap =
+        ckpt::deserialize(ckpt::serialize(ckpt::capture(core, mem)));
+
+    mem::Memory fresh_mem(mem.size());
+    sim::Core fresh(fresh_mem, cfg);
+    ckpt::apply(snap, fresh, fresh_mem);
+    fresh.run(kBudget);
+    expect_identical(base, final_state_of(fresh, fresh_mem));
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "diverged: trial " << trial << " snap_at " << snap_at;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cluster snapshots.
 

@@ -1,8 +1,10 @@
-// Differential test between the two interpreter dispatch modes: the legacy
-// switch-on-mnemonic reference path and the predecoded handler-table fast
-// path must produce bit-identical architectural state, memory images, halt
-// reasons and *every* PerfCounters field — the fast path is an optimization
-// of the host interpreter, never of the modelled RI5CY timing.
+// Differential test between the interpreter dispatch modes: the legacy
+// switch-on-mnemonic reference path, the predecoded handler-table fast
+// path and the superblock engine (fused hot-loop bursts on top of the fast
+// path) must produce bit-identical architectural state, memory images,
+// halt reasons and *every* PerfCounters field — the faster paths are
+// optimizations of the host interpreter, never of the modelled RI5CY
+// timing.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -22,14 +24,17 @@ using test::expect_identical;
 using test::FinalState;
 using test::random_program;
 using test::run_mode;
+using test::run_mode_superblock;
 
 TEST(DispatchDiff, RandomProgramsBitIdentical) {
   for (u64 trial = 0; trial < 25; ++trial) {
     const xasm::Program prog = random_program(0xd15b07c4 + trial * 977);
     const auto ref = run_mode(prog, sim::CoreConfig::extended(), true);
     const auto fast = run_mode(prog, sim::CoreConfig::extended(), false);
+    const auto sb = run_mode_superblock(prog, sim::CoreConfig::extended());
     ASSERT_EQ(ref.reason, sim::HaltReason::kEcall) << "trial " << trial;
     expect_identical(ref, fast);
+    expect_identical(ref, sb);
     if (::testing::Test::HasFailure()) FAIL() << "diverged at trial " << trial;
   }
 }
@@ -98,20 +103,27 @@ TEST(DispatchDiff, ConvKernelVariantsBitIdentical) {
     sim::CoreConfig ref_cfg = sim::CoreConfig::extended();
     ref_cfg.reference_dispatch = true;
     sim::CoreConfig fast_cfg = sim::CoreConfig::extended();
+    fast_cfg.superblock = false;
+    sim::CoreConfig sb_cfg = sim::CoreConfig::extended();
+    sb_cfg.superblock = true;
 
     const auto ref = kernels::run_conv_layer(data, v, ref_cfg);
     const auto fast = kernels::run_conv_layer(data, v, fast_cfg);
+    const auto sb = kernels::run_conv_layer(data, v, sb_cfg);
 
-    EXPECT_EQ(ref.perf.cycles, fast.perf.cycles) << kernels::variant_name(v);
-    EXPECT_EQ(ref.perf.instructions, fast.perf.instructions);
-    EXPECT_EQ(ref.perf.hwloop_backedges, fast.perf.hwloop_backedges);
-    EXPECT_EQ(ref.perf.load_use_stall_cycles, fast.perf.load_use_stall_cycles);
-    EXPECT_EQ(ref.perf.qnt_stall_cycles, fast.perf.qnt_stall_cycles);
-    EXPECT_EQ(ref.perf.dotp_ops, fast.perf.dotp_ops);
-    EXPECT_EQ(ref.perf.lsu_data_toggles, fast.perf.lsu_data_toggles);
-    EXPECT_EQ(ref.quant_cycles, fast.quant_cycles);
-    EXPECT_EQ(ref.output.data(), fast.output.data())
-        << kernels::variant_name(v);
+    for (const auto* r : {&fast, &sb}) {
+      EXPECT_EQ(ref.perf.cycles, r->perf.cycles) << kernels::variant_name(v);
+      EXPECT_EQ(ref.perf.instructions, r->perf.instructions);
+      EXPECT_EQ(ref.perf.hwloop_backedges, r->perf.hwloop_backedges);
+      EXPECT_EQ(ref.perf.load_use_stall_cycles,
+                r->perf.load_use_stall_cycles);
+      EXPECT_EQ(ref.perf.qnt_stall_cycles, r->perf.qnt_stall_cycles);
+      EXPECT_EQ(ref.perf.dotp_ops, r->perf.dotp_ops);
+      EXPECT_EQ(ref.perf.lsu_data_toggles, r->perf.lsu_data_toggles);
+      EXPECT_EQ(ref.quant_cycles, r->quant_cycles);
+      EXPECT_EQ(ref.output.data(), r->output.data())
+          << kernels::variant_name(v);
+    }
   }
 }
 
@@ -164,14 +176,75 @@ TEST(DispatchDiff, SelfModifyingCodePicksUpPatch) {
   }();
 
   const xasm::Program prog = build(target_addr);
-  for (bool reference : {false, true}) {
-    const auto s = run_mode(prog, sim::CoreConfig::extended(), reference);
+  for (int mode = 0; mode < 3; ++mode) {
+    const auto s = mode < 2
+                       ? run_mode(prog, sim::CoreConfig::extended(), mode == 0)
+                       : run_mode_superblock(prog, sim::CoreConfig::extended());
     ASSERT_EQ(s.reason, sim::HaltReason::kEcall);
     // First pass adds 1, patched second pass adds 100.
+    static const char* kModes[] = {"reference", "fast", "superblock"};
     EXPECT_EQ(s.regs[10], 101u)
-        << (reference ? "reference" : "fast") << " dispatch executed stale "
-        << "decode after self-modifying store";
+        << kModes[mode] << " dispatch executed stale decode after "
+        << "self-modifying store";
   }
+}
+
+TEST(DispatchDiff, SelfModifyingStoreIntoHotLoopBody) {
+  // The harder SMC shape for the superblock engine: a hardware loop whose
+  // body stores over *its own* instructions every iteration. The store must
+  // invalidate both the decode cache and the live superblock plan, and the
+  // patched instruction must take effect on the very next iteration — in
+  // all three dispatch modes, bit-identically.
+  isa::Instr patch;
+  patch.op = isa::Mnemonic::kAddi;
+  patch.rd = 10;
+  patch.rs1 = 10;
+  patch.imm = 100;
+  const u32 patch_word = isa::encode(patch);
+
+  auto build = [&](addr_t target_guess, addr_t* target_out) {
+    xasm::Assembler a(0);
+    a.li(xasm::reg::a0, 0);
+    a.li(xasm::reg::t0, static_cast<i32>(target_guess));
+    a.li(xasm::reg::t1, static_cast<i32>(patch_word));
+    const xasm::Assembler::Label end = a.new_label();
+    a.lp_setupi(0, 30, end);
+    *target_out = a.current_addr();
+    a.addi(xasm::reg::a0, xasm::reg::a0, 1);  // patched to +100, iter 1
+    a.sw(xasm::reg::t1, xasm::reg::t0, 0);    // store over the addi above
+    a.bind(end);
+    a.ecall();
+    return a.finish();
+  };
+
+  // Two-pass assembly: both the guess and the real target fit 12 bits, so
+  // the li expansion (and with it the layout) is identical across passes.
+  addr_t target_addr = 0;
+  build(64, &target_addr);
+  addr_t check = 0;
+  const xasm::Program prog = build(target_addr, &check);
+  ASSERT_EQ(check, target_addr);
+
+  // Iteration 1 adds 1 and patches; iterations 2..30 add 100 each.
+  constexpr u32 kExpected = 1 + 29 * 100;
+  const auto ref = run_mode(prog, sim::CoreConfig::extended(), true);
+  ASSERT_EQ(ref.reason, sim::HaltReason::kEcall);
+  ASSERT_EQ(ref.regs[10], kExpected);
+  expect_identical(ref, run_mode(prog, sim::CoreConfig::extended(), false));
+  expect_identical(ref, run_mode_superblock(prog, sim::CoreConfig::extended()));
+
+  // The superblock engine must actually have been hit by the store: the
+  // hot hwloop compiles, and the self-modifying store evicts the plan.
+  sim::CoreConfig cfg = sim::CoreConfig::extended();
+  cfg.superblock = true;
+  mem::Memory mem;
+  prog.load(mem);
+  sim::Core core(mem, cfg);
+  core.reset(prog.entry(), prog.base() + prog.size_bytes());
+  ASSERT_EQ(core.run(2'000'000), sim::HaltReason::kEcall);
+  EXPECT_EQ(core.reg(10), kExpected);
+  EXPECT_GT(core.superblock_stats().blocks_compiled, 0u);
+  EXPECT_GT(core.superblock_stats().invalidations, 0u);
 }
 
 TEST(DispatchDiff, DecodeCacheGrowthCoversWidePrograms) {

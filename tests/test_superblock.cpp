@@ -1,0 +1,235 @@
+// Superblock engine unit tests: coverage statistics, runtime toggling,
+// instruction-limit boundary exactness across fused bursts, and a
+// differential sweep over every dot-product mnemonic/format combination —
+// the combinations the fused loop routes through host-SIMD kernels
+// (8-bit, nibble) and the ones that stay on the scalar lane kernel
+// (16-bit, crumb) must all be bit-identical to the reference interpreter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "diff_test_util.hpp"
+#include "isa/instruction.hpp"
+#include "mem/memory.hpp"
+#include "sim/core.hpp"
+#include "xasm/assembler.hpp"
+
+namespace xpulp {
+namespace {
+
+namespace r = xasm::reg;
+using test::expect_identical;
+using test::final_state_of;
+using test::FinalState;
+
+constexpr addr_t kData = 0x8000;
+
+/// Run `prog` with deterministic pseudo-random operand bytes mapped at
+/// kData (zero-filled memory would make every dot product and toggle
+/// count trivially zero).
+FinalState run_prog(const xasm::Program& prog, bool reference,
+                    bool superblock,
+                    sim::SuperblockStats* stats_out = nullptr,
+                    u64 max_instr = 2'000'000) {
+  sim::CoreConfig cfg = sim::CoreConfig::extended();
+  cfg.reference_dispatch = reference;
+  cfg.superblock = superblock;
+  mem::Memory mem;
+  prog.load(mem);
+  std::vector<u8> data(1024);
+  Rng rng(0x0ddba11);
+  for (auto& b : data) b = static_cast<u8>(rng.uniform(0, 255));
+  mem.write_block(kData, data);
+  sim::Core core(mem, cfg);
+  core.reset(prog.entry(), prog.base() + prog.size_bytes());
+  core.run(max_instr);
+  if (stats_out) *stats_out = core.superblock_stats();
+  return final_state_of(core, mem);
+}
+
+/// A hot hardware loop mixing a post-increment load with ALU ops: small
+/// enough to compile, hot enough (31 iterations) to dominate the run.
+xasm::Program hot_hwloop_program() {
+  xasm::Assembler a(0);
+  a.li(r::s0, kData);
+  a.li(r::a0, 0);
+  const xasm::Assembler::Label end = a.new_label();
+  a.lp_setupi(0, 31, end);
+  a.p_lw_post(r::t0, r::s0, 4);
+  a.addi(r::a0, r::a0, 3);
+  a.add(r::a1, r::a0, r::t0);
+  a.bind(end);
+  a.ecall();
+  return a.finish();
+}
+
+TEST(Superblock, StatsCountFusedExecution) {
+  const xasm::Program prog = hot_hwloop_program();
+  sim::SuperblockStats stats;
+  const FinalState sb = run_prog(prog, false, true, &stats);
+  ASSERT_EQ(sb.reason, sim::HaltReason::kEcall);
+
+  EXPECT_GT(stats.blocks_compiled, 0u);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_GT(stats.fused_iterations, 0u);
+  EXPECT_GT(stats.fused_instructions, 0u);
+  EXPECT_LE(stats.fused_instructions, sb.perf.instructions);
+  EXPECT_EQ(stats.smc_bails, 0u);
+  EXPECT_EQ(stats.trap_bails, 0u);
+
+  // And the fused run is bit-identical to both interpreter modes.
+  expect_identical(run_prog(prog, true, false), sb);
+  expect_identical(run_prog(prog, false, false), sb);
+}
+
+TEST(Superblock, RuntimeToggleKeepsEngineCold) {
+  // set_superblock(false) before the run: no burst may be entered, and
+  // the result must match the plain fast path exactly.
+  const xasm::Program prog = hot_hwloop_program();
+  sim::CoreConfig cfg = sim::CoreConfig::extended();
+  cfg.superblock = true;
+  mem::Memory mem;
+  prog.load(mem);
+  std::vector<u8> data(1024);
+  Rng rng(0x0ddba11);
+  for (auto& b : data) b = static_cast<u8>(rng.uniform(0, 255));
+  mem.write_block(kData, data);
+  sim::Core core(mem, cfg);
+  core.reset(prog.entry(), prog.base() + prog.size_bytes());
+  core.set_superblock(false);
+  core.run(2'000'000);
+  EXPECT_EQ(core.superblock_stats().entries, 0u);
+  EXPECT_EQ(core.superblock_stats().fused_instructions, 0u);
+  expect_identical(run_prog(prog, false, false), final_state_of(core, mem));
+}
+
+TEST(Superblock, InstructionLimitSweepIsBoundaryExact) {
+  // Every instruction-limit value must stop the fused engine on exactly
+  // the same boundary (state, counters, halt reason) as the reference
+  // interpreter — including limits that land mid-burst, where the engine
+  // must either cap the burst budget or reject entry.
+  const xasm::Program prog = hot_hwloop_program();
+  const FinalState full = run_prog(prog, true, false);
+  ASSERT_EQ(full.reason, sim::HaltReason::kEcall);
+  const u64 total = full.perf.instructions;
+
+  for (u64 limit = 1; limit <= total + 1; ++limit) {
+    const FinalState ref = run_prog(prog, true, false, nullptr, limit);
+    const FinalState sb = run_prog(prog, false, true, nullptr, limit);
+    expect_identical(ref, sb);
+    if (limit <= total) {
+      EXPECT_EQ(sb.perf.instructions, std::min(limit, total));
+    }
+    if (::testing::Test::HasFailure()) FAIL() << "limit " << limit;
+  }
+}
+
+TEST(Superblock, DotVariantSweepBitIdentical) {
+  // Hot hwloop around [2 post-inc loads + 1 dot]: every mnemonic x format
+  // combination, diffed fused-vs-reference. This walks every fused dot
+  // path: the host-SIMD byte and nibble kernels, the scalar-replicated
+  // expansions, and the generic lane kernel (16-bit, crumb).
+  using isa::SimdFmt;
+  struct OpCase {
+    const char* name;
+    void (xasm::Assembler::*emit)(SimdFmt, u8, u8, u8);
+  };
+  const OpCase ops[] = {
+      {"dotup", &xasm::Assembler::pv_dotup},
+      {"dotusp", &xasm::Assembler::pv_dotusp},
+      {"dotsp", &xasm::Assembler::pv_dotsp},
+      {"sdotup", &xasm::Assembler::pv_sdotup},
+      {"sdotusp", &xasm::Assembler::pv_sdotusp},
+      {"sdotsp", &xasm::Assembler::pv_sdotsp},
+  };
+  const SimdFmt fmts[] = {SimdFmt::kB, SimdFmt::kBSc, SimdFmt::kH,
+                          SimdFmt::kHSc, SimdFmt::kN, SimdFmt::kNSc,
+                          SimdFmt::kC, SimdFmt::kCSc};
+
+  for (const OpCase& op : ops) {
+    for (const SimdFmt fmt : fmts) {
+      xasm::Assembler a(0);
+      a.li(r::s0, kData);
+      a.li(r::a0, 0x1234);  // live accumulator for the sdot variants
+      const xasm::Assembler::Label end = a.new_label();
+      a.lp_setupi(0, 24, end);
+      a.p_lw_post(r::t0, r::s0, 4);
+      a.p_lw_post(r::t1, r::s0, 4);
+      (a.*(op.emit))(fmt, r::a0, r::t0, r::t1);
+      a.bind(end);
+      a.ecall();
+      const xasm::Program prog = a.finish();
+
+      sim::SuperblockStats stats;
+      const FinalState ref = run_prog(prog, true, false);
+      const FinalState sb = run_prog(prog, false, true, &stats);
+      ASSERT_EQ(ref.reason, sim::HaltReason::kEcall) << op.name;
+      EXPECT_GT(stats.fused_iterations, 0u) << op.name;
+      expect_identical(ref, sb);
+      if (::testing::Test::HasFailure()) {
+        FAIL() << op.name << " fmt " << static_cast<int>(fmt);
+      }
+    }
+  }
+}
+
+TEST(Superblock, ConvInnerShapeBitIdentical) {
+  // The exact 2x2-blocked MatMul inner body the conv generator emits
+  // (4 post-inc word loads + 4 accumulate-dots in the 2x2 operand
+  // pattern): the shape the engine specializes into a single macro-op
+  // handler. Byte and nibble element widths, both rs2 signednesses —
+  // including the signed-activation nibble case that must fall back to
+  // the generic fused path.
+  using isa::SimdFmt;
+  struct ShapeCase {
+    const char* name;
+    SimdFmt fmt;
+    bool signed_a;  // rs1 (activation) operand signedness
+  };
+  const ShapeCase cases[] = {
+      {"sdotusp.b", SimdFmt::kB, false},
+      {"sdotsp.b", SimdFmt::kB, true},
+      {"sdotusp.n", SimdFmt::kN, false},
+      {"sdotsp.n", SimdFmt::kN, true},
+  };
+
+  for (const ShapeCase& c : cases) {
+    xasm::Assembler a(0);
+    a.li(r::s0, kData);
+    a.li(r::s1, kData + 0x100);
+    for (u8 acc : {r::a4, r::a5, r::a6, r::a7}) a.li(acc, 0);
+    const xasm::Assembler::Label end = a.new_label();
+    a.lp_setupi(0, 24, end);
+    a.p_lw_post(r::t0, r::s0, 4);  // activation pixel 0
+    a.p_lw_post(r::t1, r::s0, 4);  // activation pixel 1
+    a.p_lw_post(r::t2, r::s1, 4);  // weight channel 0
+    a.p_lw_post(r::t3, r::s1, 4);  // weight channel 1
+    auto dot = [&](u8 rd, u8 w, u8 x) {
+      if (c.signed_a) {
+        a.pv_sdotsp(c.fmt, rd, w, x);
+      } else {
+        a.pv_sdotusp(c.fmt, rd, w, x);
+      }
+    };
+    dot(r::a4, r::t2, r::t0);
+    dot(r::a5, r::t3, r::t0);
+    dot(r::a6, r::t2, r::t1);
+    dot(r::a7, r::t3, r::t1);
+    a.bind(end);
+    a.ecall();
+    const xasm::Program prog = a.finish();
+
+    sim::SuperblockStats stats;
+    const FinalState ref = run_prog(prog, true, false);
+    const FinalState sb = run_prog(prog, false, true, &stats);
+    ASSERT_EQ(ref.reason, sim::HaltReason::kEcall) << c.name;
+    EXPECT_GT(stats.fused_iterations, 0u) << c.name;
+    expect_identical(ref, sb);
+    if (::testing::Test::HasFailure()) FAIL() << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace xpulp

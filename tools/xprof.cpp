@@ -41,6 +41,7 @@ struct Args {
   ConvVariant variant = ConvVariant::kXpulpNN_HwQ;
   bool ri5cy_core = false;
   bool reference_dispatch = false;
+  bool superblock = false;  // untraced second pass with fusion coverage
   bool hwloops = true;
   bool small = false;       // small layer for smoke tests
   bool check = true;        // verify output + reconciliation, exit 1 on fail
@@ -61,6 +62,9 @@ void usage() {
       "  --variant V        8b | sub | subshf | swq | hwq (default hwq)\n"
       "  --core C           ri5cy | xpulpnn (default xpulpnn)\n"
       "  --reference        use the legacy reference dispatch loop\n"
+      "  --superblock       rerun untraced with the superblock engine and\n"
+      "                     report fusion coverage (sim.superblock.* "
+      "metrics)\n"
       "  --no-hwloops       generate without hardware loops\n"
       "  --small            profile a small 6x6x16->8 layer instead of the\n"
       "                     paper's 16x16x32->64 layer\n"
@@ -112,6 +116,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       else if (std::strcmp(v, "xpulpnn")) return false;
     } else if (opt == "--reference") {
       a.reference_dispatch = true;
+    } else if (opt == "--superblock") {
+      a.superblock = true;
     } else if (opt == "--no-hwloops") {
       a.hwloops = false;
     } else if (opt == "--small") {
@@ -344,6 +350,56 @@ int run_single(const Args& args, const qnn::ConvSpec& spec,
   print_mnemonic_table(prof, args.top);
   std::printf("\nhotspots:\n");
   print_hotspots(prof, mem, args.top);
+
+  if (args.superblock) {
+    // The profiler's trace hook keeps the superblock engine cold, so the
+    // fusion-coverage numbers come from a second, untraced pass. Its
+    // counters must land exactly on the profiled run's — fused bursts are
+    // bit-identical to the interpreter.
+    sim::CoreConfig sb_cfg = cfg;
+    sb_cfg.reference_dispatch = false;
+    sb_cfg.superblock = true;
+    mem::Memory sb_mem;
+    kernel.program.load(sb_mem);
+    kernels::load_conv_data(data, kernel.layout, sb_mem);
+    sim::Core sb_core(sb_mem, sb_cfg);
+    sb_core.reset(kernel.program.entry(),
+                  kernel.program.base() + kernel.program.size_bytes());
+    sb_core.run(600'000'000);
+
+    const sim::SuperblockStats& sb = sb_core.superblock_stats();
+    const sim::PerfCounters& sp = sb_core.perf();
+    std::printf("\nsuperblock engine (untraced pass):\n");
+    std::printf("  %-22s %12llu\n", "blocks compiled",
+                static_cast<unsigned long long>(sb.blocks_compiled));
+    std::printf("  %-22s %12llu\n", "compile rejects",
+                static_cast<unsigned long long>(sb.compile_rejects));
+    std::printf("  %-22s %12llu  (rejects %llu)\n", "bursts entered",
+                static_cast<unsigned long long>(sb.entries),
+                static_cast<unsigned long long>(sb.entry_rejects));
+    std::printf("  %-22s %12llu\n", "fused iterations",
+                static_cast<unsigned long long>(sb.fused_iterations));
+    std::printf("  %-22s %12llu  (%.2f%% of instructions)\n",
+                "fused instructions",
+                static_cast<unsigned long long>(sb.fused_instructions),
+                pct(sb.fused_instructions, sp.instructions));
+    std::printf("  %-22s %12llu\n", "smc bails",
+                static_cast<unsigned long long>(sb.smc_bails));
+    std::printf("  %-22s %12llu\n", "trap bails",
+                static_cast<unsigned long long>(sb.trap_bails));
+    std::printf("  %-22s %12llu\n", "invalidations",
+                static_cast<unsigned long long>(sb.invalidations));
+    if (args.check &&
+        (sp.cycles != perf.cycles || sp.instructions != perf.instructions)) {
+      std::fprintf(stderr,
+                   "xprof: superblock pass diverged from the profiled run "
+                   "(cycles %llu vs %llu)\n",
+                   static_cast<unsigned long long>(sp.cycles),
+                   static_cast<unsigned long long>(perf.cycles));
+      ok = false;
+    }
+    obs::add_superblock_stats(reg, "sim.superblock", sb, sp.instructions);
+  }
 
   // Registry: workload identity, raw counters, attribution, power.
   reg.text("workload.kernel", kernels::variant_name(args.variant));
