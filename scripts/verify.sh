@@ -13,6 +13,10 @@ ctest --preset default -j "$(nproc)"
 echo "== xlint: encoding-space audit + kernel sweep =="
 ./build/tools/xlint --audit --kernels
 
+echo "== xrace: static race sweep + shadow-validated parallel conv =="
+./build/tools/xrace --static --kernels --json /tmp/xrace-static.json
+./build/tools/xrace --shadow --cores 4 --json /tmp/xrace-shadow.json
+
 echo "== xfault: seeded fault campaign (gated) + determinism check =="
 ./build/tools/xfault --small --inject 100 --seed 2026 \
   --min-detected 1.0 --min-recovered 0.6 --json /tmp/xfault.json
@@ -24,10 +28,11 @@ echo "== clang-tidy (bugprone/performance/readability) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy
   if command -v run-clang-tidy >/dev/null 2>&1; then
-    run-clang-tidy -p build-tidy -quiet "src/.*\.cpp$" "tools/.*\.cpp$"
+    run-clang-tidy -p build-tidy -quiet \
+      "src/.*\.cpp$" "tools/.*\.cpp$" "tests/.*\.cpp$" "bench/.*\.cpp$"
   else
     # Fall back to serial invocation when the parallel driver is absent.
-    find src tools -name '*.cpp' -print0 |
+    find src tools tests bench -name '*.cpp' -print0 |
       xargs -0 -n 1 clang-tidy -p build-tidy --quiet
   fi
 else

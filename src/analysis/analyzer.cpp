@@ -253,7 +253,19 @@ void check_dataflow(const CodeImage& image, const Cfg& cfg,
       }
       if (known) {
         const u64 end = static_cast<u64>(ea) + in.mem_size;
-        if (end > opt.mem_size) {
+        if (end > opt.mem_size && ea < opt.mem_size) {
+          // Misaligned access straddling the end of the SRAM: the first
+          // split transaction is in bounds, the second traps. Runtime
+          // raises the fault before charging stats or stalls (the PR 4
+          // fix); statically it gets its own kind so a straddle is
+          // distinguishable from a fully out-of-range address.
+          diags.add(DiagKind::kMisalignedStraddle, Severity::kError, d.addr,
+                    std::string(isa::mnemonic_name(in.op)) + " at " +
+                        hex(ea) + " straddles the " +
+                        std::to_string(opt.mem_size / 1024) +
+                        " kB TCDM boundary misaligned (traps mid-access at "
+                        "runtime)");
+        } else if (end > opt.mem_size) {
           diags.add(DiagKind::kTcdmOutOfBounds, Severity::kError, d.addr,
                     std::string(isa::mnemonic_name(in.op)) + " accesses " +
                         hex(ea) + ", past the " +

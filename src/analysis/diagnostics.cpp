@@ -22,6 +22,10 @@ const char* diag_kind_name(DiagKind k) {
     case DiagKind::kDotpAccumOverlap: return "dotp-accum-overlap";
     case DiagKind::kQntThresholdSetup: return "qnt-threshold-setup";
     case DiagKind::kFallOffEnd: return "fall-off-end";
+    case DiagKind::kMisalignedStraddle: return "misaligned-straddle";
+    case DiagKind::kCrossCoreWriteWrite: return "cross-core-write-write";
+    case DiagKind::kCrossCoreReadWrite: return "cross-core-read-write";
+    case DiagKind::kUnprovableFootprint: return "unprovable-footprint";
   }
   return "unknown";
 }

@@ -49,6 +49,19 @@ enum class DiagKind : u8 {
   kQntThresholdSetup,
   /// Execution can fall off the end of the code image.
   kFallOffEnd,
+  /// Statically-known misaligned access straddling the end of the TCDM:
+  /// the first SRAM transaction is in bounds, the second is not, so the
+  /// access traps at runtime before any byte moves (the static mirror of
+  /// the runtime trap-before-accounting fix).
+  kMisalignedStraddle,
+  /// xrace: two cores' write footprints overlap (silent lost updates).
+  kCrossCoreWriteWrite,
+  /// xrace: one core's write footprint overlaps another core's read
+  /// footprint outside the declared read-only shared ranges.
+  kCrossCoreReadWrite,
+  /// xrace: an access's address could not be bounded by the interval/
+  /// stride domain, so footprint disjointness is unprovable for it.
+  kUnprovableFootprint,
 };
 
 enum class Severity : u8 { kWarning, kError };

@@ -1,0 +1,877 @@
+#include "analysis/footprint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <numeric>
+#include <sstream>
+
+#include "analysis/cfg.hpp"
+#include "sim/quant_unit.hpp"
+
+namespace xpulp::analysis {
+namespace {
+
+using isa::Mnemonic;
+namespace iflag = isa::iflag;
+
+constexpr u64 kWordSpan = 1ull << 32;
+
+u32 gcd_u32(u32 a, u32 b) { return std::gcd(a, b); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AVal lattice
+// ---------------------------------------------------------------------------
+
+AVal AVal::range(u32 lo, u32 hi, u32 stride) {
+  if (lo == hi || stride == 0) return constant(lo);
+  // Snap hi onto the progression so (hi - lo) is always a stride multiple.
+  const u32 span = hi - lo;
+  return {kRange, lo, lo + span / stride * stride, stride};
+}
+
+u64 AVal::count() const {
+  switch (kind) {
+    case kConst: return 1;
+    case kRange: return static_cast<u64>(hi - lo) / stride + 1;
+    default: return 0;
+  }
+}
+
+bool AVal::operator==(const AVal& o) const {
+  if (kind != o.kind) return false;
+  if (kind == kConst) return lo == o.lo;
+  if (kind == kRange) return lo == o.lo && hi == o.hi && stride == o.stride;
+  return true;  // kBottom / kTop carry no payload
+}
+
+std::string AVal::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case kBottom: os << "bot"; break;
+    case kTop: os << "top"; break;
+    case kConst: os << "0x" << std::hex << lo; break;
+    case kRange:
+      os << "0x" << std::hex << lo << "..0x" << hi << std::dec << " step "
+         << stride;
+      break;
+  }
+  return os.str();
+}
+
+AVal aval_join(const AVal& a, const AVal& b) {
+  if (a.kind == AVal::kBottom) return b;
+  if (b.kind == AVal::kBottom) return a;
+  if (a.kind == AVal::kTop || b.kind == AVal::kTop) return AVal::top();
+  const u32 lo = std::min(a.lo, b.lo);
+  const u32 hi = std::max(a.hi, b.hi);
+  if (lo == hi) return AVal::constant(lo);
+  u32 g = gcd_u32(a.stride, b.stride);
+  g = gcd_u32(g, a.lo > b.lo ? a.lo - b.lo : b.lo - a.lo);
+  if (g == 0) g = hi - lo;
+  return AVal::range(lo, hi, g);
+}
+
+AVal aval_add(const AVal& a, const AVal& b) {
+  if (a.kind == AVal::kBottom || b.kind == AVal::kBottom)
+    return AVal::bottom();
+  if (a.kind == AVal::kTop || b.kind == AVal::kTop) return AVal::top();
+  if (a.is_const() && b.is_const()) return AVal::constant(a.lo + b.lo);
+  // Range + const: interpret the constant as a signed displacement, so the
+  // ubiquitous `addi rc, rc, -1` shifts the interval down instead of
+  // smearing it across the wrapped address space.
+  const AVal& r = a.is_const() ? b : a;
+  if (a.is_const() || b.is_const()) {
+    const i64 d = static_cast<i32>(a.is_const() ? a.lo : b.lo);
+    const i64 lo = static_cast<i64>(r.lo) + d;
+    const i64 hi = static_cast<i64>(r.hi) + d;
+    if (lo < 0 || hi >= static_cast<i64>(kWordSpan)) return AVal::top();
+    return AVal::range(static_cast<u32>(lo), static_cast<u32>(hi), r.stride);
+  }
+  const u64 lo = static_cast<u64>(a.lo) + b.lo;
+  const u64 hi = static_cast<u64>(a.hi) + b.hi;
+  if (hi >= kWordSpan) return AVal::top();
+  return AVal::range(static_cast<u32>(lo), static_cast<u32>(hi),
+                     gcd_u32(a.stride, b.stride));
+}
+
+AVal aval_sub(const AVal& a, const AVal& b) {
+  if (a.kind == AVal::kBottom || b.kind == AVal::kBottom)
+    return AVal::bottom();
+  if (a.kind == AVal::kTop || b.kind == AVal::kTop) return AVal::top();
+  if (a.is_const() && b.is_const()) return AVal::constant(a.lo - b.lo);
+  if (b.is_const()) return aval_add(a, AVal::constant(0u - b.lo));
+  const i64 lo = static_cast<i64>(a.lo) - b.hi;
+  const i64 hi = static_cast<i64>(a.hi) - b.lo;
+  if (lo < 0 || hi >= static_cast<i64>(kWordSpan)) return AVal::top();
+  return AVal::range(static_cast<u32>(lo), static_cast<u32>(hi),
+                     gcd_u32(a.stride, b.stride));
+}
+
+AVal aval_shl(const AVal& a, unsigned sh) {
+  sh &= 31;
+  if (!a.is_bounded()) return a;
+  const u64 hi = static_cast<u64>(a.hi) << sh;
+  if (hi >= kWordSpan) {
+    // Constants keep the hardware's wrapping semantics; ranges go to Top
+    // rather than model a wrapped progression.
+    if (a.is_const()) return AVal::constant(a.lo << sh);
+    return AVal::top();
+  }
+  return AVal::range(a.lo << sh, static_cast<u32>(hi), a.stride << sh);
+}
+
+std::string StridedAccess::to_string() const {
+  std::ostringstream os;
+  os << (is_store ? "W" : "R") << size << " @0x" << std::hex << pc << std::dec
+     << " " << addr.to_string();
+  return os.str();
+}
+
+size_t Footprint::unprovable() const {
+  size_t n = 0;
+  for (const StridedAccess& a : accesses) n += a.addr.kind == AVal::kTop;
+  return n;
+}
+
+size_t Footprint::reads() const {
+  size_t n = 0;
+  for (const StridedAccess& a : accesses) n += !a.is_store;
+  return n;
+}
+
+size_t Footprint::writes() const {
+  size_t n = 0;
+  for (const StridedAccess& a : accesses) n += a.is_store;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Abstract state and transfer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct AbsState {
+  bool feasible = false;
+  std::array<AVal, 32> r{};
+
+  static AbsState entry() {
+    AbsState s;
+    s.feasible = true;
+    for (AVal& v : s.r) v = AVal::top();
+    s.r[0] = AVal::constant(0);
+    return s;
+  }
+  const AVal& get(unsigned reg) const { return r[reg & 31]; }
+};
+
+/// Join `o` into `s`; returns true if `s` changed. With `widen`, any
+/// register that would change jumps straight to Top (termination valve for
+/// cycles that are not summarizable loops, e.g. merged call/return webs).
+bool join_state(AbsState& s, const AbsState& o, bool widen = false) {
+  if (!o.feasible) return false;
+  if (!s.feasible) {
+    s = o;
+    return true;
+  }
+  bool changed = false;
+  for (unsigned i = 1; i < 32; ++i) {
+    const AVal j = aval_join(s.r[i], o.r[i]);
+    if (j != s.r[i]) {
+      s.r[i] = widen ? AVal::top() : j;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+AbsState abs_transfer(const AbsState& s, const isa::Instr& in, addr_t addr) {
+  AbsState o = s;
+  o.feasible = true;
+  const auto set = [&o](unsigned reg, const AVal& v) {
+    if (reg != 0) o.r[reg] = v;
+  };
+
+  // Post-increment addressing writes the stepped base back to rs1 (the
+  // increment register of the store forms lives in the rd field).
+  if (in.has(iflag::kMemPostInc)) {
+    if (in.has(iflag::kMemRegOff)) {
+      const unsigned inc = in.has(iflag::kIsStore) ? in.rd : in.rs2;
+      set(in.rs1, aval_add(s.get(in.rs1), s.get(inc)));
+    } else {
+      set(in.rs1, aval_add(s.get(in.rs1),
+                           AVal::constant(static_cast<u32>(in.imm))));
+    }
+  }
+
+  if (!in.has(iflag::kWritesRd)) return o;
+  const unsigned rd = in.rd;
+  if (in.has(iflag::kIsLoad)) {
+    set(rd, AVal::top());
+    return o;
+  }
+  const u32 imm = static_cast<u32>(in.imm);
+  switch (in.op) {
+    case Mnemonic::kLui: set(rd, AVal::constant(imm)); break;
+    case Mnemonic::kAuipc: set(rd, AVal::constant(addr + imm)); break;
+    case Mnemonic::kJal:
+    case Mnemonic::kJalr: set(rd, AVal::constant(addr + in.size)); break;
+    case Mnemonic::kAddi:
+      set(rd, aval_add(s.get(in.rs1), AVal::constant(imm)));
+      break;
+    case Mnemonic::kAdd:
+      set(rd, aval_add(s.get(in.rs1), s.get(in.rs2)));
+      break;
+    case Mnemonic::kSub:
+      set(rd, aval_sub(s.get(in.rs1), s.get(in.rs2)));
+      break;
+    case Mnemonic::kSlli:
+      set(rd, aval_shl(s.get(in.rs1), imm));
+      break;
+    case Mnemonic::kXori:
+    case Mnemonic::kOri:
+    case Mnemonic::kAndi:
+    case Mnemonic::kSrli:
+    case Mnemonic::kSrai: {
+      // Bitwise/shift-right ops stay precise on constants only.
+      const AVal& v = s.get(in.rs1);
+      if (v.is_const()) {
+        u32 x = v.lo;
+        switch (in.op) {
+          case Mnemonic::kXori: x ^= imm; break;
+          case Mnemonic::kOri: x |= imm; break;
+          case Mnemonic::kAndi: x &= imm; break;
+          case Mnemonic::kSrli: x >>= (imm & 31); break;
+          default: x = static_cast<u32>(static_cast<i32>(x) >> (imm & 31));
+        }
+        set(rd, AVal::constant(x));
+      } else {
+        set(rd, AVal::top());
+      }
+      break;
+    }
+    default:
+      set(rd, AVal::top());
+      break;
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Loop forest
+// ---------------------------------------------------------------------------
+
+struct Loop {
+  addr_t begin = 0;  // header address
+  addr_t end = 0;    // one past the last body instruction
+  int header = -1;   // instruction indices
+  int latch = -1;
+  bool is_hw = false;
+  std::vector<addr_t> setup_addrs;  // hw: lp.setup/count sites
+  unsigned counter_reg = 0;         // branch loops: the `bne rc, x0` reg
+  bool counted = false;             // branch loop matches the counted idiom
+  int parent = -1;
+  bool dissolved = false;
+
+  // Summarization state.
+  AbsState entry_acc;   // join of all states flowing in from outside
+  AbsState summarized;  // entry the current summary was computed from
+  bool has_summary = false;
+
+  bool contains(addr_t a) const { return a >= begin && a < end; }
+};
+
+/// Per-register behaviour across one loop iteration.
+enum class RegMode : u8 { kInvariant, kShift, kReset, kTop };
+
+struct ExitFlow {
+  int from;  // body node the edge leaves
+  int node;  // target outside the loop
+  AbsState state;
+};
+
+// ---------------------------------------------------------------------------
+// Solver
+// ---------------------------------------------------------------------------
+
+class Solver {
+ public:
+  Solver(const CodeImage& image, const Cfg& cfg, const FootprintOptions& opt)
+      : image_(image), cfg_(cfg), opt_(opt), n_(image.instrs().size()) {
+    in_.resize(n_);
+    visits_.resize(n_, 0);
+  }
+
+  void run(addr_t entry);
+  Footprint extract() const;
+
+ private:
+  void build_loops(addr_t entry);
+  void solve_region(int loop_id, int entry_node, const AbsState& entry_state,
+                    bool skip_back_edges, std::vector<ExitFlow>* exits);
+  void summarize_loop(int loop_id, std::vector<ExitFlow>* exits);
+  void reset_body(const Loop& lp, bool clear_visits);
+  bool hw_trip_count(const Loop& lp, u64* t) const;
+  int loop_at(addr_t a, int within) const;
+
+  const CodeImage& image_;
+  const Cfg& cfg_;
+  FootprintOptions opt_;
+  size_t n_;
+  std::vector<AbsState> in_;
+  std::vector<u32> visits_;
+  std::vector<Loop> loops_;
+  std::vector<int> header_loop_;  // instr index -> loop id (or -1)
+  size_t unsummarized_ = 0;
+};
+
+/// Innermost live loop containing `a`, restricted to strict descendants of
+/// `within` (-1 = no restriction). Returns -1 if none.
+int Solver::loop_at(addr_t a, int within) const {
+  int best = -1;
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    const Loop& lp = loops_[i];
+    if (lp.dissolved || !lp.contains(a)) continue;
+    if (static_cast<int>(i) == within) continue;
+    if (within >= 0) {
+      const Loop& w = loops_[static_cast<size_t>(within)];
+      if (!(lp.begin >= w.begin && lp.end <= w.end)) continue;
+    }
+    if (best < 0 || (lp.begin >= loops_[static_cast<size_t>(best)].begin &&
+                     lp.end <= loops_[static_cast<size_t>(best)].end)) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void Solver::build_loops(addr_t entry) {
+  const auto& instrs = image_.instrs();
+
+  // Hardware loops from the CFG's setup scan (merging re-armed bodies).
+  for (const HwLoop& h : cfg_.hwloops()) {
+    bool merged = false;
+    for (Loop& lp : loops_) {
+      if (lp.is_hw && lp.begin == h.start && lp.end == h.end) {
+        lp.setup_addrs.push_back(h.setup_addr);
+        merged = true;
+        break;
+      }
+    }
+    if (merged) continue;
+    Loop lp;
+    lp.begin = h.start;
+    lp.end = h.end;
+    lp.is_hw = true;
+    lp.setup_addrs.push_back(h.setup_addr);
+    loops_.push_back(std::move(lp));
+  }
+
+  // Branch loops: backward conditional branches. The decrement-and-
+  // `bne rc, x0` idiom gets a trip count; other shapes still become loop
+  // regions and fall back to widening summaries.
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    const DecodedInstr& d = instrs[i];
+    if (d.illegal || !isa::is_branch(d.in.op)) continue;
+    const addr_t target = d.addr + static_cast<u32>(d.in.imm);
+    if (target > d.addr || image_.index_of(target) < 0) continue;
+    Loop lp;
+    lp.begin = target;
+    lp.end = d.addr + d.in.size;
+    lp.latch = static_cast<int>(i);
+    lp.counted = d.in.op == Mnemonic::kBne && d.in.rs2 == 0;
+    lp.counter_reg = d.in.rs1;
+    bool dup = false;
+    for (const Loop& e : loops_) {
+      if (e.begin == lp.begin && e.end == lp.end) dup = true;
+    }
+    if (!dup) loops_.push_back(std::move(lp));
+  }
+
+  // Resolve indices; dissolve anything malformed.
+  for (Loop& lp : loops_) {
+    lp.header = image_.index_of(lp.begin);
+    if (lp.header < 0 || lp.begin >= lp.end) {
+      lp.dissolved = true;
+      continue;
+    }
+    if (lp.latch < 0) {
+      // Hardware loop: the unique instruction whose fall-through is `end`.
+      for (size_t i = 0; i < instrs.size(); ++i) {
+        if (!instrs[i].illegal &&
+            instrs[i].addr + instrs[i].in.size == lp.end &&
+            lp.contains(instrs[i].addr)) {
+          lp.latch = static_cast<int>(i);
+        }
+      }
+      if (lp.latch < 0) lp.dissolved = true;
+    }
+  }
+
+  // Proper nesting: partial overlaps and shared headers dissolve both
+  // parties (the parent region's widening valve still covers the cycle).
+  for (size_t a = 0; a < loops_.size(); ++a) {
+    for (size_t b = a + 1; b < loops_.size(); ++b) {
+      Loop& x = loops_[a];
+      Loop& y = loops_[b];
+      if (x.dissolved || y.dissolved) continue;
+      if (x.end <= y.begin || y.end <= x.begin) continue;  // disjoint
+      const bool x_in_y = x.begin >= y.begin && x.end <= y.end;
+      const bool y_in_x = y.begin >= x.begin && y.end <= x.end;
+      if ((!x_in_y && !y_in_x) || x.begin == y.begin) {
+        x.dissolved = true;
+        y.dissolved = true;
+      }
+    }
+  }
+
+  // Every edge from outside a loop must enter at its header, and the
+  // program entry must not start mid-body.
+  const int entry_idx = image_.index_of(entry);
+  for (Loop& lp : loops_) {
+    if (lp.dissolved) continue;
+    if (entry_idx >= 0 &&
+        lp.contains(instrs[static_cast<size_t>(entry_idx)].addr) &&
+        entry_idx != lp.header) {
+      lp.dissolved = true;
+      continue;
+    }
+    for (size_t i = 0; i < n_ && !lp.dissolved; ++i) {
+      if (instrs[i].illegal || lp.contains(instrs[i].addr)) continue;
+      for (const int s : cfg_.successors()[i]) {
+        const addr_t sa = instrs[static_cast<size_t>(s)].addr;
+        if (lp.contains(sa) && s != lp.header) lp.dissolved = true;
+      }
+    }
+  }
+
+  // Immediate parent: the smallest live loop strictly containing this one.
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    Loop& lp = loops_[i];
+    if (lp.dissolved) continue;
+    for (size_t j = 0; j < loops_.size(); ++j) {
+      if (i == j || loops_[j].dissolved) continue;
+      const Loop& c = loops_[j];
+      if (!(c.begin <= lp.begin && lp.end <= c.end)) continue;
+      if (lp.parent < 0 ||
+          (c.begin >= loops_[static_cast<size_t>(lp.parent)].begin &&
+           c.end <= loops_[static_cast<size_t>(lp.parent)].end)) {
+        lp.parent = static_cast<int>(j);
+      }
+    }
+  }
+
+  header_loop_.assign(n_, -1);
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    if (!loops_[i].dissolved) {
+      header_loop_[static_cast<size_t>(loops_[i].header)] =
+          static_cast<int>(i);
+    }
+  }
+}
+
+/// Evaluate a hardware loop's trip count from its setup sites' in-states.
+bool Solver::hw_trip_count(const Loop& lp, u64* t) const {
+  bool have = false;
+  u64 count = 0;
+  for (const addr_t sa : lp.setup_addrs) {
+    const int idx = image_.index_of(sa);
+    if (idx < 0) return false;
+    const AbsState& st = in_[static_cast<size_t>(idx)];
+    if (!st.feasible) continue;  // dead setup site
+    const isa::Instr& in = image_.instrs()[static_cast<size_t>(idx)].in;
+    u64 c = 0;
+    switch (in.op) {
+      case Mnemonic::kLpSetupi: c = in.rs1; break;  // imm5 in the rs1 field
+      case Mnemonic::kLpCounti: c = static_cast<u32>(in.imm); break;
+      case Mnemonic::kLpSetup:
+      case Mnemonic::kLpCount: {
+        const AVal& v = st.get(in.rs1);
+        if (!v.is_const()) return false;
+        c = v.lo;
+        break;
+      }
+      default: return false;
+    }
+    if (have && c != count) return false;  // ambiguous re-arming
+    have = true;
+    count = c;
+  }
+  if (!have || count == 0) return false;
+  *t = count;
+  return true;
+}
+
+void Solver::reset_body(const Loop& lp, bool clear_visits) {
+  const auto& instrs = image_.instrs();
+  for (size_t i = 0; i < n_; ++i) {
+    if (!lp.contains(instrs[i].addr)) continue;
+    in_[i] = AbsState{};
+    if (clear_visits) visits_[i] = 0;
+    const int hl = header_loop_[i];
+    if (hl >= 0 && loops_[static_cast<size_t>(hl)].header ==
+                       static_cast<int>(i) &&
+        loops_[static_cast<size_t>(hl)].begin != lp.begin) {
+      Loop& c = loops_[static_cast<size_t>(hl)];
+      c.entry_acc = AbsState{};
+      c.has_summary = false;
+    }
+  }
+}
+
+void Solver::solve_region(int loop_id, int entry_node,
+                          const AbsState& entry_state, bool skip_back_edges,
+                          std::vector<ExitFlow>* exits) {
+  const auto& instrs = image_.instrs();
+  const Loop* cur =
+      loop_id >= 0 ? &loops_[static_cast<size_t>(loop_id)] : nullptr;
+
+  std::deque<int> work;
+  std::vector<bool> queued(n_, false);
+  const auto push = [&](int i) {
+    if (!queued[static_cast<size_t>(i)]) {
+      queued[static_cast<size_t>(i)] = true;
+      work.push_back(i);
+    }
+  };
+
+  const auto route = [&](int from, int s, const AbsState& st) {
+    const addr_t sa = instrs[static_cast<size_t>(s)].addr;
+    if (cur != nullptr) {
+      if (skip_back_edges && s == cur->header) return;  // loop back edge
+      if (!cur->contains(sa)) {
+        if (exits != nullptr) exits->push_back({from, s, st});
+        return;
+      }
+    }
+    const int inner = loop_at(sa, loop_id);
+    if (inner >= 0) {
+      // Climb to the direct child of this region; validated entry edges
+      // land on its header only.
+      int top = inner;
+      while (loops_[static_cast<size_t>(top)].parent != loop_id &&
+             loops_[static_cast<size_t>(top)].parent >= 0) {
+        top = loops_[static_cast<size_t>(top)].parent;
+      }
+      Loop& direct = loops_[static_cast<size_t>(top)];
+      if (s == direct.header) {
+        if (join_state(direct.entry_acc, st)) push(s);
+        return;
+      }
+      // Defensive: an unexpected mid-body edge degrades to a plain node
+      // join (the widening valve keeps it terminating).
+    }
+    ++visits_[static_cast<size_t>(s)];
+    const bool widen = visits_[static_cast<size_t>(s)] > opt_.max_passes;
+    if (join_state(in_[static_cast<size_t>(s)], st, widen)) push(s);
+  };
+
+  // Seed the entry.
+  const int entry_hl = header_loop_[static_cast<size_t>(entry_node)];
+  if (entry_hl >= 0 && entry_hl != loop_id) {
+    join_state(loops_[static_cast<size_t>(entry_hl)].entry_acc, entry_state);
+    push(entry_node);
+  } else {
+    join_state(in_[static_cast<size_t>(entry_node)], entry_state);
+    push(entry_node);
+  }
+
+  while (!work.empty()) {
+    const int i = work.front();
+    work.pop_front();
+    queued[static_cast<size_t>(i)] = false;
+    const int hl = header_loop_[static_cast<size_t>(i)];
+    if (hl >= 0 && hl != loop_id) {
+      // Child loop super-node: (re)summarize when its entry grew.
+      Loop& c = loops_[static_cast<size_t>(hl)];
+      if (!c.entry_acc.feasible) continue;
+      if (c.has_summary) {
+        AbsState probe = c.summarized;
+        if (!join_state(probe, c.entry_acc)) continue;  // nothing new
+      }
+      std::vector<ExitFlow> child_exits;
+      summarize_loop(hl, &child_exits);
+      for (const ExitFlow& f : child_exits) route(f.from, f.node, f.state);
+      continue;
+    }
+    const DecodedInstr& d = instrs[static_cast<size_t>(i)];
+    if (d.illegal || !in_[static_cast<size_t>(i)].feasible) continue;
+    const AbsState out =
+        abs_transfer(in_[static_cast<size_t>(i)], d.in, d.addr);
+    for (const int s : cfg_.successors()[static_cast<size_t>(i)]) {
+      route(i, s, out);
+    }
+  }
+}
+
+void Solver::summarize_loop(int loop_id, std::vector<ExitFlow>* exits) {
+  Loop& lp = loops_[static_cast<size_t>(loop_id)];
+  const auto& instrs = image_.instrs();
+  lp.summarized = lp.entry_acc;
+  lp.has_summary = true;
+  const AbsState s0 = lp.entry_acc;
+
+  const auto body_solve = [&](const AbsState& header_state,
+                              std::vector<ExitFlow>* flows) {
+    reset_body(lp, /*clear_visits=*/true);
+    solve_region(loop_id, lp.header, header_state, /*skip_back_edges=*/true,
+                 flows);
+  };
+
+  const auto latch_out = [&]() -> AbsState {
+    const AbsState& li = in_[static_cast<size_t>(lp.latch)];
+    if (!li.feasible) return AbsState{};
+    const DecodedInstr& d = instrs[static_cast<size_t>(lp.latch)];
+    return abs_transfer(li, d.in, d.addr);
+  };
+
+  // Pass 1: one abstract iteration from the raw entry state.
+  std::vector<ExitFlow> scratch;
+  body_solve(s0, &scratch);
+  const AbsState s1 = latch_out();
+
+  // Trip count.
+  u64 t = 0;
+  bool have_t = false;
+  if (s1.feasible) {
+    if (lp.is_hw) {
+      have_t = hw_trip_count(lp, &t);
+    } else if (lp.counted) {
+      // Counted branch loop: entry value N, per-iteration step -d (from
+      // one abstract iteration), trips N/d when the division is exact.
+      const AVal& c0 = s0.get(lp.counter_reg);
+      const AVal& c1 = s1.get(lp.counter_reg);
+      if (c0.is_const() && c1.is_const() && c0.lo != 0) {
+        const i64 step = static_cast<i32>(c1.lo - c0.lo);
+        if (step < 0 && c0.lo % static_cast<u64>(-step) == 0) {
+          t = c0.lo / static_cast<u64>(-step);
+          have_t = true;
+        }
+      }
+    }
+  }
+
+  if (!have_t) {
+    // Fallback: iterate the body with its back edge until the widening
+    // valve converges. Sound (monotone to Top), imprecise.
+    ++unsummarized_;
+    reset_body(lp, /*clear_visits=*/true);
+    std::vector<ExitFlow> flows;
+    solve_region(loop_id, lp.header, s0, /*skip_back_edges=*/false, &flows);
+    if (exits != nullptr) {
+      for (ExitFlow& f : flows) exits->push_back(std::move(f));
+    }
+    return;
+  }
+
+  // Classify each register's one-iteration behaviour, then widen the
+  // header to the exact iteration envelope {S0 + k*step, 0 <= k < T}.
+  std::array<RegMode, 32> mode{};
+  std::array<i64, 32> step{};
+  step.fill(0);
+  mode.fill(RegMode::kInvariant);
+  AbsState h = s0;
+  const auto widen_shift = [&](const AVal& v0, i64 d, u64 trips) -> AVal {
+    const i64 total = d * (static_cast<i64>(trips) - 1);
+    const i64 lo = static_cast<i64>(v0.lo) + std::min<i64>(0, total);
+    const i64 hi = static_cast<i64>(v0.hi) + std::max<i64>(0, total);
+    if (lo < 0 || hi >= static_cast<i64>(kWordSpan)) return AVal::top();
+    const u32 g = gcd_u32(v0.stride, static_cast<u32>(d < 0 ? -d : d));
+    return AVal::range(static_cast<u32>(lo), static_cast<u32>(hi),
+                       g == 0 ? 1 : g);
+  };
+  const auto shift_of = [](const AVal& a, const AVal& b, i64* d) {
+    if (!a.is_bounded() || !b.is_bounded()) return false;
+    if (a.kind != b.kind || a.stride != b.stride) return false;
+    const i64 dlo = static_cast<i64>(b.lo) - a.lo;
+    if (dlo != static_cast<i64>(b.hi) - a.hi) return false;
+    *d = dlo;
+    return true;
+  };
+  for (unsigned r = 1; r < 32; ++r) {
+    const AVal& v0 = s0.get(r);
+    const AVal& v1 = s1.get(r);
+    i64 d = 0;
+    if (v1 == v0) {
+      mode[r] = RegMode::kInvariant;
+    } else if (shift_of(v0, v1, &d) && d != 0) {
+      mode[r] = RegMode::kShift;
+      step[r] = d;
+      h.r[r] = widen_shift(v0, d, t);
+      if (h.r[r].kind == AVal::kTop) mode[r] = RegMode::kTop;
+    } else {
+      mode[r] = RegMode::kReset;
+      h.r[r] = aval_join(v0, v1);
+      if (h.r[r].kind == AVal::kTop) mode[r] = RegMode::kTop;
+    }
+  }
+
+  // Verification re-solve: prove the affine assumptions against the
+  // widened header, demoting registers that fail until stable.
+  AbsState s1v;
+  for (unsigned round = 0;; ++round) {
+    body_solve(h, &scratch);
+    s1v = latch_out();
+    if (!s1v.feasible) break;  // body no longer reaches the latch
+    bool ok = true;
+    for (unsigned r = 1; r < 32; ++r) {
+      const AVal& got = s1v.get(r);
+      switch (mode[r]) {
+        case RegMode::kInvariant:
+          if (got != h.r[r]) {
+            mode[r] = RegMode::kReset;
+            h.r[r] = aval_join(h.r[r], got);
+            ok = false;
+          }
+          break;
+        case RegMode::kShift: {
+          // The body must advance the whole envelope by exactly `step`:
+          // transfers are affine-or-Top, so equality on a multi-point
+          // range certifies a uniform r += step along every path.
+          const AVal want = aval_add(
+              h.r[r],
+              AVal::constant(static_cast<u32>(static_cast<u64>(step[r]))));
+          if (got != want) {
+            mode[r] = RegMode::kReset;
+            h.r[r] = aval_join(h.r[r], got);
+            ok = false;
+          }
+          break;
+        }
+        case RegMode::kReset:
+          if (aval_join(h.r[r], got) != h.r[r]) {
+            h.r[r] = aval_join(h.r[r], got);
+            ok = false;
+          }
+          break;
+        case RegMode::kTop:
+          break;
+      }
+      if (h.r[r].kind == AVal::kTop) mode[r] = RegMode::kTop;
+    }
+    if (ok) break;
+    if (round >= 8) {
+      for (unsigned r = 1; r < 32; ++r) {
+        if (mode[r] != RegMode::kInvariant) {
+          mode[r] = RegMode::kTop;
+          h.r[r] = AVal::top();
+        }
+      }
+      body_solve(h, &scratch);
+      s1v = latch_out();
+      break;
+    }
+  }
+
+  // Exit state on the latch fall-through: shifted registers take their
+  // exact post-loop value S0 + T*step (the loop runs exactly T times).
+  AbsState e = s1v;
+  if (e.feasible) {
+    for (unsigned r = 1; r < 32; ++r) {
+      switch (mode[r]) {
+        case RegMode::kInvariant: e.r[r] = s0.get(r); break;
+        case RegMode::kShift: {
+          const AVal& v0 = s0.get(r);
+          const i64 total = step[r] * static_cast<i64>(t);
+          const i64 lo = static_cast<i64>(v0.lo) + total;
+          const i64 hi = static_cast<i64>(v0.hi) + total;
+          if (lo < 0 || hi >= static_cast<i64>(kWordSpan)) {
+            e.r[r] = AVal::top();
+          } else {
+            e.r[r] = AVal::range(static_cast<u32>(lo), static_cast<u32>(hi),
+                                 v0.stride);
+          }
+          break;
+        }
+        default: break;  // kReset keeps s1v, kTop is already Top
+      }
+    }
+  }
+
+  // Final pass records the converged body in-states (used by extraction)
+  // and collects break edges; the latch fall-through edge carries E
+  // instead of the latch's raw out-state.
+  std::vector<ExitFlow> flows;
+  body_solve(h, &flows);
+  const int fall = image_.index_of(lp.end);
+  if (exits != nullptr) {
+    for (ExitFlow& f : flows) {
+      if (f.from == lp.latch && f.node == fall) continue;  // replaced by E
+      exits->push_back(std::move(f));
+    }
+    if (e.feasible && fall >= 0) exits->push_back({lp.latch, fall, e});
+  }
+}
+
+void Solver::run(addr_t entry) {
+  build_loops(entry);
+  const int e = image_.index_of(entry);
+  if (e < 0) return;
+  solve_region(-1, e, AbsState::entry(), /*skip_back_edges=*/false, nullptr);
+}
+
+Footprint Solver::extract() const {
+  Footprint fp;
+  fp.instr_count = n_;
+  for (const Loop& lp : loops_) fp.loop_count += !lp.dissolved;
+  fp.unsummarized = unsummarized_;
+  for (size_t i = 0; i < n_; ++i) {
+    const DecodedInstr& d = image_.instrs()[i];
+    const AbsState& st = in_[i];
+    if (d.illegal || !st.feasible) continue;
+    const isa::Instr& in = d.in;
+    if (in.mem_size > 0) {
+      AVal ea;
+      if (in.has(iflag::kMemPostInc)) {
+        ea = st.get(in.rs1);  // post-inc addresses with the unmodified base
+      } else if (in.has(iflag::kMemRegOff)) {
+        const unsigned off = in.has(iflag::kIsStore) ? in.rd : in.rs2;
+        ea = aval_add(st.get(in.rs1), st.get(off));
+      } else {
+        ea = aval_add(st.get(in.rs1),
+                      AVal::constant(static_cast<u32>(in.imm)));
+      }
+      fp.accesses.push_back(
+          {d.addr, in.has(iflag::kIsStore), in.mem_size, ea});
+    } else if (in.op == Mnemonic::kPvQnt && opt_.model_qnt_reads) {
+      // pv.qnt walks two threshold trees of `stride` bytes each at rs2.
+      const unsigned q = isa::simd_elem_bits(in.fmt);
+      const u32 stride = sim::QuantUnit::tree_stride_bytes(q);
+      fp.accesses.push_back({d.addr, false, 2 * stride, st.get(in.rs2)});
+    }
+  }
+  return fp;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+Footprint FootprintAnalyzer::analyze(addr_t base, const std::vector<u8>& bytes,
+                                     addr_t entry) const {
+  std::vector<Diagnostic> scratch;  // decode diags are xlint's business
+  const CodeImage image(base, bytes, scratch);
+  const Cfg cfg(image, entry, scratch);
+  Solver solver(image, cfg, opt_);
+  solver.run(entry);
+  return solver.extract();
+}
+
+Footprint FootprintAnalyzer::analyze(const xasm::Program& prog) const {
+  std::vector<u8> bytes(prog.size_bytes());
+  for (u32 i = 0; i < prog.size_words(); ++i) {
+    const u32 w = prog.words()[i];
+    bytes[i * 4 + 0] = static_cast<u8>(w);
+    bytes[i * 4 + 1] = static_cast<u8>(w >> 8);
+    bytes[i * 4 + 2] = static_cast<u8>(w >> 16);
+    bytes[i * 4 + 3] = static_cast<u8>(w >> 24);
+  }
+  return analyze(prog.base(), bytes, prog.entry());
+}
+
+}  // namespace xpulp::analysis

@@ -1,0 +1,112 @@
+// Static TCDM footprint analysis (the xrace static phase).
+//
+// Extends the xlint const-prop dataflow with a strided-interval abstract
+// domain for address expressions: a register holds either a compile-time
+// constant, a strided interval {lo, lo+stride, ..., hi} (affine induction
+// through hardware loops, counted decrement-and-branch loops and
+// post-increment addressing), or Top. Loops are summarized exactly:
+//   - trip counts come from lp.setup/lp.count operands (evaluated in the
+//     abstract state at the setup instruction) or, for counted branch
+//     loops (`bne rc, x0` back edges), from the counter's entry value and
+//     per-iteration step;
+//   - per-register per-iteration deltas are detected from one abstract
+//     pass over the body, the header state is widened to the exact
+//     iteration envelope {S0 + k*delta, 0 <= k < T}, and a verification
+//     re-solve proves the affine assumption (registers that fail demote
+//     to reset mode or Top, so the result is sound by construction);
+//   - loop exits carry the exact final value S0 + T*delta, so post-loop
+//     pointers stay constants instead of smearing across the sweep.
+//
+// The output is the program's read/write footprint: one strided byte
+// range per reachable memory access (pv.qnt threshold walks included),
+// with Top addresses marked unprovable. src/analysis/race.{hpp,cpp}
+// checks per-core footprints for pairwise disjointness. DESIGN.md §13.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/memory.hpp"
+#include "xasm/program.hpp"
+
+namespace xpulp::analysis {
+
+/// Strided-interval abstract value: Bottom (no value), a single constant,
+/// a finite arithmetic progression {lo + k*stride <= hi}, or Top.
+struct AVal {
+  enum Kind : u8 { kBottom, kConst, kRange, kTop };
+  Kind kind = kBottom;
+  u32 lo = 0;
+  u32 hi = 0;      // inclusive; == lo for kConst
+  u32 stride = 0;  // > 0 for kRange; (hi - lo) % stride == 0
+
+  static AVal bottom() { return {}; }
+  static AVal top() { return {kTop, 0, 0, 0}; }
+  static AVal constant(u32 c) { return {kConst, c, c, 0}; }
+  /// Normalizing range constructor (collapses to kConst when lo == hi).
+  static AVal range(u32 lo, u32 hi, u32 stride);
+
+  bool is_const() const { return kind == kConst; }
+  bool is_bounded() const { return kind == kConst || kind == kRange; }
+  /// Number of distinct values (1 for kConst; 0 for kBottom/kTop).
+  u64 count() const;
+  bool operator==(const AVal& o) const;
+  bool operator!=(const AVal& o) const { return !(*this == o); }
+  std::string to_string() const;
+};
+
+/// Least upper bound.
+AVal aval_join(const AVal& a, const AVal& b);
+/// Abstract +, - and constant-multiply (Top on u32 overflow of the hull).
+AVal aval_add(const AVal& a, const AVal& b);
+AVal aval_sub(const AVal& a, const AVal& b);
+AVal aval_shl(const AVal& a, unsigned sh);
+
+/// One strided memory range touched by one (reachable) instruction.
+struct StridedAccess {
+  addr_t pc = 0;
+  bool is_store = false;
+  unsigned size = 0;  // bytes per element access
+  AVal addr;          // kTop => unprovable footprint
+  /// First/one-past-last byte possibly touched (valid when addr bounded).
+  addr_t first() const { return addr.lo; }
+  addr_t last_end() const { return addr.hi + size; }
+  std::string to_string() const;
+};
+
+/// A program's full footprint: every reachable memory access with its
+/// strided byte range.
+struct Footprint {
+  std::vector<StridedAccess> accesses;
+  size_t instr_count = 0;
+  size_t loop_count = 0;       // summarized loops (hardware + branch)
+  size_t unsummarized = 0;     // loops that fell back to Top summaries
+
+  size_t unprovable() const;
+  size_t reads() const;
+  size_t writes() const;
+};
+
+struct FootprintOptions {
+  /// Maximum solver passes before bailing to Top (safety valve; the
+  /// generated kernels converge in far fewer).
+  unsigned max_passes = 512;
+  /// Treat pv.qnt as a read of its two threshold trees (2 * stride bytes
+  /// at rs2), matching the quantization unit's memory traffic.
+  bool model_qnt_reads = true;
+};
+
+class FootprintAnalyzer {
+ public:
+  explicit FootprintAnalyzer(FootprintOptions opt = {}) : opt_(opt) {}
+
+  Footprint analyze(const xasm::Program& prog) const;
+  Footprint analyze(addr_t base, const std::vector<u8>& bytes,
+                    addr_t entry) const;
+
+ private:
+  FootprintOptions opt_;
+};
+
+}  // namespace xpulp::analysis

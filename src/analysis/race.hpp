@@ -1,0 +1,111 @@
+// xrace static phase: cross-core TCDM footprint disjointness.
+//
+// Each core's program is reduced to its read/write footprint (strided byte
+// ranges, src/analysis/footprint.hpp); footprints are then checked
+// pairwise across cores. Overlapping write/write footprints are silent
+// lost updates on the shared TCDM; write/read overlaps are order-dependent
+// values. Declared read-only ranges (weights, input activations,
+// thresholds) additionally assert that no core writes them. Accesses whose
+// addresses the interval/stride domain cannot bound are reported as
+// kUnprovableFootprint — the check refuses to claim safety it cannot
+// prove. The dynamic twin (src/analysis/shadow.hpp) validates these
+// reports against observed accesses. DESIGN.md §13.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/footprint.hpp"
+#include "xasm/program.hpp"
+
+namespace xpulp::obs {
+class Registry;
+}
+
+namespace xpulp::analysis {
+
+/// Half-open byte range [begin, end).
+struct AddrRange {
+  addr_t begin = 0;
+  addr_t end = 0;
+  bool contains(addr_t lo, addr_t hi) const {  // [lo, hi) fully inside
+    return lo >= begin && hi <= end;
+  }
+};
+
+struct RaceOptions {
+  FootprintOptions footprint;
+  /// Shared ranges declared read-only: reads may overlap freely across
+  /// cores there (that is their purpose), but any write into one is a
+  /// conflict against the declaration.
+  std::vector<AddrRange> read_only;
+  /// Cap on reported conflicts (deduplicated by pc pair first).
+  size_t max_conflicts = 64;
+};
+
+/// One cross-core conflict. core_b == -1 marks a write into a declared
+/// read-only range (pc_b is unused then).
+struct RaceConflict {
+  DiagKind kind = DiagKind::kCrossCoreWriteWrite;
+  int core_a = 0;
+  int core_b = 0;
+  addr_t pc_a = 0;
+  addr_t pc_b = 0;
+  AddrRange overlap;  // overlapping byte interval (bounding)
+  std::string to_string() const;
+};
+
+struct RaceReport {
+  std::vector<Footprint> footprints;  // per core, index = core id
+  std::vector<RaceConflict> conflicts;
+  /// Accesses the interval/stride domain could not bound: (core, access).
+  std::vector<std::pair<int, StridedAccess>> unprovable;
+
+  bool clean() const { return conflicts.empty() && unprovable.empty(); }
+  /// Diagnostics form for gates and the CLI (addr = pc of the first
+  /// access of each finding).
+  AnalysisReport to_report() const;
+  std::string to_string() const;
+};
+
+/// Do two strided accesses touch a common byte? Exact for dense/dense and
+/// dense/strided pairs; strided/strided pairs use a sound gcd-phase test
+/// (may over-approximate near interval edges). Top addresses are handled
+/// by the caller (kUnprovableFootprint), not here.
+bool accesses_overlap(const StridedAccess& a, const StridedAccess& b,
+                      AddrRange* overlap);
+
+/// Static cross-core race check: one program per core.
+RaceReport analyze_races(const std::vector<xasm::Program>& programs,
+                         const RaceOptions& opt = {});
+
+/// Cluster pre-load gate adapter (structurally matches
+/// cluster::Cluster::PreLoadGate): throws AnalysisError when the program
+/// set has cross-core conflicts or — for multi-core sets — unprovable
+/// footprints.
+std::function<void(const std::vector<xasm::Program>&)> make_race_gate(
+    RaceOptions opt = {});
+
+/// One parallel kernel configuration checked by the sweep.
+struct RaceCheck {
+  std::string name;
+  int cores = 1;
+  RaceReport report;
+};
+
+/// Race-check the generated paper kernels in their parallel deployments:
+/// conv variants x bit widths row-partitioned at 1/2/4/8 cores, linear
+/// layers channel-tiled at 1/2/4/8 cores, pooling at 1 core (it has no
+/// partitioning support). Every report is expected clean.
+std::vector<RaceCheck> analyze_parallel_kernels(
+    const std::vector<int>& core_counts = {1, 2, 4, 8});
+
+/// Publish a report as metrics under `prefix` (e.g. "sim.race"):
+/// .conflicts, .ww, .rw, .unprovable, .accesses, .cores, .clean.
+void add_race_stats(obs::Registry& reg, const std::string& prefix,
+                    const RaceReport& report);
+
+}  // namespace xpulp::analysis

@@ -1,0 +1,159 @@
+#include "analysis/shadow.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "obs/registry.hpp"
+
+namespace xpulp::analysis {
+
+namespace {
+
+std::string hex(addr_t a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ShadowConflict::to_string() const {
+  std::ostringstream os;
+  os << (kind == DiagKind::kCrossCoreWriteWrite ? "write-write"
+                                                : "write-read")
+     << " @" << hex(addr) << ": core" << core_a << " pc=" << hex(pc_a)
+     << " cycle=" << cycle_a << " then core" << core_b
+     << " pc=" << hex(pc_b) << " cycle=" << cycle_b;
+  return os.str();
+}
+
+ShadowMemory::Cell& ShadowMemory::cell_at(addr_t a) {
+  if (a >= cells_.size()) cells_.resize(static_cast<size_t>(a) + 1);
+  Cell& c = cells_[a];
+  if (c.epoch != epoch_) {
+    c = Cell{};
+    c.epoch = epoch_;
+  }
+  return c;
+}
+
+void ShadowMemory::record(int core, cycles_t cycle, addr_t pc, addr_t addr,
+                          unsigned size, bool is_store) {
+  ++accesses_;
+  // Dedup by pc pair: a racing store in a loop collides on thousands of
+  // bytes; one finding per instruction pair, earliest occurrence kept
+  // (accesses arrive in exact scheduler order, so first seen = earliest).
+  auto emit = [&](ShadowConflict c) {
+    for (const ShadowConflict& e : conflicts_) {
+      if (e.kind == c.kind && e.pc_a == c.pc_a && e.pc_b == c.pc_b) return;
+    }
+    conflicts_.push_back(c);
+  };
+
+  for (unsigned i = 0; i < size; ++i) {
+    Cell& c = cell_at(addr + i);
+    const bool fresh = c.writer < 0 && c.readers == 0;
+    if (fresh) ++bytes_tracked_;
+    if (is_store) {
+      if (c.writer >= 0 && c.writer != core) {
+        emit({DiagKind::kCrossCoreWriteWrite, c.writer, core, c.writer_pc,
+              pc, c.writer_cycle, cycle, addr + i});
+      }
+      if ((c.readers & ~(1ull << core)) != 0 && c.reader >= 0) {
+        // Read-then-write: report the most recent reader. When the
+        // writer itself read last, its pc stands in for the foreign
+        // reader's — the write-then-read direction below still pins the
+        // exact foreign pc on that core's next load.
+        emit({DiagKind::kCrossCoreReadWrite, c.reader, core, c.reader_pc,
+              pc, c.reader_cycle, cycle, addr + i});
+      }
+      c.writer = core;
+      c.writer_pc = pc;
+      c.writer_cycle = cycle;
+      c.readers = 0;
+      c.reader = -1;
+    } else {
+      if (c.writer >= 0 && c.writer != core) {
+        emit({DiagKind::kCrossCoreReadWrite, c.writer, core, c.writer_pc,
+              pc, c.writer_cycle, cycle, addr + i});
+      }
+      c.readers |= 1ull << core;
+      c.reader = core;
+      c.reader_pc = pc;
+      c.reader_cycle = cycle;
+    }
+  }
+}
+
+ShadowStats ShadowMemory::stats() const {
+  ShadowStats s;
+  s.accesses = accesses_;
+  s.bytes_tracked = bytes_tracked_;
+  s.conflicts = conflicts_.size();
+  for (const ShadowConflict& c : conflicts_) {
+    (c.kind == DiagKind::kCrossCoreWriteWrite ? s.ww : s.rw) += 1;
+  }
+  return s;
+}
+
+std::string ShadowMemory::to_string() const {
+  const ShadowStats s = stats();
+  std::ostringstream os;
+  os << "shadow: accesses=" << s.accesses << " bytes=" << s.bytes_tracked
+     << " conflicts=" << s.conflicts << " (ww " << s.ww << ", rw " << s.rw
+     << ")" << (clean() ? " [clean]" : " [RACY]") << "\n";
+  for (const ShadowConflict& c : conflicts_) os << "  " << c.to_string() << "\n";
+  return os.str();
+}
+
+void attach_shadow(cluster::Cluster& cl, ShadowMemory& shadow) {
+  cl.set_access_observer([&shadow](int core, cycles_t cycle, addr_t pc,
+                                   addr_t addr, unsigned size,
+                                   bool is_store) {
+    shadow.record(core, cycle, pc, addr, size, is_store);
+  });
+}
+
+bool validate_against_shadow(const RaceReport& static_report,
+                             const ShadowMemory& shadow, std::string* why) {
+  // The static phase over-approximates, so static findings without a
+  // dynamic witness are fine (one interleaving was observed, not all).
+  // The reverse — an observed conflict the static phase did not predict —
+  // is a soundness failure.
+  std::set<std::pair<addr_t, addr_t>> static_pairs;
+  for (const RaceConflict& c : static_report.conflicts) {
+    static_pairs.insert({std::min(c.pc_a, c.pc_b), std::max(c.pc_a, c.pc_b)});
+  }
+  std::set<addr_t> unprovable_pcs;
+  for (const auto& [core, acc] : static_report.unprovable) {
+    unprovable_pcs.insert(acc.pc);
+  }
+  for (const ShadowConflict& c : shadow.conflicts()) {
+    const bool predicted =
+        static_pairs.count(
+            {std::min(c.pc_a, c.pc_b), std::max(c.pc_a, c.pc_b)}) != 0 ||
+        unprovable_pcs.count(c.pc_a) != 0 || unprovable_pcs.count(c.pc_b) != 0;
+    if (!predicted) {
+      if (why != nullptr) {
+        *why = "dynamic conflict not predicted statically: " + c.to_string();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void add_shadow_stats(obs::Registry& reg, const std::string& prefix,
+                      const ShadowMemory& shadow) {
+  const ShadowStats s = shadow.stats();
+  reg.counter(prefix + ".accesses", s.accesses);
+  reg.counter(prefix + ".bytes", s.bytes_tracked);
+  reg.counter(prefix + ".conflicts", s.conflicts);
+  reg.counter(prefix + ".ww", s.ww);
+  reg.counter(prefix + ".rw", s.rw);
+  reg.flag(prefix + ".clean", shadow.clean());
+}
+
+}  // namespace xpulp::analysis

@@ -1,0 +1,106 @@
+// xrace dynamic phase: shadow-memory conflict detection.
+//
+// A per-byte shadow map records, for every TCDM byte, the last core that
+// wrote it (with pc and local cycle) and the set of cores that read it
+// since. Fed from the cluster's access observer — which fires under the
+// event-driven scheduler's exact cross-core cycle ordering — it flags
+// real conflicts as they happen: a store over another core's live write
+// is a write-write race, a load of another core's write (or a store over
+// another core's reads) is a write-read race, each reported at the exact
+// pc pair and cycle. The dynamic findings validate the static phase
+// (src/analysis/race.hpp): every observed conflict must correspond to a
+// statically reported conflict or an unprovable access. DESIGN.md §13.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/race.hpp"
+#include "cluster/cluster.hpp"
+
+namespace xpulp::analysis {
+
+/// One observed conflict: access `a` happened first (in the scheduler's
+/// exact ordering), `b` collided with it on `addr`.
+struct ShadowConflict {
+  DiagKind kind = DiagKind::kCrossCoreWriteWrite;
+  int core_a = 0;
+  int core_b = 0;
+  addr_t pc_a = 0;
+  addr_t pc_b = 0;
+  cycles_t cycle_a = 0;
+  cycles_t cycle_b = 0;  // the cycle the conflict was detected at
+  addr_t addr = 0;       // first conflicting byte
+  std::string to_string() const;
+};
+
+struct ShadowStats {
+  u64 accesses = 0;
+  u64 bytes_tracked = 0;  // distinct bytes touched this epoch
+  size_t conflicts = 0;
+  size_t ww = 0;
+  size_t rw = 0;
+};
+
+/// Byte-granular shadow map. Conflicts are deduplicated by
+/// (kind, pc_a, pc_b), keeping the earliest occurrence; the detector
+/// assumes no cross-core synchronization (true for the generated
+/// kernels: cores run independently to completion), so any cross-core
+/// same-byte pair with a store is a race.
+class ShadowMemory {
+ public:
+  ShadowMemory() = default;
+
+  /// Record one access; grows the map on demand.
+  void record(int core, cycles_t cycle, addr_t pc, addr_t addr,
+              unsigned size, bool is_store);
+
+  /// Forget all recorded state (lazy: cells invalidate on next touch) but
+  /// keep accumulated conflicts and stats. Call between runs that reuse
+  /// the shadow.
+  void new_epoch() { ++epoch_; bytes_tracked_ = 0; }
+
+  const std::vector<ShadowConflict>& conflicts() const { return conflicts_; }
+  ShadowStats stats() const;
+  bool clean() const { return conflicts_.empty(); }
+  std::string to_string() const;
+
+ private:
+  struct Cell {
+    u64 epoch = 0;
+    u64 readers = 0;  // bitmask of cores that read since the last write
+    int writer = -1;
+    addr_t writer_pc = 0;
+    cycles_t writer_cycle = 0;
+    int reader = -1;  // most recent reader (for read-then-write reports)
+    addr_t reader_pc = 0;
+    cycles_t reader_cycle = 0;
+  };
+  Cell& cell_at(addr_t a);
+
+  std::vector<Cell> cells_;
+  std::vector<ShadowConflict> conflicts_;
+  u64 epoch_ = 1;
+  u64 accesses_ = 0;
+  u64 bytes_tracked_ = 0;
+};
+
+/// Wire a shadow map into a cluster's access observer. The shadow must
+/// outlive the cluster's runs.
+void attach_shadow(cluster::Cluster& cl, ShadowMemory& shadow);
+
+/// Cross-validate the two phases: every dynamically observed conflict
+/// must be explained by the static report — its pc pair appears in a
+/// static conflict, or one of its pcs is a statically unprovable access.
+/// Returns false (and explains into `why`) when the dynamic phase caught
+/// something the static phase missed.
+bool validate_against_shadow(const RaceReport& static_report,
+                             const ShadowMemory& shadow,
+                             std::string* why = nullptr);
+
+/// Publish shadow stats under `prefix` (e.g. "sim.race.shadow").
+void add_shadow_stats(obs::Registry& reg, const std::string& prefix,
+                      const ShadowMemory& shadow);
+
+}  // namespace xpulp::analysis

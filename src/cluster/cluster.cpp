@@ -21,6 +21,7 @@ void Cluster::load(const std::vector<xasm::Program>& programs) {
   if (programs.size() != cores_.size()) {
     throw SimError("need exactly one program per core");
   }
+  if (pre_load_gate_) pre_load_gate_(programs);
   for (size_t i = 0; i < programs.size(); ++i) {
     programs[i].load(mem_);
   }
@@ -43,8 +44,13 @@ void Cluster::begin_run() {
   // its current local cycle. Installed once per run; the scheduling loop
   // only updates active_core_/active_core_id_ instead of building a new
   // std::function closure per step.
-  mem_.set_access_hook([this](addr_t a, unsigned, bool) {
-    return arbiter_.access(active_core_id_, active_core_->perf().cycles, a);
+  mem_.set_access_hook([this](addr_t a, unsigned size, bool is_store) {
+    const cycles_t cycle = active_core_->perf().cycles;
+    if (observer_) {
+      observer_(active_core_id_, cycle, active_core_->pc(), a, size,
+                is_store);
+    }
+    return arbiter_.access(active_core_id_, cycle, a);
   });
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -149,6 +150,28 @@ class Cluster {
     for (auto& c : cores_) c->set_pre_run_gate(gate);
   }
 
+  /// Whole-cluster gate over the full program set, called by load() before
+  /// anything is written to memory. Unlike the per-core pre-run gate this
+  /// sees every core's program at once — xrace's static cross-core
+  /// footprint check plugs in here (analysis::make_race_gate). Throwing
+  /// aborts the load with no state mutated.
+  using PreLoadGate = std::function<void(const std::vector<xasm::Program>&)>;
+  void set_pre_load_gate(PreLoadGate gate) {
+    pre_load_gate_ = std::move(gate);
+  }
+
+  /// Observer for every data access made while the cluster runs, invoked
+  /// under the event-driven scheduler's exact cycle ordering: issuing core,
+  /// its local cycle, the pc of the accessing instruction, the address,
+  /// access size in bytes, and direction. xrace's shadow-memory phase
+  /// plugs in here. Call before run()/begin_run().
+  using AccessObserver = std::function<void(int core, cycles_t cycle,
+                                            addr_t pc, addr_t addr,
+                                            unsigned size, bool is_store)>;
+  void set_access_observer(AccessObserver obs) {
+    observer_ = std::move(obs);
+  }
+
   /// Run event-driven until every core executed its ecall. Throws on any
   /// abnormal halt or if the instruction budget is exceeded. The arbiter
   /// access hook is uninstalled on every exit path (including guest
@@ -193,6 +216,9 @@ class Cluster {
   // these instead of run() rebuilding a std::function closure every step.
   sim::Core* active_core_ = nullptr;
   int active_core_id_ = -1;
+
+  PreLoadGate pre_load_gate_;
+  AccessObserver observer_;
 };
 
 }  // namespace xpulp::cluster

@@ -22,35 +22,45 @@ constexpr addr_t kDataBase = 0x40000;
 
 }  // namespace
 
+std::vector<ConvKernel> make_parallel_conv_kernels(const qnn::ConvSpec& spec,
+                                                   ConvVariant v,
+                                                   int num_cores,
+                                                   const ConvGenOptions& base) {
+  if (static_cast<u32>(num_cores) * kCodeRegion > kDataBase) {
+    throw SimError("too many cores for the code region layout");
+  }
+  std::vector<ConvKernel> kernels;
+  const int rows = spec.out_h();
+  int row = 0;
+  for (int c = 0; c < num_cores; ++c) {
+    const int share = rows / num_cores + (c < rows % num_cores ? 1 : 0);
+    ConvGenOptions o = base;
+    o.code_base = static_cast<addr_t>(c) * kCodeRegion;
+    o.row_begin = row;
+    o.row_end = row + share;
+    o.buffer_slots = num_cores;
+    o.buffer_slot = c;
+    row += share;
+    kernels.push_back(kernels::generate_conv_kernel(spec, v, kDataBase, o));
+  }
+  return kernels;
+}
+
 ParallelConvResult run_parallel_conv(const ConvLayerData& data,
                                      ConvVariant v, const ClusterConfig& cfg,
                                      const ClusterInstrument& instrument,
                                      const ClusterInstrument& after_run) {
   const qnn::ConvSpec& spec = data.spec;
-  const int n = cfg.num_cores;
-  if (static_cast<u32>(n) * kCodeRegion > kDataBase) {
-    throw SimError("too many cores for the code region layout");
-  }
 
   // Generate one program per core over its row slice. The kernels stay
   // alive so the instrument hook can read their region maps.
-  std::vector<ConvKernel> kernels;
+  std::vector<ConvKernel> kernels =
+      make_parallel_conv_kernels(spec, v, cfg.num_cores);
   std::vector<xasm::Program> programs;
   ConvMemLayout layout{};
-  const int rows = spec.out_h();
-  int row = 0;
-  for (int c = 0; c < n; ++c) {
-    const int share = rows / n + (c < rows % n ? 1 : 0);
-    ConvGenOptions o;
-    o.code_base = static_cast<addr_t>(c) * kCodeRegion;
-    o.row_begin = row;
-    o.row_end = row + share;
-    o.buffer_slots = n;
-    o.buffer_slot = c;
-    row += share;
-    kernels.push_back(kernels::generate_conv_kernel(spec, v, kDataBase, o));
-    layout = kernels.back().layout;
-    programs.push_back(kernels.back().program);
+  for (const ConvKernel& k : kernels) {
+    layout = k.layout;
+    programs.push_back(k.program);
   }
 
   Cluster cluster(cfg);

@@ -34,6 +34,18 @@ struct ParallelConvResult {
 using ClusterInstrument = std::function<void(
     Cluster&, const std::vector<kernels::ConvKernel>& kernels)>;
 
+/// Generate the per-core programs for a row-partitioned layer: core c's
+/// code at c * 16 kB, shared tensors planned from 0x40000, rows split in
+/// contiguous slices (remainder rows to the first cores), one private
+/// im2col buffer slot per core. run_parallel_conv, the xrace kernel sweep,
+/// and the tests all plan through here so they analyze exactly the
+/// programs that run. `base` seeds non-partitioning generator knobs
+/// (pixel_block, use_hwloops, ...); its partitioning fields are
+/// overwritten per core.
+std::vector<kernels::ConvKernel> make_parallel_conv_kernels(
+    const qnn::ConvSpec& spec, kernels::ConvVariant v, int num_cores,
+    const kernels::ConvGenOptions& base = {});
+
 /// Run the layer across `cfg.num_cores` cores. Rows are distributed in
 /// contiguous slices (remainder rows go to the first cores). Output is
 /// read back from shared memory and must be checked by the caller against

@@ -241,6 +241,53 @@ TEST(Analyzer, InBoundsAccessClean) {
   EXPECT_TRUE(rep.clean()) << rep.to_string();
 }
 
+// ---- kMisalignedStraddle ----
+
+TEST(Analyzer, StraddlingTcdmEndFlaggedAsStraddle) {
+  // lw at mem_size - 2: first split transaction in bounds, second past
+  // the end — its own kind, distinct from a fully out-of-range address.
+  AnalyzerOptions opt;
+  opt.mem_size = 0x10000;
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        a.li(r::a0, 0xfffe);
+        a.lw(r::a1, r::a0, 0);
+        a.ecall();
+      },
+      opt);
+  EXPECT_GE(rep.count(DiagKind::kMisalignedStraddle), 1u);
+  EXPECT_EQ(rep.count(DiagKind::kTcdmOutOfBounds), 0u);
+  EXPECT_TRUE(rep.has_errors());
+}
+
+TEST(Analyzer, FullyOutOfRangeIsNotAStraddle) {
+  AnalyzerOptions opt;
+  opt.mem_size = 0x10000;
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        a.li(r::a0, 0x10000);
+        a.sw(r::a0, r::a0, 0);
+        a.ecall();
+      },
+      opt);
+  EXPECT_EQ(rep.count(DiagKind::kMisalignedStraddle), 0u);
+  EXPECT_GE(rep.count(DiagKind::kTcdmOutOfBounds), 1u);
+}
+
+TEST(Analyzer, LastAlignedWordIsNoStraddle) {
+  AnalyzerOptions opt;
+  opt.mem_size = 0x10000;
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        a.li(r::a0, 0xfffc);
+        a.lw(r::a1, r::a0, 0);
+        a.ecall();
+      },
+      opt);
+  EXPECT_EQ(rep.count(DiagKind::kMisalignedStraddle), 0u);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
 // ---- kMisalignedAccess ----
 
 TEST(Analyzer, MisalignedWordAccessWarned) {

@@ -1,0 +1,135 @@
+// Shadow-memory unit tests: conflict detection semantics (write-write,
+// both write-read directions), epoching, deduplication, and the
+// static-vs-dynamic cross-validation contract.
+#include <gtest/gtest.h>
+
+#include "analysis/shadow.hpp"
+#include "obs/registry.hpp"
+
+namespace xpulp::analysis {
+namespace {
+
+TEST(Shadow, DisjointCoresStayClean) {
+  ShadowMemory sh;
+  sh.record(0, 10, 0x100, 0x1000, 4, /*is_store=*/true);
+  sh.record(1, 10, 0x200, 0x1004, 4, /*is_store=*/true);
+  sh.record(0, 11, 0x104, 0x1000, 4, /*is_store=*/false);
+  EXPECT_TRUE(sh.clean());
+  EXPECT_EQ(sh.stats().accesses, 3u);
+  EXPECT_EQ(sh.stats().bytes_tracked, 8u);
+}
+
+TEST(Shadow, CrossCoreWriteWriteCaughtAtExactPcAndCycle) {
+  ShadowMemory sh;
+  sh.record(0, 10, 0x100, 0x1000, 4, /*is_store=*/true);
+  sh.record(1, 17, 0x200, 0x1002, 2, /*is_store=*/true);  // partial overlap
+  ASSERT_EQ(sh.conflicts().size(), 1u);
+  const ShadowConflict& c = sh.conflicts().front();
+  EXPECT_EQ(c.kind, DiagKind::kCrossCoreWriteWrite);
+  EXPECT_EQ(c.core_a, 0);
+  EXPECT_EQ(c.core_b, 1);
+  EXPECT_EQ(c.pc_a, 0x100u);
+  EXPECT_EQ(c.pc_b, 0x200u);
+  EXPECT_EQ(c.cycle_a, 10u);
+  EXPECT_EQ(c.cycle_b, 17u);
+  EXPECT_EQ(c.addr, 0x1002u);
+}
+
+TEST(Shadow, WriteThenForeignReadIsReadWrite) {
+  ShadowMemory sh;
+  sh.record(0, 5, 0x100, 0x2000, 4, /*is_store=*/true);
+  sh.record(1, 9, 0x300, 0x2000, 4, /*is_store=*/false);
+  ASSERT_EQ(sh.conflicts().size(), 1u);
+  EXPECT_EQ(sh.conflicts().front().kind, DiagKind::kCrossCoreReadWrite);
+  EXPECT_EQ(sh.conflicts().front().pc_b, 0x300u);
+}
+
+TEST(Shadow, ForeignReadThenWriteIsReadWrite) {
+  ShadowMemory sh;
+  sh.record(1, 5, 0x300, 0x2000, 4, /*is_store=*/false);
+  sh.record(0, 9, 0x100, 0x2000, 4, /*is_store=*/true);
+  ASSERT_EQ(sh.conflicts().size(), 1u);
+  const ShadowConflict& c = sh.conflicts().front();
+  EXPECT_EQ(c.kind, DiagKind::kCrossCoreReadWrite);
+  EXPECT_EQ(c.core_a, 1);  // the reader came first
+  EXPECT_EQ(c.pc_a, 0x300u);
+  EXPECT_EQ(c.pc_b, 0x100u);
+}
+
+TEST(Shadow, SameCoreNeverConflicts) {
+  ShadowMemory sh;
+  sh.record(0, 1, 0x100, 0x1000, 4, true);
+  sh.record(0, 2, 0x104, 0x1000, 4, false);
+  sh.record(0, 3, 0x108, 0x1000, 4, true);
+  EXPECT_TRUE(sh.clean());
+}
+
+TEST(Shadow, ConflictsDedupByPcPairKeepingEarliest) {
+  ShadowMemory sh;
+  for (int i = 0; i < 16; ++i) {
+    sh.record(0, 10 + i, 0x100, 0x1000 + 4u * static_cast<u32>(i), 4, true);
+    sh.record(1, 20 + i, 0x200, 0x1000 + 4u * static_cast<u32>(i), 4, true);
+  }
+  ASSERT_EQ(sh.conflicts().size(), 1u);
+  EXPECT_EQ(sh.conflicts().front().cycle_b, 20u);
+}
+
+TEST(Shadow, NewEpochForgetsHistory) {
+  ShadowMemory sh;
+  sh.record(0, 1, 0x100, 0x1000, 4, true);
+  sh.new_epoch();
+  sh.record(1, 1, 0x200, 0x1000, 4, true);  // no live writer anymore
+  EXPECT_TRUE(sh.clean());
+}
+
+TEST(Shadow, ValidationAcceptsPredictedConflicts) {
+  ShadowMemory sh;
+  sh.record(0, 1, 0x100, 0x1000, 4, true);
+  sh.record(1, 2, 0x200, 0x1000, 4, true);
+
+  RaceReport rep;
+  RaceConflict rc;
+  rc.kind = DiagKind::kCrossCoreWriteWrite;
+  rc.pc_a = 0x200;  // order-insensitive match
+  rc.pc_b = 0x100;
+  rep.conflicts.push_back(rc);
+  EXPECT_TRUE(validate_against_shadow(rep, sh));
+}
+
+TEST(Shadow, ValidationRejectsUnpredictedConflicts) {
+  ShadowMemory sh;
+  sh.record(0, 1, 0x100, 0x1000, 4, true);
+  sh.record(1, 2, 0x200, 0x1000, 4, true);
+  std::string why;
+  EXPECT_FALSE(validate_against_shadow(RaceReport{}, sh, &why));
+  EXPECT_NE(why.find("not predicted"), std::string::npos);
+}
+
+TEST(Shadow, ValidationAcceptsUnprovableExplanations) {
+  ShadowMemory sh;
+  sh.record(0, 1, 0x100, 0x1000, 4, true);
+  sh.record(1, 2, 0x200, 0x1000, 4, false);
+
+  RaceReport rep;
+  StridedAccess acc;
+  acc.pc = 0x200;
+  acc.addr = AVal::top();
+  rep.unprovable.emplace_back(1, acc);
+  EXPECT_TRUE(validate_against_shadow(rep, sh));
+}
+
+TEST(Shadow, StatsPublishToRegistry) {
+  ShadowMemory sh;
+  sh.record(0, 1, 0x100, 0x1000, 4, true);
+  sh.record(1, 2, 0x200, 0x1000, 4, true);
+  obs::Registry reg;
+  add_shadow_stats(reg, "sim.race.shadow", sh);
+  EXPECT_TRUE(reg.contains("sim.race.shadow.conflicts"));
+  EXPECT_TRUE(reg.contains("sim.race.shadow.clean"));
+  obs::Registry reg2;
+  add_race_stats(reg2, "sim.race", RaceReport{});
+  EXPECT_TRUE(reg2.contains("sim.race.clean"));
+}
+
+}  // namespace
+}  // namespace xpulp::analysis
