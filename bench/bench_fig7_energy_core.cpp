@@ -43,6 +43,22 @@ int main() {
   std::printf("\npeak efficiency: %.1f GMAC/s/W (paper: 279 GMAC/s/W)\n",
               rows[5].r.gmac_s_w());
 
+  obs::Registry reg;
+  reg.text("bench", "fig7_energy_core");
+  reg.text("unit", "GMAC/s/W");
+  for (const Row& row : rows) {
+    const std::string key =
+        std::string("rows.") + row.r.platform + "_" + std::to_string(row.r.bits);
+    add_platform_result(reg, key, row.r);
+    reg.gauge(key + ".power_mw", row.r.power_mw);
+    reg.gauge(key + ".gmac_s_w", row.r.gmac_s_w());
+  }
+  reg.gauge("gain.bits8", rows[1].r.gmac_s_w() / rows[0].r.gmac_s_w());
+  reg.gauge("gain.bits4", rows[3].r.gmac_s_w() / rows[2].r.gmac_s_w());
+  reg.gauge("gain.bits2", rows[5].r.gmac_s_w() / rows[4].r.gmac_s_w());
+  reg.gauge("peak_gmac_s_w", rows[5].r.gmac_s_w());
+  if (!save_bench_json(reg, "BENCH_fig7_energy.json")) return 1;
+
   for (const Row& row : rows) {
     if (!row.r.output_ok) return 1;
   }

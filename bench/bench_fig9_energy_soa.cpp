@@ -56,6 +56,28 @@ int main() {
   }
   std::printf("(paper, 2-bit: 103x vs STM32L4, 354x vs STM32H7)\n");
 
+  obs::Registry reg;
+  reg.text("bench", "fig9_energy_soa");
+  reg.text("unit", "GMAC/s/W");
+  for (const Entry& e : rows) {
+    const std::string key = "rows.bits" + std::to_string(e.bits);
+    const struct {
+      const char* name;
+      const PlatformResult* r;
+    } cols[] = {{"extended", &e.ext_r},
+                {"ri5cy", &e.base_r},
+                {"stm32l4", &e.m4_r},
+                {"stm32h7", &e.m7_r}};
+    for (const auto& c : cols) {
+      add_platform_result(reg, key + "." + c.name, *c.r);
+      reg.gauge(key + "." + c.name + ".gmac_s_w", c.r->gmac_s_w());
+    }
+    reg.gauge(key + ".gain_vs_ri5cy", e.ext_r.gmac_s_w() / e.base_r.gmac_s_w());
+    reg.gauge(key + ".gain_vs_m4", e.ext_r.gmac_s_w() / e.m4_r.gmac_s_w());
+    reg.gauge(key + ".gain_vs_m7", e.ext_r.gmac_s_w() / e.m7_r.gmac_s_w());
+  }
+  if (!save_bench_json(reg, "BENCH_fig9_energy.json")) return 1;
+
   bool ok = true;
   for (const Entry& e : rows) {
     ok = ok && e.ext_r.output_ok && e.base_r.output_ok && e.m4_r.output_ok &&

@@ -11,12 +11,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "mem/memory.hpp"
 #include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "qnn/pack.hpp"
 #include "sim/core.hpp"
 
@@ -46,8 +48,9 @@ struct Measurement {
 };
 
 Workload make_workload(unsigned bits, ConvVariant v, sim::CoreConfig cfg) {
-  const auto spec = qnn::ConvSpec::paper_layer(bits);
-  const auto data = kernels::ConvLayerData::random(spec, kSeed);
+  const auto data =
+      kernels::ConvLayerData::random(qnn::ConvSpec::paper_layer(bits), kSeed);
+  const qnn::ConvSpec& spec = data.spec;  // requant_shift calibrated
   Workload w{cfg.name,
              kernels::variant_name(v),
              bits,
@@ -129,18 +132,73 @@ ModeResults measure_modes(const Workload& w, double round_seconds = 0.25,
   return out;
 }
 
+/// Sampler idle-cost guard: an installed-but-idle obs::Sampler (interval
+/// far beyond the run length, so it never fires mid-run) must cost < 2%
+/// of the no-observer fast path, and the simulated cost must be
+/// bit-identical with and without the sampler attached. Rounds alternate
+/// detached/idle and each configuration keeps its best round, the same
+/// noise discipline as measure_modes.
+struct GuardResult {
+  Measurement detached, idle;
+  bool cycles_identical = false;
+  double ratio() const {
+    return detached.mips() > 0 ? idle.mips() / detached.mips() : 0;
+  }
+};
+
+GuardResult measure_sampler_guard(const Workload& w,
+                                  double round_seconds = 0.25,
+                                  int rounds = 3) {
+  GuardResult out;
+  mem::Memory mem;
+  sim::Core core(mem, w.cfg);
+
+  cycles_t detached_cycles = 0, idle_cycles = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (int mode = 0; mode < 2; ++mode) {
+      std::unique_ptr<obs::Sampler> sampler;
+      if (mode == 1) {
+        obs::Sampler::Options sopts;
+        sopts.interval_cycles = cycles_t{1} << 62;  // never due mid-run
+        sampler = std::make_unique<obs::Sampler>(core, sopts);
+      }
+      Measurement warm;
+      one_rep(w, core, mem, warm);
+      Measurement round;
+      while (round.host_seconds < round_seconds) one_rep(w, core, mem, round);
+      (mode == 0 ? detached_cycles : idle_cycles) = core.perf().cycles;
+      Measurement& best = mode == 0 ? out.detached : out.idle;
+      if (round.mips() > best.mips()) best = round;
+      if (sampler) sampler->finalize();
+    }
+  }
+  out.cycles_identical = (detached_cycles == idle_cycles);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // --min-speedup X: exit nonzero when the superblock-over-reference
   // speedup of any workload falls below X (the CI regression gate).
+  // --guard-sampler [R]: also measure the idle-sampler cost and exit
+  // nonzero when it retains less than R of the detached throughput
+  // (default 0.98) or when the simulated cycle count changes at all.
   double required_speedup = 0;
+  bool guard_sampler = false;
+  double guard_ratio = 0.98;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--min-speedup" && i + 1 < argc) {
       required_speedup = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--guard-sampler") {
+      guard_sampler = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        guard_ratio = std::strtod(argv[++i], nullptr);
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--min-speedup X]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--min-speedup X] [--guard-sampler [R]]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -201,6 +259,32 @@ int main(int argc, char** argv) {
   reg.gauge("min_speedup", min_fast_speedup);
   reg.gauge("min_superblock_speedup", min_sb_speedup);
 
+  bool guard_ok = true;
+  if (guard_sampler) {
+    // Guard on the extended-core workload (the hot configuration).
+    const GuardResult g = measure_sampler_guard(workloads.back());
+    std::printf("idle-sampler guard: detached %.2f MIPS, idle %.2f MIPS "
+                "(%.1f%% retained, cycles %s)\n",
+                g.detached.mips(), g.idle.mips(), 100 * g.ratio(),
+                g.cycles_identical ? "identical" : "DIVERGED");
+    reg.gauge("guard.sampler.detached_mips", g.detached.mips());
+    reg.gauge("guard.sampler.idle_mips", g.idle.mips());
+    reg.gauge("guard.sampler.retained", g.ratio());
+    reg.flag("guard.sampler.cycles_identical", g.cycles_identical);
+    if (!g.cycles_identical) {
+      std::fprintf(stderr,
+                   "FAIL: attaching an idle sampler changed simulated cost\n");
+      guard_ok = false;
+    }
+    if (g.ratio() < guard_ratio) {
+      std::fprintf(stderr,
+                   "FAIL: idle sampler retains %.1f%% of detached throughput "
+                   "(< %.1f%%)\n",
+                   100 * g.ratio(), 100 * guard_ratio);
+      guard_ok = false;
+    }
+  }
+
   if (!save_bench_json(reg, "BENCH_throughput.json")) return 1;
   std::printf("min speedup: fast %.2fx, superblock %.2fx\n", min_fast_speedup,
               min_sb_speedup);
@@ -210,5 +294,5 @@ int main(int argc, char** argv) {
                  min_sb_speedup, required_speedup);
     return 1;
   }
-  return 0;
+  return guard_ok ? 0 : 1;
 }

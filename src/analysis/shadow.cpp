@@ -110,8 +110,8 @@ std::string ShadowMemory::to_string() const {
 
 void attach_shadow(cluster::Cluster& cl, ShadowMemory& shadow) {
   cl.set_access_observer([&shadow](int core, cycles_t cycle, addr_t pc,
-                                   addr_t addr, unsigned size,
-                                   bool is_store) {
+                                   addr_t addr, unsigned size, bool is_store,
+                                   unsigned /*conflict_stalls*/) {
     shadow.record(core, cycle, pc, addr, size, is_store);
   });
 }

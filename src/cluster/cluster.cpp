@@ -46,11 +46,14 @@ void Cluster::begin_run() {
   // std::function closure per step.
   mem_.set_access_hook([this](addr_t a, unsigned size, bool is_store) {
     const cycles_t cycle = active_core_->perf().cycles;
+    // Arbitrate first so the observer sees the stall the access was
+    // charged (the arbiter books the bank either way).
+    const unsigned stalls = arbiter_.access(active_core_id_, cycle, a);
     if (observer_) {
       observer_(active_core_id_, cycle, active_core_->pc(), a, size,
-                is_store);
+                is_store, stalls);
     }
-    return arbiter_.access(active_core_id_, cycle, a);
+    return stalls;
   });
 }
 

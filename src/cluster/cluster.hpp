@@ -163,11 +163,16 @@ class Cluster {
   /// Observer for every data access made while the cluster runs, invoked
   /// under the event-driven scheduler's exact cycle ordering: issuing core,
   /// its local cycle, the pc of the accessing instruction, the address,
-  /// access size in bytes, and direction. xrace's shadow-memory phase
-  /// plugs in here. Call before run()/begin_run().
+  /// access size in bytes, direction, and the stall cycles the bank
+  /// arbiter charged (nonzero exactly when the arbiter counted a
+  /// conflict, so summing `conflict_stalls != 0` reproduces
+  /// BankArbiter::conflicts() exactly — xtel's bank heatmap relies on
+  /// this). xrace's shadow-memory phase plugs in here. Call before
+  /// run()/begin_run().
   using AccessObserver = std::function<void(int core, cycles_t cycle,
                                             addr_t pc, addr_t addr,
-                                            unsigned size, bool is_store)>;
+                                            unsigned size, bool is_store,
+                                            unsigned conflict_stalls)>;
   void set_access_observer(AccessObserver obs) {
     observer_ = std::move(obs);
   }

@@ -1,0 +1,165 @@
+#include "obs/heatmap.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xpulp::obs {
+
+BankHeatmap::BankHeatmap(u32 banks, int cores, const Options& opts)
+    : banks_(banks ? banks : 1),
+      cores_(cores > 0 ? cores : 1),
+      opts_(opts),
+      capacity_(opts.capacity ? opts.capacity : 1),
+      bank_totals_accesses_(banks_, 0),
+      bank_totals_conflicts_(banks_, 0) {
+  if (opts_.window_cycles == 0) opts_.window_cycles = 1;
+}
+
+BankHeatmap::Window& BankHeatmap::window_for(cycles_t cycle) {
+  const u64 idx = cycle / opts_.window_cycles;
+  if (!ring_.empty()) {
+    // The event-driven scheduler hands out accesses in non-decreasing
+    // global cycle order, so the newest window is the only live one;
+    // clamp any same-cycle reordering into it.
+    Window& newest = ring_[(head_ + ring_.size() - 1) % ring_.size()];
+    if (idx <= newest.index) return newest;
+  }
+  Window w;
+  w.index = idx;
+  w.banks.assign(banks_, BankCell{});
+  w.core_accesses.assign(static_cast<size_t>(cores_), 0);
+  ++windows_recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(w));
+    return ring_.back();
+  }
+  ring_[head_] = std::move(w);
+  Window& slot = ring_[head_];
+  head_ = (head_ + 1) % capacity_;
+  return slot;
+}
+
+void BankHeatmap::observe(int core, cycles_t cycle, addr_t addr,
+                          unsigned stalls) {
+  // Same mapping as BankArbiter::access: word-interleaved banks.
+  const u32 b = (addr >> 2) % banks_;
+  Window& w = window_for(cycle);
+  w.banks[b].accesses += 1;
+  if (core >= 0 && core < cores_) {
+    w.core_accesses[static_cast<size_t>(core)] += 1;
+  }
+  total_accesses_ += 1;
+  bank_totals_accesses_[b] += 1;
+  if (stalls != 0) {
+    w.banks[b].conflicts += 1;
+    total_conflicts_ += 1;
+    bank_totals_conflicts_[b] += 1;
+  }
+}
+
+u64 BankHeatmap::windows_dropped() const {
+  return windows_recorded_ <= capacity_ ? 0 : windows_recorded_ - capacity_;
+}
+
+const BankHeatmap::Window& BankHeatmap::retained(size_t w) const {
+  if (w >= ring_.size()) throw SimError("heatmap window index out of range");
+  return ring_[(head_ + w) % ring_.size()];
+}
+
+u64 BankHeatmap::window_index(size_t w) const { return retained(w).index; }
+
+const std::vector<BankCell>& BankHeatmap::window_banks(size_t w) const {
+  return retained(w).banks;
+}
+
+const std::vector<u64>& BankHeatmap::window_core_accesses(size_t w) const {
+  return retained(w).core_accesses;
+}
+
+void BankHeatmap::write_json(std::ostream& os) const {
+  os << "{\n  \"schema_version\": " << Registry::kSchemaVersion
+     << ",\n  \"banks\": " << banks_ << ",\n  \"cores\": " << cores_
+     << ",\n  \"window_cycles\": " << opts_.window_cycles
+     << ",\n  \"total_accesses\": " << total_accesses_
+     << ",\n  \"total_conflicts\": " << total_conflicts_
+     << ",\n  \"windows_recorded\": " << windows_recorded_
+     << ",\n  \"windows_dropped\": " << windows_dropped()
+     << ",\n  \"windows\": [";
+  for (size_t w = 0; w < ring_.size(); ++w) {
+    const Window& win = retained(w);
+    os << (w ? ",\n" : "\n") << "    {\"window\": " << win.index
+       << ", \"accesses\": [";
+    for (size_t b = 0; b < win.banks.size(); ++b) {
+      os << (b ? "," : "") << win.banks[b].accesses;
+    }
+    os << "], \"conflicts\": [";
+    for (size_t b = 0; b < win.banks.size(); ++b) {
+      os << (b ? "," : "") << win.banks[b].conflicts;
+    }
+    os << "], \"core_accesses\": [";
+    for (size_t c = 0; c < win.core_accesses.size(); ++c) {
+      os << (c ? "," : "") << win.core_accesses[c];
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void BankHeatmap::write_csv(std::ostream& os) const {
+  os << "window,bank,accesses,conflicts\n";
+  for (size_t w = 0; w < ring_.size(); ++w) {
+    const Window& win = retained(w);
+    for (size_t b = 0; b < win.banks.size(); ++b) {
+      os << win.index << ',' << b << ',' << win.banks[b].accesses << ','
+         << win.banks[b].conflicts << '\n';
+    }
+  }
+}
+
+void BankHeatmap::add_to_timeline(Timeline& tl, u8 track) const {
+  std::vector<u16> acc_names(banks_);
+  std::vector<u16> cf_names(banks_);
+  for (u32 b = 0; b < banks_; ++b) {
+    const std::string base = "tcdm/bank" + std::to_string(b);
+    acc_names[b] = tl.intern(base + "/accesses");
+    cf_names[b] = tl.intern(base + "/conflicts");
+  }
+  for (size_t w = 0; w < ring_.size(); ++w) {
+    const Window& win = retained(w);
+    const u64 ts = win.index * opts_.window_cycles;
+    for (u32 b = 0; b < banks_; ++b) {
+      CounterPoint p;
+      p.ts = ts;
+      p.track = track;
+      p.name = acc_names[b];
+      p.value = static_cast<double>(win.banks[b].accesses);
+      tl.record_counter(p);
+      p.name = cf_names[b];
+      p.value = static_cast<double>(win.banks[b].conflicts);
+      tl.record_counter(p);
+    }
+  }
+}
+
+void BankHeatmap::add_to_registry(Registry& r, std::string_view prefix) const {
+  const std::string pre = std::string(prefix) + ".";
+  r.counter(pre + "banks", banks_);
+  r.counter(pre + "window_cycles", opts_.window_cycles);
+  r.counter(pre + "accesses", total_accesses_);
+  r.counter(pre + "conflicts", total_conflicts_);
+  r.counter(pre + "windows", windows_recorded_);
+  r.counter(pre + "windows_dropped", windows_dropped());
+  u32 hot = 0;
+  for (u32 b = 1; b < banks_; ++b) {
+    if (bank_totals_accesses_[b] > bank_totals_accesses_[hot]) hot = b;
+  }
+  r.counter(pre + "hottest_bank", hot);
+  if (total_accesses_ != 0) {
+    r.gauge(pre + "hottest_bank_share",
+            static_cast<double>(bank_totals_accesses_[hot]) /
+                static_cast<double>(total_accesses_));
+  }
+}
+
+}  // namespace xpulp::obs

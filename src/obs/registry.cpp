@@ -1,5 +1,6 @@
 #include "obs/registry.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -31,6 +32,12 @@ void write_value(std::ostream& os, const Registry::Value& v) {
   if (const u64* u = std::get_if<u64>(&v)) {
     os << *u;
   } else if (const double* d = std::get_if<double>(&v)) {
+    if (!std::isfinite(*d)) {
+      // JSON has no NaN/inf literals; keep the information as a string.
+      os << (std::isnan(*d) ? "\"NaN\""
+                            : (*d > 0 ? "\"Infinity\"" : "\"-Infinity\""));
+      return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.10g", *d);
     os << buf;
@@ -115,24 +122,46 @@ void write_node(std::ostream& os, const Node& n, int indent) {
 
 void Registry::write_json(std::ostream& os) const {
   std::vector<std::pair<std::string, const Value*>> flat;
-  flat.reserve(metrics_.size());
+  flat.reserve(metrics_.size() + 1);
+  static const Value kVersion{kSchemaVersion};
+  if (!contains("schema_version")) flat.emplace_back("schema_version",
+                                                     &kVersion);
   for (const Metric& m : metrics_) flat.emplace_back(m.path, &m.value);
   write_node(os, build_tree(flat), 0);
   os << "\n";
 }
 
+namespace {
+
+void write_csv_field(std::ostream& os, std::string_view s) {
+  if (s.find_first_of(",\"\n\r") == std::string_view::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
 void Registry::write_csv(std::ostream& os) const {
   os << "metric,value\n";
   for (const Metric& m : metrics_) {
-    os << m.path << ',';
+    write_csv_field(os, m.path);
+    os << ',';
     if (const std::string* s = std::get_if<std::string>(&m.value)) {
-      // Quote strings so commas/quotes in values keep the row two-column.
-      os << '"';
-      for (char c : *s) {
-        if (c == '"') os << '"';
-        os << c;
-      }
-      os << '"';
+      // RFC-4180 quoting: only when the value needs it, so plain strings
+      // stay bare and commas/quotes keep the row two-column.
+      write_csv_field(os, *s);
+    } else if (const double* d = std::get_if<double>(&m.value);
+               d && !std::isfinite(*d)) {
+      // CSV is untyped; bare NaN/Infinity round-trips through spreadsheet
+      // tools better than the JSON-style quoted form.
+      os << (std::isnan(*d) ? "NaN" : (*d > 0 ? "Infinity" : "-Infinity"));
     } else {
       write_value(os, m.value);
     }
@@ -220,6 +249,7 @@ void add_superblock_stats(Registry& r, std::string_view prefix,
   r.counter(pre + "fused_instructions", s.fused_instructions);
   r.counter(pre + "smc_bails", s.smc_bails);
   r.counter(pre + "trap_bails", s.trap_bails);
+  r.counter(pre + "sample_flushes", s.sample_flushes);
   r.counter(pre + "invalidations", s.invalidations);
   if (total_instructions != 0) {
     r.gauge(pre + "fused_fraction",

@@ -24,6 +24,12 @@ class Registry {
  public:
   using Value = std::variant<u64, double, bool, std::string>;
 
+  /// Version of the JSON export layout, written as a top-level
+  /// "schema_version" key by write_json so downstream parsers (CI smoke
+  /// scripts, plotting notebooks) can detect layout changes. Bump when a
+  /// serialized representation changes incompatibly.
+  static constexpr u64 kSchemaVersion = 1;
+
   /// Monotonic integer metric (counts, cycles, bytes).
   void counter(std::string_view path, u64 v) { set(path, Value(v)); }
   /// Floating-point metric (rates, ratios, milliwatts).
@@ -39,12 +45,18 @@ class Registry {
   bool contains(std::string_view path) const;
   size_t size() const { return metrics_.size(); }
 
-  /// Nested, two-space-indented JSON. Throws SimError if one path is both
-  /// a leaf and a prefix of another ("a.b" alongside "a.b.c").
+  /// Nested, two-space-indented JSON with a leading "schema_version" key
+  /// (kSchemaVersion; suppressed if a metric already claimed that path).
+  /// Non-finite doubles serialize as the strings "NaN" / "Infinity" /
+  /// "-Infinity" — JSON has no literals for them. Throws SimError if one
+  /// path is both a leaf and a prefix of another ("a.b" alongside
+  /// "a.b.c").
   void write_json(std::ostream& os) const;
   std::string json() const;
 
   /// `metric,value` rows, one per leaf, insertion order, with header.
+  /// Paths and string values containing commas, quotes or newlines are
+  /// RFC-4180 quoted so every row stays two columns.
   void write_csv(std::ostream& os) const;
   std::string csv() const;
 

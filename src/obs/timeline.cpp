@@ -1,6 +1,8 @@
 #include "obs/timeline.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -35,6 +37,15 @@ std::vector<Event> Timeline::events() const {
   // head_ is the oldest element once the ring has wrapped.
   for (size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<CounterPoint> Timeline::counter_points() const {
+  std::vector<CounterPoint> out;
+  out.reserve(counters_.size());
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    out.push_back(counters_[(counter_head_ + i) % counters_.size()]);
   }
   return out;
 }
@@ -110,7 +121,13 @@ void Timeline::write_chrome_json(std::ostream& os) const {
 
   os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\"cycles\","
         "\"tool\":\"xprof\",\"dropped_events\":"
-     << dropped() << "},\"traceEvents\":[";
+     << dropped();
+  // Counter bookkeeping only appears when counters were recorded, so a
+  // counter-free timeline (every pre-xtel caller) stays byte-identical.
+  if (counters_recorded_ != 0) {
+    os << ",\"dropped_counters\":" << counters_dropped();
+  }
+  os << "},\"traceEvents\":[";
 
   bool first = true;
   const auto sep = [&] {
@@ -165,6 +182,26 @@ void Timeline::write_chrome_json(std::ostream& os) const {
   for (const Event& e : prefix) emit(e);
   for (const Event& e : evs) emit(e);
   for (const Event& e : suffix) emit(e);
+
+  // Counter tracks last: Perfetto keys them on (pid, name), so per-core
+  // samplers intern per-core names ("core0/ipc"). Stable-sorted by ts so
+  // every track's points are monotonic even after the ring wrapped.
+  std::vector<CounterPoint> cps = counter_points();
+  std::stable_sort(
+      cps.begin(), cps.end(),
+      [](const CounterPoint& a, const CounterPoint& b) { return a.ts < b.ts; });
+  for (const CounterPoint& p : cps) {
+    sep();
+    os << "{\"name\":\"";
+    json_escape(os, names_[p.name]);
+    os << "\",\"pid\":0,\"tid\":" << unsigned(p.track) << ",\"ts\":" << p.ts
+       << ",\"ph\":\"C\",\"cat\":\"counter\",\"args\":{\"value\":";
+    // JSON has no NaN/inf literals; clamp non-finite samples to 0.
+    const double v = std::isfinite(p.value) ? p.value : 0.0;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    os << buf << "}}";
+  }
 
   os << "\n]}\n";
 }

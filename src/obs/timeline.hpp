@@ -39,6 +39,16 @@ struct Event {
   u8 track = 0;
 };
 
+/// One sampled counter point on a Perfetto counter track ("ph":"C").
+/// Held in a side ring separate from the slice events so a dense sample
+/// stream cannot evict region slices (and vice versa).
+struct CounterPoint {
+  u64 ts = 0;
+  double value = 0;
+  u16 name = 0;
+  u8 track = 0;
+};
+
 class Timeline {
  public:
   static constexpr size_t kDefaultCapacity = 1u << 20;
@@ -63,9 +73,28 @@ class Timeline {
     ++recorded_;
   }
 
+  /// Append a counter sample; once the counter ring is full the oldest
+  /// point is dropped (the track just starts later — no repair needed,
+  /// the export stays well-formed and per-track monotonic).
+  void record_counter(const CounterPoint& p) {
+    if (counters_.size() < counter_capacity_) {
+      counters_.push_back(p);
+    } else {
+      counters_[counter_head_] = p;
+      counter_head_ = (counter_head_ + 1) % counter_capacity_;
+    }
+    ++counters_recorded_;
+  }
+
   /// Label a track (becomes a Perfetto thread_name; track 0-based).
   /// In cluster runs, track i is core i's lane.
   void set_track_name(u8 track, std::string_view name);
+
+  /// Resize the counter-point ring. Call before recording counters; a
+  /// later shrink only takes effect once the ring cycles naturally.
+  void set_counter_capacity(size_t capacity) {
+    counter_capacity_ = capacity ? capacity : 1;
+  }
 
   u64 recorded() const { return recorded_; }
   u64 dropped() const {
@@ -73,20 +102,40 @@ class Timeline {
   }
   size_t size() const { return ring_.size(); }
 
+  u64 counters_recorded() const { return counters_recorded_; }
+  u64 counters_dropped() const {
+    return counters_recorded_ <= counter_capacity_
+               ? 0
+               : counters_recorded_ - counter_capacity_;
+  }
+
   /// Events still held, oldest first.
   std::vector<Event> events() const;
+
+  /// Counter points still held, oldest first.
+  std::vector<CounterPoint> counter_points() const;
 
   /// Chrome trace-event JSON. Begin/end pairs that lost their partner to
   /// the ring (or to an abandoned run) are repaired with synthetic events
   /// at the retained window's edges, so the output always nests cleanly.
+  /// Counter points, if any were recorded, are appended as "ph":"C"
+  /// events sorted by timestamp and "dropped_counters" joins otherData;
+  /// a counter-free timeline emits byte-identical output to pre-counter
+  /// builds.
   void write_chrome_json(std::ostream& os) const;
   std::string chrome_json() const;
 
  private:
+  static constexpr size_t kDefaultCounterCapacity = 1u << 16;
+
   size_t capacity_;
   std::vector<Event> ring_;
   size_t head_ = 0;  // oldest element once the ring is full
   u64 recorded_ = 0;
+  size_t counter_capacity_ = kDefaultCounterCapacity;
+  std::vector<CounterPoint> counters_;
+  size_t counter_head_ = 0;
+  u64 counters_recorded_ = 0;
   std::vector<std::string> names_;
   std::unordered_map<std::string, u16> name_ids_;
   std::vector<std::pair<u8, std::string>> track_names_;

@@ -85,34 +85,30 @@ double core_area(bool extended, bool power_managed) {
   return power_managed ? t[0].ext_pm_um2 : t[0].ext_nopm_um2;
 }
 
-SocPower estimate_power(const sim::PerfCounters& perf,
-                        const sim::DotpActivity& act,
-                        const mem::MemStats& mem, const sim::CoreConfig& cfg,
-                        const OperatingPoint& op) {
-  SocPower p;
-  const double cycles = static_cast<double>(perf.cycles ? perf.cycles : 1);
-  // pJ/cycle * MHz = uW; convert to mW via 1e-3. With f in Hz:
-  // P[mW] = E[pJ/cycle] * f[Hz] * 1e-12 * 1e3 = E * f * 1e-9.
+EnergyBreakdown estimate_energy(const sim::PerfCounters& perf,
+                                const sim::DotpActivity& act,
+                                const mem::MemStats& mem,
+                                const sim::CoreConfig& cfg,
+                                const OperatingPoint& op) {
+  EnergyBreakdown e;
+  const double cyc = static_cast<double>(perf.cycles);
+  // P[mW] = E[pJ/cycle] * f[Hz] * 1e-9, so a constant-power component
+  // contributes P / scale picojoules per cycle.
   const double scale = op.freq_hz * 1e-9;
-  auto rate = [&](double events) { return events / cycles; };
 
   const bool ext = cfg.xpulpnn;
   // Leakage scales with area; kLeakPerUm2Mw folds in the 0.65 V TT corner.
-  p.core.leak_mw = core_area(ext, cfg.clock_gating) * kLeakPerUm2Mw;
+  e.leak_pj = core_area(ext, cfg.clock_gating) * kLeakPerUm2Mw / scale * cyc;
 
   const double e_base = kEBaseCycle + (ext ? kEBaseExtra : 0.0);
-  p.core.base_mw = e_base * scale;
-  p.core.alu_mw = (kEAlu * rate(static_cast<double>(perf.scalar_alu_ops)) +
-                   kESimdAlu * rate(static_cast<double>(perf.simd_alu_ops))) *
-                  scale;
-  p.core.muldiv_mw =
-      kEMul * rate(static_cast<double>(perf.mul_ops + perf.div_ops)) * scale;
+  e.base_pj = e_base * cyc;
+  e.alu_pj = kEAlu * static_cast<double>(perf.scalar_alu_ops) +
+             kESimdAlu * static_cast<double>(perf.simd_alu_ops);
+  e.muldiv_pj = kEMul * static_cast<double>(perf.mul_ops + perf.div_ops);
 
-  double dotp_e = 0;
   for (unsigned i = 0; i < 4; ++i) {
-    dotp_e += kEDotp[i] * rate(static_cast<double>(perf.dotp_ops[i]));
+    e.dotp_pj += kEDotp[i] * static_cast<double>(perf.dotp_ops[i]);
   }
-  p.core.dotp_mw = dotp_e * scale;
 
   double toggles = 0;
   for (unsigned i = 0; i < 4; ++i) {
@@ -120,23 +116,53 @@ SocPower estimate_power(const sim::PerfCounters& perf,
   }
   const double e_toggle =
       cfg.clock_gating ? kEDotpToggleBit : kEUngatedToggleBit;
-  p.core.dotp_toggle_mw = e_toggle * rate(toggles) * scale;
+  e.dotp_toggle_pj = e_toggle * toggles;
 
-  p.core.qnt_mw =
-      kEQntCycle * rate(static_cast<double>(perf.qnt_stall_cycles)) * scale;
+  e.qnt_pj = kEQntCycle * static_cast<double>(perf.qnt_stall_cycles);
   if (ext && !cfg.clock_gating) {
     // No operand isolation: the quantization comparators follow every load.
-    p.core.qnt_mw += kELsuToggleBit *
-                     rate(static_cast<double>(perf.lsu_data_toggles)) * scale;
+    e.qnt_pj += kELsuToggleBit * static_cast<double>(perf.lsu_data_toggles);
   }
-  p.core.lsu_mw = (kELoad * rate(static_cast<double>(perf.loads)) +
-                   kEStore * rate(static_cast<double>(perf.stores))) *
-                  scale;
+  e.lsu_pj = kELoad * static_cast<double>(perf.loads) +
+             kEStore * static_cast<double>(perf.stores);
 
   const double data_accesses = static_cast<double>(mem.loads + mem.stores);
   const double fetches = static_cast<double>(perf.instructions);
-  p.sram_mw = kESramAccess * rate(data_accesses + fetches) * scale;
-  p.soc_static_mw = kSocStaticMw;
+  e.sram_pj = kESramAccess * (data_accesses + fetches);
+  e.soc_static_pj = kSocStaticMw / scale * cyc;
+  return e;
+}
+
+SocPower estimate_power(const sim::PerfCounters& perf,
+                        const sim::DotpActivity& act,
+                        const mem::MemStats& mem, const sim::CoreConfig& cfg,
+                        const OperatingPoint& op) {
+  SocPower p;
+  const bool ext = cfg.xpulpnn;
+  const double scale = op.freq_hz * 1e-9;
+  if (perf.cycles == 0) {
+    // Empty window: report standing power, no dynamic activity to rate.
+    p.core.leak_mw = core_area(ext, cfg.clock_gating) * kLeakPerUm2Mw;
+    p.core.base_mw = (kEBaseCycle + (ext ? kEBaseExtra : 0.0)) * scale;
+    p.soc_static_mw = kSocStaticMw;
+    return p;
+  }
+  // Power is energy over time, component by component: the same
+  // EnergyBreakdown xtel attributes per region divides down to these mW
+  // figures bit-exactly (the reconciliation invariant).
+  const EnergyBreakdown e = estimate_energy(perf, act, mem, cfg, op);
+  const double cycles = static_cast<double>(perf.cycles);
+  const auto mw = [&](double pj) { return pj / cycles * scale; };
+  p.core.leak_mw = mw(e.leak_pj);
+  p.core.base_mw = mw(e.base_pj);
+  p.core.alu_mw = mw(e.alu_pj);
+  p.core.muldiv_mw = mw(e.muldiv_pj);
+  p.core.dotp_mw = mw(e.dotp_pj);
+  p.core.dotp_toggle_mw = mw(e.dotp_toggle_pj);
+  p.core.qnt_mw = mw(e.qnt_pj);
+  p.core.lsu_mw = mw(e.lsu_pj);
+  p.sram_mw = mw(e.sram_pj);
+  p.soc_static_mw = mw(e.soc_static_pj);
   return p;
 }
 

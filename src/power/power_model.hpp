@@ -73,9 +73,47 @@ struct SocPower {
   double soc_mw() const { return core.core_mw() + sram_mw + soc_static_mw; }
 };
 
+/// Energy over a measured window, in picojoules, split into the same
+/// components as PowerBreakdown/SocPower. Every component is a *linear*
+/// function of the integer activity counters (plus the cycle count for the
+/// time-proportional terms: leakage, base pipeline, SoC static), so two
+/// windows with equal counters yield bit-identical energy — the property
+/// xtel's per-region attribution reconciles against.
+struct EnergyBreakdown {
+  double leak_pj = 0;
+  double base_pj = 0;
+  double alu_pj = 0;
+  double muldiv_pj = 0;
+  double dotp_pj = 0;
+  double dotp_toggle_pj = 0;
+  double qnt_pj = 0;
+  double lsu_pj = 0;
+  double sram_pj = 0;
+  double soc_static_pj = 0;
+
+  double core_pj() const {
+    return leak_pj + base_pj + alu_pj + muldiv_pj + dotp_pj + dotp_toggle_pj +
+           qnt_pj + lsu_pj;
+  }
+  double soc_pj() const { return core_pj() + sram_pj + soc_static_pj; }
+};
+
+/// Energy spent over the window described by the counters. The primary
+/// model: estimate_power() is defined as estimate_energy() divided by the
+/// window's wall time, component by component, so power and energy can
+/// never disagree.
+EnergyBreakdown estimate_energy(const sim::PerfCounters& perf,
+                                const sim::DotpActivity& act,
+                                const mem::MemStats& mem,
+                                const sim::CoreConfig& cfg,
+                                const OperatingPoint& op = {});
+
 /// Estimate average power while executing a workload whose statistics were
 /// collected by the simulator. `cfg` identifies the core variant and the
-/// power-management knob.
+/// power-management knob. For any non-empty window this equals
+/// estimate_energy() / time, component by component (bit-exact — shared
+/// implementation); an empty window (cycles == 0) reports the standing
+/// power (leakage, base pipeline, SoC static) with zero dynamic rates.
 SocPower estimate_power(const sim::PerfCounters& perf,
                         const sim::DotpActivity& act,
                         const mem::MemStats& mem, const sim::CoreConfig& cfg,

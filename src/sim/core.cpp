@@ -206,9 +206,36 @@ void Core::restore_state(const CoreState& s) {
   sb_candidate_branch_ = 0;
 }
 
+void Core::set_sampler(SampleFn fn, cycles_t interval_cycles) {
+  if (fn && interval_cycles != 0) {
+    sampler_ = std::move(fn);
+    sample_interval_ = interval_cycles;
+    sample_due_ = (perf_.cycles / interval_cycles + 1) * interval_cycles;
+  } else {
+    sampler_ = {};
+    sample_interval_ = 0;
+    sample_due_ = kNoSampleDue;
+  }
+}
+
+void Core::sample_fire() {
+  // Advance first: the deadline lands on the next interval multiple past
+  // the cycle count *at the fired boundary*, so a long-stalling instruction
+  // that crosses several intervals yields one sample (the interpreter and
+  // the burst repair path agree on this by construction).
+  sample_due_ = (perf_.cycles / sample_interval_ + 1) * sample_interval_;
+  sampler_();
+}
+
 bool Core::step() {
-  if (ref_dispatch_) return step_reference();
-  return trace_ ? step_fast<true>() : step_fast<false>();
+  bool alive;
+  if (ref_dispatch_) {
+    alive = step_reference();
+  } else {
+    alive = trace_ ? step_fast<true>() : step_fast<false>();
+  }
+  if (perf_.cycles >= sample_due_) [[unlikely]] sample_fire();
+  return alive;
 }
 
 template <bool Traced>
@@ -330,10 +357,12 @@ void Core::hwloop_backedge(addr_t after) {
 HaltReason Core::run(u64 max_instructions) {
   if (ref_dispatch_) {
     // Legacy loop shape: dynamic trace check inside step_reference and the
-    // limit read back from the perf counters every iteration.
+    // limit read back from the perf counters every iteration. The sampling
+    // deadline compare is unreachable without a sampler (kNoSampleDue).
     const u64 limit = perf_.instructions + max_instructions;
     while (!halted()) {
       step_reference();
+      if (perf_.cycles >= sample_due_) [[unlikely]] sample_fire();
       if (perf_.instructions >= limit) {
         halt_ = HaltReason::kInstrLimit;
         break;
@@ -341,16 +370,25 @@ HaltReason Core::run(u64 max_instructions) {
     }
     return halt_;
   }
-  return trace_ ? run_fast<true>(max_instructions)
-                : run_fast<false>(max_instructions);
+  if (sampler_) {
+    return trace_ ? run_fast<true, true>(max_instructions)
+                  : run_fast<false, true>(max_instructions);
+  }
+  return trace_ ? run_fast<true, false>(max_instructions)
+                : run_fast<false, false>(max_instructions);
 }
 
-template <bool Traced>
+template <bool Traced, bool Sampled>
 HaltReason Core::run_fast(u64 max_instructions) {
   u64 executed = 0;
   while (!halted()) {
     step_fast<Traced>();
     ++executed;
+    if constexpr (Sampled) {
+      // At an exact instruction boundary, before any fused burst starts —
+      // so a burst always enters with cycles < sample_due_.
+      if (perf_.cycles >= sample_due_) [[unlikely]] sample_fire();
+    }
     if constexpr (!Traced) {
       // Superblock entry: the step above announced a hot block starting at
       // the next pc (hwloop setup/backedge, hot backward branch). A burst
@@ -367,6 +405,12 @@ HaltReason Core::run_fast(u64 max_instructions) {
         if (executed < max_instructions && cand == pc_ && !halted()) {
           executed +=
               superblock_enter(cand, cand_branch, max_instructions - executed);
+          if constexpr (Sampled) {
+            // The burst may have repaired to a boundary that crossed the
+            // deadline (sample_flushes); fire there, not an instruction
+            // later.
+            if (perf_.cycles >= sample_due_) [[unlikely]] sample_fire();
+          }
         }
       }
     }
@@ -377,7 +421,7 @@ HaltReason Core::run_fast(u64 max_instructions) {
     if constexpr (Traced) {
       // The hook detached itself (returned false): finish the run on the
       // trace-free loop so the rest of the instructions pay no overhead.
-      if (!trace_) return run_fast<false>(max_instructions - executed);
+      if (!trace_) return run_fast<false, Sampled>(max_instructions - executed);
     }
   }
   return halt_;
@@ -396,6 +440,9 @@ u64 Core::run_steps(u64 n) {
       if (!ref_dispatch_ && !trace_ && executed < n && cand == pc_ &&
           !halted()) {
         executed += superblock_enter(cand, cand_branch, n - executed);
+        // step() fires samples itself; a burst that repaired to a crossed
+        // deadline needs the same boundary-exact fire here.
+        if (perf_.cycles >= sample_due_) [[unlikely]] sample_fire();
       }
     }
   }

@@ -135,6 +135,11 @@ struct SuperblockStats {
   u64 smc_bails = 0;   // self-modifying store hit the live block
   u64 trap_bails = 0;  // memory fault repaired to an exact boundary
   u64 invalidations = 0;  // plans evicted by stores / cache flushes
+  /// Bursts repaired to an exact instruction boundary because the cycle
+  /// counter crossed a sampling deadline mid-burst (xtel). Uses the same
+  /// prefix-delta repair tables as smc_bails, so the surfaced counters are
+  /// bit-identical to the interpreter's at that boundary.
+  u64 sample_flushes = 0;
 };
 
 enum class HaltReason { kRunning, kEcall, kEbreak, kInstrLimit };
@@ -212,6 +217,22 @@ class Core {
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
   bool has_trace() const { return static_cast<bool>(trace_); }
 
+  /// Optional telemetry sampling hook (obs::Sampler): invoked at the first
+  /// instruction boundary where the cycle counter has reached the next
+  /// multiple of `interval_cycles`, on every dispatch path — reference,
+  /// fast, and superblock bursts (which repair to the exact boundary, see
+  /// SuperblockStats::sample_flushes) — so all three produce identical
+  /// sample series. Unlike the trace hook it does not keep the superblock
+  /// engine cold. Detached cost contract: run() dispatches to a loop
+  /// without the deadline compare, so no-sampler runs are bit-identical in
+  /// host cost to a build without the hook (guarded by
+  /// bench_sim_throughput --guard-sampler). Attach/detach only at an
+  /// instruction boundary outside run().
+  using SampleFn = std::function<void()>;
+  void set_sampler(SampleFn fn, cycles_t interval_cycles);
+  bool has_sampler() const { return static_cast<bool>(sampler_); }
+  cycles_t sample_interval() const { return sample_interval_; }
+
   /// Optional pre-run gate: invoked by reset(pc, code_end) with the loaded
   /// memory and the code extent [pc, code_end) whenever code_end is
   /// nonzero, *before* any instruction executes. The static analyzer
@@ -280,8 +301,14 @@ class Core {
   /// runs pay zero trace overhead.
   template <bool Traced>
   bool step_fast();
-  template <bool Traced>
+  /// `Sampled` compiles the sampling-deadline compare into the loop; the
+  /// no-sampler instantiation is byte-identical to the pre-xtel loop.
+  template <bool Traced, bool Sampled>
   HaltReason run_fast(u64 max_instructions);
+
+  /// Advance the sampling deadline past the current cycle count, then
+  /// invoke the hook. Out of line: the run loops only pay the compare.
+  void sample_fire();
 
   /// Reference path: the pre-optimization interpreter, byte-for-byte —
   /// mnemonic switch dispatch plus per-step isa:: predicate calls.
@@ -346,6 +373,10 @@ class Core {
   SuperblockPlan* sb_find(addr_t start);
   SuperblockPlan* sb_compile(addr_t start, addr_t branch_pc);
   u64 sb_execute(SuperblockPlan& plan, u64 budget);
+  /// `Sampled` arms per-iteration/per-op sampling-deadline checks that
+  /// repair the burst to an exact boundary via the plan's prefix tables.
+  template <bool Sampled>
+  u64 sb_execute_impl(SuperblockPlan& plan, u64 budget);
   void sb_exit(SuperblockPlan& plan);
   /// Heat counter for taken backward conditional branches; promotes the
   /// target to a superblock candidate past the threshold.
@@ -393,6 +424,15 @@ class Core {
   PerfCounters perf_;
   TraceFn trace_;
   PreRunGate pre_run_gate_;
+
+  /// Sampling hook state. kNoSampleDue makes the `cycles >= sample_due_`
+  /// deadline compare unreachable when no sampler is attached (the cycle
+  /// counter cannot reach ~0), so runtime-checked paths (step(), the
+  /// reference loop) need no second branch on sampler_.
+  static constexpr cycles_t kNoSampleDue = ~cycles_t{0};
+  SampleFn sampler_;
+  cycles_t sample_interval_ = 0;
+  cycles_t sample_due_ = kNoSampleDue;
 
   // Direct-mapped decode cache indexed by pc >> 1.
   std::vector<isa::Instr> icache_;

@@ -475,6 +475,23 @@ SuperblockPlan* Core::sb_compile(addr_t start, addr_t branch_pc) {
   if (matches_conv_inner(*plan)) plan->shape = SbShape::kConvInner;
 #endif
 
+  // Worst-case dynamic cycles per iteration in slim memory mode, for the
+  // sampled-burst arming check. Conservative per class: a memory op can
+  // pay the misaligned penalty, a divide the maximal significant-bit
+  // latency, a quantization op its threshold walk plus fetch stalls.
+  {
+    u64 dyn = 0;
+    for (const SbOp& o : plan->ops) {
+      switch (o.cls) {
+        case isa::ExecClass::kMem: dyn += 2; break;
+        case isa::ExecClass::kMulDiv: dyn += 40; break;
+        case isa::ExecClass::kSimdQnt: dyn += 64; break;
+        default: break;
+      }
+    }
+    plan->max_dyn_iter = dyn;
+  }
+
   // Batched static accounting: per-op prefixes for mid-iteration repair,
   // plus the full-iteration deltas the fused loop applies.
   const size_t n = plan->ops.size();
@@ -558,6 +575,14 @@ void Core::sb_exit(SuperblockPlan& plan) {
 }
 
 u64 Core::sb_execute(SuperblockPlan& plan, u64 budget) {
+  // Sampled bursts pay per-iteration (and, near the deadline, per-op)
+  // boundary checks; unsampled bursts compile to the pre-xtel loop.
+  return sample_due_ != kNoSampleDue ? sb_execute_impl<true>(plan, budget)
+                                     : sb_execute_impl<false>(plan, budget);
+}
+
+template <bool Sampled>
+u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
   const size_t n = plan.ops.size();
   const u64 per_iter = n + (plan.is_hwloop ? 0 : 1);
 
@@ -629,6 +654,20 @@ u64 Core::sb_execute(SuperblockPlan& plan, u64 budget) {
   const u32 msize = mem_.size();
   const bool mem_slim =
       !mem_.has_access_hook() && mem_.contention_period() == 0;
+
+  // Sampling: the run loop fires at instruction boundaries before entering
+  // a burst, so cycles < due here. The true cycle count at any boundary
+  // inside the burst is perf_.cycles (entry value + eager dynamic charges)
+  // + done * iter_cycles (batched statics of completed iterations)
+  // + the current iteration's static prefix — exactly the repair-table
+  // arithmetic, so a deadline crossing is detected at the same boundary
+  // the interpreter would sample at. An iteration whose worst-case end
+  // cannot reach the deadline ("unarmed") runs at full fused speed; with
+  // an access hook or contention injector the dynamic bound does not hold
+  // and every iteration is armed.
+  const cycles_t due = Sampled ? sample_due_ : kNoSampleDue;
+  const u64 c_iter = plan.iter_perf.cycles;
+  const u64 max_dyn = mem_slim ? plan.max_dyn_iter : (~u64{0} >> 1);
   u32 lld = last_load_data_;
   u64 toggles = 0;
   const unsigned dr = plan.dotp_region;
@@ -691,15 +730,35 @@ u64 Core::sb_execute(SuperblockPlan& plan, u64 budget) {
         last_load_rd_ = plan.is_hwloop ? plan.exit_last_load_rd : 0;
         break;
       }
+      if constexpr (Sampled) {
+        // Iteration-start boundary: the previous iteration's final op or
+        // backedge crossed the deadline. Identical repair to the dirty
+        // bail above — the run loop fires the sample at this boundary.
+        if (done != 0 && perf_.cycles + done * c_iter >= due) [[unlikely]] {
+          pc_ = plan.start;
+          last_load_rd_ = plan.is_hwloop ? plan.exit_last_load_rd : 0;
+          sb_stats_.sample_flushes += 1;
+          break;
+        }
+      }
       const unsigned hz = done == 0 ? hz0 : plan.wrap_hazard;
       if (hz != 0) {
         perf_.cycles += hz;
         perf_.load_use_stall_cycles += hz;
       }
 
+      // Armed: this iteration's worst case can reach the deadline, so run
+      // the generic loop with per-op boundary checks instead of the
+      // macro-op path (whose intermediate boundaries are not visible).
+      bool armed = false;
+      if constexpr (Sampled) {
+        armed = perf_.cycles + done * c_iter + c_iter + max_dyn >= due;
+      }
+      bool sample_break = false;
+
       size_t completed = n;
 #ifdef XPULP_SB_HOST_SIMD
-      if (use_conv) {
+      if (use_conv && !armed) {
         // Loads first, sequenced exactly like the generic loop (`i` stays
         // the op cursor so a faulting load repairs identically).
         for (i = 0; i < 4; ++i) {
@@ -879,20 +938,44 @@ u64 Core::sb_execute(SuperblockPlan& plan, u64 budget) {
           case SbKind::kBranch:
             break;  // unreachable: the terminal branch is not in ops
         }
+        if constexpr (Sampled) {
+          // Boundary after op i: armed iterations check every one against
+          // the deadline (an SMC bail this op takes precedence — its
+          // boundary is the same and the repair identical).
+          if (armed && completed == n &&
+              perf_.cycles + done * c_iter +
+                      plan.perf_prefix[i + 1].cycles >= due) [[unlikely]] {
+            if (i + 1 < n) {
+              completed = i + 1;
+              sample_break = true;
+            } else if (!plan.is_hwloop) {
+              // Pre-branch boundary: the interpreter samples before
+              // executing the branch; bail below instead of branching.
+              sample_break = true;
+            }
+            // hwloop with i + 1 == n: that boundary is the backedge
+            // target, which the next iteration-start check (or the run
+            // loop after a normal exit) observes with identical state.
+          }
+        }
         if (completed != n) break;
       }
 
       if (completed != n) [[unlikely]] {
-        // Mid-iteration SMC bail at an exact boundary: batched statics for
-        // the completed ops (the iteration-entry hazard was charged
-        // eagerly above), pc at the next op, last-load tracking from the
-        // op before it.
+        // Mid-iteration SMC or sample-deadline bail at an exact boundary:
+        // batched statics for the completed ops (the iteration-entry
+        // hazard was charged eagerly above), pc at the next op, last-load
+        // tracking from the op before it.
         add_counters(perf_, plan.perf_prefix[completed]);
         mem_.add_counts(plan.mem_prefix[completed]);
         pc_ = plan.op_pc[completed];
         last_load_rd_ = load_dest(ops[completed - 1]);
         retired += completed;
-        sb_stats_.smc_bails += 1;
+        if (sample_break) {
+          sb_stats_.sample_flushes += 1;
+        } else {
+          sb_stats_.smc_bails += 1;
+        }
         break;
       }
 
@@ -906,16 +989,22 @@ u64 Core::sb_execute(SuperblockPlan& plan, u64 budget) {
           break;
         }
       } else {
-        if (sb_active_dirty_) [[unlikely]] {
+        if (sb_active_dirty_ || sample_break) [[unlikely]] {
           // A store in this iteration hit the block with the terminal
-          // branch's bytes covered by the invalidation too — bail at the
-          // branch boundary so it re-runs interpreted from fresh decode.
+          // branch's bytes covered by the invalidation too — or the
+          // sampling deadline landed on the pre-branch boundary. Bail at
+          // the branch boundary so it re-runs interpreted (from fresh
+          // decode / after the sample fires).
           add_counters(perf_, plan.perf_prefix[n]);
           mem_.add_counts(plan.mem_prefix[n]);
           pc_ = plan.op_pc[n];
           if (n != 0) last_load_rd_ = load_dest(ops[n - 1]);
           retired += n;
-          sb_stats_.smc_bails += 1;
+          if (sb_active_dirty_) {
+            sb_stats_.smc_bails += 1;
+          } else {
+            sb_stats_.sample_flushes += 1;
+          }
           break;
         }
         const SbOp& b = plan.branch;

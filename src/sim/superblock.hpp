@@ -113,6 +113,15 @@ struct SuperblockPlan {
   /// last_load_rd_ after a completed iteration (loads feed the hazard
   /// check of whatever the interpreter executes next).
   u8 exit_last_load_rd = 0;
+
+  /// Upper bound on the *dynamic* cycles one iteration can add in slim
+  /// memory mode (no access hook, no contention injector): misaligned
+  /// access penalties, divide latency, quantization threshold walks.
+  /// Sampled bursts use it to prove an iteration cannot cross the
+  /// sampling deadline and skip the per-op boundary checks (an
+  /// over-estimate only costs a checked iteration, never a missed
+  /// sample).
+  u64 max_dyn_iter = 0;
 };
 
 }  // namespace xpulp::sim

@@ -106,6 +106,9 @@ StreamedConvResult run_conv_streamed(const ConvLayerData& data,
     res.compute_cycles += compute[static_cast<size_t>(t)];
     res.dma_cycles += dma_dur[static_cast<size_t>(t)];
   }
+  res.perf = core.perf();
+  res.dotp = core.dotp_unit().activity();
+  res.tcdm_stats = tcdm.stats();
   if (double_buffered) {
     // Prologue loads tile 0; tile t's compute overlaps tile t+1's DMA.
     res.makespan = dma_dur[0];
@@ -144,8 +147,24 @@ StreamedConvResult run_conv_streamed(const ConvLayerData& data,
       e.name = timeline->intern("compute tile " + std::to_string(t));
       timeline->record(e);
     };
+    // Busy-fraction counter tracks, one point per schedule slot: what
+    // share of the slot each engine spent working (1.0 = fully hidden).
+    const u16 compute_busy = timeline->intern("soc/compute_busy");
+    const u16 dma_busy = timeline->intern("soc/dma_busy");
+    const auto busy_point = [&](u16 name, u8 track, u64 start, cycles_t used,
+                                cycles_t slot) {
+      obs::CounterPoint p;
+      p.ts = start;
+      p.value = slot ? static_cast<double>(used) / static_cast<double>(slot)
+                     : 0.0;
+      p.name = name;
+      p.track = track;
+      timeline->record_counter(p);
+    };
     if (double_buffered) {
       dma_window(0, 0);
+      busy_point(compute_busy, 0, 0, 0, dma_dur[0]);
+      busy_point(dma_busy, 1, 0, dma_dur[0], dma_dur[0]);
       u64 start = dma_dur[0];
       for (int t = 0; t < tiles; ++t) {
         compute_slice(t, start);
@@ -154,14 +173,25 @@ StreamedConvResult run_conv_streamed(const ConvLayerData& data,
           next_dma = dma_dur[static_cast<size_t>(t + 1)];
           dma_window(t + 1, start);
         }
-        start += std::max(compute[static_cast<size_t>(t)], next_dma);
+        const cycles_t slot =
+            std::max(compute[static_cast<size_t>(t)], next_dma);
+        busy_point(compute_busy, 0, start, compute[static_cast<size_t>(t)],
+                   slot);
+        busy_point(dma_busy, 1, start, next_dma, slot);
+        start += slot;
       }
     } else {
       u64 start = 0;
       for (int t = 0; t < tiles; ++t) {
         dma_window(t, start);
+        busy_point(compute_busy, 0, start, 0, dma_dur[static_cast<size_t>(t)]);
+        busy_point(dma_busy, 1, start, dma_dur[static_cast<size_t>(t)],
+                   dma_dur[static_cast<size_t>(t)]);
         start += dma_dur[static_cast<size_t>(t)];
         compute_slice(t, start);
+        busy_point(compute_busy, 0, start, compute[static_cast<size_t>(t)],
+                   compute[static_cast<size_t>(t)]);
+        busy_point(dma_busy, 1, start, 0, compute[static_cast<size_t>(t)]);
         start += compute[static_cast<size_t>(t)];
       }
     }

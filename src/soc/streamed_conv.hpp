@@ -15,6 +15,11 @@ struct StreamedConvResult {
   qnn::Tensor output;
   cycles_t compute_cycles = 0;  // sum of per-tile kernel cycles
   cycles_t dma_cycles = 0;      // sum of per-tile transfer durations
+  /// Compute-core activity over all tiles, for power/energy estimation
+  /// (power::estimate_power / estimate_energy take these directly).
+  sim::PerfCounters perf;
+  sim::DotpActivity dotp;
+  mem::MemStats tcdm_stats;
   /// Modelled makespan: serial DMA+compute without double buffering, or
   /// prologue + per-tile max(compute, next DMA) with it.
   cycles_t makespan = 0;
@@ -39,6 +44,9 @@ struct StreamedConvResult {
 /// lanes — per-tile compute slices on track 0 ("core0") and µDMA transfer
 /// windows on track 1 ("udma") — using the same makespan arithmetic the
 /// result reports, so overlap (or its absence) is visible in Perfetto.
+/// Each schedule slot additionally emits "soc/compute_busy" and
+/// "soc/dma_busy" counter-track points (busy fraction of the slot, 0..1),
+/// the streamed path's sampled-telemetry view (xtel, DESIGN.md §14).
 StreamedConvResult run_conv_streamed(const kernels::ConvLayerData& data,
                                      kernels::ConvVariant v,
                                      const sim::CoreConfig& cfg,

@@ -1,0 +1,196 @@
+// obs::EnergyProfiler: exactly-reconciled per-region / per-class energy
+// attribution. The three-layer invariant (integer counter partition,
+// bit-identical energy over summed counters, FP-honest region sum) must
+// hold for both paper conv kernel families under every dispatch-mode
+// configuration, and the attributed total must agree with the power
+// model priced over the whole run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "kernels/conv_layer.hpp"
+#include "obs/energy.hpp"
+#include "sim/core.hpp"
+
+namespace xpulp::obs {
+namespace {
+
+using kernels::ConvVariant;
+
+struct Workload {
+  unsigned bits;
+  ConvVariant variant;
+};
+
+const Workload kWorkloads[] = {
+    {8, ConvVariant::kXpulpV2_8b},
+    {4, ConvVariant::kXpulpNN_HwQ},
+};
+
+qnn::ConvSpec small_spec(unsigned bits) {
+  qnn::ConvSpec spec = qnn::ConvSpec::paper_layer(bits);
+  spec.in_h = spec.in_w = 6;
+  spec.in_c = 16;
+  spec.out_c = 8;
+  return spec;
+}
+
+struct ProfiledRun {
+  EnergyCell total;
+  std::vector<RegionEnergy> regions;
+  std::string violation;
+  cycles_t cycles = 0;
+  sim::CoreConfig cfg;
+};
+
+ProfiledRun run_profiled(const Workload& w, const char* mode) {
+  const auto data = kernels::ConvLayerData::random(small_spec(w.bits), 7);
+  const qnn::ConvSpec& spec = data.spec;
+  kernels::ConvKernel kernel =
+      kernels::generate_conv_kernel(spec, w.variant, 0x40000);
+
+  mem::Memory mem;
+  kernel.program.load(mem);
+  kernels::load_conv_data(data, kernel.layout, mem);
+
+  sim::CoreConfig cfg = sim::CoreConfig::extended();
+  cfg.reference_dispatch = !strcmp(mode, "reference");
+  cfg.superblock = !strcmp(mode, "superblock");
+  sim::Core core(mem, cfg);
+  core.reset(kernel.program.entry(),
+             kernel.program.base() + kernel.program.size_bytes());
+
+  EnergyProfiler prof(core, kernel.regions);
+  EXPECT_EQ(core.run(600'000'000), sim::HaltReason::kEcall);
+  prof.finalize();
+
+  ProfiledRun r;
+  r.total = prof.total();
+  r.regions = prof.region_energies();
+  r.violation = prof.reconciliation_violation();
+  r.cycles = core.perf().cycles;
+  r.cfg = cfg;
+  return r;
+}
+
+TEST(EnergyProfiler, ReconciliationHoldsAcrossModesAndWorkloads) {
+  for (const Workload& w : kWorkloads) {
+    cycles_t ref_cycles = 0;
+    for (const char* mode : {"reference", "fast", "superblock"}) {
+      const ProfiledRun r = run_profiled(w, mode);
+      EXPECT_EQ(r.violation, "") << "bits " << w.bits << " mode " << mode;
+      EXPECT_GT(r.total.energy.soc_pj(), 0.0);
+      if (ref_cycles == 0) {
+        ref_cycles = r.cycles;
+      } else {
+        // Same kernel, same counters: attribution is dispatch-independent.
+        EXPECT_EQ(r.cycles, ref_cycles)
+            << "bits " << w.bits << " mode " << mode;
+      }
+    }
+  }
+}
+
+TEST(EnergyProfiler, RegionCountersPartitionTheRunExactly) {
+  const ProfiledRun r = run_profiled(kWorkloads[1], "fast");
+  u64 cycles = 0, instrs = 0;
+  double pj = 0;
+  int nonempty = 0;
+  for (const RegionEnergy& re : r.regions) {
+    cycles += re.cell.perf.cycles;
+    instrs += re.cell.perf.instructions;
+    pj += re.cell.energy.soc_pj();
+    if (re.cell.perf.instructions != 0) ++nonempty;
+  }
+  EXPECT_EQ(cycles, r.total.perf.cycles);
+  EXPECT_EQ(instrs, r.total.perf.instructions);
+  EXPECT_GE(nonempty, 3);  // im2col, matmul, quant at least
+  EXPECT_NEAR(pj, r.total.energy.soc_pj(),
+              1e-9 * std::max(1.0, r.total.energy.soc_pj()));
+}
+
+TEST(EnergyProfiler, TotalEnergyAgreesWithThePowerModel) {
+  const ProfiledRun r = run_profiled(kWorkloads[1], "fast");
+  // estimate_power is energy/cycles rescaled, so pricing the whole run's
+  // counters must agree with energy * frequency / cycles.
+  const power::OperatingPoint op{};
+  const power::EnergyBreakdown e = power::estimate_energy(
+      r.total.perf, r.total.dotp, r.total.mem, r.cfg, op);
+  EXPECT_DOUBLE_EQ(e.soc_pj(), r.total.energy.soc_pj());
+
+  const double seconds =
+      static_cast<double>(r.total.perf.cycles) / op.freq_hz;
+  const double avg_mw = r.total.energy.soc_pj() * 1e-12 / seconds * 1e3;
+  const power::SocPower p = power::estimate_power(r.total.perf, r.total.dotp,
+                                                  r.total.mem, r.cfg, op);
+  EXPECT_NEAR(avg_mw, p.soc_mw(), 1e-9 * std::max(1.0, p.soc_mw()));
+}
+
+TEST(EnergyProfiler, CollapsedStacksAreWellFormedAndCoverRegions) {
+  const ProfiledRun r = run_profiled(kWorkloads[1], "fast");
+  // Re-run to access collapsed_stacks (ProfiledRun doesn't keep the
+  // profiler); cheaper: rebuild from regions. Instead exercise the
+  // exporter directly on a fresh run.
+  const auto data = kernels::ConvLayerData::random(small_spec(4), 7);
+  kernels::ConvKernel kernel = kernels::generate_conv_kernel(
+      data.spec, ConvVariant::kXpulpNN_HwQ, 0x40000);
+  mem::Memory mem;
+  kernel.program.load(mem);
+  kernels::load_conv_data(data, kernel.layout, mem);
+  sim::Core core(mem, sim::CoreConfig::extended());
+  core.reset(kernel.program.entry(),
+             kernel.program.base() + kernel.program.size_bytes());
+  EnergyProfiler prof(core, kernel.regions);
+  ASSERT_EQ(core.run(600'000'000), sim::HaltReason::kEcall);
+  prof.finalize();
+
+  const std::string stacks = prof.collapsed_stacks("core0");
+  ASSERT_FALSE(stacks.empty());
+  std::istringstream is(stacks);
+  std::string line;
+  bool saw_matmul = false;
+  long long total_pj = 0;
+  while (std::getline(is, line)) {
+    // "core0;<region>;<component> <integer pJ>"
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string frames = line.substr(0, sp);
+    const long long pj = std::stoll(line.substr(sp + 1));
+    EXPECT_GT(pj, 0) << line;
+    total_pj += pj;
+    EXPECT_EQ(frames.rfind("core0;", 0), 0u) << line;
+    if (frames.find(";matmul;") != std::string::npos) saw_matmul = true;
+  }
+  EXPECT_TRUE(saw_matmul);
+  // Integer-rounded stack weights track the FP total closely.
+  EXPECT_NEAR(static_cast<double>(total_pj), r.total.energy.soc_pj(),
+              r.total.energy.soc_pj() * 0.01);
+}
+
+TEST(EnergyProfiler, RegistryExportPublishesTotalsAndRegions) {
+  const auto data = kernels::ConvLayerData::random(small_spec(4), 7);
+  kernels::ConvKernel kernel = kernels::generate_conv_kernel(
+      data.spec, ConvVariant::kXpulpNN_HwQ, 0x40000);
+  mem::Memory mem;
+  kernel.program.load(mem);
+  kernels::load_conv_data(data, kernel.layout, mem);
+  sim::Core core(mem, sim::CoreConfig::extended());
+  core.reset(kernel.program.entry(),
+             kernel.program.base() + kernel.program.size_bytes());
+  EnergyProfiler prof(core, kernel.regions);
+  ASSERT_EQ(core.run(600'000'000), sim::HaltReason::kEcall);
+  prof.finalize();
+
+  Registry reg;
+  prof.add_to_registry(reg, "energy");
+  EXPECT_TRUE(reg.contains("energy.total.soc_pj"));
+  EXPECT_TRUE(reg.contains("energy.total.cycles"));
+  EXPECT_TRUE(reg.contains("energy.regions.matmul.soc_pj"));
+  EXPECT_TRUE(reg.contains("energy.regions.other.soc_pj"));
+}
+
+}  // namespace
+}  // namespace xpulp::obs

@@ -3,6 +3,8 @@
 // guarantee (attributed cycles partition the core's cycle counter).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -107,6 +109,69 @@ TEST(Registry, LeafObjectConflictThrows) {
   reg.counter("a.b", 1);
   reg.counter("a.b.c", 2);  // "a.b" is both a leaf and an object
   EXPECT_THROW(reg.json(), SimError);
+}
+
+TEST(Registry, EmptyRegistryStillExports) {
+  Registry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  const std::string json = reg.json();
+  // Even an empty registry carries the schema version.
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  const std::string csv = reg.csv();
+  EXPECT_EQ(csv, "metric,value\n");  // header only
+}
+
+TEST(Registry, SchemaVersionInjectedOnceAndNotDuplicated) {
+  Registry reg;
+  reg.counter("x", 1);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  // First key in the object, so parsers can sniff it cheaply.
+  EXPECT_LT(json.find("schema_version"), json.find("\"x\""));
+
+  // A metric that claims the path wins; no duplicate key is emitted.
+  Registry reg2;
+  reg2.counter("schema_version", 42);
+  const std::string json2 = reg2.json();
+  EXPECT_NE(json2.find("\"schema_version\": 42"), std::string::npos);
+  EXPECT_EQ(json2.find("\"schema_version\": 1"), std::string::npos);
+}
+
+TEST(Registry, CsvQuotesPathsWithCommasQuotesAndNewlines) {
+  Registry reg;
+  reg.counter("a,b", 1);        // comma in the path
+  reg.counter("with\"quote", 2);
+  reg.counter("multi\nline", 3);
+  reg.text("plain", "v");
+  const std::string csv = reg.csv();
+  EXPECT_NE(csv.find("\"a,b\",1"), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\",2"), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\",3"), std::string::npos);
+  EXPECT_NE(csv.find("plain,v"), std::string::npos);
+  // The unquoted rows still have exactly two columns.
+  EXPECT_EQ(csv.find("plain,\"v\""), std::string::npos);
+}
+
+TEST(Registry, NonFiniteDoublesSerializeAsQuotedStrings) {
+  Registry reg;
+  reg.gauge("nan", std::nan(""));
+  reg.gauge("pinf", std::numeric_limits<double>::infinity());
+  reg.gauge("ninf", -std::numeric_limits<double>::infinity());
+  reg.gauge("fine", 1.5);
+  const std::string json = reg.json();
+  // JSON has no literals for these; they must not leak as bare tokens.
+  EXPECT_NE(json.find("\"nan\": \"NaN\""), std::string::npos);
+  EXPECT_NE(json.find("\"pinf\": \"Infinity\""), std::string::npos);
+  EXPECT_NE(json.find("\"ninf\": \"-Infinity\""), std::string::npos);
+  EXPECT_EQ(json.find("inf,"), std::string::npos);
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+
+  const std::string csv = reg.csv();
+  EXPECT_NE(csv.find("nan,NaN"), std::string::npos);
+  EXPECT_NE(csv.find("pinf,Infinity"), std::string::npos);
+  EXPECT_NE(csv.find("ninf,-Infinity"), std::string::npos);
 }
 
 // ----------------------------------------------------------------- Profiler

@@ -14,6 +14,7 @@
 #include "cluster/parallel_conv.hpp"
 #include "kernels/conv_layer.hpp"
 #include "obs/profiler.hpp"
+#include "obs/sampler.hpp"
 #include "obs/timeline.hpp"
 
 namespace xpulp::obs {
@@ -172,6 +173,7 @@ void check_trace(const std::string& text,
   ASSERT_EQ(evs->type, JValue::Type::kArray);
 
   std::map<double, std::vector<std::string>> open;  // tid -> B-name stack
+  std::map<std::pair<double, std::string>, double> counter_ts;
   double last_ts = -1;
   for (const JValue& e : evs->arr) {
     EXPECT_EQ(e.type, JValue::Type::kObject);
@@ -188,6 +190,23 @@ void check_trace(const std::string& text,
 
     const JValue* ts = e.find("ts");
     ASSERT_NE(ts, nullptr);
+    if (ph->str == "C") {
+      // Counter tracks are appended after the slice events; they are
+      // ordered per (tid, name) track rather than globally.
+      const JValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      const JValue* value = args->find("value");
+      ASSERT_NE(value, nullptr);
+      EXPECT_EQ(value->type, JValue::Type::kNumber);
+      const auto key = std::make_pair(tid->number, name->str);
+      const auto it = counter_ts.find(key);
+      if (it != counter_ts.end()) {
+        EXPECT_GE(ts->number, it->second)
+            << "counter track " << name->str << " not monotonic";
+      }
+      counter_ts[key] = ts->number;
+      continue;
+    }
     EXPECT_GE(ts->number, last_ts) << "timestamps must be non-decreasing";
     last_ts = ts->number;
     if (ph->str == "B") {
@@ -391,6 +410,147 @@ TEST(Perfetto, AbandonedRunClosesOpenSlices) {
   x.value = 10;
   tl.record(x);
   check_trace(tl.chrome_json());  // synthetic E at the window end
+}
+
+// ---------------------------------------------------------- counter tracks
+
+TEST(Perfetto, CounterFreeOutputHasNoCounterArtifacts) {
+  // A timeline without counter points must emit byte-for-byte what
+  // pre-counter builds emitted (GoldenSmallTrace locks the exact bytes);
+  // in particular no "ph":"C" events and no dropped_counters key.
+  Timeline tl;
+  tl.set_track_name(0, "core0");
+  Event b;
+  b.kind = EventKind::kRegionBegin;
+  b.name = tl.intern("conv");
+  b.ts = 0;
+  tl.record(b);
+  Event e;
+  e.kind = EventKind::kRegionEnd;
+  e.name = b.name;
+  e.ts = 10;
+  tl.record(e);
+  const std::string text = tl.chrome_json();
+  EXPECT_EQ(text.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_EQ(text.find("dropped_counters"), std::string::npos);
+}
+
+TEST(Perfetto, CounterPointsExportAsSchemaValidCounterEvents) {
+  Timeline tl;
+  tl.set_track_name(0, "core0");
+  tl.set_track_name(1, "core1");
+  const u16 ipc = tl.intern("core0/ipc");
+  const u16 ipc1 = tl.intern("core1/ipc");
+  for (int i = 0; i < 4; ++i) {
+    CounterPoint p;
+    p.ts = static_cast<u64>(100 * (i + 1));
+    p.value = 0.5 + 0.1 * i;
+    p.name = ipc;
+    p.track = 0;
+    tl.record_counter(p);
+    p.name = ipc1;
+    p.track = 1;
+    tl.record_counter(p);
+  }
+
+  std::vector<JValue> evs;
+  check_trace(tl.chrome_json(), &evs);
+
+  int counters = 0;
+  std::set<double> tids;
+  for (const JValue& e : evs) {
+    if (e.find("ph")->str != "C") continue;
+    ++counters;
+    tids.insert(e.find("tid")->number);
+    EXPECT_EQ(e.find("cat")->str, "counter");
+  }
+  EXPECT_EQ(counters, 8);
+  EXPECT_EQ(tids, (std::set<double>{0, 1}));  // per-core track ids
+
+  bool ok = false;
+  const JValue root = parse_json(tl.chrome_json(), ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(root.find("otherData")->find("dropped_counters")->number, 0.0);
+}
+
+TEST(Perfetto, CounterRingOverflowIsReportedAndOutputStaysValid) {
+  Timeline tl;
+  tl.set_track_name(0, "core0");
+  tl.set_counter_capacity(4);
+  const u16 ipc = tl.intern("core0/ipc");
+  for (int i = 0; i < 10; ++i) {
+    CounterPoint p;
+    p.ts = static_cast<u64>(10 * i);
+    p.value = i;
+    p.name = ipc;
+    p.track = 0;
+    tl.record_counter(p);
+  }
+  EXPECT_EQ(tl.counters_recorded(), 10u);
+  EXPECT_EQ(tl.counters_dropped(), 6u);
+
+  std::vector<JValue> evs;
+  check_trace(tl.chrome_json(), &evs);
+  // Only the newest 4 points survive; the track just starts later.
+  int counters = 0;
+  double first_ts = -1;
+  for (const JValue& e : evs) {
+    if (e.find("ph")->str != "C") continue;
+    if (counters == 0) first_ts = e.find("ts")->number;
+    ++counters;
+  }
+  EXPECT_EQ(counters, 4);
+  EXPECT_EQ(first_ts, 60.0);
+
+  bool ok = false;
+  const JValue root = parse_json(tl.chrome_json(), ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(root.find("otherData")->find("dropped_counters")->number, 6.0);
+}
+
+TEST(Perfetto, SampledConvTraceHasMonotonicCounterTracks) {
+  qnn::ConvSpec s;
+  s.in_h = s.in_w = 6;
+  s.in_c = 16;
+  s.out_c = 8;
+  s.in_bits = s.w_bits = s.out_bits = 4;
+  const auto data = kernels::ConvLayerData::random(s, 7);
+  kernels::ConvKernel kernel = kernels::generate_conv_kernel(
+      s, kernels::ConvVariant::kXpulpNN_HwQ, 0x40000);
+
+  mem::Memory mem;
+  kernel.program.load(mem);
+  kernels::load_conv_data(data, kernel.layout, mem);
+  sim::Core core(mem, sim::CoreConfig::extended());
+  core.reset(kernel.program.entry(),
+             kernel.program.base() + kernel.program.size_bytes());
+
+  Timeline tl;
+  tl.set_track_name(0, "core0");
+  Sampler::Options o;
+  o.interval_cycles = 512;
+  o.timeline = &tl;
+  Sampler sampler(core, o);
+  ASSERT_EQ(core.run(), sim::HaltReason::kEcall);
+  sampler.finalize();
+
+  // check_trace verifies per-(tid, name) counter monotonicity.
+  std::vector<JValue> evs;
+  check_trace(tl.chrome_json(), &evs);
+
+  std::set<std::string> tracks;
+  int counters = 0;
+  for (const JValue& e : evs) {
+    if (e.find("ph")->str != "C") continue;
+    ++counters;
+    tracks.insert(e.find("name")->str);
+  }
+  // Six derived-metric tracks, one point per sampled window.
+  EXPECT_EQ(tracks, (std::set<std::string>{
+                        "core0/ipc", "core0/stall_frac",
+                        "core0/macs_per_cycle", "core0/fused_frac",
+                        "core0/core_mw", "core0/soc_mw"}));
+  EXPECT_EQ(counters, static_cast<int>(6 * sampler.recorded()));
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 #include "isa/disasm.hpp"
 #include "qnn/pack.hpp"
 #include "kernels/conv_layer.hpp"
+#include "obs/energy.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/timeline.hpp"
@@ -424,6 +425,9 @@ int run_single(const Args& args, const qnn::ConvSpec& spec,
   reg.gauge("power.soc_mw", pw.soc_mw());
   reg.gauge("power.gmac_per_s_per_w",
             power::gmac_per_s_per_w(spec.macs(), perf.cycles, pw.soc_mw()));
+  // Full component breakdown under the shared sim.power.* keys (same
+  // helper xtel uses, so both tools publish identical layouts).
+  obs::add_soc_power(reg, "sim.power", pw);
 
   if (!args.folded_path.empty()) {
     write_text_file(args.folded_path, prof.collapsed_stacks("core0"),
@@ -553,6 +557,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     const auto data = kernels::ConvLayerData::random(spec, /*seed=*/7);
+    // random() calibrates spec.requant_shift for 8-bit outputs; the kernel
+    // must be generated from the calibrated spec or requantization shifts
+    // by the wrong amount.
+    spec = data.spec;
 
     std::unique_ptr<obs::Timeline> timeline;
     if (!args.trace_path.empty()) {
