@@ -2,15 +2,162 @@
 // on a PULP cluster with shared banked TCDM (row-partitioned parallelism).
 // The paper's conclusion points at cluster integration as the scaling path;
 // PULP-NN reports near-linear speedups on 8-core clusters.
+//
+// Two sections:
+//   1. Simulated makespan scaling (cycles) across core counts — the
+//      architecture-level result.
+//   2. Host throughput of the cluster schedulers: per-instruction reference
+//      interleaving vs deferred-arbitration burst scheduling with
+//      superblocks (DESIGN.md §15). Both are bit-identical by construction
+//      (test_cluster_sched); this section quantifies the host speed bought
+//      by bursts and gates CI on the 8-core paper-layer speedup.
+//
+// Emits BENCH_cluster.json (obs::Registry JSON). --min-speedup X exits
+// nonzero when the 8-core burst speedup falls below X.
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
 #include "bench_util.hpp"
 #include "cluster/parallel_conv.hpp"
+#include "qnn/pack.hpp"
 
 using namespace xpulp;
 using namespace xpulp::bench;
 using kernels::ConvVariant;
 
-int main() {
+namespace {
+
+struct Measurement {
+  u64 instructions = 0;
+  double host_seconds = 0;
+  double mips() const {
+    return host_seconds > 0
+               ? static_cast<double>(instructions) / host_seconds / 1e6
+               : 0;
+  }
+};
+
+/// One paper-layer cluster workload, planned once and re-run many times.
+struct ClusterWorkload {
+  unsigned bits = 0;
+  int cores = 0;
+  qnn::ConvSpec spec;
+  std::vector<xasm::Program> programs;
+  kernels::ConvMemLayout layout;
+  std::vector<u8> packed_input, packed_weights, packed_thresholds;
+};
+
+ClusterWorkload make_workload(const kernels::ConvLayerData& data,
+                              ConvVariant v, unsigned bits, int cores) {
+  ClusterWorkload w;
+  w.bits = bits;
+  w.cores = cores;
+  w.spec = data.spec;
+  const auto kernels = cluster::make_parallel_conv_kernels(w.spec, v, cores);
+  for (const auto& k : kernels) {
+    w.layout = k.layout;
+    w.programs.push_back(k.program);
+  }
+  w.packed_input = qnn::pack_tensor(data.input, w.spec.in_bits);
+  w.packed_weights = qnn::pack_filter_bank(data.weights, w.spec.w_bits);
+  if (w.spec.out_bits != 8) {
+    w.packed_thresholds = data.thresholds.serialize();
+  }
+  return w;
+}
+
+/// One timed repetition: fresh cluster, time only Cluster::run().
+/// Returns the run's ClusterStats; `out_burst` (optional) receives the
+/// burst-engine counters, `out_output` the unpacked result tensor.
+cluster::ClusterStats one_rep(const ClusterWorkload& w,
+                              cluster::SchedulerMode sched, Measurement& m,
+                              cluster::ClusterBurstStats* out_burst = nullptr,
+                              qnn::Tensor* out_output = nullptr) {
+  cluster::ClusterConfig cfg;
+  cfg.num_cores = w.cores;
+  cfg.core.superblock = true;
+  cfg.scheduler = sched;
+  cluster::Cluster cl(cfg);
+  cl.memory().write_block(w.layout.input, w.packed_input);
+  cl.memory().write_block(w.layout.weights, w.packed_weights);
+  if (!w.packed_thresholds.empty()) {
+    cl.memory().write_block(w.layout.thresholds, w.packed_thresholds);
+  }
+  cl.load(w.programs);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const cluster::ClusterStats stats = cl.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  m.host_seconds += std::chrono::duration<double>(t1 - t0).count();
+  for (int c = 0; c < w.cores; ++c) {
+    m.instructions += cl.core(c).perf().instructions;
+  }
+  if (out_burst) *out_burst = cl.burst_stats();
+  if (out_output) {
+    std::vector<u8> out_bytes(w.layout.output_bytes);
+    cl.memory().read_block(w.layout.output, out_bytes);
+    *out_output = qnn::unpack_tensor(
+        out_bytes, {w.spec.out_h(), w.spec.out_w(), w.spec.out_c},
+        w.spec.out_bits, /*is_signed=*/false);
+  }
+  return stats;
+}
+
+struct SchedResults {
+  Measurement ref, burst;
+  cluster::ClusterBurstStats burst_stats;
+  bool exact = false;      // both schedulers produced identical stats
+  bool output_ok = false;  // burst output matches the golden tensor
+};
+
+/// Measure both schedulers in alternating rounds, keeping each scheduler's
+/// best round (same noise discipline as bench_sim_throughput: interleaved
+/// rounds cancel slow host drift, best-of discards downward scheduler
+/// noise symmetrically, first rep of each round is an uncounted warm-up).
+SchedResults measure_schedulers(const ClusterWorkload& w,
+                                const qnn::Tensor& golden,
+                                double round_seconds = 0.15, int rounds = 5) {
+  SchedResults out;
+  cluster::ClusterStats ref_stats, burst_stats;
+  qnn::Tensor burst_out;
+  for (int r = 0; r < rounds; ++r) {
+    for (int mode = 0; mode < 2; ++mode) {
+      const auto sched = mode == 0 ? cluster::SchedulerMode::kReference
+                                   : cluster::SchedulerMode::kBurst;
+      Measurement warm;
+      if (mode == 0) {
+        ref_stats = one_rep(w, sched, warm);
+      } else {
+        burst_stats = one_rep(w, sched, warm, &out.burst_stats, &burst_out);
+      }
+      Measurement round;
+      while (round.host_seconds < round_seconds) one_rep(w, sched, round);
+      Measurement& best = mode == 0 ? out.ref : out.burst;
+      if (round.mips() > best.mips()) best = round;
+    }
+  }
+  out.exact = ref_stats.makespan == burst_stats.makespan &&
+              ref_stats.bank_conflicts == burst_stats.bank_conflicts &&
+              ref_stats.data_accesses == burst_stats.data_accesses;
+  out.output_ok = burst_out == golden;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --min-speedup X: exit nonzero when the 8-core burst-over-reference
+  // host speedup of any paper workload falls below X (the CI gate).
+  double required_speedup = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc) {
+      required_speedup = std::atof(argv[++i]);
+    }
+  }
+
   print_header("Cluster scaling -- XpulpNN cores on a shared banked TCDM");
+  obs::Registry reg;
 
   bool all_ok = true;
   for (unsigned bits : {8u, 4u, 2u}) {
@@ -40,9 +187,90 @@ int main() {
                   res.macs_per_cycle(),
                   static_cast<unsigned long long>(res.stats.bank_conflicts),
                   100.0 * res.stats.conflict_rate(), okstr(ok));
+      const std::string p =
+          "scaling.b" + std::to_string(bits) + ".c" + std::to_string(n);
+      reg.counter(p + ".makespan", res.stats.makespan);
+      reg.counter(p + ".bank_conflicts", res.stats.bank_conflicts);
+      reg.gauge(p + ".speedup_vs_1core",
+                static_cast<double>(single) / res.stats.makespan);
+      reg.gauge(p + ".macs_per_cycle", res.macs_per_cycle());
+      reg.flag(p + ".output_ok", ok);
     }
   }
   std::printf("\n(PULP-NN reports near-linear scaling on 8-core clusters;\n");
   std::printf(" conflicts stay low because the TCDM has 2 banks per core.)\n");
+
+  std::printf("\nHost throughput: reference interleaving vs burst "
+              "scheduling (superblocks on)\n");
+  double speedup_8core = 1e30;
+  for (unsigned bits : {8u, 4u}) {
+    const auto data =
+        kernels::ConvLayerData::random(qnn::ConvSpec::paper_layer(bits), kSeed);
+    const auto gold = data.golden();
+    const ConvVariant v = (bits == 8) ? ConvVariant::kXpulpV2_8b
+                                      : ConvVariant::kXpulpNN_HwQ;
+    std::printf("\n%u-bit kernel:\n", bits);
+    std::printf("%7s %11s %9s %11s %9s %9s %8s %7s\n", "cores", "ref-MIPS",
+                "ref-s", "burst-MIPS", "burst-s", "speedup", "burst%", "check");
+    for (const int n : {1, 2, 4, 8}) {
+      const ClusterWorkload w = make_workload(data, v, bits, n);
+      const SchedResults r = measure_schedulers(w, gold);
+      const double speedup =
+          r.ref.mips() > 0 ? r.burst.mips() / r.ref.mips() : 0;
+      const u64 total_instr = r.burst_stats.burst_instructions +
+                              r.burst_stats.reference_instructions;
+      const double burst_frac =
+          total_instr ? 100.0 *
+                            static_cast<double>(
+                                r.burst_stats.burst_instructions) /
+                            static_cast<double>(total_instr)
+                      : 0;
+      const bool ok =
+          r.exact && r.output_ok && r.burst_stats.fallback_runs == 0;
+      all_ok = all_ok && ok;
+      if (n == 8) speedup_8core = std::min(speedup_8core, speedup);
+      std::printf("%7d %11.2f %8.3fs %11.2f %8.3fs %8.2fx %7.1f%% %7s\n", n,
+                  r.ref.mips(), r.ref.host_seconds, r.burst.mips(),
+                  r.burst.host_seconds, speedup, burst_frac, okstr(ok));
+
+      const std::string p =
+          "host.b" + std::to_string(bits) + ".c" + std::to_string(n);
+      reg.counter(p + ".reference.instructions", r.ref.instructions);
+      reg.gauge(p + ".reference.host_seconds", r.ref.host_seconds);
+      reg.gauge(p + ".reference.mips", r.ref.mips());
+      reg.counter(p + ".burst.instructions", r.burst.instructions);
+      reg.gauge(p + ".burst.host_seconds", r.burst.host_seconds);
+      reg.gauge(p + ".burst.mips", r.burst.mips());
+      reg.gauge(p + ".burst.speedup", speedup);
+      reg.counter(p + ".burst.epochs", r.burst_stats.epochs);
+      reg.counter(p + ".burst.bursts", r.burst_stats.bursts);
+      reg.counter(p + ".burst.burst_instructions",
+                  r.burst_stats.burst_instructions);
+      reg.counter(p + ".burst.reference_instructions",
+                  r.burst_stats.reference_instructions);
+      reg.counter(p + ".burst.replayed_accesses",
+                  r.burst_stats.replayed_accesses);
+      reg.counter(p + ".burst.fallback_runs", r.burst_stats.fallback_runs);
+      reg.flag(p + ".exact", r.exact);
+      reg.flag(p + ".output_ok", r.output_ok);
+    }
+  }
+
+  // Headline gate metric: the worst 8-core burst speedup across the two
+  // paper workloads. CI commits this bench's JSON and re-gates at half
+  // the committed value.
+  reg.gauge("speedup_8core", speedup_8core);
+  reg.gauge("required_min_speedup", required_speedup);
+  reg.flag("all_ok", all_ok);
+  std::printf("\n8-core burst speedup (worst of 8b/4b): %.2fx\n",
+              speedup_8core);
+
+  all_ok = save_bench_json(reg, "BENCH_cluster.json") && all_ok;
+  if (required_speedup > 0 && speedup_8core < required_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: 8-core burst speedup %.2fx below required %.2fx\n",
+                 speedup_8core, required_speedup);
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

@@ -62,8 +62,24 @@ step "xrace: shadow-validated parallel conv" \
 
 step "xtel: sampled telemetry + energy reconciliation" \
   ./build/tools/xtel --small --mode superblock --json /tmp/xtel.json
-step "xtel: cluster heatmap reconciliation" \
+step "xtel: cluster heatmap reconciliation + scheduler parity" \
   ./build/tools/xtel --small --cores 4 --heatmap /tmp/xtel-heatmap.json
+
+step "cluster: burst scheduler differential (2 + 8 cores)" \
+  ./build/tests/test_cluster_sched \
+  --gtest_filter='*/b8_c2:*/b8_c8:*/b4_c2:*/b4_c8:BurstSchedDiff.Budget*:BurstSchedDiff.Sampled*'
+
+cluster_bench_step() {
+  cmake --preset release-bench
+  cmake --build --preset release-bench -j "$(nproc)" \
+    --target bench_cluster_scaling
+  local floor
+  floor=$(python3 -c "import json; print(0.5 * json.load(open('BENCH_cluster.json'))['speedup_8core'])")
+  (cd /tmp && "$OLDPWD"/build-bench/bench/bench_cluster_scaling \
+    --min-speedup "$floor")
+}
+step "cluster: burst speedup floor (half committed baseline)" \
+  cluster_bench_step
 
 step "xfault: seeded fault campaign (gated)" \
   ./build/tools/xfault --small --inject 100 --seed 2026 \

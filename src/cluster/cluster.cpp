@@ -1,10 +1,66 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 
 #include "common/error.hpp"
 
 namespace xpulp::cluster {
+
+namespace {
+
+// Burst-scheduler tuning. kSampleMargin is the folded-cycle gap a sampled
+// core keeps between its burst horizon and its next sample deadline; it
+// must exceed kBurstOvershoot plus the arbiter stalls the core can pick up
+// in one epoch, so that sample fires only ever happen on fully-folded
+// reference steps (fold_lane trips a SimError if the margin was not
+// enough). kBurstOvershoot bounds how far past its horizon a burst can
+// run: the longest single instruction or armed superblock op (divide ~35
+// cycles, fused ops <= 64) with generous headroom.
+constexpr cycles_t kSampleMargin = 2048;
+constexpr cycles_t kBurstOvershoot = 256;
+// Reference-segment chunk (in scheduler steps, times num_cores) used when
+// an epoch could not burst every core — enough to carry a sampler-blocked
+// core across its deadline.
+constexpr u64 kRefChunk = 512;
+constexpr u64 kInfKey = ~0ull;
+constexpr cycles_t kNoClock = ~0ull;
+
+double host_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Conservative scan for reads of the cycle CSR (cycle/cycleh and their
+/// machine-mode aliases mcycle/mcycleh). A program that observes its own
+/// cycle counter would see deferred (not yet folded) stall cycles mid-
+/// burst, so such programs run under reference scheduling. The scan
+/// decodes a candidate 32-bit word at every halfword offset — compressed
+/// instructions make the stream 2-byte aligned — which can only
+/// over-match (data or misaligned views that look like CSR reads demote
+/// the run; never the reverse). instret reads are timing-independent
+/// (both schedulers retire the identical per-core instruction sequence)
+/// and stay eligible.
+bool reads_cycle_csr(const xasm::Program& p) {
+  const auto words = p.words();
+  const u8* bytes = reinterpret_cast<const u8*>(words.data());
+  const size_t nb = words.size() * 4;
+  for (size_t off = 0; off + 4 <= nb; off += 2) {
+    u32 raw;
+    std::memcpy(&raw, bytes + off, 4);
+    if ((raw & 0x7f) != 0x73) continue;        // SYSTEM major opcode
+    if (((raw >> 12) & 0x7) == 0) continue;    // ecall/ebreak/mret, not CSR
+    const u32 csr = raw >> 20;
+    if (csr == 0xB00 || csr == 0xB80 || csr == 0xC00 || csr == 0xC80) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(cfg),
@@ -15,6 +71,7 @@ Cluster::Cluster(ClusterConfig cfg)
   for (int i = 0; i < cfg_.num_cores; ++i) {
     cores_.push_back(std::make_unique<sim::Core>(mem_, cfg_.core));
   }
+  lanes_.resize(static_cast<size_t>(cfg_.num_cores));
 }
 
 void Cluster::load(const std::vector<xasm::Program>& programs) {
@@ -37,6 +94,18 @@ void Cluster::load(const std::vector<xasm::Program>& programs) {
   for (auto& c : cores_) c->reset_perf();
   arbiter_.reset_booking();
   mem_.reset_stats();
+  // Fresh run: no deferred accesses carried over, burst counters zeroed,
+  // and the cycle-CSR eligibility scan redone for the new program set.
+  for (auto& l : lanes_) l = BurstLane{};
+  lanes_pending_ = 0;
+  burst_stats_ = ClusterBurstStats{};
+  programs_use_cycle_csr_ = false;
+  for (const auto& p : programs) {
+    if (reads_cycle_csr(p)) {
+      programs_use_cycle_csr_ = true;
+      break;
+    }
+  }
 }
 
 void Cluster::begin_run() {
@@ -44,7 +113,33 @@ void Cluster::begin_run() {
   // its current local cycle. Installed once per run; the scheduling loop
   // only updates active_core_/active_core_id_ instead of building a new
   // std::function closure per step.
-  mem_.set_access_hook([this](addr_t a, unsigned size, bool is_store) {
+  mem_.set_access_hook([this](addr_t a, unsigned size,
+                              bool is_store) -> unsigned {
+    if (logging_) [[unlikely]] {
+      // Burst phase 1: defer arbitration. Record the access in the
+      // issuing core's lane — instruction start clock (the scheduler's
+      // pick key), issue cycle and pc in the core's pre-merge local
+      // coordinates (the superblock engine latches exact per-op values
+      // when a hook is installed; the interpreter reports live ones) —
+      // and charge nothing. merge_replay() later runs the entries
+      // through the arbiter in provably-reference order and assigns the
+      // stalls to the lane.
+      // (The superblock slim path appends to the same per-lane log
+      // directly through the core's burst sink; lanes_pending_ is
+      // recomputed from the log sizes when the phase ends, so neither
+      // path tracks it incrementally here.)
+      BurstLane& lane = lanes_[static_cast<size_t>(active_core_id_)];
+      const cycles_t start = active_core_->access_start();
+      const cycles_t delta = active_core_->access_cycle() - start;
+      if (delta > 0xffff) [[unlikely]] {
+        throw SimError("internal: access issued >2^16 cycles into its "
+                       "instruction; burst log delta overflow");
+      }
+      lane.log.push_back({start, active_core_->access_pc(), a,
+                          static_cast<u16>(delta), static_cast<u8>(size),
+                          static_cast<u8>(is_store)});
+      return 0;
+    }
     const cycles_t cycle = active_core_->perf().cycles;
     // Arbitrate first so the observer sees the stall the access was
     // charged (the arbiter books the bank either way).
@@ -61,6 +156,7 @@ void Cluster::end_run() {
   mem_.set_access_hook({});
   active_core_ = nullptr;
   active_core_id_ = -1;
+  logging_ = false;
 }
 
 bool Cluster::step_once() {
@@ -81,6 +177,409 @@ bool Cluster::step_once() {
   next->step();
   return true;
 }
+
+// ---------------------------------------------------------------------------
+// Burst scheduling (DESIGN.md §15)
+//
+// The reference scheduler calls the bank arbiter once per access, ordered by
+// (issuing instruction's start clock, core index, within-core program
+// order). Burst mode reproduces that exact call sequence without stepping
+// per instruction: cores run bounded bursts at full dispatch speed while
+// their accesses are only logged, then a k-way merge replays the logs
+// through the arbiter in that same lexicographic order. Stalls the merge
+// assigns are kept as a per-lane offset (`assigned - folded`) and folded
+// into the core's counters only once its lane is drained, preserving the
+// invariant `true local clock = perf.cycles + pending_stalls`.
+// ---------------------------------------------------------------------------
+
+cycles_t Cluster::true_clock(int core) const {
+  return cores_[static_cast<size_t>(core)]->perf().cycles +
+         lanes_[static_cast<size_t>(core)].pending_stalls();
+}
+
+bool Cluster::burst_eligible() const {
+  if (programs_use_cycle_csr_) return false;
+  if (mem_.contention_period() != 0) return false;
+  for (const auto& c : cores_) {
+    if (c->has_trace()) return false;
+  }
+  return true;
+}
+
+void Cluster::fold_lane(int core) {
+  BurstLane& lane = lanes_[static_cast<size_t>(core)];
+  if (!lane.drained()) {
+    throw SimError("internal: folding an undrained burst lane");
+  }
+  lane.log.clear();
+  lane.head = 0;
+  const u64 pend = lane.pending_stalls();
+  if (pend == 0) return;
+  sim::Core& c = *cores_[static_cast<size_t>(core)];
+  c.charge_deferred_stalls(pend);
+  mem_.add_contention_stalls(pend);
+  lane.folded = lane.assigned;
+  // Sample fires must land on fully-folded boundaries (reference
+  // segments); the burst horizon clamp keeps sampled cores kSampleMargin
+  // folded cycles short of their deadline so the stalls folded here can
+  // never carry them across it. If the program's conflict density defeats
+  // the margin, fail loudly rather than emit a late sample.
+  if (c.has_sampler() && c.perf().cycles >= c.next_sample_due()) {
+    throw SimError(
+        "burst scheduling overshot a sample boundary; lower burst_horizon "
+        "or raise the sample interval");
+  }
+}
+
+void Cluster::pop_entry(int core) {
+  BurstLane& lane = lanes_[static_cast<size_t>(core)];
+  const LaneEntry& e = lane.log[lane.head];
+  if (e.start != lane.cur_start) {
+    // New instruction: latch its stall offset. The reference charges hook
+    // stalls at the issuing instruction's end, so accesses of one
+    // instruction share a cycle base; stalls assigned below shift only
+    // later instructions.
+    lane.cur_start = e.start;
+    lane.cur_offset = lane.pending_stalls();
+  }
+  const cycles_t cycle = e.start + e.cycle_delta + lane.cur_offset;
+  const unsigned stalls = arbiter_.access(core, cycle, e.addr);
+  if (observer_) {
+    observer_(core, cycle, e.pc, e.addr, e.size, e.is_store != 0, stalls);
+  }
+  lane.assigned += stalls;
+  lane.head += 1;
+  --lanes_pending_;
+  burst_stats_.replayed_accesses += 1;
+  burst_stats_.deferred_stall_cycles += stalls;
+  if (lane.drained()) fold_lane(core);
+}
+
+void Cluster::pop_ready() {
+  // Replay every logged access whose merge key lexicographically precedes
+  // the frontier — the smallest (true clock, core) over live cores, i.e.
+  // the earliest point at which a *new* access could still be issued. The
+  // frontier is recomputed every iteration: stalls assigned by a pop raise
+  // that lane's remaining keys and its true clock in lockstep, so a stale
+  // frontier could strand entries that are in fact ready.
+  while (lanes_pending_ != 0) {
+    u64 frontier = kInfKey;
+    for (size_t i = 0; i < cores_.size(); ++i) {
+      if (cores_[i]->halted()) continue;
+      frontier = std::min(
+          frontier, MinClockHeap::key(true_clock(static_cast<int>(i)),
+                                      static_cast<int>(i)));
+    }
+    u64 best = kInfKey;
+    int best_core = -1;
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      const BurstLane& lane = lanes_[i];
+      if (lane.head == lane.log.size()) continue;
+      const LaneEntry& e = lane.log[lane.head];
+      const u64 off = e.start == lane.cur_start ? lane.cur_offset
+                                                : lane.pending_stalls();
+      const u64 k = MinClockHeap::key(e.start + off, static_cast<int>(i));
+      if (k < best) {
+        best = k;
+        best_core = static_cast<int>(i);
+      }
+    }
+    if (best >= frontier) return;
+    pop_entry(best_core);
+  }
+}
+
+void Cluster::merge_epoch() {
+  // Epoch-granularity replay, the hot merge path of drive_burst. Unlike
+  // pop_ready() the frontier is computed ONCE: stalls assigned while
+  // popping only ever RAISE true clocks, so a frontier that goes stale is
+  // conservatively low — the merge under-pops and the leftover entries
+  // simply roll into the next epoch (or the closing reference segment,
+  // which uses the exact dynamic pop_ready). Per-lane head keys are
+  // cached and only the popped lane's key is recomputed, making a pop
+  // O(num_cores) over a contiguous u64 array instead of two full
+  // true-clock/log scans.
+  u64 frontier = kInfKey;
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i]->halted()) continue;
+    frontier = std::min(
+        frontier, MinClockHeap::key(true_clock(static_cast<int>(i)),
+                                    static_cast<int>(i)));
+  }
+  u64 keys[64];
+  const size_t n = lanes_.size();
+  const auto head_key = [&](size_t i) -> u64 {
+    const BurstLane& lane = lanes_[i];
+    if (lane.head == lane.log.size()) return kInfKey;
+    const LaneEntry& e = lane.log[lane.head];
+    const u64 off = e.start == lane.cur_start ? lane.cur_offset
+                                              : lane.pending_stalls();
+    return MinClockHeap::key(e.start + off, static_cast<int>(i));
+  };
+  for (size_t i = 0; i < n; ++i) keys[i] = head_key(i);
+  // Inlined pop loop (pop_entry's body, minus the per-pop stat stores,
+  // which accumulate in locals): this runs once per logged access of the
+  // entire simulation, and a function call plus four counter stores per
+  // pop are measurable against the ~15ns budget.
+  const bool observe = static_cast<bool>(observer_);
+  u64 popped = 0;
+  u64 stall_sum = 0;
+  for (;;) {
+    u64 best = keys[0];
+    size_t bi = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (keys[i] < best) {
+        best = keys[i];
+        bi = i;
+      }
+    }
+    if (best >= frontier) break;
+    BurstLane& lane = lanes_[bi];
+    const LaneEntry& e = lane.log[lane.head];
+    if (e.start != lane.cur_start) {
+      lane.cur_start = e.start;
+      lane.cur_offset = lane.pending_stalls();
+    }
+    const cycles_t cycle = e.start + e.cycle_delta + lane.cur_offset;
+    const unsigned stalls =
+        arbiter_.access(static_cast<int>(bi), cycle, e.addr);
+    if (observe) [[unlikely]] {
+      observer_(static_cast<int>(bi), cycle, e.pc, e.addr, e.size,
+                e.is_store != 0, stalls);
+    }
+    lane.assigned += stalls;
+    lane.head += 1;
+    stall_sum += stalls;
+    ++popped;
+    if (lane.head == lane.log.size()) {
+      fold_lane(static_cast<int>(bi));
+      keys[bi] = kInfKey;
+    } else {
+      keys[bi] = head_key(bi);
+    }
+  }
+  lanes_pending_ -= popped;
+  burst_stats_.replayed_accesses += popped;
+  burst_stats_.deferred_stall_cycles += stall_sum;
+}
+
+u64 Cluster::reference_segment(u64 max_steps, u64 budget) {
+  // Exact reference stepping interleaved with replay of still-pending
+  // burst accesses. Every iteration pops all accesses ordered before the
+  // frontier core's next instruction, folds that core's (now drained)
+  // lane so its counters are true, then steps it through the arbitrating
+  // hook — the global arbiter call sequence stays in lexicographic order
+  // throughout. Used for sample deadlines, the band-closing tail of a
+  // burst run, and the final drain (all cores halted makes the frontier
+  // infinite, so pop_ready flushes every lane).
+  u64 executed = 0;
+  const u64 limit = std::min(max_steps, budget);
+  while (executed < limit) {
+    pop_ready();
+    u64 frontier = kInfKey;
+    for (size_t i = 0; i < cores_.size(); ++i) {
+      if (cores_[i]->halted()) continue;
+      frontier = std::min(
+          frontier, MinClockHeap::key(true_clock(static_cast<int>(i)),
+                                      static_cast<int>(i)));
+    }
+    if (frontier == kInfKey) break;  // all halted (lanes flushed)
+    const int id = MinClockHeap::core_of(frontier);
+    // All of this core's logged accesses order strictly before its next
+    // instruction, so pop_ready drained its lane; folding makes
+    // perf.cycles the true clock before the step issues real accesses.
+    fold_lane(id);
+    active_core_ = cores_[static_cast<size_t>(id)].get();
+    active_core_id_ = id;
+    active_core_->step();
+    ++executed;
+  }
+  burst_stats_.reference_instructions += executed;
+  return executed;
+}
+
+u64 Cluster::drive_burst(u64 target) {
+  const u64 n_cores = cores_.size();
+  const cycles_t delta = cfg_.burst_horizon != 0 ? cfg_.burst_horizon : 1;
+  // Band-closing slack: one epoch retires at most num_cores *
+  // (burst_horizon + overshoot) instructions (every instruction costs at
+  // least one cycle), and closing the band afterwards costs at most the
+  // same again, so stopping the epoch loop this many steps short of the
+  // target guarantees the tail reference segment reaches the exact target
+  // index with every lane drained — the stopping state is bit-identical
+  // to a reference run paused there.
+  const u64 slack = 2 * n_cores * (delta + kBurstOvershoot);
+  u64 executed = 0;
+  // Give every core a direct sink into its lane log so the superblock
+  // engine's slim fast path can log accesses without the hook's
+  // std::function dispatch (and, crucially, stay slim-eligible at all:
+  // has_access_hook() alone would force the armed slow path). The sink
+  // must come down on every exit — a stale pointer would dangle into a
+  // cleared lane on the next load().
+  for (size_t i = 0; i < n_cores; ++i) {
+    cores_[i]->set_burst_sink(&lanes_[i].log);
+  }
+  const auto clear_sinks = [&] {
+    for (auto& c : cores_) c->set_burst_sink(nullptr);
+  };
+  try {
+  while (executed + slack < target) {
+    cycles_t min_true = kNoClock;
+    for (size_t i = 0; i < n_cores; ++i) {
+      if (cores_[i]->halted()) continue;
+      min_true = std::min(min_true, true_clock(static_cast<int>(i)));
+    }
+    if (min_true == kNoClock) break;  // all halted
+    cycles_t horizon = min_true + delta;
+    // Sample boundaries must be crossed on reference steps with every
+    // lane advanced in exact global key order: a Sample diffs the
+    // *shared* TCDM stats, so if any other core had already burst past
+    // the boundary cycle, the window would see accesses the reference
+    // scheduler orders after it. Clamp every core's horizon a margin
+    // short of the earliest sampled deadline (fold_lane's tripwire
+    // guards the margin); the reference segment below then carries the
+    // whole cluster across the boundary in reference order.
+    for (size_t i = 0; i < n_cores; ++i) {
+      const sim::Core& c = *cores_[i];
+      if (c.halted() || !c.has_sampler()) continue;
+      const cycles_t due = c.next_sample_due();
+      horizon = std::min(horizon,
+                         due > kSampleMargin ? due - kSampleMargin : 0);
+    }
+
+    // Phase 1: burst every live core to the horizon, logging accesses.
+    const double t0 = host_now();
+    const u64 before = executed;
+    bool any_skipped = false;
+    logging_ = true;
+    for (size_t i = 0; i < n_cores; ++i) {
+      sim::Core& c = *cores_[i];
+      if (c.halted()) continue;
+      const u64 pend = lanes_[i].pending_stalls();
+      const cycles_t hz = horizon;
+      if (hz <= c.perf().cycles + pend) {
+        any_skipped = true;
+        continue;
+      }
+      active_core_ = &c;
+      active_core_id_ = static_cast<int>(i);
+      // The horizon is a true-clock bound; the core compares its folded
+      // cycle counter, so subtract the lane's pending offset.
+      const u64 n = c.run_burst(hz - pend, target - executed);
+      executed += n;
+      burst_stats_.bursts += 1;
+      burst_stats_.burst_instructions += n;
+    }
+    logging_ = false;
+    // Sink pushes bypass the hook, so the pending count is reconciled
+    // from the per-lane logs once per epoch instead of per access.
+    lanes_pending_ = 0;
+    for (const auto& l : lanes_) lanes_pending_ += l.log.size() - l.head;
+
+    // Phase 2: replay everything ordered before the new frontier.
+    const double t1 = host_now();
+    merge_epoch();
+    burst_stats_.host_burst_seconds += t1 - t0;
+    burst_stats_.host_merge_seconds += host_now() - t1;
+    burst_stats_.epochs += 1;
+
+    // A sampler-blocked core only advances on reference steps; a chunk of
+    // them also guarantees forward progress if no core had burst room.
+    if (any_skipped || executed == before) {
+      executed += reference_segment(n_cores * kRefChunk, target - executed);
+    }
+  }
+  // Close the band: the remaining steps run on the replay-aware reference
+  // scheduler, which drains every lane as the frontier passes it.
+  executed += reference_segment(~0ull, target - executed);
+  if (lanes_pending_ != 0) {
+    throw SimError("internal: burst band failed to close");
+  }
+  } catch (...) {
+    clear_sinks();
+    throw;
+  }
+  clear_sinks();
+  return executed;
+}
+
+u64 Cluster::drive_reference(u64 target) {
+  // Small clusters: cached-key argmin over a contiguous array. The scan
+  // is branch-predictable and touches one cache line, which beats the
+  // heap's data-dependent sift until the core count grows well past
+  // hardware cluster sizes (measured on the paper deployment: the scan
+  // is ~25% faster at 8 cores). Keys pack (clock, core) exactly like the
+  // heap so the pick order is identical.
+  if (cores_.size() <= 16) {
+    u64 keys[16];
+    size_t live = 0;
+    for (size_t i = 0; i < cores_.size(); ++i) {
+      keys[i] = cores_[i]->halted()
+                    ? ~0ull
+                    : MinClockHeap::key(cores_[i]->perf().cycles,
+                                        static_cast<int>(i));
+      if (keys[i] != ~0ull) ++live;
+    }
+    u64 executed = 0;
+    while (executed < target && live != 0) {
+      u64 best = keys[0];
+      size_t bi = 0;
+      for (size_t i = 1; i < cores_.size(); ++i) {
+        if (keys[i] < best) {
+          best = keys[i];
+          bi = i;
+        }
+      }
+      sim::Core& c = *cores_[bi];
+      active_core_ = &c;
+      active_core_id_ = static_cast<int>(bi);
+      c.step();
+      ++executed;
+      if (c.halted()) {
+        keys[bi] = ~0ull;
+        --live;
+      } else {
+        keys[bi] = MinClockHeap::key(c.perf().cycles,
+                                     static_cast<int>(bi));
+      }
+    }
+    return executed;
+  }
+  // Large clusters: O(log N) pick via the min-heap. The key packs
+  // (local clock, core index), so the top is exactly the argmin
+  // step_once() computes — smallest clock, ties to the lowest index.
+  MinClockHeap heap;
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i]->halted()) continue;
+    heap.push(MinClockHeap::key(cores_[i]->perf().cycles,
+                                static_cast<int>(i)));
+  }
+  u64 executed = 0;
+  while (executed < target && !heap.empty()) {
+    const int id = MinClockHeap::core_of(heap.top());
+    sim::Core& c = *cores_[static_cast<size_t>(id)];
+    active_core_ = &c;
+    active_core_id_ = id;
+    c.step();
+    ++executed;
+    if (c.halted()) {
+      heap.pop_top();
+    } else {
+      heap.update_top(MinClockHeap::key(c.perf().cycles, id));
+    }
+  }
+  return executed;
+}
+
+u64 Cluster::drive(u64 target) {
+  if (cfg_.scheduler == SchedulerMode::kBurst) {
+    if (burst_eligible()) return drive_burst(target);
+    burst_stats_.fallback_runs += 1;
+  }
+  return drive_reference(target);
+}
+
+u64 Cluster::run_steps(u64 n) { return drive(n); }
 
 ClusterStats Cluster::stats_since(u64 base_conflicts,
                                   u64 base_accesses) const {
@@ -111,22 +610,35 @@ void Cluster::restore_state(const ClusterState& s) {
     cores_[i]->restore_state(s.cores[i]);
     cores_[i]->invalidate_decode_cache();
   }
+  // Burst lanes are always drained at the public stopping points a
+  // snapshot can capture, so there is no deferred state to restore — but
+  // the per-lane merge latches (cur_start in particular) assume raw start
+  // cycles only ever increase, which restoring to an earlier point
+  // violates. Reset them outright.
+  for (auto& l : lanes_) l = BurstLane{};
+  lanes_pending_ = 0;
 }
 
 ClusterStats Cluster::run(u64 max_total_instructions) {
-  u64 executed = 0;
   const u64 base_conflicts = arbiter_.conflicts();
   const u64 base_accesses = arbiter_.accesses();
 
   begin_run();
   // The hook must come down on *every* exit path: a guest fault escaping
-  // step_once() would otherwise leave the arbiter hook (and its dangling
+  // a step would otherwise leave the arbiter hook (and its dangling
   // active-core latch) installed on the shared memory.
+  u64 executed = 0;
   try {
-    while (step_once()) {
-      if (++executed > max_total_instructions) {
-        throw SimError("cluster instruction budget exceeded");
-      }
+    // Asking the driver for budget+1 steps reproduces the historical
+    // `while (step_once()) if (++executed > max) throw;` semantics
+    // exactly: a run needing more than the budget executes precisely
+    // max+1 instructions — reaching the same state the reference loop
+    // trapped in — and then throws. Under burst scheduling drive()
+    // guarantees that stopping state is bit-identical to the reference
+    // scheduler paused at the same index.
+    executed = drive(max_total_instructions + 1);
+    if (executed > max_total_instructions) {
+      throw SimError("cluster instruction budget exceeded");
     }
   } catch (...) {
     end_run();

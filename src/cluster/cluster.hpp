@@ -27,10 +27,45 @@
 
 namespace xpulp::cluster {
 
+/// Scheduling policy of Cluster::run()/run_steps().
+///  - kReference: interleave one instruction at a time, always stepping the
+///    core with the smallest (local clock, core index) — the event-driven
+///    reference whose cross-core ordering every other mode is measured
+///    against.
+///  - kBurst: deferred-arbitration burst scheduling (DESIGN.md §15). Cores
+///    execute bounded bursts at full dispatch speed (fast path +
+///    superblocks) while their TCDM accesses are logged instead of
+///    arbitrated; a merge then replays the log through the bank arbiter in
+///    provably-reference order and folds the resulting stalls back into
+///    the cores' counters. Bit-identical to kReference for race-free
+///    programs (xrace's pre-load gate is the safety precondition; programs
+///    that read the cycle CSR, traced cores, or a contention injector
+///    demote the run to kReference automatically).
+enum class SchedulerMode { kReference, kBurst };
+
 struct ClusterConfig {
   int num_cores = 8;
   u32 banks_per_core = 2;  // PULP TCDM banking factor
   sim::CoreConfig core = sim::CoreConfig::extended();
+  SchedulerMode scheduler = SchedulerMode::kReference;
+  /// Burst scheduling epoch width in cycles: each epoch advances every
+  /// core to a common cycle horizon `min local clock + burst_horizon`
+  /// before replaying the deferred accesses. Purely a host-performance
+  /// knob — exactness never depends on it.
+  u32 burst_horizon = 1536;
+};
+
+/// Host-side counters of the burst scheduler (zeroed by load()).
+struct ClusterBurstStats {
+  u64 epochs = 0;             // burst rounds completed
+  u64 bursts = 0;             // per-core run_burst() calls
+  u64 burst_instructions = 0; // instructions retired inside bursts
+  u64 reference_instructions = 0;  // retired on reference segments
+  u64 replayed_accesses = 0;  // accesses replayed through the merge
+  u64 deferred_stall_cycles = 0;  // arbiter stalls assigned by the merge
+  u64 fallback_runs = 0;      // whole runs demoted to reference scheduling
+  double host_burst_seconds = 0;  // host time inside core bursts (phase 1)
+  double host_merge_seconds = 0;  // host time replaying logs (phase 2)
 };
 
 struct ClusterStats {
@@ -58,14 +93,23 @@ struct BankArbiterState {
 /// Word-interleaved TCDM bank arbiter.
 class BankArbiter {
  public:
-  explicit BankArbiter(u32 banks) : banks_(banks), last_cycle_(banks, ~0ull),
-                                    last_core_(banks, -1) {}
+  explicit BankArbiter(u32 banks)
+      : banks_(banks),
+        // Power-of-two bank counts (every PULP configuration: cores x
+        // banking factor) select the bank with a mask; the modulo below
+        // is a per-access integer divide, which the burst merge replays
+        // millions of times.
+        bank_mask_((banks & (banks - 1)) == 0 ? banks - 1 : 0),
+        last_cycle_(banks, ~0ull),
+        last_core_(banks, -1) {}
 
   /// Core `core` accesses `addr` at its local `cycle`; returns stall
   /// cycles (0 or 1) and books the bank.
   unsigned access(int core, cycles_t cycle, addr_t addr) {
     ++accesses_;
-    const u32 b = (addr >> 2) % banks_;
+    const u32 w = addr >> 2;
+    const u32 b = bank_mask_ != 0 || banks_ == 1 ? (w & bank_mask_)
+                                                 : w % banks_;
     if (last_cycle_[b] == cycle && last_core_[b] != core) {
       // Bank busy this cycle: retry next cycle.
       ++conflicts_;
@@ -114,6 +158,7 @@ class BankArbiter {
 
  private:
   u32 banks_;
+  u32 bank_mask_;
   std::vector<cycles_t> last_cycle_;
   std::vector<int> last_core_;
   u64 conflicts_ = 0;
@@ -126,6 +171,70 @@ class BankArbiter {
 struct ClusterState {
   std::vector<sim::CoreState> cores;
   BankArbiterState arbiter;
+};
+
+/// Binary min-heap of (clock, core) pairs ordered lexicographically —
+/// smallest clock first, ties broken by the smaller core index, which is
+/// exactly the reference scheduler's first-lowest-index argmin. Replaces
+/// the O(N) per-step scan in step_once() with O(log N) sift operations.
+/// Keys are packed as (clock << 6) | core so the comparison is a single
+/// u64 compare; clocks stay far below 2^58 under the 2e9-instruction
+/// budget.
+class MinClockHeap {
+ public:
+  static u64 key(cycles_t clock, int core) {
+    return (clock << 6) | static_cast<u64>(core);
+  }
+  static cycles_t clock_of(u64 k) { return k >> 6; }
+  static int core_of(u64 k) { return static_cast<int>(k & 63); }
+
+  void clear() { heap_.clear(); }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  u64 top() const { return heap_[0]; }
+
+  void push(u64 k) {
+    heap_.push_back(k);
+    size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const size_t p = (i - 1) / 2;
+      if (heap_[p] <= heap_[i]) break;
+      std::swap(heap_[p], heap_[i]);
+      i = p;
+    }
+  }
+
+  void pop_top() {
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down();
+  }
+
+  /// Replace the top element's clock (its core just stepped and advanced)
+  /// and restore the heap property. The common per-step operation: one
+  /// sift-down instead of pop+push.
+  void update_top(u64 k) {
+    heap_[0] = k;
+    sift_down();
+  }
+
+ private:
+  void sift_down() {
+    size_t i = 0;
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t l = 2 * i + 1;
+      const size_t r = l + 1;
+      size_t m = i;
+      if (l < n && heap_[l] < heap_[m]) m = l;
+      if (r < n && heap_[r] < heap_[m]) m = r;
+      if (m == i) return;
+      std::swap(heap_[i], heap_[m]);
+      i = m;
+    }
+  }
+
+  std::vector<u64> heap_;
 };
 
 class Cluster {
@@ -182,7 +291,31 @@ class Cluster {
   /// access hook is uninstalled on every exit path (including guest
   /// faults), and a Cluster instance is fully re-runnable: load() again and
   /// run() again, with per-run counters starting fresh.
+  ///
+  /// Under SchedulerMode::kBurst the budget stays exact: the run throws
+  /// at precisely the same total retired-instruction index as the
+  /// reference scheduler would, and the state at the trap matches the
+  /// reference state at that index.
   ClusterStats run(u64 max_total_instructions = 2'000'000'000);
+
+  /// Execute exactly `n` scheduler steps (total instructions across all
+  /// cores, in reference interleaving order), or fewer if every core
+  /// halts first. Returns the number actually executed. Under burst
+  /// scheduling the stopping state is bit-identical to a reference run
+  /// paused at the same index — mid-burst checkpoints are exact. Must be
+  /// bracketed by begin_run()/end_run() like step_once(); guest faults
+  /// propagate with the hook still installed (call end_run() to clean
+  /// up), matching the step_once() contract.
+  u64 run_steps(u64 n);
+
+  /// Select the scheduling policy for subsequent run()/run_steps() calls.
+  /// Burst scheduling silently demotes to reference when the loaded
+  /// programs read the cycle CSR, a core has a trace hook, or memory has
+  /// a contention injector (see ClusterBurstStats::fallback_runs).
+  void set_scheduler(SchedulerMode m) { cfg_.scheduler = m; }
+  SchedulerMode scheduler() const { return cfg_.scheduler; }
+
+  const ClusterBurstStats& burst_stats() const { return burst_stats_; }
 
   // ---- Incremental stepping (checkpointing, fault injection) ----
   // run() is begin_run(); while (step_once()) ...; end_run(); plus budget
@@ -212,6 +345,58 @@ class Cluster {
   void restore_state(const ClusterState& s);
 
  private:
+  // One deferred TCDM access, logged during a burst and replayed through
+  // the bank arbiter by the merge. `start` is the issuing instruction's
+  // start cycle (the scheduler's pick key for that instruction), `cycle`
+  // the local cycle at which the access itself issues; both are pre-merge
+  // coordinates — the merge adds the lane's pending stall offset. The
+  // record type is shared with sim::Core so the superblock engine's slim
+  // fast path can append to the lane log directly (set_burst_sink) without
+  // a per-access std::function dispatch; interpreter and slow-path
+  // accesses reach the same log through the logging hook, preserving
+  // program order within each lane.
+  using LaneEntry = sim::BurstAccess;
+
+  // Per-core deferred-access log plus the stall bookkeeping that keeps
+  // `true local clock = perf.cycles + (assigned - folded)` an invariant:
+  // `assigned` counts every arbiter stall the merge charged this lane,
+  // `folded` the part already added to the core's counters. Folding only
+  // happens when the lane is drained (head == log.size()), because
+  // advancing perf.cycles while logged accesses still await replay would
+  // corrupt their merge keys.
+  //
+  // `cur_start`/`cur_offset` latch the stall offset once per instruction:
+  // the reference charges hook stalls at the end of the issuing
+  // instruction, so two accesses of the same instruction (pv.qnt's pair
+  // of threshold fetches) issue at the same cycle — a stall assigned to
+  // the first must not shift the second. Raw start cycles are strictly
+  // increasing within a lane (instructions cost at least one cycle, and
+  // folding only raises later starts), so `start != cur_start` detects a
+  // new instruction exactly.
+  struct BurstLane {
+    std::vector<LaneEntry> log;
+    size_t head = 0;
+    u64 assigned = 0;
+    u64 folded = 0;
+    cycles_t cur_start = ~0ull;
+    u64 cur_offset = 0;
+
+    bool drained() const { return head == log.size(); }
+    u64 pending_stalls() const { return assigned - folded; }
+  };
+
+  // ---- Burst engine (cluster.cpp) ----
+  u64 drive(u64 target);
+  u64 drive_reference(u64 target);
+  u64 drive_burst(u64 target);
+  u64 reference_segment(u64 max_steps, u64 budget);
+  void pop_ready();
+  void merge_epoch();
+  void pop_entry(int core);
+  void fold_lane(int core);
+  bool burst_eligible() const;
+  cycles_t true_clock(int core) const;
+
   ClusterConfig cfg_;
   mem::Memory mem_;
   std::vector<std::unique_ptr<sim::Core>> cores_;
@@ -224,6 +409,16 @@ class Cluster {
 
   PreLoadGate pre_load_gate_;
   AccessObserver observer_;
+
+  // ---- Burst scheduling state ----
+  std::vector<BurstLane> lanes_;
+  u64 lanes_pending_ = 0;       // logged-but-unreplayed entries, all lanes
+  // While true, the shared access hook logs instead of arbitrating (burst
+  // phase 1); reference scheduling and reference segments run with it
+  // false and arbitrate at access time.
+  bool logging_ = false;
+  bool programs_use_cycle_csr_ = false;  // set by load()'s opcode scan
+  ClusterBurstStats burst_stats_;
 };
 
 }  // namespace xpulp::cluster

@@ -230,6 +230,12 @@ class Memory {
   const MemStats& stats() const { return stats_; }
   void reset_stats() { stats_ = MemStats{}; }
 
+  /// Deferred-arbitration support (cluster burst scheduling): account
+  /// interconnect stall cycles that an access hook would have returned at
+  /// access time had arbitration not been deferred. Keeps
+  /// contention_stalls bit-identical to a hook-at-access-time run.
+  void add_contention_stalls(u64 n) { stats_.contention_stalls += n; }
+
   // ---- Snapshot/restore support (src/ckpt) ----
   // The serializable timing-relevant state beyond the byte array: statistics
   // and the contention phase. The access hook is host wiring, not simulation

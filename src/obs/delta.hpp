@@ -116,6 +116,7 @@ inline sim::SuperblockStats diff(const sim::SuperblockStats& a,
   d.trap_bails = a.trap_bails - b.trap_bails;
   d.invalidations = a.invalidations - b.invalidations;
   d.sample_flushes = a.sample_flushes - b.sample_flushes;
+  d.burst_flushes = a.burst_flushes - b.burst_flushes;
   return d;
 }
 

@@ -250,6 +250,7 @@ void add_superblock_stats(Registry& r, std::string_view prefix,
   r.counter(pre + "smc_bails", s.smc_bails);
   r.counter(pre + "trap_bails", s.trap_bails);
   r.counter(pre + "sample_flushes", s.sample_flushes);
+  r.counter(pre + "burst_flushes", s.burst_flushes);
   r.counter(pre + "invalidations", s.invalidations);
   if (total_instructions != 0) {
     r.gauge(pre + "fused_fraction",

@@ -249,6 +249,9 @@ bool Core::step_fast() {
     if (!trace_(pc_, in)) trace_ = {};
   }
   const u16 f = in.flags;
+  // Instruction-start cycle, before any stall is charged: the event-driven
+  // cluster scheduler's pick key for this instruction (access_start()).
+  step_start_ = perf_.cycles;
 
   // Load-use hazard: the previous instruction was a load and we consume its
   // destination register now.
@@ -301,6 +304,7 @@ bool Core::step_reference() {
   if (halted()) return false;
   const Instr& in = fetch_decode(pc_);
   if (trace_ && !trace_(pc_, in)) trace_ = {};
+  step_start_ = perf_.cycles;
 
   if (last_load_rd_ != 0) {
     const bool hazard = (isa::reads_rs1(in) && in.rs1 == last_load_rd_) ||
@@ -446,6 +450,49 @@ u64 Core::run_steps(u64 n) {
       }
     }
   }
+  return executed;
+}
+
+u64 Core::run_burst(cycles_t horizon, u64 max_instructions) {
+  // Bounded burst for the cluster scheduler: full-speed dispatch until the
+  // first instruction boundary at or past `horizon`. The horizon is
+  // published through burst_due_ so fused superblock bursts stop at the
+  // same boundary a per-instruction run would (armed single-step plus the
+  // prefix repair tables — see sb_execute_impl). The burst_due_ reset must
+  // survive guest faults: a dangling horizon would silently truncate every
+  // later superblock burst.
+  u64 executed = 0;
+  burst_due_ = horizon;
+  try {
+    while (perf_.cycles < horizon && executed < max_instructions &&
+           !halted()) {
+      if (ref_dispatch_) {
+        step_reference();
+      } else if (trace_) [[unlikely]] {
+        step_fast<true>();
+      } else {
+        step_fast<false>();
+      }
+      ++executed;
+      if (perf_.cycles >= sample_due_) [[unlikely]] sample_fire();
+      if (sb_candidate_ != kNoSbCandidate) [[unlikely]] {
+        const addr_t cand = sb_candidate_;
+        const addr_t cand_branch = sb_candidate_branch_;
+        sb_candidate_ = kNoSbCandidate;
+        sb_candidate_branch_ = 0;
+        if (!ref_dispatch_ && !trace_ && executed < max_instructions &&
+            cand == pc_ && !halted() && perf_.cycles < horizon) {
+          executed +=
+              superblock_enter(cand, cand_branch, max_instructions - executed);
+          if (perf_.cycles >= sample_due_) [[unlikely]] sample_fire();
+        }
+      }
+    }
+  } catch (...) {
+    burst_due_ = kNoSampleDue;
+    throw;
+  }
+  burst_due_ = kNoSampleDue;
   return executed;
 }
 

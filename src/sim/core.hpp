@@ -140,9 +140,35 @@ struct SuperblockStats {
   /// prefix-delta repair tables as smc_bails, so the surfaced counters are
   /// bit-identical to the interpreter's at that boundary.
   u64 sample_flushes = 0;
+  /// Bursts repaired to an exact instruction boundary because the cycle
+  /// counter reached a cluster burst horizon (run_burst). Same repair
+  /// mechanism as sample_flushes; counted separately so burst-scheduling
+  /// stats don't pollute telemetry flush counts.
+  u64 burst_flushes = 0;
 };
 
 enum class HaltReason { kRunning, kEcall, kEbreak, kInstrLimit };
+
+/// One data access recorded for deferred arbitration (cluster burst
+/// scheduling): the exact coordinates the access hook would have observed —
+/// the issuing instruction's pc and start cycle (the event-driven
+/// scheduler's pick key) and the access's own cycle — all in the core's
+/// pre-merge local clock, plus the access itself.
+/// The access cycle is stored as its offset from `start` — the reference
+/// charges arbiter stalls at the issuing instruction's end, so an access
+/// never issues more than one instruction's own latency past its start
+/// (hazards plus handler-internal charges, far below 2^16). Keeping the
+/// record at 24 bytes matters: burst logs are written and re-read by the
+/// millions, and their cache footprint is the dominant host cost of the
+/// cluster burst scheduler.
+struct BurstAccess {
+  cycles_t start;
+  addr_t pc;
+  addr_t addr;
+  u16 cycle_delta;
+  u8 size;
+  u8 is_store;
+};
 
 /// Complete architectural + accounting state of a Core at an instruction
 /// boundary: everything needed to resume execution bit-identically (checked
@@ -198,6 +224,16 @@ class Core {
   /// (a fused burst never overshoots the remaining budget).
   u64 run_steps(u64 n);
 
+  /// Execute until the first instruction boundary whose cycle count is at
+  /// or past `horizon` (the final instruction may overshoot by its own
+  /// latency), the core halts, or `max_instructions` retired; returns how
+  /// many retired. Runs at full dispatch speed — fast path plus superblock
+  /// bursts, which honor the horizon through the same due-threshold
+  /// mechanism as the sampler (SuperblockStats::burst_flushes) — so the
+  /// cluster burst scheduler can drain a core to a cycle horizon without
+  /// dropping to per-instruction stepping. Never sets kInstrLimit.
+  u64 run_burst(cycles_t horizon, u64 max_instructions);
+
   const PerfCounters& perf() const { return perf_; }
   void reset_perf() { perf_ = PerfCounters{}; }
 
@@ -232,6 +268,49 @@ class Core {
   void set_sampler(SampleFn fn, cycles_t interval_cycles);
   bool has_sampler() const { return static_cast<bool>(sampler_); }
   cycles_t sample_interval() const { return sample_interval_; }
+  /// First instruction boundary cycle at which the sampler will fire next
+  /// (~0 when no sampler is attached). The cluster burst scheduler bounds
+  /// burst horizons away from this so samples fire on the exact reference
+  /// boundary.
+  cycles_t next_sample_due() const { return sample_due_; }
+
+  /// Exact reference-interleaving coordinates of the data access currently
+  /// flowing through the memory access hook: the pc of the accessing
+  /// instruction, the cycle at which that instruction started (the
+  /// event-driven scheduler's pick key), and the cycle at which the access
+  /// reaches the interconnect. Valid only from inside an access hook. On
+  /// the interpreter paths these are live core state; inside a fused
+  /// superblock burst they come from a per-op latch that folds in the
+  /// batched static cycle deltas, so the values are bit-identical to what
+  /// the interpreter would have reported for the same access.
+  addr_t access_pc() const { return sb_active_ != nullptr ? hook_pc_ : pc_; }
+  cycles_t access_start() const {
+    return sb_active_ != nullptr ? hook_start_ : step_start_;
+  }
+  cycles_t access_cycle() const {
+    return sb_active_ != nullptr ? hook_cycle_ : perf_.cycles;
+  }
+
+  /// Deferred-arbitration support (cluster burst scheduling): charge `n`
+  /// interconnect stall cycles exactly as an access hook returning them at
+  /// access time would have (cycles + mem_stall_cycles; the shared
+  /// MemStats side is Memory::add_contention_stalls). Only valid at an
+  /// instruction boundary.
+  void charge_deferred_stalls(u64 n) {
+    perf_.cycles += n;
+    perf_.mem_stall_cycles += n;
+  }
+
+  /// Direct-log sink for deferred arbitration: while set, the superblock
+  /// slim path appends each aligned in-bounds data access here — with the
+  /// same exact coordinates the hook latches would report — instead of
+  /// routing it through the memory access hook, and treats the hook as
+  /// stall-free for its per-iteration dynamic bound. Only meaningful when
+  /// the installed access hook itself logs-and-returns-zero (the cluster's
+  /// burst phase); accesses outside the slim fast path (interpreter steps,
+  /// misaligned, handler-internal) still flow through that hook, appending
+  /// to the same vector in program order.
+  void set_burst_sink(std::vector<BurstAccess>* sink) { burst_sink_ = sink; }
 
   /// Optional pre-run gate: invoked by reset(pc, code_end) with the loaded
   /// memory and the code extent [pc, code_end) whenever code_end is
@@ -433,6 +512,21 @@ class Core {
   SampleFn sampler_;
   cycles_t sample_interval_ = 0;
   cycles_t sample_due_ = kNoSampleDue;
+
+  /// Cluster burst horizon, set only while run_burst() is live. Fused
+  /// superblock bursts treat min(sample_due_, burst_due_) as the effective
+  /// deadline, so both repair to exact boundaries through one mechanism.
+  cycles_t burst_due_ = kNoSampleDue;
+
+  std::vector<BurstAccess>* burst_sink_ = nullptr;
+  /// Access-coordinate latches (see access_pc/access_start/access_cycle).
+  /// step_start_ is written once per interpreted instruction; the hook_*
+  /// trio only inside fused superblock bursts, per op that can reach the
+  /// access hook.
+  cycles_t step_start_ = 0;
+  addr_t hook_pc_ = 0;
+  cycles_t hook_start_ = 0;
+  cycles_t hook_cycle_ = 0;
 
   // Direct-mapped decode cache indexed by pc >> 1.
   std::vector<isa::Instr> icache_;

@@ -576,9 +576,12 @@ void Core::sb_exit(SuperblockPlan& plan) {
 
 u64 Core::sb_execute(SuperblockPlan& plan, u64 budget) {
   // Sampled bursts pay per-iteration (and, near the deadline, per-op)
-  // boundary checks; unsampled bursts compile to the pre-xtel loop.
-  return sample_due_ != kNoSampleDue ? sb_execute_impl<true>(plan, budget)
-                                     : sb_execute_impl<false>(plan, budget);
+  // boundary checks; unsampled bursts compile to the pre-xtel loop. A
+  // cluster burst horizon (burst_due_, set by run_burst) rides the same
+  // deadline mechanism — whichever comes first is the effective due.
+  const cycles_t due = std::min(sample_due_, burst_due_);
+  return due != kNoSampleDue ? sb_execute_impl<true>(plan, budget)
+                             : sb_execute_impl<false>(plan, budget);
 }
 
 template <bool Sampled>
@@ -652,8 +655,24 @@ u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
   // no hook and no contention injector, an aligned in-bounds access costs
   // zero stalls and nothing else in access_stalls() can fire.
   const u32 msize = mem_.size();
+  // A burst sink restores slim eligibility under an access hook: the
+  // cluster's burst phase installs a hook that only logs and returns zero
+  // stalls, so the slim path's "aligned in-bounds accesses are stall-free"
+  // invariant (and max_dyn_iter's dynamic bound) hold again — the slim
+  // fast path then appends each access directly to the sink with the same
+  // exact coordinates the hook latches would have carried, skipping the
+  // per-access std::function dispatch entirely.
+  const bool sink_log = burst_sink_ != nullptr;
   const bool mem_slim =
-      !mem_.has_access_hook() && mem_.contention_period() == 0;
+      (!mem_.has_access_hook() || sink_log) &&
+      mem_.contention_period() == 0;
+  // With an access hook installed (cluster runs) the slim path is off, so
+  // every access flows through access_stalls()/the handler's access_cycles.
+  // Latch the exact reference coordinates (pc, instruction-start cycle,
+  // access cycle) the hook reads via access_pc()/access_start()/
+  // access_cycle() — the same prefix arithmetic as the repair tables, plus
+  // the op's own hazard, which the step paths charge before the access.
+  const bool latch = mem_.has_access_hook();
 
   // Sampling: the run loop fires at instruction boundaries before entering
   // a burst, so cycles < due here. The true cycle count at any boundary
@@ -665,7 +684,11 @@ u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
   // cannot reach the deadline ("unarmed") runs at full fused speed; with
   // an access hook or contention injector the dynamic bound does not hold
   // and every iteration is armed.
-  const cycles_t due = Sampled ? sample_due_ : kNoSampleDue;
+  const cycles_t due =
+      Sampled ? std::min(sample_due_, burst_due_) : kNoSampleDue;
+  // Attribution of deadline flushes: a strictly-earlier burst horizon is
+  // the binding deadline (burst_flushes); otherwise the sampler is.
+  const bool burst_bound = Sampled && burst_due_ < sample_due_;
   const u64 c_iter = plan.iter_perf.cycles;
   const u64 max_dyn = mem_slim ? plan.max_dyn_iter : (~u64{0} >> 1);
   u32 lld = last_load_data_;
@@ -737,7 +760,8 @@ u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
         if (done != 0 && perf_.cycles + done * c_iter >= due) [[unlikely]] {
           pc_ = plan.start;
           last_load_rd_ = plan.is_hwloop ? plan.exit_last_load_rd : 0;
-          sb_stats_.sample_flushes += 1;
+          (burst_bound ? sb_stats_.burst_flushes : sb_stats_.sample_flushes) +=
+              1;
           break;
         }
       }
@@ -766,11 +790,24 @@ u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
           const u32 base = regs_[o.rs1];
           if (!((base & 3u) == 0 &&
                 static_cast<u64>(base) + 4 <= msize)) [[unlikely]] {
+            if (latch) {
+              hook_pc_ = plan.op_pc[i];
+              hook_start_ = perf_.cycles + done * c_iter +
+                            plan.perf_prefix[i].cycles - (i == 0 ? hz : 0);
+              hook_cycle_ = hook_start_ + (i == 0 ? hz : o.hazard);
+            }
             const unsigned stalls = mem_.access_stalls(base, 4, false);
             if (stalls != 0) {
               perf_.cycles += stalls;
               perf_.mem_stall_cycles += stalls;
             }
+          } else if (sink_log) {
+            const cycles_t s = perf_.cycles + done * c_iter +
+                               plan.perf_prefix[i].cycles -
+                               (i == 0 ? hz : 0);
+            burst_sink_->push_back(
+                {s, plan.op_pc[i], base,
+                 static_cast<u16>(i == 0 ? hz : o.hazard), 4, 0});
           }
           const u32 v = mem_.load_unchecked(base, 4);
           toggles += hamming_distance(lld, v);
@@ -868,11 +905,29 @@ u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
             // takes the full accounting/trapping path.
             if (!(mem_slim && (addr & (o.aux - 1u)) == 0 &&
                   static_cast<u64>(addr) + o.aux <= msize)) [[unlikely]] {
+              if (latch) {
+                hook_pc_ = plan.op_pc[i];
+                hook_start_ = perf_.cycles + done * c_iter +
+                              plan.perf_prefix[i].cycles - (i == 0 ? hz : 0);
+                hook_cycle_ = hook_start_ + (i == 0 ? hz : o.hazard);
+              }
               const unsigned stalls = mem_.access_stalls(addr, o.aux, store);
               if (stalls != 0) {
                 perf_.cycles += stalls;
                 perf_.mem_stall_cycles += stalls;
               }
+            } else if (sink_log) {
+              // Slim fast path under deferred arbitration: log directly
+              // with the exact hook coordinates (misaligned/out-of-range
+              // accesses took the access_stalls branch, whose hook call
+              // appends to the same log — program order is preserved).
+              const cycles_t s = perf_.cycles + done * c_iter +
+                                 plan.perf_prefix[i].cycles -
+                                 (i == 0 ? hz : 0);
+              burst_sink_->push_back(
+                  {s, plan.op_pc[i], addr,
+                   static_cast<u16>(i == 0 ? hz : o.hazard),
+                   static_cast<u8>(o.aux), static_cast<u8>(store)});
             }
             if (store) {
               mem_.store_unchecked(addr, regs_[o.rs2], o.aux);
@@ -933,6 +988,15 @@ u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
             break;
           }
           case SbKind::kHandler:
+            // A handler can reach the access hook (pv.qnt threshold
+            // fetches); its accesses all issue at the instruction's start
+            // plus its hazard, before any latency is charged.
+            if (latch) [[unlikely]] {
+              hook_pc_ = plan.op_pc[i];
+              hook_start_ = perf_.cycles + done * c_iter +
+                            plan.perf_prefix[i].cycles - (i == 0 ? hz : 0);
+              hook_cycle_ = hook_start_ + (i == 0 ? hz : o.hazard);
+            }
             (this->*kExecTable[static_cast<size_t>(o.cls)])(plan.instrs[i]);
             break;
           case SbKind::kBranch:
@@ -972,7 +1036,8 @@ u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
         last_load_rd_ = load_dest(ops[completed - 1]);
         retired += completed;
         if (sample_break) {
-          sb_stats_.sample_flushes += 1;
+          (burst_bound ? sb_stats_.burst_flushes : sb_stats_.sample_flushes) +=
+              1;
         } else {
           sb_stats_.smc_bails += 1;
         }
@@ -1003,7 +1068,8 @@ u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
           if (sb_active_dirty_) {
             sb_stats_.smc_bails += 1;
           } else {
-            sb_stats_.sample_flushes += 1;
+            (burst_bound ? sb_stats_.burst_flushes
+                         : sb_stats_.sample_flushes) += 1;
           }
           break;
         }

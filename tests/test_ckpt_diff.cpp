@@ -11,11 +11,13 @@
 
 #include "ckpt/snapshot.hpp"
 #include "cluster/cluster.hpp"
+#include "cluster/parallel_conv.hpp"
 #include "common/rng.hpp"
 #include "diff_test_util.hpp"
 #include "kernels/conv_layer.hpp"
 #include "kernels/gp_workload.hpp"
 #include "mem/memory.hpp"
+#include "qnn/pack.hpp"
 #include "sim/core.hpp"
 #include "xasm/assembler.hpp"
 
@@ -449,6 +451,145 @@ TEST(CkptDiff, ClusterMidRunRestoreIntoFreshInstance) {
   ckpt::apply(snap, fresh);
   finish_cluster(fresh);
   expect_cluster_identical(base, cluster_final(fresh));
+}
+
+/// Drive a (possibly restored) cluster to completion through run_steps —
+/// under SchedulerMode::kBurst this resumes burst scheduling, unlike the
+/// per-instruction step_once loop.
+void finish_cluster_steps(cluster::Cluster& cl) {
+  constexpr u64 kChunk = 1u << 20;
+  cl.begin_run();
+  while (cl.run_steps(kChunk) == kChunk) {
+  }
+  cl.end_run();
+}
+
+u64 cluster_instructions(const cluster::Cluster& cl) {
+  u64 total = 0;
+  for (int c = 0; c < cl.num_cores(); ++c) {
+    total += cl.core(c).perf().instructions;
+  }
+  return total;
+}
+
+TEST(CkptDiff, ClusterMidBurstSnapshotsRestoreBitIdentical) {
+  // Burst scheduling with a small horizon, so the snapshot indices below
+  // land deep inside burst epochs. run_steps pauses boundary-exactly
+  // (every burst lane drained and folded), the image must resume
+  // bit-identically into a fresh cluster, the rewound live cluster, and
+  // a reference-scheduled cluster — all landing on the uninterrupted
+  // per-instruction baseline.
+  cluster::ClusterConfig burst_cfg;
+  burst_cfg.num_cores = 4;
+  burst_cfg.scheduler = cluster::SchedulerMode::kBurst;
+  burst_cfg.burst_horizon = 128;
+  cluster::ClusterConfig ref_cfg = burst_cfg;
+  ref_cfg.scheduler = cluster::SchedulerMode::kReference;
+  const auto progs = cluster_programs(4);
+
+  cluster::Cluster base_cl(ref_cfg);
+  base_cl.load(progs);
+  base_cl.run();
+  const ClusterFinal base = cluster_final(base_cl);
+  const u64 total = cluster_instructions(base_cl);
+  ASSERT_GT(total, 600u);
+
+  for (const u64 snap_at : {total / 5 + 1, total / 2 + 3, total - 7}) {
+    cluster::Cluster paused(burst_cfg);
+    paused.load(progs);
+    paused.begin_run();
+    ASSERT_EQ(paused.run_steps(snap_at), snap_at);
+    ASSERT_EQ(cluster_instructions(paused), snap_at)
+        << "burst pause overshot the requested index";
+    const ckpt::Snapshot snap =
+        ckpt::deserialize(ckpt::serialize(ckpt::capture(paused)));
+    ASSERT_TRUE(snap.is_cluster());
+
+    // Finish the paused instance under bursts.
+    while (paused.run_steps(1u << 20) == (1u << 20)) {
+    }
+    paused.end_run();
+    expect_cluster_identical(base, cluster_final(paused));
+
+    // Rewind the same live, warmed-up instance and replay the tail.
+    ckpt::apply(snap, paused);
+    finish_cluster_steps(paused);
+    expect_cluster_identical(base, cluster_final(paused));
+
+    // Resume into a fresh burst-scheduled cluster.
+    cluster::Cluster fresh(burst_cfg);
+    ckpt::apply(snap, fresh);
+    finish_cluster_steps(fresh);
+    expect_cluster_identical(base, cluster_final(fresh));
+
+    // Cross-scheduler: an image taken mid-burst carries no burst-engine
+    // state, so the per-instruction scheduler must replay it too.
+    cluster::Cluster ref_resume(ref_cfg);
+    ckpt::apply(snap, ref_resume);
+    finish_cluster(ref_resume);
+    expect_cluster_identical(base, cluster_final(ref_resume));
+    if (::testing::Test::HasFailure()) FAIL() << "snap_at " << snap_at;
+  }
+}
+
+TEST(CkptDiff, ClusterMidBurstSnapshotsWithSuperblockConv) {
+  // The full stack crossing a mid-burst checkpoint: superblock dispatch
+  // inside cluster bursts on a parallel conv layer, snapshotted at an
+  // index chosen to fall inside a fused hot loop.
+  qnn::ConvSpec spec = qnn::ConvSpec::paper_layer(4);
+  spec.in_h = spec.in_w = 6;
+  spec.in_c = 16;
+  spec.out_c = 8;
+  const auto data = kernels::ConvLayerData::random(spec, 0x5eed);
+  const auto kernels = cluster::make_parallel_conv_kernels(
+      spec, kernels::ConvVariant::kXpulpNN_HwQ, 4);
+  std::vector<xasm::Program> progs;
+  for (const auto& k : kernels) progs.push_back(k.program);
+  const auto& layout = kernels.front().layout;
+
+  cluster::ClusterConfig burst_cfg;
+  burst_cfg.num_cores = 4;
+  burst_cfg.scheduler = cluster::SchedulerMode::kBurst;
+  burst_cfg.burst_horizon = 256;
+  burst_cfg.core.superblock = true;
+  cluster::ClusterConfig ref_cfg = burst_cfg;
+  ref_cfg.scheduler = cluster::SchedulerMode::kReference;
+
+  const auto load_cluster = [&](cluster::Cluster& cl) {
+    cl.memory().write_block(layout.input,
+                            qnn::pack_tensor(data.input, spec.in_bits));
+    cl.memory().write_block(layout.weights,
+                            qnn::pack_filter_bank(data.weights, spec.w_bits));
+    if (spec.out_bits != 8) {
+      cl.memory().write_block(layout.thresholds, data.thresholds.serialize());
+    }
+    cl.load(progs);
+  };
+
+  cluster::Cluster base_cl(ref_cfg);
+  load_cluster(base_cl);
+  base_cl.run();
+  const ClusterFinal base = cluster_final(base_cl);
+  const u64 total = cluster_instructions(base_cl);
+
+  cluster::Cluster paused(burst_cfg);
+  load_cluster(paused);
+  paused.begin_run();
+  const u64 snap_at = total / 2 + 5;  // deep inside the matmul hot loops
+  ASSERT_EQ(paused.run_steps(snap_at), snap_at);
+  ASSERT_EQ(cluster_instructions(paused), snap_at);
+  const ckpt::Snapshot snap =
+      ckpt::deserialize(ckpt::serialize(ckpt::capture(paused)));
+  paused.end_run();
+
+  cluster::Cluster fresh(burst_cfg);
+  ckpt::apply(snap, fresh);
+  finish_cluster_steps(fresh);
+  expect_cluster_identical(base, cluster_final(fresh));
+
+  ckpt::apply(snap, paused);
+  finish_cluster_steps(paused);
+  expect_cluster_identical(base, cluster_final(paused));
 }
 
 TEST(CkptDiff, ClusterMidRunRestoreIntoLiveInstance) {

@@ -51,6 +51,7 @@ struct Args {
   bool check = true;
   bool energy = true;  // run the traced energy-attribution pass
   int cores = 1;
+  std::string scheduler = "burst";  // cluster mode: reference | burst
   u64 interval = 4096;
   u64 capacity = 1u << 16;
   std::string trace_path;
@@ -75,6 +76,9 @@ void usage() {
       "  --small            run a small 6x6x16->8 layer instead of the\n"
       "                     paper's 16x16x32->64 layer\n"
       "  --cores N          sample an N-core cluster run + TCDM heatmap\n"
+      "  --scheduler S      cluster scheduler: reference | burst (default\n"
+      "                     burst; --check also runs the other scheduler\n"
+      "                     and asserts byte-identical telemetry)\n"
       "  --trace FILE       write Perfetto trace with counter tracks\n"
       "  --samples FILE     write the sample series as CSV\n"
       "  --heatmap FILE     write the TCDM bank heatmap as JSON\n"
@@ -155,6 +159,11 @@ bool parse_args(int argc, char** argv, Args& a) {
       const char* v = need_value();
       if (!v) return false;
       a.cores = std::atoi(v);
+    } else if (opt == "--scheduler") {
+      const char* v = need_value();
+      if (!v) return false;
+      a.scheduler = v;
+      if (a.scheduler != "reference" && a.scheduler != "burst") return false;
     } else if (opt == "--trace") {
       if (!path_opt(a.trace_path)) return false;
     } else if (opt == "--samples") {
@@ -357,22 +366,35 @@ int run_single(const Args& args, const qnn::ConvSpec& spec,
   return ok ? 0 : 1;
 }
 
-int run_cluster(const Args& args, const qnn::ConvSpec& /*spec*/,
-                const kernels::ConvLayerData& data,
-                const sim::CoreConfig& cfg, obs::Registry& reg,
-                std::unique_ptr<obs::Timeline>& timeline) {
+/// One cluster run under a given scheduler with the full telemetry stack
+/// attached. Samplers outlive the cluster; only their recorded series is
+/// touched afterwards.
+struct ClusterPass {
+  cluster::ParallelConvResult res;
+  std::unique_ptr<obs::BankHeatmap> heatmap;
+  std::vector<std::unique_ptr<obs::Sampler>> samplers;
+  cluster::ClusterBurstStats burst;
+};
+
+ClusterPass run_cluster_pass(const Args& args, const kernels::ConvLayerData& data,
+                             const sim::CoreConfig& cfg,
+                             cluster::SchedulerMode sched,
+                             obs::Timeline* timeline) {
   cluster::ClusterConfig ccfg;
   ccfg.num_cores = args.cores;
   ccfg.core = cfg;
+  ccfg.scheduler = sched;
   const u32 banks = static_cast<u32>(args.cores) * ccfg.banks_per_core;
 
   obs::BankHeatmap::Options hopts;
   hopts.window_cycles = args.interval;
-  obs::BankHeatmap heatmap(banks, args.cores, hopts);
+  ClusterPass pass;
+  pass.heatmap =
+      std::make_unique<obs::BankHeatmap>(banks, args.cores, hopts);
 
-  std::vector<std::unique_ptr<obs::Sampler>> samplers;
   const auto instrument = [&](cluster::Cluster& cl,
                               const std::vector<kernels::ConvKernel>&) {
+    obs::BankHeatmap& heatmap = *pass.heatmap;
     cl.set_access_observer([&heatmap](int c, cycles_t cycle, addr_t,
                                       addr_t addr, unsigned, bool,
                                       unsigned stalls) {
@@ -386,25 +408,91 @@ int run_cluster(const Args& args, const qnn::ConvSpec& /*spec*/,
       sopts.track_prefix = "core" + std::to_string(c);
       sopts.mem_stats = &cl.memory().stats();  // shared TCDM
       if (timeline) {
-        sopts.timeline = timeline.get();
+        sopts.timeline = timeline;
         timeline->set_track_name(static_cast<u8>(c),
                                  "core" + std::to_string(c));
       }
-      samplers.push_back(
+      pass.samplers.push_back(
           std::make_unique<obs::Sampler>(cl.core(c), sopts));
     }
   };
 
-  const cluster::ParallelConvResult res = cluster::run_parallel_conv(
+  pass.res = cluster::run_parallel_conv(
       data, args.variant, ccfg, instrument,
-      [&](cluster::Cluster&, const std::vector<kernels::ConvKernel>&) {
-        for (auto& s : samplers) s->finalize();
+      [&](cluster::Cluster& cl, const std::vector<kernels::ConvKernel>&) {
+        for (auto& s : pass.samplers) s->finalize();
+        pass.burst = cl.burst_stats();
       });
+  return pass;
+}
+
+std::string heatmap_json(const obs::BankHeatmap& h) {
+  std::ostringstream os;
+  h.write_json(os);
+  return os.str();
+}
+
+/// Architectural sample fields must be scheduler-exact; `sb` is a host
+/// superblock-engine diagnostic and is excluded by design.
+bool sample_series_match(const obs::Sampler& a, const obs::Sampler& b) {
+  const auto sa = a.samples();
+  const auto sb = b.samples();
+  if (sa.size() != sb.size()) return false;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].ts_cycles != sb[i].ts_cycles ||
+        std::memcmp(&sa[i].perf, &sb[i].perf, sizeof sa[i].perf) != 0 ||
+        std::memcmp(&sa[i].mem, &sb[i].mem, sizeof sa[i].mem) != 0 ||
+        std::memcmp(&sa[i].dotp, &sb[i].dotp, sizeof sa[i].dotp) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_cluster(const Args& args, const qnn::ConvSpec& /*spec*/,
+                const kernels::ConvLayerData& data,
+                const sim::CoreConfig& cfg, obs::Registry& reg,
+                std::unique_ptr<obs::Timeline>& timeline) {
+  const bool burst_primary = args.scheduler == "burst";
+  const cluster::SchedulerMode primary_mode =
+      burst_primary ? cluster::SchedulerMode::kBurst
+                    : cluster::SchedulerMode::kReference;
+  ClusterPass pass =
+      run_cluster_pass(args, data, cfg, primary_mode, timeline.get());
+  const cluster::ParallelConvResult& res = pass.res;
+  obs::BankHeatmap& heatmap = *pass.heatmap;
+  std::vector<std::unique_ptr<obs::Sampler>>& samplers = pass.samplers;
 
   bool ok = true;
   if (args.check && !(res.output == data.golden())) {
     std::fprintf(stderr, "xtel: cluster output does not match golden\n");
     ok = false;
+  }
+  if (args.check) {
+    // Scheduler parity: the burst engine must be telemetry-invisible.
+    // Re-run under the other scheduler and require byte-identical bank
+    // heatmaps and per-core sampled counter tracks.
+    const cluster::SchedulerMode other_mode =
+        burst_primary ? cluster::SchedulerMode::kReference
+                      : cluster::SchedulerMode::kBurst;
+    const ClusterPass other =
+        run_cluster_pass(args, data, cfg, other_mode, nullptr);
+    bool parity = heatmap_json(heatmap) == heatmap_json(*other.heatmap) &&
+                  res.stats.makespan == other.res.stats.makespan &&
+                  res.stats.bank_conflicts == other.res.stats.bank_conflicts &&
+                  res.stats.data_accesses == other.res.stats.data_accesses &&
+                  res.output == other.res.output;
+    for (int c = 0; parity && c < args.cores; ++c) {
+      parity = sample_series_match(*samplers[static_cast<size_t>(c)],
+                                   *other.samplers[static_cast<size_t>(c)]);
+    }
+    if (!parity) {
+      std::fprintf(stderr,
+                   "xtel: telemetry differs between burst and reference "
+                   "cluster scheduling\n");
+      ok = false;
+    }
+    reg.flag("xtel.scheduler_parity", parity);
   }
   if (args.check && (heatmap.total_conflicts() != res.stats.bank_conflicts ||
                      heatmap.total_accesses() != res.stats.data_accesses)) {
@@ -440,6 +528,18 @@ int run_cluster(const Args& args, const qnn::ConvSpec& /*spec*/,
   reg.counter("cluster.makespan", res.stats.makespan);
   reg.counter("cluster.bank_conflicts", res.stats.bank_conflicts);
   reg.counter("cluster.data_accesses", res.stats.data_accesses);
+  reg.text("cluster.scheduler", args.scheduler);
+  if (burst_primary) {
+    reg.counter("cluster.burst.epochs", pass.burst.epochs);
+    reg.counter("cluster.burst.bursts", pass.burst.bursts);
+    reg.counter("cluster.burst.burst_instructions",
+                pass.burst.burst_instructions);
+    reg.counter("cluster.burst.reference_instructions",
+                pass.burst.reference_instructions);
+    reg.counter("cluster.burst.replayed_accesses",
+                pass.burst.replayed_accesses);
+    reg.counter("cluster.burst.fallback_runs", pass.burst.fallback_runs);
+  }
   heatmap.add_to_registry(reg, "xtel.heatmap");
   reg.flag("xtel.heatmap.reconciled",
            heatmap.total_conflicts() == res.stats.bank_conflicts);
