@@ -55,6 +55,12 @@ step "ctest (default preset)" ctest --preset default -j "$(nproc)"
 step "xlint: encoding-space audit + kernel sweep" \
   ./build/tools/xlint --audit --kernels
 
+# Every mpc operand format bit-exact vs golden, counter breakdown pure,
+# cycles pinned to the uniform kernel at the activation width; writes
+# BENCH_mixed.json (gated on all_ok via the exit status).
+step "mixed-precision smoke (virtual-SIMD layers vs golden)" \
+  ./build/bench/bench_mixed_precision
+
 step "xrace: static race sweep" \
   ./build/tools/xrace --static --kernels --json /tmp/xrace-static.json
 step "xrace: shadow-validated parallel conv" \

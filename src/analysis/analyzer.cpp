@@ -313,6 +313,119 @@ void check_dataflow(const CodeImage& image, const Cfg& cfg,
   }
 }
 
+/// Legality of CSR-state-dependent operands: the operand widths of the
+/// mixed dot products are not in the encoding — they come from the mpc
+/// CSR at execution time. A forward may-analysis propagates the set of
+/// mpc states that can reach each instruction (explicit constants 0..3,
+/// "written from an unbounded runtime value", "reset default, never
+/// written") across the same CFG the dataflow pass uses; csrrs/csrrc
+/// with a statically-known operand are mapped through the read-modify-
+/// write per possible old value. Each reachable mixed dot is then judged
+/// against its incoming set.
+void check_mixed_mpc(const CodeImage& image, const Cfg& cfg, addr_t entry,
+                     const std::vector<RegState>& states, Diags& diags) {
+  const auto& instrs = image.instrs();
+  bool any_mixed = false;
+  for (const DecodedInstr& d : instrs) {
+    if (!d.illegal && d.in.has(iflag::kDotMixed)) {
+      any_mixed = true;
+      break;
+    }
+  }
+  if (!any_mixed) return;
+
+  enum : u8 {
+    kVal0 = 1, kVal1 = 2, kVal2 = 4, kVal3 = 8,  // explicitly written consts
+    kDynamic = 16,  // written from a value the dataflow cannot bound
+    kDefault = 32,  // reset value (selector 0) with no write on the path
+  };
+  const auto val_bit = [](u32 v) { return static_cast<u8>(1u << (v & 3u)); };
+
+  const int entry_idx = image.index_of(entry);
+  if (entry_idx < 0) return;
+  std::vector<u8> state(instrs.size(), 0);
+  state[static_cast<size_t>(entry_idx)] = kDefault;
+  std::vector<int> work{entry_idx};
+  while (!work.empty()) {
+    const int i = work.back();
+    work.pop_back();
+    const DecodedInstr& d = instrs[static_cast<size_t>(i)];
+    u8 out = state[static_cast<size_t>(i)];
+    if (!d.illegal) {
+      const isa::Instr& in = d.in;
+      const bool imm_form = in.op == Mnemonic::kCsrrwi ||
+                            in.op == Mnemonic::kCsrrsi ||
+                            in.op == Mnemonic::kCsrrci;
+      const bool reg_form = in.op == Mnemonic::kCsrrw ||
+                            in.op == Mnemonic::kCsrrs ||
+                            in.op == Mnemonic::kCsrrc;
+      if ((imm_form || reg_form) && static_cast<u32>(in.imm) == isa::kMpcCsr) {
+        const RegState& st = states[static_cast<size_t>(i)];
+        bool known = imm_form;
+        u32 v = in.imm2;
+        if (reg_form) {
+          if (in.rs1 == 0) {
+            known = true;
+            v = 0;
+          } else if (st.feasible && st.is_known(in.rs1)) {
+            known = true;
+            v = st.value(in.rs1);
+          }
+        }
+        const bool write = in.op == Mnemonic::kCsrrw ||
+                           in.op == Mnemonic::kCsrrwi;
+        const bool set = in.op == Mnemonic::kCsrrs ||
+                         in.op == Mnemonic::kCsrrsi;
+        if (write) {
+          // WARL keeps the low 2 bits of whatever is written.
+          out = known ? val_bit(v) : static_cast<u8>(kDynamic);
+        } else if (known && (v & 3u) == 0) {
+          // csrrs/csrrc touching no selector bit: a pure read.
+        } else if (!known || (out & kDynamic)) {
+          out = kDynamic;
+        } else {
+          u8 mapped = 0;
+          for (u32 old = 0; old < 4; ++old) {
+            const bool possible = (out & val_bit(old)) != 0 ||
+                                  (old == 0 && (out & kDefault) != 0);
+            if (!possible) continue;
+            mapped |= val_bit(set ? (old | v) : (old & ~v));
+          }
+          out = mapped;
+        }
+      }
+    }
+    for (const int s : cfg.successors()[static_cast<size_t>(i)]) {
+      const u8 merged = static_cast<u8>(state[static_cast<size_t>(s)] | out);
+      if (merged != state[static_cast<size_t>(s)]) {
+        state[static_cast<size_t>(s)] = merged;
+        work.push_back(s);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    const DecodedInstr& d = instrs[i];
+    if (d.illegal || !d.in.has(iflag::kDotMixed)) continue;
+    if (!cfg.is_reachable(static_cast<int>(i))) continue;
+    const u8 s = state[i];
+    const std::string name(isa::mnemonic_name(d.in.op));
+    if (s & kVal3) {
+      diags.add(DiagKind::kMixedMpcState, Severity::kError, d.addr,
+                name + " is reachable with the reserved mpc selector 3 "
+                       "(IllegalInstruction at runtime)");
+    } else if (s & kDynamic) {
+      diags.add(DiagKind::kMixedMpcState, Severity::kWarning, d.addr,
+                name + " operand widths depend on an mpc value written from "
+                       "a register the dataflow cannot bound");
+    } else if (s & kDefault) {
+      diags.add(DiagKind::kMixedMpcState, Severity::kWarning, d.addr,
+                name + " has no dominating mpc write; it relies on the reset "
+                       "selector (8x4)");
+    }
+  }
+}
+
 }  // namespace
 
 u32 AnalyzerOptions::abi_entry_mask() {
@@ -373,6 +486,9 @@ AnalysisReport ProgramAnalyzer::analyze(addr_t base,
   const std::vector<RegState> states =
       solve_dataflow(image, cfg, entry, entry_state);
   check_dataflow(image, cfg, states, opt_, diags);
+  if (opt_.check_simd_conventions) {
+    check_mixed_mpc(image, cfg, entry, states, diags);
+  }
 
   return report;
 }

@@ -26,6 +26,7 @@ const char* diag_kind_name(DiagKind k) {
     case DiagKind::kCrossCoreWriteWrite: return "cross-core-write-write";
     case DiagKind::kCrossCoreReadWrite: return "cross-core-read-write";
     case DiagKind::kUnprovableFootprint: return "unprovable-footprint";
+    case DiagKind::kMixedMpcState: return "mixed-mpc-state";
   }
   return "unknown";
 }

@@ -62,6 +62,12 @@ enum class DiagKind : u8 {
   /// xrace: an access's address could not be bounded by the interval/
   /// stride domain, so footprint disjointness is unprovable for it.
   kUnprovableFootprint,
+  /// A mixed-format dot product (pv.mldot*/pv.mlsdot*) whose operand
+  /// widths come from the mpc CSR can execute in a state xlint cannot
+  /// prove legal: reachable with the reserved selector (error — traps at
+  /// runtime), after a write of an unbounded runtime value, or with no
+  /// dominating mpc write at all (relying on the reset default).
+  kMixedMpcState,
 };
 
 enum class Severity : u8 { kWarning, kError };

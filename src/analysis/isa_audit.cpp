@@ -263,7 +263,13 @@ std::vector<u32> illegal_encoding_bank() {
   word(isa::kOpPulpHwloop, 7);
 
   // SIMD: funct7 holes and per-op format restrictions.
-  for (const u32 f7 : {15u, 27u, 31u, 33u, 0x7fu}) word(isa::kOpPulpSimd, 0, f7);
+  for (const u32 f7 : {15u, 30u, 31u, 36u, 0x7fu}) word(isa::kOpPulpSimd, 0, f7);
+  // Mixed virtual dots carry no static format: any nonzero funct3 is a
+  // reserved form, for every member of the family.
+  for (const u32 f7 : {27u, 28u, 29u, 33u, 34u, 35u}) {
+    word(isa::kOpPulpSimd, 1, f7);
+    word(isa::kOpPulpSimd, 6, f7);
+  }
   constexpr u32 kQnt = static_cast<u32>(isa::SimdFunct7::kQnt);
   word(isa::kOpPulpSimd, 0, kQnt);  // pv.qnt.b: not a sub-byte format
   word(isa::kOpPulpSimd, 5, kQnt);  // pv.qnt.n.sc: no scalar replication

@@ -66,6 +66,21 @@ std::vector<KernelCheck> analyze_paper_kernels() {
   add_conv(out, qnn::ConvSpec::paper_layer(4), ConvVariant::kXpulpNN_HwQ,
            "conv/xpulpnn_hwq/paper_layer_4b", options_for(/*xpulpnn=*/true));
 
+  // Mixed-precision virtual-SIMD kernels: one per mpc operand pair. The
+  // analyzer's mixed-mpc rule must see the generated csrrwi prologue
+  // dominating every pv.mlsdot, so these also verify clean.
+  for (const auto& [a, w] : {std::pair{8u, 4u}, {8u, 2u}, {4u, 2u}}) {
+    qnn::ConvSpec mixed = small_spec(8);
+    mixed.in_c = a == 8 ? 16 : 24;  // keep in_c * in_bits word-aligned
+    mixed.in_bits = a;
+    mixed.w_bits = w;
+    mixed.out_bits = 8;
+    add_conv(out, mixed, ConvVariant::kXpulpNN_Mixed,
+             "conv/xpulpnn_mixed/a" + std::to_string(a) + "w" +
+                 std::to_string(w),
+             options_for(/*xpulpnn=*/true));
+  }
+
   // Hardware-loop ablation: the generated kernel must contain no hwloop
   // instructions at all, so it verifies on a core without them.
   {

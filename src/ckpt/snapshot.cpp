@@ -104,6 +104,7 @@ void write_core(Writer& w, const sim::CoreState& s) {
   w.u32v(s.last_load_data);
   w.u8v(static_cast<u8>(s.halt));
   w.u32v(s.mscratch);
+  w.u32v(s.mpc);
 
   const sim::PerfCounters& p = s.perf;
   w.u64v(p.cycles);
@@ -128,6 +129,7 @@ void write_core(Writer& w, const sim::CoreState& s) {
   w.u64v(p.sys_ops);
   w.u64v(p.mac_ops);
   for (u64 v : p.dotp_ops) w.u64v(v);
+  for (u64 v : p.mixed_dotp_ops) w.u64v(v);
   w.u64v(p.lsu_data_toggles);
 
   const sim::DotpState& d = s.dotp;
@@ -152,6 +154,7 @@ sim::CoreState read_core(Reader& r) {
   }
   s.halt = static_cast<sim::HaltReason>(halt);
   s.mscratch = r.u32v();
+  s.mpc = r.u32v();
 
   sim::PerfCounters& p = s.perf;
   p.cycles = r.u64v();
@@ -176,6 +179,7 @@ sim::CoreState read_core(Reader& r) {
   p.sys_ops = r.u64v();
   p.mac_ops = r.u64v();
   for (u64& v : p.dotp_ops) v = r.u64v();
+  for (u64& v : p.mixed_dotp_ops) v = r.u64v();
   p.lsu_data_toggles = r.u64v();
 
   sim::DotpState& d = s.dotp;

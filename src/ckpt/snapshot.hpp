@@ -49,7 +49,7 @@ class CkptError : public SimError {
 };
 
 inline constexpr u32 kMagic = 0x504b4358;  // "XCKP" little-endian
-inline constexpr u16 kFormatVersion = 1;
+inline constexpr u16 kFormatVersion = 2;  // v2: mpc CSR + mixed dotp counters
 
 /// Serializable memory state: the full byte image plus the timing-relevant
 /// bookkeeping (stats, contention phase). The access hook is host wiring

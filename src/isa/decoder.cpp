@@ -379,7 +379,21 @@ Instr decode_simd(const Fields& f, u32 raw, addr_t pc) {
     case SimdFunct7::kShuffle: m = Mnemonic::kPvShuffle; break;
     case SimdFunct7::kPack: m = Mnemonic::kPvPackH; break;
     case SimdFunct7::kQnt: m = Mnemonic::kPvQnt; break;
+    case SimdFunct7::kMldotup: m = Mnemonic::kPvMldotup; break;
+    case SimdFunct7::kMldotusp: m = Mnemonic::kPvMldotusp; break;
+    case SimdFunct7::kMldotsp: m = Mnemonic::kPvMldotsp; break;
+    case SimdFunct7::kMlsdotup: m = Mnemonic::kPvMlsdotup; break;
+    case SimdFunct7::kMlsdotusp: m = Mnemonic::kPvMlsdotusp; break;
+    case SimdFunct7::kMlsdotsp: m = Mnemonic::kPvMlsdotsp; break;
     default: illegal(pc, raw);
+  }
+  if (is_mixed_dotp(m)) {
+    // Mixed virtual dot products carry no format; funct3 must be zero so
+    // the encoding stays a single canonical word per mnemonic.
+    if (f.funct3 != 0) illegal(pc, raw);
+    Instr in = make(m, f, raw);
+    in.fmt = SimdFmt::kNone;
+    return in;
   }
   Instr in = make(m, f, raw);
   in.fmt = simd_fmt_from_funct3(f.funct3);

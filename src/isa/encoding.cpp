@@ -149,6 +149,15 @@ u32 enc_simd(SimdFunct7 op, SimdFmt fmt, u32 rd, u32 rs1, u32 rs2) {
                rs1, rs2);
 }
 
+// Mixed virtual dot products carry no format in the encoding (the mpc CSR
+// supplies it at run time); funct3 is fixed to 0 and fmt must be kNone.
+u32 enc_simd_mixed(SimdFunct7 op, SimdFmt fmt, u32 rd, u32 rs1, u32 rs2) {
+  if (fmt != SimdFmt::kNone) {
+    throw AsmError("mixed dot products take no static format");
+  }
+  return enc_r(kOpPulpSimd, 0, static_cast<u32>(op), rd, rs1, rs2);
+}
+
 i32 hwloop_offset_field(i32 byte_offset) {
   check_even(byte_offset, "hw-loop");
   return byte_offset >> 1;
@@ -361,6 +370,12 @@ u32 encode(const Instr& in) {
     case M::kPvSdotup: return enc_simd(SimdFunct7::kSdotup, in.fmt, in.rd, in.rs1, in.rs2);
     case M::kPvSdotusp: return enc_simd(SimdFunct7::kSdotusp, in.fmt, in.rd, in.rs1, in.rs2);
     case M::kPvSdotsp: return enc_simd(SimdFunct7::kSdotsp, in.fmt, in.rd, in.rs1, in.rs2);
+    case M::kPvMldotup: return enc_simd_mixed(SimdFunct7::kMldotup, in.fmt, in.rd, in.rs1, in.rs2);
+    case M::kPvMldotusp: return enc_simd_mixed(SimdFunct7::kMldotusp, in.fmt, in.rd, in.rs1, in.rs2);
+    case M::kPvMldotsp: return enc_simd_mixed(SimdFunct7::kMldotsp, in.fmt, in.rd, in.rs1, in.rs2);
+    case M::kPvMlsdotup: return enc_simd_mixed(SimdFunct7::kMlsdotup, in.fmt, in.rd, in.rs1, in.rs2);
+    case M::kPvMlsdotusp: return enc_simd_mixed(SimdFunct7::kMlsdotusp, in.fmt, in.rd, in.rs1, in.rs2);
+    case M::kPvMlsdotsp: return enc_simd_mixed(SimdFunct7::kMlsdotsp, in.fmt, in.rd, in.rs1, in.rs2);
     case M::kPvElemExtract:
     case M::kPvElemExtractu:
     case M::kPvElemInsert: {

@@ -87,7 +87,11 @@ enum class SimdFunct7 : u32 {
   // Element manipulation (b/h only; lane immediate in the rs2 field).
   kElemExtract = 22, kElemExtractu = 23, kElemInsert = 24,
   kShuffle = 25, kPack = 26,
+  // Mixed-precision virtual dot products: operand widths come from the
+  // mpc CSR, so funct3 carries no format and must be 0.
+  kMldotup = 27, kMldotusp = 28, kMldotsp = 29,
   kQnt = 32,
+  kMlsdotup = 33, kMlsdotusp = 34, kMlsdotsp = 35,
 };
 
 // funct3 encoding of SIMD formats.

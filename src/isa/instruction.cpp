@@ -135,6 +135,12 @@ std::string_view mnemonic_name(Mnemonic m) {
     case Mnemonic::kPvSdotup: return "pv.sdotup";
     case Mnemonic::kPvSdotusp: return "pv.sdotusp";
     case Mnemonic::kPvSdotsp: return "pv.sdotsp";
+    case Mnemonic::kPvMldotup: return "pv.mldotup";
+    case Mnemonic::kPvMldotusp: return "pv.mldotusp";
+    case Mnemonic::kPvMldotsp: return "pv.mldotsp";
+    case Mnemonic::kPvMlsdotup: return "pv.mlsdotup";
+    case Mnemonic::kPvMlsdotusp: return "pv.mlsdotusp";
+    case Mnemonic::kPvMlsdotsp: return "pv.mlsdotsp";
     case Mnemonic::kPvElemExtract: return "pv.extract";
     case Mnemonic::kPvElemExtractu: return "pv.extractu";
     case Mnemonic::kPvElemInsert: return "pv.insert";
@@ -211,6 +217,22 @@ bool is_dotp(Mnemonic m) {
     case Mnemonic::kPvDotup: case Mnemonic::kPvDotusp: case Mnemonic::kPvDotsp:
     case Mnemonic::kPvSdotup: case Mnemonic::kPvSdotusp:
     case Mnemonic::kPvSdotsp:
+    case Mnemonic::kPvMldotup: case Mnemonic::kPvMldotusp:
+    case Mnemonic::kPvMldotsp:
+    case Mnemonic::kPvMlsdotup: case Mnemonic::kPvMlsdotusp:
+    case Mnemonic::kPvMlsdotsp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_mixed_dotp(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kPvMldotup: case Mnemonic::kPvMldotusp:
+    case Mnemonic::kPvMldotsp:
+    case Mnemonic::kPvMlsdotup: case Mnemonic::kPvMlsdotusp:
+    case Mnemonic::kPvMlsdotsp:
       return true;
     default:
       return false;
@@ -311,6 +333,8 @@ bool reads_rd(const Instr& in) {
     case Mnemonic::kPInsert: case Mnemonic::kPvElemInsert:
     case Mnemonic::kPvSdotup: case Mnemonic::kPvSdotusp:
     case Mnemonic::kPvSdotsp:
+    case Mnemonic::kPvMlsdotup: case Mnemonic::kPvMlsdotusp:
+    case Mnemonic::kPvMlsdotsp:
       return true;
     // Register post-increment / reg-reg stores carry the increment/offset
     // register in the rd field.
@@ -492,6 +516,25 @@ void finalize_decode(Instr& in) {
     case Mnemonic::kPvSdotsp:
       f |= iflag::kDotAccum | iflag::kDotSignedA | iflag::kDotSignedB;
       break;
+    case Mnemonic::kPvMldotup:
+      f |= iflag::kDotMixed;
+      break;
+    case Mnemonic::kPvMldotusp:
+      f |= iflag::kDotMixed | iflag::kDotSignedB;
+      break;
+    case Mnemonic::kPvMldotsp:
+      f |= iflag::kDotMixed | iflag::kDotSignedA | iflag::kDotSignedB;
+      break;
+    case Mnemonic::kPvMlsdotup:
+      f |= iflag::kDotMixed | iflag::kDotAccum;
+      break;
+    case Mnemonic::kPvMlsdotusp:
+      f |= iflag::kDotMixed | iflag::kDotAccum | iflag::kDotSignedB;
+      break;
+    case Mnemonic::kPvMlsdotsp:
+      f |= iflag::kDotMixed | iflag::kDotAccum | iflag::kDotSignedA |
+           iflag::kDotSignedB;
+      break;
     default:
       break;
   }
@@ -515,7 +558,10 @@ void finalize_decode(Instr& in) {
     default:
       if (exec_class_is_simd(cls)) {
         f |= iflag::kNeedXpulpV2;
-        if (simd_is_subbyte(in.fmt) || in.op == Mnemonic::kPvQnt) {
+        // Mixed dot products have fmt == kNone (widths live in the mpc
+        // CSR) but are sub-byte capable, so they need XpulpNN outright.
+        if (simd_is_subbyte(in.fmt) || in.op == Mnemonic::kPvQnt ||
+            (f & iflag::kDotMixed)) {
           f |= iflag::kNeedXpulpNN;
         }
       }

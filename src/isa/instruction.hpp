@@ -63,6 +63,13 @@ enum class Mnemonic : u16 {
   kPvAnd, kPvOr, kPvXor,
   kPvDotup, kPvDotusp, kPvDotsp,
   kPvSdotup, kPvSdotusp, kPvSdotsp,
+  // Mixed-precision "virtual" dot products (Ottavi et al.): the operand
+  // formats are not encoded in the instruction — they come from the
+  // precision-status CSR (mpc, 0x7C1) at execution time. rs1 holds
+  // 32/WA activations of WA bits; rs2 packs the same number of WB-bit
+  // weights in its low lanes. mldot* overwrite rd, mlsdot* accumulate.
+  kPvMldotup, kPvMldotusp, kPvMldotsp,
+  kPvMlsdotup, kPvMlsdotusp, kPvMlsdotsp,
   // Element manipulation (XpulpV2, b/h formats; lane index in the rs2
   // field for extract/insert).
   kPvElemExtract, kPvElemExtractu, kPvElemInsert,
@@ -115,6 +122,18 @@ constexpr bool simd_is_scalar_rep(SimdFmt f) {
 constexpr bool simd_is_subbyte(SimdFmt f) {
   return simd_elem_bits(f) == 4 || simd_elem_bits(f) == 2;
 }
+
+/// Precision-status CSR for the mixed virtual dot products (Ottavi et
+/// al.). WARL, two bits: 0 selects 8x4, 1 selects 8x2, 2 selects 4x2;
+/// 3 is reserved and makes any mixed dot product trap as illegal.
+inline constexpr u32 kMpcCsr = 0x7C1;
+inline constexpr u32 kMpcSelCount = 3;
+
+/// Activation (rs1) element width in bits for an mpc selector.
+constexpr unsigned mixed_width_a(u32 sel) { return sel == 2 ? 4u : 8u; }
+/// Weight (rs2) element width in bits for an mpc selector. The rs2 word
+/// packs 32/width_a values of width_b bits in its low lanes.
+constexpr unsigned mixed_width_b(u32 sel) { return sel == 0 ? 4u : 2u; }
 
 /// Handler class an instruction dispatches to. Computed once at decode
 /// time; the core indexes a static handler table with it instead of
@@ -174,6 +193,9 @@ inline constexpr u16 kMemRegOff = 1u << 11;
 inline constexpr u16 kDotAccum = 1u << 12;
 inline constexpr u16 kDotSignedA = 1u << 13;
 inline constexpr u16 kDotSignedB = 1u << 14;
+// Mixed-precision virtual dot product: the operand widths come from the
+// precision-status CSR (mpc) at execution time, not from `fmt` (kNone).
+inline constexpr u16 kDotMixed = 1u << 15;
 }  // namespace iflag
 
 /// A decoded instruction. `imm` is the primary (sign-extended) immediate;
@@ -215,7 +237,8 @@ bool is_load(Mnemonic m);
 bool is_store(Mnemonic m);
 bool is_branch(Mnemonic m);
 bool is_simd(Mnemonic m);
-bool is_dotp(Mnemonic m);        // any pv.dot*/pv.sdot* op
+bool is_dotp(Mnemonic m);        // any pv.dot*/pv.sdot*/pv.mldot* op
+bool is_mixed_dotp(Mnemonic m);  // pv.mldot*/pv.mlsdot* (CSR-selected widths)
 bool is_elem_manip(Mnemonic m);  // pv.extract/insert/shuffle/pack
 bool is_mem_post_increment(Mnemonic m);
 bool writes_rd(const Instr& in); // whether the instruction writes `rd`

@@ -111,6 +111,14 @@ void add_simd(std::vector<IsaTableEntry>& t, Mnemonic op, SimdFunct7 f7,
                   fmt));
 }
 
+// Mixed virtual dot products: funct3 is fixed to 0 (no format field), so
+// add_simd's simd_fmt_to_funct3 path does not apply.
+void add_simd_mixed(std::vector<IsaTableEntry>& t, Mnemonic op,
+                    SimdFunct7 f7) {
+  t.push_back(ent(op, EncShape::kSimdR, kMaskOpc | kMaskF3 | kMaskF7,
+                  base_match(kOpPulpSimd, 0, static_cast<u32>(f7))));
+}
+
 constexpr SimdFmt kAllFmts[] = {SimdFmt::kB, SimdFmt::kBSc, SimdFmt::kH,
                                 SimdFmt::kHSc, SimdFmt::kN, SimdFmt::kNSc,
                                 SimdFmt::kC, SimdFmt::kCSc};
@@ -275,6 +283,14 @@ std::vector<IsaTableEntry> build_table() {
   add_simd_all(t, M::kPvSdotup, SimdFunct7::kSdotup);
   add_simd_all(t, M::kPvSdotusp, SimdFunct7::kSdotusp);
   add_simd_all(t, M::kPvSdotsp, SimdFunct7::kSdotsp);
+  // Mixed virtual dot products: one canonical encoding per mnemonic
+  // (funct3 fixed 0, no static format — the mpc CSR supplies the widths).
+  add_simd_mixed(t, M::kPvMldotup, SimdFunct7::kMldotup);
+  add_simd_mixed(t, M::kPvMldotusp, SimdFunct7::kMldotusp);
+  add_simd_mixed(t, M::kPvMldotsp, SimdFunct7::kMldotsp);
+  add_simd_mixed(t, M::kPvMlsdotup, SimdFunct7::kMlsdotup);
+  add_simd_mixed(t, M::kPvMlsdotusp, SimdFunct7::kMlsdotusp);
+  add_simd_mixed(t, M::kPvMlsdotsp, SimdFunct7::kMlsdotsp);
   // Element manipulation and shuffle/pack are restricted to the plain
   // byte/halfword formats; pv.qnt to the plain sub-byte formats.
   for (SimdFmt f : {SimdFmt::kB, SimdFmt::kH}) {

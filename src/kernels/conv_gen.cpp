@@ -122,14 +122,25 @@ struct Gen {
     return variant == ConvVariant::kXpulpV2_SubShf;
   }
   bool is_8bit() const { return variant == ConvVariant::kXpulpV2_8b; }
-  bool hw_quant() const { return variant == ConvVariant::kXpulpNN_HwQ; }
+  bool is_mixed() const { return variant == ConvVariant::kXpulpNN_Mixed; }
+  /// Mixed sub-byte outputs use pv.qnt: the core has XpulpNN by
+  /// construction, and the threshold staircase is orthogonal to the mixed
+  /// operand formats.
+  bool hw_quant() const {
+    return variant == ConvVariant::kXpulpNN_HwQ ||
+           (is_mixed() && out_bits() != 8);
+  }
 
   unsigned out_bits() const { return spec.out_bits; }
   unsigned in_bits() const { return spec.in_bits; }
 
-  /// Elements consumed per inner-loop iteration (one 32-bit word of packed
-  /// weights): 32 / w_bits.
-  unsigned elems_per_iter() const { return 32 / spec.w_bits; }
+  /// Elements consumed per inner-loop iteration: one 32-bit word of packed
+  /// weights (32 / w_bits), except mixed kernels which pace on the
+  /// *activation* word (32 / in_bits lanes; the grouped weight word covers
+  /// the same lanes in its low bits).
+  unsigned elems_per_iter() const {
+    return 32 / (is_mixed() ? spec.in_bits : spec.w_bits);
+  }
   unsigned inner_iters() const {
     return (static_cast<unsigned>(spec.filter_elems()) + elems_per_iter() - 1) /
            elems_per_iter();
@@ -260,6 +271,33 @@ struct Gen {
   /// sdot; 8 instructions per weight word, 4 accumulators (2x1 blocking:
   /// 6 instructions, 2 accumulators).
   void emit_inner_ext() {
+    if (is_mixed()) {
+      // Virtual mixed dot product: operand widths come from the mpc CSR
+      // (written once in the prologue), so the instruction itself is
+      // format-free. Same 4x2 shape as the uniform loop; one activation
+      // word + one grouped weight word per filter per iteration.
+      if (two_pixels()) {
+        emit_inner_loop([&] {
+          a.p_lw_post(r::t0, r::a0, 4);  // w0 (grouped)
+          a.p_lw_post(r::t1, r::a1, 4);  // w1 (grouped)
+          a.p_lw_post(r::t2, r::a2, 4);  // x0
+          a.p_lw_post(r::t3, r::a3, 4);  // x1
+          a.pv_mlsdotusp(r::a4, r::t2, r::t0);
+          a.pv_mlsdotusp(r::a5, r::t3, r::t0);
+          a.pv_mlsdotusp(r::a6, r::t2, r::t1);
+          a.pv_mlsdotusp(r::a7, r::t3, r::t1);
+        });
+      } else {
+        emit_inner_loop([&] {
+          a.p_lw_post(r::t2, r::a2, 4);  // x
+          a.p_lw_post(r::t0, r::a0, 4);  // w0
+          a.p_lw_post(r::t1, r::a1, 4);  // w1
+          a.pv_mlsdotusp(r::a4, r::t2, r::t0);
+          a.pv_mlsdotusp(r::a6, r::t2, r::t1);
+        });
+      }
+      return;
+    }
     const SimdFmt f = fmt_for_bits(spec.w_bits);
     if (two_pixels()) {
       emit_inner_loop([&] {
@@ -406,7 +444,7 @@ struct Gen {
   /// 8-bit flavors; 2-bit handled by emit_quant_store_crumb_half).
   void emit_quant_store_pair() {
     quant_begin();
-    if (is_8bit()) {
+    if (out_bits() == 8) {
       // out = clamp(acc >> shift, 0, 255); two bytes per pixel, sh store.
       const u32 sh = spec.requant_shift;
       a.srai(r::t4, r::a4, sh);
@@ -522,7 +560,7 @@ struct Gen {
   /// After the inner loop a1 points at the next pair's first filter.
   void emit_pair_advance() {
     a.mv(r::a0, r::a1);
-    if (!is_8bit()) {
+    if (out_bits() != 8) {
       a.addi(r::s0, r::s0, static_cast<i32>(2 * thr_stride()));
     }
   }
@@ -540,14 +578,14 @@ struct Gen {
                                    static_cast<u32>(ch_begin()) *
                                        lay.filter_stride;
     a.li(r::a0, static_cast<i32>(wbase));
-    if (!is_8bit()) {
+    if (out_bits() != 8) {
       a.li(r::s0, static_cast<i32>(lay.thresholds +
                                    static_cast<u32>(ch_begin()) *
                                        thr_stride()));
     }
     a.li(r::s4, static_cast<i32>(inner_iters()));
 
-    const bool crumb_out = !is_8bit() && out_bits() == 2;
+    const bool crumb_out = out_bits() == 2;
     const int pairs_per_body = crumb_out ? 2 : 1;
     const int body_count = (ch_end() - ch_begin()) / (2 * pairs_per_body);
     a.li(r::s3, body_count);
@@ -576,11 +614,15 @@ struct Gen {
   // ---------- top level ----------
 
   ConvKernel generate() {
-    if (spec.in_bits != spec.w_bits) {
+    if (is_mixed()) {
+      mixed_sel_for(in_bits(), spec.w_bits);  // throws on unsupported pair
+      if (spec.out_bits != 8 && spec.out_bits != 4 && spec.out_bits != 2) {
+        throw SimError("variant/bitwidth mismatch");
+      }
+    } else if (spec.in_bits != spec.w_bits) {
       throw SimError("kernels assume in_bits == w_bits (PULP-NN convention)");
-    }
-    if (is_8bit() ? (spec.out_bits != 8 || spec.in_bits != 8)
-                  : (spec.out_bits != 4 && spec.out_bits != 2)) {
+    } else if (is_8bit() ? (spec.out_bits != 8 || spec.in_bits != 8)
+                         : (spec.out_bits != 4 && spec.out_bits != 2)) {
       throw SimError("variant/bitwidth mismatch");
     }
     if (shuffle_unpack() && spec.w_bits != 4) {
@@ -595,7 +637,7 @@ struct Gen {
     if (two_pixels() && spec.out_w() % 2 != 0) {
       throw SimError("4x2 blocking requires an even output width");
     }
-    const int ch_group = (out_bits() == 2 && !is_8bit()) ? 4 : 2;
+    const int ch_group = out_bits() == 2 ? 4 : 2;
     if (spec.out_c % ch_group != 0) {
       throw SimError("output channels must be a multiple of the pack group");
     }
@@ -611,6 +653,12 @@ struct Gen {
     regions.region("matmul");
     regions.region("quant");
     regions.region("im2col");
+
+    // Mixed kernels select the virtual operand formats once at entry; the
+    // CSR value then governs every pv.mlsdot* in the program.
+    if (is_mixed()) {
+      a.csrrwi(r::zero, isa::kMpcCsr, mixed_sel_for(in_bits(), spec.w_bits));
+    }
 
     const Label main = a.new_label();
     a.jal(r::zero, main);  // entry: skip the subroutine

@@ -18,8 +18,20 @@ const char* variant_name(ConvVariant v) {
     case ConvVariant::kXpulpV2_SubShf: return "xpulpv2-subbyte-shuffle";
     case ConvVariant::kXpulpNN_SwQ: return "xpulpnn-swquant";
     case ConvVariant::kXpulpNN_HwQ: return "xpulpnn-hwquant";
+    case ConvVariant::kXpulpNN_Mixed: return "xpulpnn-mixed";
   }
   return "?";
+}
+
+u32 mixed_sel_for(unsigned in_bits, unsigned w_bits) {
+  for (u32 sel = 0; sel < isa::kMpcSelCount; ++sel) {
+    if (isa::mixed_width_a(sel) == in_bits &&
+        isa::mixed_width_b(sel) == w_bits) {
+      return sel;
+    }
+  }
+  throw SimError("no mpc selector for " + std::to_string(in_bits) + "x" +
+                 std::to_string(w_bits) + " operands");
 }
 
 bool variant_supported(ConvVariant v, const sim::CoreConfig& cfg) {
@@ -30,6 +42,7 @@ bool variant_supported(ConvVariant v, const sim::CoreConfig& cfg) {
       return cfg.xpulpv2;
     case ConvVariant::kXpulpNN_SwQ:
     case ConvVariant::kXpulpNN_HwQ:
+    case ConvVariant::kXpulpNN_Mixed:
       return cfg.xpulpv2 && cfg.xpulpnn;
   }
   return false;
@@ -39,8 +52,12 @@ namespace {
 
 constexpr addr_t align16(addr_t a) { return (a + 15u) & ~15u; }
 
-unsigned inner_iterations(const qnn::ConvSpec& s) {
-  const unsigned per_iter = 32 / s.w_bits;
+unsigned inner_iterations(const qnn::ConvSpec& s, ConvVariant v) {
+  // Mixed kernels consume one *activation* word per iteration (the weight
+  // word covers the same 32/in_bits lanes); uniform kernels consume one
+  // weight word.
+  const unsigned per_iter =
+      32 / (v == ConvVariant::kXpulpNN_Mixed ? s.in_bits : s.w_bits);
   return (static_cast<unsigned>(s.filter_elems()) + per_iter - 1) / per_iter;
 }
 
@@ -62,9 +79,12 @@ ConvMemLayout ConvMemLayout::plan(const qnn::ConvSpec& spec, ConvVariant v,
   ConvMemLayout l;
   l.code = 0;
   l.filter_stride =
-      qnn::packed_filter_stride(spec.filter_elems(), spec.w_bits);
+      v == ConvVariant::kXpulpNN_Mixed
+          ? qnn::packed_filter_stride_grouped(spec.filter_elems(),
+                                              spec.in_bits)
+          : qnn::packed_filter_stride(spec.filter_elems(), spec.w_bits);
 
-  const unsigned iters = inner_iterations(spec);
+  const unsigned iters = inner_iterations(spec, v);
   const bool unpacked_buf = (v == ConvVariant::kXpulpV2_Sub ||
                              v == ConvVariant::kXpulpV2_SubShf);
   l.buf_bytes = unpacked_buf ? iters * (32 / spec.w_bits) : iters * 4;
@@ -207,7 +227,14 @@ void load_conv_data(const ConvLayerData& data, const ConvMemLayout& layout,
   const qnn::ConvSpec& spec = data.spec;
   const auto in_bytes = qnn::pack_tensor(data.input, spec.in_bits);
   mem.write_block(layout.input, in_bytes);
-  const auto w_bytes = qnn::pack_filter_bank(data.weights, spec.w_bits);
+  // Mixed-precision layers (in_bits != w_bits; only the kXpulpNN_Mixed
+  // variant accepts them) store weights lane-aligned grouped so one weight
+  // word covers one activation word. Uniform layers pack flat.
+  const auto w_bytes =
+      spec.in_bits != spec.w_bits
+          ? qnn::pack_filter_bank_grouped(data.weights, spec.in_bits,
+                                          spec.w_bits)
+          : qnn::pack_filter_bank(data.weights, spec.w_bits);
   mem.write_block(layout.weights, w_bytes);
   if (spec.out_bits != 8) {
     const auto t_bytes = data.thresholds.serialize();

@@ -46,7 +46,17 @@ enum class ConvVariant {
   kXpulpV2_SubShf,
   kXpulpNN_SwQ,
   kXpulpNN_HwQ,
+  /// Mixed-precision virtual-SIMD kernel: activations in_bits (8 or 4)
+  /// wide, weights w_bits (4 or 2) wide, pv.mlsdotusp inner loop with the
+  /// operand formats selected by the mpc CSR (written once in the kernel
+  /// prologue). Weights are packed lane-aligned grouped (one word per
+  /// activation word). Outputs: 8-bit scale path or 4/2-bit pv.qnt.
+  kXpulpNN_Mixed,
 };
+
+/// mpc selector for an (in_bits, w_bits) pair; throws SimError if the pair
+/// is not one of (8,4), (8,2), (4,2).
+u32 mixed_sel_for(unsigned in_bits, unsigned w_bits);
 
 const char* variant_name(ConvVariant v);
 

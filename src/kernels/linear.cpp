@@ -21,6 +21,31 @@ LinearLayerData LinearLayerData::random(int in_features, int out_features,
   return d;
 }
 
+LinearLayerData LinearLayerData::random_mixed(int in_features,
+                                              int out_features,
+                                              unsigned in_bits,
+                                              unsigned w_bits,
+                                              unsigned out_bits, u64 seed) {
+  mixed_sel_for(in_bits, w_bits);  // throws on unsupported pair
+  qnn::ConvSpec spec;
+  spec.in_h = spec.in_w = 1;
+  spec.k_h = spec.k_w = 1;
+  spec.pad = 0;
+  spec.in_c = in_features;
+  spec.out_c = out_features;
+  spec.in_bits = in_bits;
+  spec.w_bits = w_bits;
+  spec.out_bits = out_bits;
+
+  const ConvLayerData conv = ConvLayerData::random(spec, seed);
+  LinearLayerData d;
+  d.spec = conv.spec;
+  d.input = conv.input;
+  d.weights = conv.weights;
+  d.thresholds = conv.thresholds;
+  return d;
+}
+
 ConvLayerData LinearLayerData::as_conv() const {
   ConvLayerData c;
   c.spec = spec;

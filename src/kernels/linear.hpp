@@ -20,6 +20,13 @@ struct LinearLayerData {
   static LinearLayerData random(int in_features, int out_features,
                                 unsigned bits, u64 seed);
 
+  /// Mixed-precision synthetic data: activations `in_bits` wide, weights
+  /// `w_bits` wide, outputs `out_bits` wide. (in_bits, w_bits) must be one
+  /// of the mpc pairs (8,4), (8,2), (4,2); run with kXpulpNN_Mixed.
+  static LinearLayerData random_mixed(int in_features, int out_features,
+                                      unsigned in_bits, unsigned w_bits,
+                                      unsigned out_bits, u64 seed);
+
   qnn::Tensor golden() const;
 
   /// View as convolution-layer data for the shared machinery.

@@ -61,13 +61,23 @@ qnn::LayerThresholds trained_thresholds(const qnn::Tensor& input,
 }  // namespace
 
 Network::Network(qnn::Shape input_shape, unsigned bits, u64 seed)
-    : bits_(bits), seed_(seed), shape_(input_shape) {
+    : bits_(bits), cur_bits_(bits), seed_(seed), shape_(input_shape) {
   if (bits != 2 && bits != 4 && bits != 8) {
     throw SimError("network bits must be 2, 4 or 8");
   }
 }
 
 Network& Network::conv(int out_c, int k, int pad) {
+  return conv(out_c, k, pad, LayerPrecision{cur_bits_, cur_bits_});
+}
+
+Network& Network::conv(int out_c, int k, int pad, LayerPrecision p) {
+  if (p.out_bits != 2 && p.out_bits != 4 && p.out_bits != 8) {
+    throw SimError("layer out_bits must be 2, 4 or 8");
+  }
+  if (p.w_bits != cur_bits_) {
+    mixed_sel_for(cur_bits_, p.w_bits);  // throws on unsupported pair
+  }
   Step s;
   s.kind = Step::Kind::kConv;
   s.spec.in_h = shape_.h;
@@ -76,10 +86,14 @@ Network& Network::conv(int out_c, int k, int pad) {
   s.spec.out_c = out_c;
   s.spec.k_h = s.spec.k_w = k;
   s.spec.pad = pad;
-  s.spec.in_bits = s.spec.w_bits = s.spec.out_bits = bits_;
+  s.spec.in_bits = cur_bits_;
+  s.spec.w_bits = p.w_bits;
+  s.spec.out_bits = p.out_bits;
+  s.bits = cur_bits_;
   s.seed = seed_ + plan_.size() * 977;
   s.name = "conv" + std::to_string(plan_.size());
   shape_ = {s.spec.out_h(), s.spec.out_w(), out_c};
+  cur_bits_ = p.out_bits;
   plan_.push_back(std::move(s));
   return *this;
 }
@@ -88,6 +102,7 @@ Network& Network::maxpool() {
   Step s;
   s.kind = Step::Kind::kMaxPool;
   s.name = "maxpool" + std::to_string(plan_.size());
+  s.bits = cur_bits_;
   s.seed = 0;
   shape_ = {shape_.h / 2, shape_.w / 2, shape_.c};
   plan_.push_back(std::move(s));
@@ -98,6 +113,7 @@ Network& Network::avgpool() {
   Step s;
   s.kind = Step::Kind::kAvgPool;
   s.name = "avgpool" + std::to_string(plan_.size());
+  s.bits = cur_bits_;
   s.seed = 0;
   shape_ = {shape_.h / 2, shape_.w / 2, shape_.c};
   plan_.push_back(std::move(s));
@@ -105,6 +121,16 @@ Network& Network::avgpool() {
 }
 
 Network& Network::linear(int out_features) {
+  return linear(out_features, LayerPrecision{cur_bits_, cur_bits_});
+}
+
+Network& Network::linear(int out_features, LayerPrecision p) {
+  if (p.out_bits != 2 && p.out_bits != 4 && p.out_bits != 8) {
+    throw SimError("layer out_bits must be 2, 4 or 8");
+  }
+  if (p.w_bits != cur_bits_) {
+    mixed_sel_for(cur_bits_, p.w_bits);  // throws on unsupported pair
+  }
   Step s;
   s.kind = Step::Kind::kLinear;
   s.spec.in_h = s.spec.in_w = 1;
@@ -112,10 +138,14 @@ Network& Network::linear(int out_features) {
   s.spec.pad = 0;
   s.spec.in_c = shape_.elems();
   s.spec.out_c = out_features;
-  s.spec.in_bits = s.spec.w_bits = s.spec.out_bits = bits_;
+  s.spec.in_bits = cur_bits_;
+  s.spec.w_bits = p.w_bits;
+  s.spec.out_bits = p.out_bits;
+  s.bits = cur_bits_;
   s.seed = seed_ + plan_.size() * 977;
   s.name = "linear" + std::to_string(plan_.size());
   shape_ = {1, 1, out_features};
+  cur_bits_ = p.out_bits;
   plan_.push_back(std::move(s));
   return *this;
 }
@@ -146,7 +176,12 @@ NetworkResult Network::run(const qnn::Tensor& input,
         }
         ConvGenOptions opts;
         opts.pixel_block = (step.spec.out_w() % 2 == 0) ? 2 : 1;
-        const ConvRunResult r = run_conv_layer(data, variant, cfg, opts);
+        // Mixed-precision layers always dispatch to the virtual-SIMD
+        // kernel; the variant parameter only selects among uniform ones.
+        const ConvVariant v = step.spec.in_bits != step.spec.w_bits
+                                  ? ConvVariant::kXpulpNN_Mixed
+                                  : variant;
+        const ConvRunResult r = run_conv_layer(data, v, cfg, opts);
         const qnn::Tensor gold = data.golden();
         st.matched_golden = (r.output == gold);
         st.cycles = r.perf.cycles;
@@ -159,7 +194,7 @@ NetworkResult Network::run(const qnn::Tensor& input,
       case Step::Kind::kAvgPool: {
         const PoolOp op = (step.kind == Step::Kind::kMaxPool) ? PoolOp::kMax
                                                               : PoolOp::kAvg;
-        const PoolRunResult r = run_pool2x2(act, bits_, op, cfg);
+        const PoolRunResult r = run_pool2x2(act, step.bits, op, cfg);
         const qnn::Tensor gold = (op == PoolOp::kMax)
                                      ? qnn::maxpool2x2_ref(act)
                                      : qnn::avgpool2x2_ref(act);

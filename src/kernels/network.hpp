@@ -30,6 +30,17 @@ struct NetworkResult {
   bool all_matched = true;
 };
 
+/// Per-layer precision descriptor for mixed-precision networks (Ottavi's
+/// deployment model): the layer's weight width and the width of the
+/// activations it produces. The input width is whatever the previous layer
+/// emitted; when it differs from `w_bits`, the layer runs on the mixed
+/// virtual-SIMD kernel (kXpulpNN_Mixed) regardless of the variant passed
+/// to run(), and (in_bits, w_bits) must be one of the mpc pairs.
+struct LayerPrecision {
+  unsigned w_bits;
+  unsigned out_bits;
+};
+
 /// A feed-forward stack of quantized layers. Weights/thresholds are
 /// generated per layer: random weights, thresholds at the accumulator
 /// quantiles of the layer's *actual* input (what threshold training
@@ -37,19 +48,27 @@ struct NetworkResult {
 class Network {
  public:
   /// `bits` applies to every tensor in the network (uniform quantization,
-  /// as in the paper's benchmarks).
+  /// as in the paper's benchmarks) until a layer overrides it with a
+  /// LayerPrecision.
   Network(qnn::Shape input_shape, unsigned bits, u64 seed);
 
-  /// Append a convolution: `out_c` filters of k x k, stride 1, `pad`.
+  /// Append a convolution: `out_c` filters of k x k, stride 1, `pad`,
+  /// uniform at the current activation width.
   Network& conv(int out_c, int k = 3, int pad = 1);
+  /// Append a convolution with an explicit per-layer precision.
+  Network& conv(int out_c, int k, int pad, LayerPrecision p);
   /// Append 2x2/stride-2 max or average pooling.
   Network& maxpool();
   Network& avgpool();
   /// Append a fully-connected layer (flattens the current shape).
   Network& linear(int out_features);
+  /// Append a fully-connected layer with an explicit per-layer precision.
+  Network& linear(int out_features, LayerPrecision p);
 
   qnn::Shape output_shape() const { return shape_; }
   int layer_count() const { return static_cast<int>(plan_.size()); }
+  /// Width of the activations the last appended layer produces.
+  unsigned activation_bits() const { return cur_bits_; }
 
   /// Run the whole network on-device for `input` (unsigned codes of the
   /// declared shape). Each layer's device output is checked against the
@@ -61,12 +80,14 @@ class Network {
  private:
   struct Step {
     enum class Kind { kConv, kMaxPool, kAvgPool, kLinear } kind;
-    qnn::ConvSpec spec;  // conv / linear geometry
+    qnn::ConvSpec spec;   // conv / linear geometry (incl. per-layer widths)
+    unsigned bits = 8;    // activation width at this step (pool layers)
     u64 seed;
     std::string name;
   };
 
   unsigned bits_;
+  unsigned cur_bits_;  // activation width flowing out of the last layer
   u64 seed_;
   qnn::Shape shape_;  // evolves as layers are appended
   std::vector<Step> plan_;

@@ -36,6 +36,9 @@ inline sim::PerfCounters diff(const sim::PerfCounters& a,
   for (unsigned i = 0; i < 4; ++i) {
     d.dotp_ops[i] = a.dotp_ops[i] - b.dotp_ops[i];
   }
+  for (unsigned i = 0; i < 3; ++i) {
+    d.mixed_dotp_ops[i] = a.mixed_dotp_ops[i] - b.mixed_dotp_ops[i];
+  }
   d.lsu_data_toggles = a.lsu_data_toggles - b.lsu_data_toggles;
   return d;
 }
@@ -63,6 +66,7 @@ inline void accumulate(sim::PerfCounters& a, const sim::PerfCounters& d) {
   a.sys_ops += d.sys_ops;
   a.mac_ops += d.mac_ops;
   for (unsigned i = 0; i < 4; ++i) a.dotp_ops[i] += d.dotp_ops[i];
+  for (unsigned i = 0; i < 3; ++i) a.mixed_dotp_ops[i] += d.mixed_dotp_ops[i];
   a.lsu_data_toggles += d.lsu_data_toggles;
 }
 

@@ -124,6 +124,11 @@ std::string EnergyProfiler::reconciliation_violation() const {
   XTEL_CHK(psum, total_.perf, csr_ops)
   XTEL_CHK(psum, total_.perf, sys_ops)
   XTEL_CHK(psum, total_.perf, lsu_data_toggles)
+  for (unsigned i = 0; i < 3; ++i) {
+    if (psum.mixed_dotp_ops[i] != total_.perf.mixed_dotp_ops[i]) {
+      return "region partition mismatch: perf.mixed_dotp_ops";
+    }
+  }
   for (unsigned i = 0; i < 4; ++i) {
     if (psum.dotp_ops[i] != total_.perf.dotp_ops[i]) {
       return "region partition mismatch: perf.dotp_ops";

@@ -223,6 +223,10 @@ void add_perf_counters(Registry& r, std::string_view prefix,
   for (unsigned i = 0; i < 4; ++i) {
     r.counter(pre + "dotp_ops." + kRegion[i], p.dotp_ops[i]);
   }
+  static const char* kMixed[3] = {"8x4", "8x2", "4x2"};
+  for (unsigned i = 0; i < 3; ++i) {
+    r.counter(pre + "mixed_dotp_ops." + kMixed[i], p.mixed_dotp_ops[i]);
+  }
   r.counter(pre + "lsu_data_toggles", p.lsu_data_toggles);
 }
 

@@ -59,4 +59,56 @@ std::vector<u8> pack_filter_bank(const FilterBank& f, unsigned bits) {
   return out;
 }
 
+std::vector<u8> pack_values_grouped(std::span<const i32> values,
+                                    unsigned group, unsigned bits) {
+  assert(bits == 1 || bits == 2 || bits == 4 || bits == 8);
+  assert(group != 0 && group * bits <= 32);
+  const size_t words = (values.size() + group - 1) / group;
+  std::vector<u8> out(words * 4, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const u32 v = static_cast<u32>(values[i]) & low_mask(bits);
+    const size_t word = i / group;
+    const unsigned lane = static_cast<unsigned>(i % group);
+    const unsigned bit = lane * bits;
+    // Little-endian within the word, same as the flat packing; power-of-two
+    // widths never straddle a byte boundary.
+    out[word * 4 + bit / 8] |= static_cast<u8>(v << (bit % 8));
+  }
+  return out;
+}
+
+std::vector<i32> unpack_values_grouped(std::span<const u8> bytes, int count,
+                                       unsigned group, unsigned bits,
+                                       bool is_signed) {
+  assert(bits == 1 || bits == 2 || bits == 4 || bits == 8);
+  assert(group != 0 && group * bits <= 32);
+  std::vector<i32> out(static_cast<size_t>(count), 0);
+  for (int i = 0; i < count; ++i) {
+    const size_t word = static_cast<size_t>(i) / group;
+    const unsigned lane = static_cast<unsigned>(i) % group;
+    const unsigned bit = lane * bits;
+    assert(word * 4 + bit / 8 < bytes.size());
+    const u32 raw =
+        (bytes[word * 4 + bit / 8] >> (bit % 8)) & low_mask(bits);
+    out[static_cast<size_t>(i)] =
+        is_signed ? sign_extend(raw, bits) : static_cast<i32>(raw);
+  }
+  return out;
+}
+
+std::vector<u8> pack_filter_bank_grouped(const FilterBank& f, unsigned wa,
+                                         unsigned wb) {
+  const u32 stride = packed_filter_stride_grouped(f.filter_elems(), wa);
+  std::vector<u8> out(static_cast<size_t>(stride) * f.count(), 0);
+  for (int i = 0; i < f.count(); ++i) {
+    std::span<const i32> filt{f.data().data() +
+                                  static_cast<size_t>(i) * f.filter_elems(),
+                              static_cast<size_t>(f.filter_elems())};
+    const std::vector<u8> packed = pack_values_grouped(filt, 32 / wa, wb);
+    std::copy(packed.begin(), packed.end(),
+              out.begin() + static_cast<size_t>(i) * stride);
+  }
+  return out;
+}
+
 }  // namespace xpulp::qnn

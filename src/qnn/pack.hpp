@@ -45,4 +45,31 @@ constexpr u32 packed_filter_stride(int filter_elems, unsigned bits) {
   return (packed_bytes(filter_elems, bits) + 3u) & ~3u;
 }
 
+/// Lane-aligned grouped packing for the mixed virtual dot products
+/// (pv.mldot*/pv.mlsdot*): values are packed `group` per 32-bit word, each
+/// value `bits` wide in the word's low group*bits bits, upper bits zero.
+/// Lane i of word w holds element w*group + i, matching the lane order the
+/// mixed dot product reads from rs2 when rs1 carries `group` activations.
+/// Requires group * bits <= 32.
+std::vector<u8> pack_values_grouped(std::span<const i32> values,
+                                    unsigned group, unsigned bits);
+
+/// Inverse of pack_values_grouped (tests and reference layers).
+std::vector<i32> unpack_values_grouped(std::span<const u8> bytes, int count,
+                                       unsigned group, unsigned bits,
+                                       bool is_signed);
+
+/// Grouped filter-bank packing: each filter's stream is grouped for an
+/// activation width of `wa` bits (32/wa weights per word, `wb` bits each).
+/// Filters start on word boundaries by construction.
+std::vector<u8> pack_filter_bank_grouped(const FilterBank& f, unsigned wa,
+                                         unsigned wb);
+
+/// Stride in bytes between consecutive grouped packed filters: one word
+/// per 32/wa weights.
+constexpr u32 packed_filter_stride_grouped(int filter_elems, unsigned wa) {
+  const u32 per_word = 32 / wa;
+  return ((static_cast<u32>(filter_elems) + per_word - 1) / per_word) * 4u;
+}
+
 }  // namespace xpulp::qnn

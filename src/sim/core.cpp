@@ -81,6 +81,7 @@ void Core::reset(addr_t pc, addr_t code_end) {
   hwl_active_ = false;
   last_load_rd_ = 0;
   halt_ = HaltReason::kRunning;
+  mpc_ = 0;
   icache_.clear();
   icache_valid_.clear();
   decode_gen_ += 1;
@@ -177,6 +178,7 @@ CoreState Core::save_state() const {
   s.last_load_data = last_load_data_;
   s.halt = halt_;
   s.mscratch = mscratch_;
+  s.mpc = mpc_;
   s.perf = perf_;
   s.dotp = dotp_.state();
   return s;
@@ -197,6 +199,10 @@ void Core::restore_state(const CoreState& s) {
   last_load_data_ = s.last_load_data;
   halt_ = s.halt;
   mscratch_ = s.mscratch;
+  // Plans that baked the pre-restore mpc selector into fused mixed dot
+  // ops would misfuse under the restored value.
+  if (mpc_ != s.mpc) sb_evict_mixed_plans();
+  mpc_ = s.mpc;
   perf_ = s.perf;
   dotp_.restore(s.dotp);
   // Compiled plans stay valid as long as the code bytes do (same contract
@@ -591,7 +597,8 @@ void Core::execute_reference(const Instr& in) {
         exec_mem_reference(in);
       } else if (isa::is_simd(in.op)) {
         require(cfg_.xpulpv2, in);
-        if (isa::simd_is_subbyte(in.fmt) || in.op == M::kPvQnt) {
+        if (isa::simd_is_subbyte(in.fmt) || in.op == M::kPvQnt ||
+            isa::is_mixed_dotp(in.op)) {
           require(cfg_.xpulpnn, in);
         }
         exec_simd(in);
@@ -1057,6 +1064,16 @@ void Core::exec_simd_qnt(const Instr& in) {
 
 void Core::exec_simd_dotp(const Instr& in) {
   const i32 acc = static_cast<i32>(reg(in.rd));
+  if (isa::is_mixed_dotp(in.op)) {
+    // Virtual SIMD: the operand formats come from the precision-status CSR,
+    // not the encoding. The reserved selector makes the op illegal.
+    if (mpc_ >= isa::kMpcSelCount) throw IllegalInstruction(pc_, in.raw);
+    const i32 r = dotp_.dotp_mixed(in.op, mpc_, reg(in.rs1), reg(in.rs2), acc);
+    set_reg(in.rd, static_cast<u32>(r));
+    perf_.dotp_ops[static_cast<unsigned>(mixed_region(mpc_))] += 1;
+    perf_.mixed_dotp_ops[mpc_] += 1;
+    return;
+  }
   const i32 r = dotp_.dotp(in.op, in.fmt, reg(in.rs1), reg(in.rs2), acc);
   set_reg(in.rd, static_cast<u32>(r));
   perf_.dotp_ops[static_cast<unsigned>(region_for(in.fmt))] += 1;
@@ -1072,6 +1089,16 @@ void Core::exec_simd_dotp_fast(const Instr& in) {
   const bool sa = (f & iflag::kDotSignedA) != 0;
   const bool sb = (f & iflag::kDotSignedB) != 0;
   const u32 acc = (f & iflag::kDotAccum) ? reg(in.rd) : 0;
+  if (f & iflag::kDotMixed) {
+    if (mpc_ >= isa::kMpcSelCount) throw IllegalInstruction(pc_, in.raw);
+    const i32 rm = dotp_lanes_mixed_sel(mpc_, a, b, acc, sa, sb);
+    const unsigned region = static_cast<unsigned>(mixed_region(mpc_));
+    dotp_.note_dotp(region, a, b);
+    set_reg(in.rd, static_cast<u32>(rm));
+    perf_.dotp_ops[region] += 1;
+    perf_.mixed_dotp_ops[mpc_] += 1;
+    return;
+  }
   i32 r = 0;
   unsigned region = 0;  // DotpRegion numbering: 16-bit first, then narrower
   switch (in.fmt) {
@@ -1141,6 +1168,7 @@ u32 Core::csr_read(u32 addr) const {
     case 0xB82: case 0xC82: return static_cast<u32>(perf_.instructions >> 32);
     case 0xF14: return 0;  // mhartid
     case 0x340: return mscratch_;
+    case isa::kMpcCsr: return mpc_;
     default: return 0;
   }
 }
@@ -1160,7 +1188,18 @@ void Core::exec_csr_system(const Instr& in) {
     case M::kCsrrc: case M::kCsrrci: nv = old & ~operand; break;
     default: break;
   }
-  if (csr == 0x340) mscratch_ = nv;  // other CSRs are read-only here
+  if (csr == 0x340) {
+    mscratch_ = nv;
+  } else if (csr == isa::kMpcCsr) {
+    // WARL: only the low two selector bits are writable. Superblock plans
+    // bake the selector into their fused dot-product bodies, so a value
+    // change must evict them — they would otherwise misfuse silently.
+    const u32 warl = nv & 3u;
+    if (warl != mpc_) {
+      sb_evict_mixed_plans();
+      mpc_ = warl;
+    }
+  }  // other CSRs are read-only here
   set_reg(in.rd, old);
   perf_.csr_ops += 1;
 }

@@ -93,6 +93,12 @@ struct PerfCounters {
   /// Dot-product ops by multiplier region {16, 8, 4, 2}-bit.
   std::array<u64, 4> dotp_ops{};
 
+  /// Mixed virtual dot products by mpc selector {8x4, 8x2, 4x2}.
+  /// Reporting breakdown only: each mixed op also counts in dotp_ops of
+  /// the region its wide operand drives, which is what perf_class_ops and
+  /// the cycle invariants consume.
+  std::array<u64, 3> mixed_dotp_ops{};
+
   /// Hamming toggles of successive load data words on the LSU result bus.
   /// The quantization unit's comparators hang off this bus; with operand
   /// isolation disabled (no power management) they switch with every load.
@@ -135,6 +141,10 @@ struct SuperblockStats {
   u64 smc_bails = 0;   // self-modifying store hit the live block
   u64 trap_bails = 0;  // memory fault repaired to an exact boundary
   u64 invalidations = 0;  // plans evicted by stores / cache flushes
+  /// Plans evicted because a write to the mpc CSR changed the selector
+  /// their fused mixed dot ops had baked in (demote-and-recompile, never
+  /// silently misfuse).
+  u64 mpc_evictions = 0;
   /// Bursts repaired to an exact instruction boundary because the cycle
   /// counter crossed a sampling deadline mid-burst (xtel). Uses the same
   /// prefix-delta repair tables as smc_bails, so the surfaced counters are
@@ -186,6 +196,9 @@ struct CoreState {
   u32 last_load_data = 0;
   HaltReason halt = HaltReason::kRunning;
   u32 mscratch = 0;
+  /// Precision-status CSR (mpc, 0x7C1): operand-format selector of the
+  /// mixed virtual dot products. WARL, low two bits.
+  u32 mpc = 0;
   PerfCounters perf;
   DotpState dotp;
 };
@@ -462,6 +475,9 @@ class Core {
   void sb_note_backedge(addr_t branch_pc, addr_t target);
   void sb_invalidate_range(addr_t a, unsigned size);
   void sb_recompute_extent();
+  /// Evict plans whose fused mixed dot ops baked a now-stale mpc selector
+  /// (called on every value-changing mpc write).
+  void sb_evict_mixed_plans();
   /// Drop every plan, reject record, heat entry and pending candidate
   /// (reset, decode-cache flush, ISA feature change).
   void sb_clear();
@@ -490,6 +506,9 @@ class Core {
   u32 last_load_data_ = 0;
   HaltReason halt_ = HaltReason::kRunning;
   u32 mscratch_ = 0;
+  /// Precision-status CSR (mpc, 0x7C1). Writes evict superblock plans
+  /// that baked the old selector into their fused dot ops.
+  u32 mpc_ = 0;
 
   /// True while either hardware loop has a nonzero count, so the fast
   /// step skips the back-edge comparison entirely outside loops.

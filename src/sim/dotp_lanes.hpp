@@ -29,4 +29,31 @@ inline i32 dotp_lanes(u32 a, u32 b, u32 sum, bool sa, bool sb) {
   return static_cast<i32>(sum);
 }
 
+/// Mixed-operand dot product (pv.mldot*/pv.mlsdot*): rs1 carries 32/WA
+/// activations of WA bits; rs2 packs the same 32/WA weights of WB bits in
+/// its low (32/WA)*WB bits (upper bits ignored, matching the hardware's
+/// lane-aligned weight feed). Same mod-2^32 accumulate as dotp_lanes.
+template <unsigned WA, unsigned WB>
+inline i32 dotp_lanes_mixed(u32 a, u32 b, u32 sum, bool sa, bool sb) {
+  for (unsigned i = 0; i < 32 / WA; ++i) {
+    const u32 ra = (a >> (i * WA)) & low_mask(WA);
+    const u32 rb = (b >> (i * WB)) & low_mask(WB);
+    const u32 ea = sa ? static_cast<u32>(sign_extend(ra, WA)) : ra;
+    const u32 eb = sb ? static_cast<u32>(sign_extend(rb, WB)) : rb;
+    sum += ea * eb;
+  }
+  return static_cast<i32>(sum);
+}
+
+/// Runtime-selector dispatch over the three mpc configurations
+/// (0: 8x4, 1: 8x2, 2: 4x2). The caller must have rejected sel == 3.
+inline i32 dotp_lanes_mixed_sel(u32 sel, u32 a, u32 b, u32 sum, bool sa,
+                                bool sb) {
+  switch (sel) {
+    case 0: return dotp_lanes_mixed<8, 4>(a, b, sum, sa, sb);
+    case 1: return dotp_lanes_mixed<8, 2>(a, b, sum, sa, sb);
+    default: return dotp_lanes_mixed<4, 2>(a, b, sum, sa, sb);
+  }
+}
+
 }  // namespace xpulp::sim

@@ -90,9 +90,15 @@ struct DotSign {
 
 DotSign dot_sign(Mnemonic op) {
   switch (op) {
-    case Mnemonic::kPvDotup: case Mnemonic::kPvSdotup: return {false, false};
-    case Mnemonic::kPvDotusp: case Mnemonic::kPvSdotusp: return {false, true};
-    case Mnemonic::kPvDotsp: case Mnemonic::kPvSdotsp: return {true, true};
+    case Mnemonic::kPvDotup: case Mnemonic::kPvSdotup:
+    case Mnemonic::kPvMldotup: case Mnemonic::kPvMlsdotup:
+      return {false, false};
+    case Mnemonic::kPvDotusp: case Mnemonic::kPvSdotusp:
+    case Mnemonic::kPvMldotusp: case Mnemonic::kPvMlsdotusp:
+      return {false, true};
+    case Mnemonic::kPvDotsp: case Mnemonic::kPvSdotsp:
+    case Mnemonic::kPvMldotsp: case Mnemonic::kPvMlsdotsp:
+      return {true, true};
     default:
       throw SimError("not a dot-product op");
   }
@@ -100,7 +106,8 @@ DotSign dot_sign(Mnemonic op) {
 
 bool dot_accumulates(Mnemonic op) {
   return op == Mnemonic::kPvSdotup || op == Mnemonic::kPvSdotusp ||
-         op == Mnemonic::kPvSdotsp;
+         op == Mnemonic::kPvSdotsp || op == Mnemonic::kPvMlsdotup ||
+         op == Mnemonic::kPvMlsdotusp || op == Mnemonic::kPvMlsdotsp;
 }
 
 }  // namespace
@@ -129,6 +136,37 @@ i32 DotpUnit::dotp_reference(Mnemonic op, SimdFmt fmt, u32 a, u32 b, i32 acc) {
            static_cast<i64>(simd_extract(vb, fmt, i, s.b));
   }
   return static_cast<i32>(sum);  // 32-bit accumulator, truncating
+}
+
+DotpRegion mixed_region(u32 sel) {
+  // The wide (activation) operand drives the multiplier array, so a mixed
+  // op occupies the region of its activation width: 8x4/8x2 run on the
+  // 8-bit region, 4x2 on the 4-bit region.
+  return isa::mixed_width_a(sel) == 8 ? DotpRegion::k8 : DotpRegion::k4;
+}
+
+i32 DotpUnit::dotp_reference_mixed(Mnemonic op, u32 sel, u32 a, u32 b,
+                                   i32 acc) {
+  if (sel >= isa::kMpcSelCount) throw SimError("reserved mpc selector");
+  const unsigned wa = isa::mixed_width_a(sel);
+  const unsigned wb = isa::mixed_width_b(sel);
+  const DotSign s = dot_sign(op);
+  i64 sum = dot_accumulates(op) ? acc : 0;
+  for (unsigned i = 0; i < 32 / wa; ++i) {
+    const u32 ra = bits(a, i * wa + wa - 1, i * wa);
+    const u32 rb = bits(b, i * wb + wb - 1, i * wb);
+    const i64 ea = s.a ? sign_extend(ra, wa) : static_cast<i32>(ra);
+    const i64 eb = s.b ? sign_extend(rb, wb) : static_cast<i32>(rb);
+    sum += ea * eb;
+  }
+  return static_cast<i32>(sum);  // 32-bit accumulator, truncating
+}
+
+i32 DotpUnit::dotp_mixed(Mnemonic op, u32 sel, u32 a, u32 b, i32 acc) {
+  const DotpRegion r = mixed_region(sel);
+  if (clock_gating_) track(r, a, b);
+  activity_.ops[static_cast<unsigned>(r)] += 1;
+  return dotp_reference_mixed(op, sel, a, b, acc);
 }
 
 i32 DotpUnit::dotp(Mnemonic op, SimdFmt fmt, u32 a, u32 b, i32 acc) {

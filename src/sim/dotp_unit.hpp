@@ -25,6 +25,10 @@ enum class DotpRegion : unsigned { k16 = 0, k8 = 1, k4 = 2, k2 = 3 };
 
 DotpRegion region_for(isa::SimdFmt fmt);
 
+/// Region a mixed dot product (mpc selector 0/1/2) occupies: the wide
+/// (activation) operand width picks the multiplier array.
+DotpRegion mixed_region(u32 sel);
+
 struct DotpActivity {
   /// Operand-register bit toggles per region (both operands summed).
   std::array<u64, 4> operand_toggles{};
@@ -66,6 +70,15 @@ class DotpUnit {
   /// multiply-accumulate in 64-bit, truncated to 32.
   static i32 dotp_reference(isa::Mnemonic op, isa::SimdFmt fmt, u32 a, u32 b,
                             i32 acc);
+
+  /// Mixed-operand reference (pv.mldot*/pv.mlsdot*): widths come from the
+  /// mpc selector; rs2 packs 32/WA weights of WB bits in its low lanes.
+  /// Throws SimError on the reserved selector (3).
+  static i32 dotp_reference_mixed(isa::Mnemonic op, u32 sel, u32 a, u32 b,
+                                  i32 acc);
+
+  /// Mixed dot product with activity tracking against the wide region.
+  i32 dotp_mixed(isa::Mnemonic op, u32 sel, u32 a, u32 b, i32 acc);
 
   /// Fast-path bookkeeping, bit-identical to what dotp() records: latch the
   /// raw operands into the selected region (when gated) and count the op.

@@ -67,6 +67,9 @@ void add_scaled(PerfCounters& dst, const PerfCounters& d, u64 k) {
   for (unsigned i = 0; i < d.dotp_ops.size(); ++i) {
     dst.dotp_ops[i] += d.dotp_ops[i] * k;
   }
+  for (unsigned i = 0; i < d.mixed_dotp_ops.size(); ++i) {
+    dst.mixed_dotp_ops[i] += d.mixed_dotp_ops[i] * k;
+  }
   dst.lsu_data_toggles += d.lsu_data_toggles * k;
 }
 
@@ -107,6 +110,11 @@ void op_static_delta(const SbOp& o, PerfCounters& d, mem::MemStats& m) {
       break;
     case SbKind::kDotp:
       d.dotp_ops[o.aux] += 1;
+      // Mixed dots carry their baked mpc selector in imm; the per-selector
+      // breakdown rides alongside the region counter above.
+      if (o.flags & iflag::kDotMixed) {
+        d.mixed_dotp_ops[static_cast<unsigned>(o.imm)] += 1;
+      }
       break;
     default:
       break;
@@ -300,6 +308,34 @@ void Core::sb_invalidate_range(addr_t a, unsigned size) {
   if (changed) sb_recompute_extent();
 }
 
+void Core::sb_evict_mixed_plans() {
+  // A value-changing write to the precision-status CSR (or a checkpoint
+  // restore with a different mpc) invalidates every plan that baked the
+  // old selector into its fused dot bodies. CSR ops never compile into a
+  // block, so this cannot fire from inside a burst executing the plan —
+  // but restore paths could in principle; mirror sb_invalidate_range's
+  // live-plan handling for safety.
+  bool changed = false;
+  for (auto it = sb_plans_.begin(); it != sb_plans_.end();) {
+    SuperblockPlan& p = **it;
+    if (p.uses_mixed) {
+      sb_stats_.invalidations += 1;
+      sb_stats_.mpc_evictions += 1;
+      changed = true;
+      if (&p == sb_active_) {
+        sb_active_dirty_ = true;
+        p.dead = true;
+        ++it;
+      } else {
+        it = sb_plans_.erase(it);
+      }
+    } else {
+      ++it;
+    }
+  }
+  if (changed) sb_recompute_extent();
+}
+
 void Core::sb_clear() {
   sb_plans_.clear();
   sb_rejects_.clear();
@@ -381,7 +417,19 @@ SuperblockPlan* Core::sb_compile(addr_t start, addr_t branch_pc) {
           break;
         case C::kSimdDotp:
           o.kind = SbKind::kDotp;
-          o.aux = static_cast<u8>(region_for(in.fmt));
+          if (in.flags & iflag::kDotMixed) {
+            // Virtual SIMD: the operand formats live in the precision-
+            // status CSR. Bake the current selector into the plan (imm is
+            // unused by dot ops); any later mpc write evicts the plan. The
+            // reserved selector would trap, so it never compiles.
+            if (mpc_ >= isa::kMpcSelCount) return reject();
+            o.aux = static_cast<u8>(mixed_region(mpc_));
+            o.imm = static_cast<i32>(mpc_);
+            plan->uses_mixed = true;
+            plan->baked_mpc = static_cast<u8>(mpc_);
+          } else {
+            o.aux = static_cast<u8>(region_for(in.fmt));
+          }
           break;
         case C::kPulpScalar:
           if (in.op == Mnemonic::kPMac || in.op == Mnemonic::kPMsu) {
@@ -588,6 +636,15 @@ template <bool Sampled>
 u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
   const size_t n = plan.ops.size();
   const u64 per_iter = n + (plan.is_hwloop ? 0 : 1);
+
+  // Mixed-format plans bake the precision-status selector into their dot
+  // ops. mpc writes evict them, so a mismatch here should be unreachable —
+  // but a stale plan misfusing silently would be a correctness bug, so
+  // reject defensively and let the interpreter (and a recompile) take over.
+  if (plan.uses_mixed && plan.baked_mpc != mpc_) [[unlikely]] {
+    sb_stats_.entry_rejects += 1;
+    return 0;
+  }
 
   // Entry guards: the cached plan is keyed by its start address; verify
   // the *current* machine state still matches the structure it was
@@ -958,6 +1015,11 @@ u64 Core::sb_execute_impl(SuperblockPlan& plan, u64 budget) {
             const bool sb = (f & iflag::kDotSignedB) != 0;
             const u32 acc = (f & iflag::kDotAccum) ? regs_[o.rd] : 0;
             i32 r = 0;
+            if (f & iflag::kDotMixed) {
+              // Baked selector (entry guard proved it still equals mpc_).
+              r = dotp_lanes_mixed_sel(static_cast<u32>(o.imm), a, b, acc,
+                                       sa, sb);
+            } else
             switch (o.fmt) {
               case isa::SimdFmt::kH: r = dotp_lanes<16, false>(a, b, acc, sa, sb); break;
               case isa::SimdFmt::kHSc: r = dotp_lanes<16, true>(a, b, acc, sa, sb); break;

@@ -110,6 +110,13 @@ struct SuperblockPlan {
   u8 dotp_region = 0xff;
   /// Whole-iteration specialization selected at compile time.
   SbShape shape = SbShape::kGeneric;
+  /// The plan contains mixed dot products (pv.mldot*/pv.mlsdot*) whose
+  /// operand formats were baked from the precision-status CSR at compile
+  /// time. Any value-changing mpc write evicts such plans; the entry guard
+  /// additionally rejects on a live-value mismatch so a stale plan can
+  /// never silently misfuse.
+  bool uses_mixed = false;
+  u8 baked_mpc = 0;
   /// last_load_rd_ after a completed iteration (loads feed the hazard
   /// check of whatever the interpreter executes next).
   u8 exit_last_load_rd = 0;

@@ -100,6 +100,14 @@ void Assembler::ebreak() { emit(mk(Mnemonic::kEbreak, 0, 0, 0)); }
 void Assembler::csrrs(u8 rd, u32 csr, u8 rs1) {
   emit(mk(Mnemonic::kCsrrs, rd, rs1, 0, static_cast<i32>(csr)));
 }
+void Assembler::csrrw(u8 rd, u32 csr, u8 rs1) {
+  emit(mk(Mnemonic::kCsrrw, rd, rs1, 0, static_cast<i32>(csr)));
+}
+void Assembler::csrrwi(u8 rd, u32 csr, u32 uimm5) {
+  if (uimm5 > 31) throw AsmError("csrrwi immediate out of range");
+  emit(mk(Mnemonic::kCsrrwi, rd, 0, 0, static_cast<i32>(csr),
+          static_cast<u8>(uimm5)));
+}
 
 void Assembler::mul(u8 rd, u8 rs1, u8 rs2) { emit(mk(Mnemonic::kMul, rd, rs1, rs2)); }
 void Assembler::mulh(u8 rd, u8 rs1, u8 rs2) { emit(mk(Mnemonic::kMulh, rd, rs1, rs2)); }

@@ -103,6 +103,8 @@ class Assembler {
   void ecall();
   void ebreak();
   void csrrs(u8 rd, u32 csr, u8 rs1);
+  void csrrw(u8 rd, u32 csr, u8 rs1);
+  void csrrwi(u8 rd, u32 csr, u32 uimm5);
 
   // ---- RV32M ----
   void mul(u8 rd, u8 rs1, u8 rs2);
@@ -193,6 +195,14 @@ class Assembler {
   void pv_sdotup(isa::SimdFmt f, u8 rd, u8 rs1, u8 rs2) { pv_op(isa::Mnemonic::kPvSdotup, f, rd, rs1, rs2); }
   void pv_sdotusp(isa::SimdFmt f, u8 rd, u8 rs1, u8 rs2) { pv_op(isa::Mnemonic::kPvSdotusp, f, rd, rs1, rs2); }
   void pv_sdotsp(isa::SimdFmt f, u8 rd, u8 rs1, u8 rs2) { pv_op(isa::Mnemonic::kPvSdotsp, f, rd, rs1, rs2); }
+  /// Mixed virtual dot products (XpulpNN successor, Ottavi et al.): no
+  /// static format — operand widths come from the mpc CSR at run time.
+  void pv_mldotup(u8 rd, u8 rs1, u8 rs2) { pv_op(isa::Mnemonic::kPvMldotup, isa::SimdFmt::kNone, rd, rs1, rs2); }
+  void pv_mldotusp(u8 rd, u8 rs1, u8 rs2) { pv_op(isa::Mnemonic::kPvMldotusp, isa::SimdFmt::kNone, rd, rs1, rs2); }
+  void pv_mldotsp(u8 rd, u8 rs1, u8 rs2) { pv_op(isa::Mnemonic::kPvMldotsp, isa::SimdFmt::kNone, rd, rs1, rs2); }
+  void pv_mlsdotup(u8 rd, u8 rs1, u8 rs2) { pv_op(isa::Mnemonic::kPvMlsdotup, isa::SimdFmt::kNone, rd, rs1, rs2); }
+  void pv_mlsdotusp(u8 rd, u8 rs1, u8 rs2) { pv_op(isa::Mnemonic::kPvMlsdotusp, isa::SimdFmt::kNone, rd, rs1, rs2); }
+  void pv_mlsdotsp(u8 rd, u8 rs1, u8 rs2) { pv_op(isa::Mnemonic::kPvMlsdotsp, isa::SimdFmt::kNone, rd, rs1, rs2); }
   /// Element manipulation (b/h formats).
   void pv_extract(isa::SimdFmt f, u8 rd, u8 rs1, u32 lane);
   void pv_extractu(isa::SimdFmt f, u8 rd, u8 rs1, u32 lane);

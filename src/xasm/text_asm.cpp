@@ -254,6 +254,17 @@ void emit_instruction(Ctx& c, std::string_view mnem_raw,
     a.csrrs(c.reg(ops[0]), static_cast<u32>(c.imm(ops[1])), c.reg(ops[2]));
     return;
   }
+  if (m == "csrrw") {
+    need(3);
+    a.csrrw(c.reg(ops[0]), static_cast<u32>(c.imm(ops[1])), c.reg(ops[2]));
+    return;
+  }
+  if (m == "csrrwi") {
+    need(3);
+    a.csrrwi(c.reg(ops[0]), static_cast<u32>(c.imm(ops[1])),
+             static_cast<u32>(c.imm(ops[2])));
+    return;
+  }
 
   // ---- bit manipulation: p.extract rd, rs1, Is3, Is2 ----
   if (m == "p.extract" || m == "p.extractu" || m == "p.insert" ||
@@ -408,6 +419,24 @@ void emit_instruction(Ctx& c, std::string_view mnem_raw,
     need(3);
     a.pv_pack_h(c.reg(ops[0]), c.reg(ops[1]), c.reg(ops[2]));
     return;
+  }
+  // Mixed virtual dot products carry no format suffix (widths come from
+  // the mpc CSR at run time).
+  {
+    static const std::map<std::string, Mnemonic> kMixed = {
+        {"pv.mldotup", Mnemonic::kPvMldotup},
+        {"pv.mldotusp", Mnemonic::kPvMldotusp},
+        {"pv.mldotsp", Mnemonic::kPvMldotsp},
+        {"pv.mlsdotup", Mnemonic::kPvMlsdotup},
+        {"pv.mlsdotusp", Mnemonic::kPvMlsdotusp},
+        {"pv.mlsdotsp", Mnemonic::kPvMlsdotsp},
+    };
+    if (const auto it = kMixed.find(m); it != kMixed.end()) {
+      need(3);
+      a.pv_op(it->second, SimdFmt::kNone, c.reg(ops[0]), c.reg(ops[1]),
+              c.reg(ops[2]));
+      return;
+    }
   }
   if (m.rfind("pv.", 0) == 0) {
     // Find the format suffix: the last 1 or 2 dot-components.

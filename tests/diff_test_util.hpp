@@ -99,6 +99,7 @@ inline void expect_identical(const FinalState& ref, const FinalState& fast) {
   EXPECT_EQ(a.sys_ops, b.sys_ops);
   EXPECT_EQ(a.mac_ops, b.mac_ops);
   EXPECT_EQ(a.dotp_ops, b.dotp_ops);
+  EXPECT_EQ(a.mixed_dotp_ops, b.mixed_dotp_ops);
   EXPECT_EQ(a.lsu_data_toggles, b.lsu_data_toggles);
 }
 
@@ -109,7 +110,7 @@ inline void random_op(xasm::Assembler& a, Rng& rng) {
   const u8 rd = kDests[rng.uniform(0, 8)];
   const u8 rs1 = static_cast<u8>(rng.uniform(5, 15));
   const u8 rs2 = kDests[rng.uniform(0, 8)];
-  switch (rng.uniform(0, 22)) {
+  switch (rng.uniform(0, 25)) {
     case 0: a.add(rd, rs1, rs2); break;
     case 1: a.sub(rd, rs1, rs2); break;
     case 2: a.mul(rd, rs1, rs2); break;
@@ -150,6 +151,14 @@ inline void random_op(xasm::Assembler& a, Rng& rng) {
     // operands go through different decode-specialized kernels.
     case 21: a.pv_dotup(isa::SimdFmt::kH, rd, rs1, rs2); break;
     case 22: a.pv_sdotsp(isa::SimdFmt::kBSc, rd, rs1, rs2); break;
+    // Mixed virtual dots read their operand formats from the mpc CSR, and
+    // mid-program CSR writes force superblock eviction and re-specialized
+    // decode — the selector stays in 0..2 (3 is reserved and would trap).
+    case 23: a.pv_mlsdotusp(rd, rs1, rs2); break;
+    case 24: a.pv_mldotsp(rd, rs1, rs2); break;
+    case 25:
+      a.csrrwi(rd, isa::kMpcCsr, static_cast<u32>(rng.uniform(0, 2)));
+      break;
   }
 }
 

@@ -577,6 +577,116 @@ TEST(Analyzer, TerminatedProgramClean) {
   EXPECT_EQ(rep.count(DiagKind::kFallOffEnd), 0u);
 }
 
+// ---- kMixedMpcState ----
+
+namespace {
+void mixed_operands(xasm::Assembler& a) {
+  a.li(r::a0, 0x01020304);
+  a.li(r::a1, 0x00000012);
+  a.li(r::a2, 0);
+}
+}  // namespace
+
+TEST(Analyzer, MixedDotAfterCsrrwiIsClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    mixed_operands(a);
+    a.csrrwi(r::zero, isa::kMpcCsr, 1);
+    a.pv_mlsdotusp(r::a2, r::a0, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kMixedMpcState), 0u) << rep.to_string();
+}
+
+TEST(Analyzer, MixedDotWithoutMpcWriteWarns) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    mixed_operands(a);
+    a.pv_mlsdotusp(r::a2, r::a0, r::a1);  // relies on the reset selector
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kMixedMpcState), 1u);
+  EXPECT_FALSE(rep.has_errors()) << rep.to_string();  // warning, not error
+}
+
+TEST(Analyzer, MixedDotReachableWithReservedSelectorErrors) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    mixed_operands(a);
+    a.csrrwi(r::zero, isa::kMpcCsr, 3);  // WARL keeps 3: reserved
+    a.pv_mldotup(r::a2, r::a0, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kMixedMpcState), 1u);
+  EXPECT_TRUE(rep.has_errors());
+}
+
+TEST(Analyzer, MixedDotAfterUnboundMpcWriteWarns) {
+  AnalyzerOptions opt;
+  opt.assume_initialized = AnalyzerOptions::abi_entry_mask();
+  const auto rep = analyze(
+      [](xasm::Assembler& a) {
+        mixed_operands(a);
+        a.csrrw(r::zero, isa::kMpcCsr, r::a3);  // a3: unknown runtime value
+        a.pv_mlsdotsp(r::a2, r::a0, r::a1);
+        a.ecall();
+      },
+      opt);
+  EXPECT_EQ(rep.count(DiagKind::kMixedMpcState), 1u);
+  EXPECT_FALSE(rep.has_errors()) << rep.to_string();
+}
+
+TEST(Analyzer, MixedDotKnownCsrrwFromRegisterIsClean) {
+  const auto rep = analyze([](xasm::Assembler& a) {
+    mixed_operands(a);
+    a.li(r::t0, 2);
+    a.csrrw(r::zero, isa::kMpcCsr, r::t0);
+    a.pv_mldotsp(r::a2, r::a0, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kMixedMpcState), 0u) << rep.to_string();
+}
+
+TEST(Analyzer, CsrrsMappedThroughPossibleOldValues) {
+  // csrrs of selector bit 1 on top of an explicit selector 1 makes the
+  // reserved value 3 reachable; the read-modify-write must be modeled,
+  // not treated as a fresh write of 2.
+  const auto rep = analyze([](xasm::Assembler& a) {
+    mixed_operands(a);
+    a.csrrwi(r::zero, isa::kMpcCsr, 1);
+    a.li(r::t1, 2);
+    a.csrrs(r::zero, isa::kMpcCsr, r::t1);  // 1 | 2 == 3
+    a.pv_mldotusp(r::a2, r::a0, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kMixedMpcState), 1u);
+  EXPECT_TRUE(rep.has_errors());
+}
+
+TEST(Analyzer, MixedDotJoinOfWrittenAndDefaultPathsWarns) {
+  // One branch arm sets the selector, the other falls through untouched:
+  // the join still carries the reset-default state, so the dot warns.
+  const auto rep = analyze([](xasm::Assembler& a) {
+    mixed_operands(a);
+    const auto join = a.new_label();
+    a.beq(r::a2, r::zero, join);
+    a.csrrwi(r::zero, isa::kMpcCsr, 2);
+    a.bind(join);
+    a.pv_mlsdotup(r::a2, r::a0, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kMixedMpcState), 1u);
+  EXPECT_FALSE(rep.has_errors()) << rep.to_string();
+}
+
+TEST(Analyzer, UniformDotsIgnoreMpcState) {
+  // The rule is scoped to the CSR-dependent mixed family; uniform pv.sdot
+  // encodes its width and never consults mpc.
+  const auto rep = analyze([](xasm::Assembler& a) {
+    mixed_operands(a);
+    a.pv_sdotsp(SimdFmt::kB, r::a2, r::a0, r::a1);
+    a.ecall();
+  });
+  EXPECT_EQ(rep.count(DiagKind::kMixedMpcState), 0u) << rep.to_string();
+}
+
 // ---- report plumbing ----
 
 TEST(Analyzer, ReportCountsInstructionsAndLoops) {

@@ -83,5 +83,59 @@ TEST(Disasm, RoundTripThroughEncoder) {
   EXPECT_EQ(dis(encode(in)), "p.mac t0, t1, t2");
 }
 
+TEST(Disasm, FullDotpFamilyRoundTrip) {
+  // Every pv.* dot-product mnemonic — uniform (all formats) and mixed
+  // (format-free) — must encode, decode back to itself, and disassemble to
+  // its exact mnemonic string.
+  const std::pair<Mnemonic, std::string_view> uniform[] = {
+      {Mnemonic::kPvDotup, "pv.dotup"},    {Mnemonic::kPvDotusp, "pv.dotusp"},
+      {Mnemonic::kPvDotsp, "pv.dotsp"},    {Mnemonic::kPvSdotup, "pv.sdotup"},
+      {Mnemonic::kPvSdotusp, "pv.sdotusp"}, {Mnemonic::kPvSdotsp, "pv.sdotsp"},
+  };
+  const std::pair<SimdFmt, std::string_view> fmts[] = {
+      {SimdFmt::kB, ".b"}, {SimdFmt::kBSc, ".sc.b"}, {SimdFmt::kH, ".h"},
+      {SimdFmt::kHSc, ".sc.h"}, {SimdFmt::kN, ".n"}, {SimdFmt::kNSc, ".sc.n"},
+      {SimdFmt::kC, ".c"}, {SimdFmt::kCSc, ".sc.c"},
+  };
+  for (const auto& [op, name] : uniform) {
+    for (const auto& [fmt, suffix] : fmts) {
+      Instr in;
+      in.op = op;
+      in.fmt = fmt;
+      in.rd = 14;
+      in.rs1 = 12;
+      in.rs2 = 10;
+      const u32 word = encode(in);
+      const Instr out = decode(word, 0);
+      EXPECT_EQ(out.op, op);
+      EXPECT_EQ(out.fmt, fmt);
+      EXPECT_EQ(dis(word),
+                std::string(name) + std::string(suffix) + " a4, a2, a0");
+    }
+  }
+
+  const std::pair<Mnemonic, std::string_view> mixed[] = {
+      {Mnemonic::kPvMldotup, "pv.mldotup"},
+      {Mnemonic::kPvMldotusp, "pv.mldotusp"},
+      {Mnemonic::kPvMldotsp, "pv.mldotsp"},
+      {Mnemonic::kPvMlsdotup, "pv.mlsdotup"},
+      {Mnemonic::kPvMlsdotusp, "pv.mlsdotusp"},
+      {Mnemonic::kPvMlsdotsp, "pv.mlsdotsp"},
+  };
+  for (const auto& [op, name] : mixed) {
+    Instr in;
+    in.op = op;
+    in.fmt = SimdFmt::kNone;  // widths come from the mpc CSR, not the word
+    in.rd = 14;
+    in.rs1 = 12;
+    in.rs2 = 10;
+    const u32 word = encode(in);
+    const Instr out = decode(word, 0);
+    EXPECT_EQ(out.op, op);
+    EXPECT_EQ(out.fmt, SimdFmt::kNone);
+    EXPECT_EQ(dis(word), std::string(name) + " a4, a2, a0");
+  }
+}
+
 }  // namespace
 }  // namespace xpulp::isa

@@ -79,6 +79,111 @@ INSTANTIATE_TEST_SUITE_P(
       return n + "_f" + std::to_string(static_cast<int>(info.param.fmt));
     });
 
+// ---- mixed virtual dot products (widths from the mpc CSR) ----
+
+i64 ref_mixed(Mnemonic op, u32 sel, u32 a, u32 b, i32 acc) {
+  const unsigned wa = isa::mixed_width_a(sel);
+  const unsigned wb = isa::mixed_width_b(sel);
+  const bool a_signed =
+      (op == Mnemonic::kPvMldotsp || op == Mnemonic::kPvMlsdotsp);
+  const bool b_signed =
+      (op != Mnemonic::kPvMldotup && op != Mnemonic::kPvMlsdotup);
+  const bool accumulate =
+      (op == Mnemonic::kPvMlsdotup || op == Mnemonic::kPvMlsdotusp ||
+       op == Mnemonic::kPvMlsdotsp);
+  i64 s = accumulate ? acc : 0;
+  for (unsigned i = 0; i < 32 / wa; ++i) {
+    const u32 ra = (a >> (i * wa)) & low_mask(wa);
+    const u32 rb = (b >> (i * wb)) & low_mask(wb);
+    const i64 ea = a_signed ? sign_extend(ra, wa) : static_cast<i64>(ra);
+    const i64 eb = b_signed ? sign_extend(rb, wb) : static_cast<i64>(rb);
+    s += ea * eb;
+  }
+  return static_cast<i32>(s);
+}
+
+struct MixedDotCase {
+  Mnemonic op;
+  u32 sel;
+};
+
+class MixedDotProperty : public ::testing::TestWithParam<MixedDotCase> {};
+
+TEST_P(MixedDotProperty, MatchesScalarReferenceOnCore) {
+  const auto [op, sel] = GetParam();
+  Rng rng(0x3eed + sel);
+  for (int trial = 0; trial < 64; ++trial) {
+    const u32 a = rng.next_u32();
+    const u32 b = rng.next_u32();
+    const i32 acc = static_cast<i32>(rng.next_u32());
+    auto res = run_program([&](xasm::Assembler& as) {
+      as.csrrwi(r::zero, isa::kMpcCsr, sel);
+      as.li(r::a0, static_cast<i32>(a));
+      as.li(r::a1, static_cast<i32>(b));
+      as.li(r::a2, acc);
+      as.pv_op(op, SimdFmt::kNone, r::a2, r::a0, r::a1);
+    });
+    const i32 want = static_cast<i32>(ref_mixed(op, sel, a, b, acc));
+    ASSERT_EQ(static_cast<i32>(res.regs[r::a2]), want)
+        << mnemonic_name(op) << " sel=" << sel << " a=0x" << std::hex << a
+        << " b=0x" << b;
+    // And the static reference routine agrees with the executing core.
+    EXPECT_EQ(sim::DotpUnit::dotp_reference_mixed(op, sel, a, b, acc), want);
+  }
+}
+
+std::vector<MixedDotCase> mixed_dot_cases() {
+  std::vector<MixedDotCase> v;
+  for (u32 sel = 0; sel < 3; ++sel) {
+    for (Mnemonic m : {Mnemonic::kPvMldotup, Mnemonic::kPvMldotusp,
+                       Mnemonic::kPvMldotsp, Mnemonic::kPvMlsdotup,
+                       Mnemonic::kPvMlsdotusp, Mnemonic::kPvMlsdotsp}) {
+      v.push_back({m, sel});
+    }
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSelectors, MixedDotProperty, ::testing::ValuesIn(mixed_dot_cases()),
+    [](const ::testing::TestParamInfo<MixedDotCase>& info) {
+      std::string n{isa::mnemonic_name(info.param.op)};
+      for (char& c : n) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n + "_sel" + std::to_string(info.param.sel);
+    });
+
+TEST(MixedDotp, KnownValues) {
+  // sel 0 (8x4), mlsdotusp: activations {1,2,3,4} bytes, weights packed
+  // nibbles {1,-1,1,-1} in the low half of rs2 (upper half ignored).
+  auto res = run_program([](xasm::Assembler& a) {
+    a.csrrwi(r::zero, isa::kMpcCsr, 0);
+    a.li(r::a0, 0x04030201);
+    a.li(r::a1, static_cast<i32>(0xDEADF1F1u));  // low nibbles 1,-1,1,-1
+    a.li(r::a2, 100);
+    a.pv_op(Mnemonic::kPvMlsdotusp, SimdFmt::kNone, r::a2, r::a0, r::a1);
+  });
+  // 100 + 1*1 + 2*(-1) + 3*1 + 4*(-1) = 98
+  EXPECT_EQ(static_cast<i32>(res.regs[r::a2]), 98);
+
+  // sel 2 (4x2), mldotsp overwrites rd: 8 signed nibbles x 8 signed crumbs.
+  auto res2 = run_program([](xasm::Assembler& a) {
+    a.csrrwi(r::zero, isa::kMpcCsr, 2);
+    a.li(r::a0, static_cast<i32>(0xFFFFFFFFu));  // 8 lanes of -1
+    a.li(r::a1, static_cast<i32>(0xDEAD5555u));  // low 16: 8 crumbs of 1
+    a.li(r::a2, 12345);                          // ignored: plain dot
+    a.pv_op(Mnemonic::kPvMldotsp, SimdFmt::kNone, r::a2, r::a0, r::a1);
+  });
+  EXPECT_EQ(static_cast<i32>(res2.regs[r::a2]), -8);
+}
+
+TEST(MixedDotp, ReferenceRejectsReservedSelector) {
+  EXPECT_THROW(
+      sim::DotpUnit::dotp_reference_mixed(Mnemonic::kPvMldotup, 3, 1, 1, 0),
+      SimError);
+}
+
 TEST(Dotp, KnownValues) {
   // nibble dotusp: unsigned activations x signed weights.
   // a = lanes {1..8}? use 0x87654321: lanes 1,2,3,4,5,6,7,8.

@@ -138,6 +138,13 @@ std::vector<Sample> all_samples() {
   }
   add(mk(M::kPvQnt, 20, 21, 22, 0, 0, SimdFmt::kN), "qnt.n");
   add(mk(M::kPvQnt, 20, 21, 22, 0, 0, SimdFmt::kC), "qnt.c");
+  // Mixed virtual dot products: format-free (widths come from the mpc CSR
+  // at run time), encoded with fmt == kNone.
+  for (M op : {M::kPvMldotup, M::kPvMldotusp, M::kPvMldotsp, M::kPvMlsdotup,
+               M::kPvMlsdotusp, M::kPvMlsdotsp}) {
+    add(mk(op, 20, 21, 22), "mixed-dotp");
+    add(mk(op, 31, 0, 15), "mixed-dotp-edge");
+  }
   return v;
 }
 
@@ -210,6 +217,16 @@ TEST(Decoder, IllegalEncodingsThrow) {
   // Scalar-PULP subclass 101 is unallocated.
   EXPECT_THROW(decode(enc_r(kOpPulpScalar, 0b101, 0, 1, 2, 3), 0),
                IllegalInstruction);
+  // Mixed dot products reserve every nonzero funct3 slot (no .sc or
+  // format variants: the widths live in the mpc CSR, not the encoding).
+  for (const u32 f7 : {27u, 28u, 29u, 33u, 34u, 35u}) {
+    ASSERT_NO_THROW(decode(enc_r(kOpPulpSimd, 0, f7, 1, 2, 3), 0));
+    for (u32 f3 = 1; f3 < 8; ++f3) {
+      EXPECT_THROW(decode(enc_r(kOpPulpSimd, f3, f7, 1, 2, 3), 0),
+                   IllegalInstruction)
+          << "funct7=" << f7 << " funct3=" << f3;
+    }
+  }
 }
 
 TEST(Decoder, ReportsFaultingPcAndWord) {

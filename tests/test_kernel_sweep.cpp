@@ -76,6 +76,80 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(c.pad) + "s" + std::to_string(c.stride);
     });
 
+// ---- mixed-precision grid: the virtual-SIMD kernel across the three mpc
+// operand pairs, same geometry sweep philosophy. ----
+
+struct MixedSweepCase {
+  unsigned in_bits, w_bits, out_bits;
+  int h, w, cin, cout, k, pad, stride;
+  u64 seed;
+};
+
+qnn::ConvSpec to_mixed_spec(const MixedSweepCase& c) {
+  qnn::ConvSpec s;
+  s.in_h = c.h;
+  s.in_w = c.w;
+  s.in_c = c.cin;
+  s.out_c = c.cout;
+  s.k_h = s.k_w = c.k;
+  s.pad = c.pad;
+  s.stride = c.stride;
+  s.in_bits = c.in_bits;
+  s.w_bits = c.w_bits;
+  s.out_bits = c.out_bits;
+  return s;
+}
+
+class MixedKernelSweep : public ::testing::TestWithParam<MixedSweepCase> {};
+
+TEST_P(MixedKernelSweep, MixedKernelBitExact) {
+  const auto spec = to_mixed_spec(GetParam());
+  const auto data = ConvLayerData::random(spec, GetParam().seed);
+  const auto res = run_conv_layer(data, ConvVariant::kXpulpNN_Mixed,
+                                  sim::CoreConfig::extended());
+  const auto gold = data.golden();
+  for (int i = 0; i < gold.elems(); ++i) {
+    ASSERT_EQ(res.output.flat(i), gold.flat(i))
+        << "a" << spec.in_bits << "w" << spec.w_bits << "o" << spec.out_bits
+        << " elem=" << i;
+  }
+}
+
+std::vector<MixedSweepCase> mixed_grid() {
+  std::vector<MixedSweepCase> v;
+  u64 seed = 1000;
+  // 8-bit outputs dodge the int16 pre-activation ceiling, so the full
+  // geometry sweep runs there for every operand pair.
+  for (const auto& [a, w] : {std::pair{8u, 4u}, {8u, 2u}, {4u, 2u}}) {
+    const int cin = a == 8 ? 8 : 16;  // word-aligned channel block
+    for (const int hw : {4, 6, 10}) {
+      v.push_back({a, w, 8, hw, hw, cin, 8, 3, 1, 1, seed++});
+    }
+    v.push_back({a, w, 8, 8, 8, cin, 4, 5, 0, 1, seed++});  // 5x5 no pad
+    v.push_back({a, w, 8, 6, 6, cin * 2, 8, 1, 0, 1, seed++});  // pointwise
+    v.push_back({a, w, 8, 8, 8, cin, 4, 3, 1, 2, seed++});  // stride 2
+    v.push_back({a, w, 8, 4, 8, cin, 4, 3, 1, 1, seed++});  // rectangular
+  }
+  // Sub-byte outputs: 4x2 products are small enough for 3x3 stacks; the
+  // 8-bit-activation pairs stay on pointwise layers to fit int16.
+  v.push_back({4, 2, 4, 6, 6, 8, 8, 3, 1, 1, seed++});
+  v.push_back({4, 2, 2, 6, 6, 8, 8, 3, 1, 1, seed++});
+  v.push_back({8, 4, 4, 4, 4, 16, 8, 1, 0, 1, seed++});
+  v.push_back({8, 2, 2, 4, 4, 16, 8, 1, 0, 1, seed++});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixedGrid, MixedKernelSweep, ::testing::ValuesIn(mixed_grid()),
+    [](const ::testing::TestParamInfo<MixedSweepCase>& info) {
+      const auto& c = info.param;
+      return "a" + std::to_string(c.in_bits) + "w" + std::to_string(c.w_bits) +
+             "o" + std::to_string(c.out_bits) + "_h" + std::to_string(c.h) +
+             "w" + std::to_string(c.w) + "_ci" + std::to_string(c.cin) +
+             "co" + std::to_string(c.cout) + "_k" + std::to_string(c.k) +
+             "p" + std::to_string(c.pad) + "s" + std::to_string(c.stride);
+    });
+
 // ---- failure injection: the checking machinery must actually detect
 // corruption (a test of the tests). ----
 

@@ -101,5 +101,52 @@ TEST(Network, RejectsBadBits) {
   EXPECT_THROW(Network({4, 4, 8}, 3, 1), SimError);
 }
 
+// ---- per-layer mixed precision ----
+
+TEST(Network, MixedPrecisionStackBitExact) {
+  // 8-bit activations with 4- and 2-bit weights throughout: every conv and
+  // linear layer dispatches to the virtual-SIMD mixed kernel.
+  Network net({8, 8, 8}, 8, 31);
+  net.conv(16, 3, 1, {/*w_bits=*/4, /*out_bits=*/8})
+      .maxpool()
+      .conv(8, 3, 1, {/*w_bits=*/2, /*out_bits=*/8})
+      .linear(12, {/*w_bits=*/4, /*out_bits=*/8});
+  EXPECT_EQ(net.activation_bits(), 8u);
+  const auto in = random_input({8, 8, 8}, 8, 13);
+  const auto res = net.run(in, sim::CoreConfig::extended());
+  EXPECT_TRUE(res.all_matched);
+  ASSERT_EQ(res.layers.size(), 4u);
+  for (const auto& l : res.layers) {
+    EXPECT_TRUE(l.matched_golden) << l.name;
+  }
+  EXPECT_EQ(res.output.shape(), (qnn::Shape{1, 1, 12}));
+}
+
+TEST(Network, MixedSubByteOutputLayer) {
+  // 4-bit activations x 2-bit weights with a 4-bit staircase output: the
+  // whole mpc pair grid including a sub-byte requantization path.
+  Network net({6, 6, 8}, 4, 33);
+  net.conv(8, 3, 1, {/*w_bits=*/2, /*out_bits=*/4})
+      .conv(8, 3, 1, {/*w_bits=*/2, /*out_bits=*/4});
+  const auto in = random_input({6, 6, 8}, 4, 17);
+  const auto res = net.run(in, sim::CoreConfig::extended());
+  EXPECT_TRUE(res.all_matched);
+  for (const auto& l : res.layers) {
+    EXPECT_TRUE(l.matched_golden) << l.name;
+  }
+}
+
+TEST(Network, PrecisionFlowsToFollowingLayers) {
+  // A layer that narrows its outputs changes the input width (and hence
+  // the legal weight widths) of everything after it.
+  Network net({8, 8, 8}, 8, 35);
+  net.conv(8, 3, 1, {/*w_bits=*/4, /*out_bits=*/4});
+  EXPECT_EQ(net.activation_bits(), 4u);  // mixed_sel_for(8,4), out 4
+  net.conv(8, 3, 1, {/*w_bits=*/2, /*out_bits=*/4});  // 4x2 pair: legal
+  EXPECT_EQ(net.activation_bits(), 4u);
+  // 4-bit activations x 8-bit weights is not an mpc pair.
+  EXPECT_THROW(net.linear(10, {/*w_bits=*/8, /*out_bits=*/8}), SimError);
+}
+
 }  // namespace
 }  // namespace xpulp::kernels

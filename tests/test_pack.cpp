@@ -3,6 +3,7 @@
 
 #include "common/rng.hpp"
 #include "qnn/pack.hpp"
+#include "sim/dotp_lanes.hpp"
 
 namespace xpulp::qnn {
 namespace {
@@ -91,6 +92,132 @@ TEST(Pack, FilterBankLayout) {
   // Filter 1 starts at its stride boundary; first nibble is -2 = 0xe.
   EXPECT_EQ(bytes[stride] & 0xf, 0xe);
   // Padding bytes between filters are zero (acts as zero weights).
+  EXPECT_EQ(bytes[stride - 1], 0);
+}
+
+// ---- signedness x width audit matrix ----
+// Every code of every width must survive pack -> unpack under both
+// extensions: zero-extension reproduces the raw code, sign-extension
+// reproduces the two's-complement value. Exhaustive, not sampled.
+
+TEST(PackAudit, EveryCodeEveryWidthBothSignednesses) {
+  for (const unsigned bits : {1u, 2u, 4u, 8u}) {
+    const int codes = 1 << bits;
+    std::vector<i32> raw(static_cast<size_t>(codes));
+    for (int c = 0; c < codes; ++c) raw[static_cast<size_t>(c)] = c;
+    const auto bytes = pack_values(raw, bits);
+
+    const auto uns = unpack_values(bytes, codes, bits, /*is_signed=*/false);
+    const auto sgn = unpack_values(bytes, codes, bits, /*is_signed=*/true);
+    for (int c = 0; c < codes; ++c) {
+      EXPECT_EQ(uns[static_cast<size_t>(c)], c) << "bits=" << bits;
+      const i32 expect_signed = c >= codes / 2 ? c - codes : c;
+      EXPECT_EQ(sgn[static_cast<size_t>(c)], expect_signed)
+          << "bits=" << bits << " code=" << c;
+    }
+
+    // Negative values written as i32 must produce the same bytes as their
+    // codes (masking is two's complement, not saturation).
+    std::vector<i32> neg(static_cast<size_t>(codes));
+    for (int c = 0; c < codes; ++c) {
+      neg[static_cast<size_t>(c)] = c >= codes / 2 ? c - codes : c;
+    }
+    EXPECT_EQ(pack_values(neg, bits), bytes) << "bits=" << bits;
+  }
+}
+
+// ---- grouped (mixed virtual-SIMD) packing ----
+
+struct GroupedCase {
+  unsigned wa, wb;  // activation width (group = 32/wa), weight width
+};
+
+class GroupedPack : public ::testing::TestWithParam<GroupedCase> {};
+
+TEST_P(GroupedPack, RoundTripBothSignednesses) {
+  const auto [wa, wb] = GetParam();
+  const unsigned group = 32 / wa;
+  Rng rng(wa * 10 + wb);
+  for (const bool is_signed : {false, true}) {
+    std::vector<i32> v(61);  // deliberately not a multiple of the group
+    for (auto& e : v) {
+      e = is_signed ? rng.signed_bits(wb)
+                    : static_cast<i32>(rng.unsigned_bits(wb));
+    }
+    const auto bytes = pack_values_grouped(v, group, wb);
+    EXPECT_EQ(bytes.size(), ((v.size() + group - 1) / group) * 4);
+    EXPECT_EQ(unpack_values_grouped(bytes, 61, group, wb, is_signed), v);
+  }
+}
+
+TEST_P(GroupedPack, UpperWordBitsAreZero) {
+  const auto [wa, wb] = GetParam();
+  const unsigned group = 32 / wa;
+  std::vector<i32> v(static_cast<size_t>(group), -1);  // all-ones codes
+  const auto bytes = pack_values_grouped(v, group, wb);
+  ASSERT_EQ(bytes.size(), 4u);
+  u32 word = 0;
+  for (unsigned i = 0; i < 4; ++i) word |= static_cast<u32>(bytes[i]) << (8 * i);
+  EXPECT_EQ(word, low_mask(group * wb)) << "wa=" << wa << " wb=" << wb;
+}
+
+TEST_P(GroupedPack, WordsFeedTheMixedDotProductLaneExact) {
+  // The whole point of the grouped layout: word i of a grouped weight
+  // stream against word i of a flat activation stream must give the mixed
+  // dot product the scalar answer.
+  const auto [wa, wb] = GetParam();
+  const unsigned group = 32 / wa;
+  Rng rng(wa * 100 + wb);
+  std::vector<i32> acts(static_cast<size_t>(group) * 3);
+  std::vector<i32> wts(acts.size());
+  for (auto& e : acts) e = static_cast<i32>(rng.unsigned_bits(wa));
+  for (auto& e : wts) e = rng.signed_bits(wb);
+
+  const auto a_bytes = pack_values(acts, wa);
+  const auto w_bytes = pack_values_grouped(wts, group, wb);
+  i32 acc = 7;  // nonzero start: accumulate semantics
+  i32 scalar = 7;
+  for (unsigned w = 0; w < 3; ++w) {
+    u32 aw = 0, ww = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      aw |= static_cast<u32>(a_bytes[w * 4 + i]) << (8 * i);
+      ww |= static_cast<u32>(w_bytes[w * 4 + i]) << (8 * i);
+    }
+    const u32 sel = wa == 8 ? (wb == 4 ? 0u : 1u) : 2u;
+    acc = sim::dotp_lanes_mixed_sel(sel, aw, ww, static_cast<u32>(acc),
+                                    /*sa=*/false, /*sb=*/true);
+    for (unsigned i = 0; i < group; ++i) {
+      scalar += acts[w * group + i] * wts[w * group + i];
+    }
+    EXPECT_EQ(acc, scalar) << "wa=" << wa << " wb=" << wb << " word=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MpcPairs, GroupedPack,
+                         ::testing::Values(GroupedCase{8, 4}, GroupedCase{8, 2},
+                                           GroupedCase{4, 2}),
+                         [](const ::testing::TestParamInfo<GroupedCase>& info) {
+                           return std::to_string(info.param.wa) + "x" +
+                                  std::to_string(info.param.wb);
+                         });
+
+TEST(GroupedPackLayout, FilterStrideAndBankLayout) {
+  // 8x4: 4 weights per word -> 9 elems = 3 words = 12 bytes.
+  EXPECT_EQ(packed_filter_stride_grouped(9, 8), 12u);
+  // 4x2: 8 weights per word -> 9 elems = 2 words = 8 bytes.
+  EXPECT_EQ(packed_filter_stride_grouped(9, 4), 8u);
+  EXPECT_EQ(packed_filter_stride_grouped(288, 8), 288u);
+
+  FilterBank f(2, {1, 1, 9});
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 9; ++j) f.flat(i, j) = (i == 1 && j == 0) ? -2 : 1;
+  }
+  const auto bytes = pack_filter_bank_grouped(f, 8, 4);
+  const u32 stride = packed_filter_stride_grouped(9, 8);
+  ASSERT_EQ(bytes.size(), 2 * stride);
+  // Filter 1 starts on its word boundary; first nibble is -2 = 0xe.
+  EXPECT_EQ(bytes[stride] & 0xf, 0xe);
+  // Group padding (lanes past the filter tail) is zero.
   EXPECT_EQ(bytes[stride - 1], 0);
 }
 

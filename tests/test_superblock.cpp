@@ -231,5 +231,124 @@ TEST(Superblock, ConvInnerShapeBitIdentical) {
   }
 }
 
+TEST(Superblock, MixedDotSweepBitIdentical) {
+  // Every mixed mnemonic under every legal mpc selector, in the hot-loop
+  // shape the engine fuses. The fused body bakes the selector at compile
+  // time (SbOp::imm), so this exercises the baked path for all 18
+  // combinations against the reference interpreter.
+  struct OpCase {
+    const char* name;
+    void (xasm::Assembler::*emit)(u8, u8, u8);
+  };
+  const OpCase ops[] = {
+      {"mldotup", &xasm::Assembler::pv_mldotup},
+      {"mldotusp", &xasm::Assembler::pv_mldotusp},
+      {"mldotsp", &xasm::Assembler::pv_mldotsp},
+      {"mlsdotup", &xasm::Assembler::pv_mlsdotup},
+      {"mlsdotusp", &xasm::Assembler::pv_mlsdotusp},
+      {"mlsdotsp", &xasm::Assembler::pv_mlsdotsp},
+  };
+  for (const OpCase& op : ops) {
+    for (u32 sel = 0; sel < 3; ++sel) {
+      xasm::Assembler a(0);
+      a.csrrwi(r::zero, isa::kMpcCsr, sel);
+      a.li(r::s0, kData);
+      a.li(r::a0, 0x1234);
+      const xasm::Assembler::Label end = a.new_label();
+      a.lp_setupi(0, 24, end);
+      a.p_lw_post(r::t0, r::s0, 4);
+      a.p_lw_post(r::t1, r::s0, 4);
+      (a.*(op.emit))(r::a0, r::t0, r::t1);
+      a.bind(end);
+      a.ecall();
+      const xasm::Program prog = a.finish();
+
+      sim::SuperblockStats stats;
+      const FinalState ref = run_prog(prog, true, false);
+      const FinalState fast = run_prog(prog, false, false);
+      const FinalState sb = run_prog(prog, false, true, &stats);
+      ASSERT_EQ(ref.reason, sim::HaltReason::kEcall) << op.name;
+      EXPECT_GT(stats.fused_iterations, 0u) << op.name << " sel " << sel;
+      expect_identical(ref, fast);
+      expect_identical(ref, sb);
+      if (::testing::Test::HasFailure()) {
+        FAIL() << op.name << " sel " << sel;
+      }
+    }
+  }
+}
+
+/// The mpc-flip regression program: an outer loop re-enters the same hot
+/// mixed hwloop with a different selector each pass, so a plan compiled
+/// with one baked selector would misfuse on the next pass unless the CSR
+/// write evicts it.
+xasm::Program mpc_flip_program() {
+  xasm::Assembler a(0);
+  a.csrrwi(r::zero, isa::kMpcCsr, 0);
+  a.li(r::s5, 3);  // one pass per selector
+  a.li(r::s6, 0);  // next selector value
+  a.li(r::a0, 0x55);
+  const xasm::Assembler::Label outer = a.here();
+  a.li(r::s0, kData);
+  const xasm::Assembler::Label end = a.new_label();
+  a.lp_setupi(0, 24, end);
+  a.p_lw_post(r::t0, r::s0, 4);
+  a.p_lw_post(r::t1, r::s0, 4);
+  a.pv_mlsdotusp(r::a0, r::t0, r::t1);
+  a.bind(end);
+  a.addi(r::s6, r::s6, 1);               // 1, 2, 3 (3 never reaches a dot:
+  a.csrrw(r::zero, isa::kMpcCsr, r::s6);  // the loop exits first)
+  a.addi(r::s5, r::s5, -1);
+  a.bne(r::s5, r::zero, outer);
+  a.ecall();
+  return a.finish();
+}
+
+TEST(Superblock, MpcFlipMidHotLoopEvictsAndStaysExact) {
+  const xasm::Program prog = mpc_flip_program();
+  sim::SuperblockStats stats;
+  const FinalState ref = run_prog(prog, true, false);
+  const FinalState fast = run_prog(prog, false, false);
+  const FinalState sb = run_prog(prog, false, true, &stats);
+  ASSERT_EQ(ref.reason, sim::HaltReason::kEcall);
+
+  // The selector flip between passes must evict the baked plan (never
+  // silently reuse it) and the engine recompiles for the next selector.
+  EXPECT_GE(stats.mpc_evictions, 2u);
+  EXPECT_GE(stats.blocks_compiled, 2u);
+  EXPECT_GT(stats.fused_iterations, 0u);
+
+  // All three dispatch modes agree bit-for-bit on the final state.
+  expect_identical(ref, fast);
+  expect_identical(ref, sb);
+}
+
+TEST(Superblock, CsrWriteInsideHotLoopNeverFuses) {
+  // A loop body containing the mpc write itself is ineligible for fusion
+  // (ExecClass::kCsr never fuses) — the engine must fall back to the
+  // interpreter, not bake a selector that changes mid-burst.
+  xasm::Assembler a(0);
+  a.li(r::s0, kData);
+  a.li(r::a0, 0);
+  a.li(r::s6, 0);
+  const xasm::Assembler::Label end = a.new_label();
+  a.lp_setupi(0, 24, end);
+  a.andi(r::s6, r::s6, 1);                // alternate selectors 0/1
+  a.csrrw(r::zero, isa::kMpcCsr, r::s6);
+  a.p_lw_post(r::t0, r::s0, 4);
+  a.pv_mlsdotusp(r::a0, r::t0, r::t0);
+  a.addi(r::s6, r::s6, 1);
+  a.bind(end);
+  a.ecall();
+  const xasm::Program prog = a.finish();
+
+  sim::SuperblockStats stats;
+  const FinalState ref = run_prog(prog, true, false);
+  const FinalState sb = run_prog(prog, false, true, &stats);
+  ASSERT_EQ(ref.reason, sim::HaltReason::kEcall);
+  EXPECT_EQ(stats.fused_iterations, 0u);
+  expect_identical(ref, sb);
+}
+
 }  // namespace
 }  // namespace xpulp
